@@ -1,0 +1,170 @@
+(* Benchmark driver regenerating every table and figure of the paper's
+   evaluation (Section 5 + artifact appendix).
+
+   Two layers:
+   - Bechamel micro-benchmarks: one Test.make per structure for each
+     single-threaded table/figure family (Figure 10 lookup/insert, the
+     fast-path and collision micro-costs), OLS-fitted ns/op.
+   - Harness sweeps (Harness.Suites): the full tables for Figures 9 and
+     10, the multi-threaded Figures 11-13, the artifact histograms, the
+     Section 4.1 theory check and the cache ablation.
+
+   Usage:
+     main.exe                 all experiments, quick scale
+     main.exe full            all experiments, paper-like scale
+     main.exe fig11 fig13     selected experiments (append "full")
+   Experiments: fig9 fig10 fig11 fig12 fig13 hist theory ablation
+                ablation-narrow mixed zipf remove trace bechamel all *)
+
+open Bechamel
+open Toolkit
+
+module Hashing = Ct_util.Hashing
+module Suites = Harness.Suites
+
+module CT = Cachetrie.Make (Hashing.Int_key)
+module Ctrie_map = Ctrie.Make (Hashing.Int_key)
+module Chm_map = Chm.Split_ordered.Make (Hashing.Int_key)
+module Skiplist_map = Skiplist.Make (Hashing.Int_key)
+
+(* ------------------------- bechamel layer -------------------------- *)
+
+(* Per-structure single-threaded micro benches on a prefilled map of
+   [n] keys; each run performs [batch] operations. *)
+let bench_n = 100_000
+let batch = 1_000
+
+let lookup_test (module M : Suites.IMAP) =
+  let t = M.create () in
+  let keys = Harness.Workload.shuffled_keys bench_n in
+  Array.iter (fun k -> M.insert t k k) keys;
+  let probes = Array.sub (Harness.Workload.lookup_order keys) 0 batch in
+  (* Warm the trie cache. *)
+  Array.iter (fun k -> ignore (M.lookup t k)) keys;
+  Test.make ~name:M.name
+    (Staged.stage (fun () ->
+         for i = 0 to batch - 1 do
+           ignore (Sys.opaque_identity (M.lookup t probes.(i)))
+         done))
+
+let insert_test (module M : Suites.IMAP) =
+  let t = M.create () in
+  let keys = Harness.Workload.shuffled_keys bench_n in
+  Array.iter (fun k -> M.insert t k k) keys;
+  (* Overwrite-style inserts on a warm structure keep the cost of one
+     run stable across iterations (fresh-structure inserts are timed in
+     the fig10 sweep instead). *)
+  let probes = Array.sub (Harness.Workload.lookup_order keys) 0 batch in
+  Test.make ~name:M.name
+    (Staged.stage (fun () ->
+         for i = 0 to batch - 1 do
+           M.insert t probes.(i) i
+         done))
+
+let snapshot_test () =
+  let module CS = Ctrie_snap.Make (Hashing.Int_key) in
+  let t = CS.create () in
+  let keys = Harness.Workload.shuffled_keys bench_n in
+  Array.iter (fun k -> CS.insert t k k) keys;
+  (* O(1) snapshots: cost must not scale with the 100k keys below. *)
+  Test.make ~name:"ctrie-snapshot"
+    (Staged.stage (fun () ->
+         for _ = 1 to batch do
+           ignore (Sys.opaque_identity (CS.snapshot t))
+         done))
+
+let collision_test () =
+  let module C = Cachetrie.Make (Hashing.Constant_hash_int) in
+  let t = C.create () in
+  for i = 0 to 31 do
+    C.insert t i i
+  done;
+  Test.make ~name:"cachetrie-lnode"
+    (Staged.stage (fun () ->
+         for i = 0 to batch - 1 do
+           ignore (Sys.opaque_identity (C.lookup t (i land 31)))
+         done))
+
+let bechamel_groups () =
+  [
+    Test.make_grouped ~name:"fig10-lookup"
+      (List.map lookup_test Suites.structures);
+    Test.make_grouped ~name:"fig10-insert"
+      (List.map insert_test Suites.structures);
+    Test.make_grouped ~name:"micro" [ collision_test (); snapshot_test () ];
+  ]
+
+let run_bechamel () =
+  Harness.Report.section "Bechamel micro-benchmarks (OLS ns per run)";
+  Printf.printf "(one run = %d operations on a %d-key structure)\n\n" batch bench_n;
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  List.iter
+    (fun group ->
+      let raw = Benchmark.all cfg [ instance ] group in
+      let results = Analyze.all ols instance raw in
+      let rows = ref [] in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns_per_run =
+            match Analyze.OLS.estimates ols_result with
+            | Some (x :: _) -> x
+            | _ -> nan
+          in
+          rows := [ name; Printf.sprintf "%.1f" (ns_per_run /. float_of_int batch) ] :: !rows)
+        results;
+      Harness.Report.print_table
+        ~header:[ "benchmark"; "ns/op" ]
+        (List.sort compare !rows);
+      print_newline ())
+    (bechamel_groups ())
+
+(* ----------------------------- driver ------------------------------ *)
+
+let experiments : (string * (Suites.scale -> unit)) list =
+  [
+    ("fig9", Suites.fig9_footprint);
+    ("fig10", Suites.fig10_single_threaded);
+    ("fig11", Suites.fig11_insert_high_contention);
+    ("fig12", Suites.fig12_insert_low_contention);
+    ("fig13", Suites.fig13_parallel_lookup);
+    ("hist", Suites.histograms);
+    ("theory", Suites.theory);
+    ("ablation", Suites.ablation_cache);
+    ("ablation-narrow", Suites.ablation_narrow);
+    ("mixed", Suites.mixed_workload);
+    ("zipf", Suites.zipf_lookup);
+    ("remove", Suites.remove_throughput);
+    ("trace", Suites.trace_replay);
+    ("bechamel", fun _ -> run_bechamel ());
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let scale = if List.mem "full" args then Suites.Full else Suites.Quick in
+  let selected =
+    List.filter (fun a -> a <> "full" && a <> "all") args
+  in
+  let to_run =
+    if selected = [] then experiments
+    else
+      List.filter_map
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f -> Some (name, f)
+          | None ->
+              Printf.eprintf
+                "unknown experiment %S (known: %s)\n" name
+                (String.concat ", " (List.map fst experiments));
+              exit 2)
+        selected
+  in
+  Printf.printf "cache-tries benchmark driver — scale: %s, domains available: %d\n"
+    (match scale with Suites.Quick -> "quick" | Suites.Full -> "full")
+    (Harness.Parallel.available_domains ());
+  List.iter (fun (_, f) -> f scale) to_run

@@ -1,0 +1,76 @@
+(* repro — command-line front end for the paper's experiments.
+
+   Each subcommand regenerates one table/figure of the evaluation:
+
+     repro fig9 [--full]     memory footprint (Figure 9)
+     repro fig10 [--full]    single-threaded lookup/insert (Figure 10)
+     repro fig11 [--full]    contended parallel insert (Figure 11)
+     repro fig12 [--full]    disjoint parallel insert (Figure 12)
+     repro fig13 [--full]    parallel lookup (Figure 13)
+     repro hist [--full]     level-occupancy histograms (Artifact A.5.1)
+     repro theory [--full]   Theorems 4.1-4.4 vs a real trie
+     repro ablation [--full] cache on/off and max_misses sweep
+     repro all [--full]      everything above *)
+
+open Cmdliner
+
+let scale_term =
+  let doc = "Run at paper-like sizes (minutes) instead of quick smoke sizes." in
+  let full = Arg.(value & flag & info [ "full" ] ~doc) in
+  Term.(const (fun f -> if f then Harness.Suites.Full else Harness.Suites.Quick) $ full)
+
+let experiment name doc f =
+  let run scale =
+    f scale;
+    0
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ scale_term)
+
+let all_experiments =
+  [
+    ("fig9", "Memory footprint comparison (Figure 9, Artifact A.5.2).",
+     Harness.Suites.fig9_footprint);
+    ("fig10", "Single-threaded lookup and insert (Figure 10).",
+     Harness.Suites.fig10_single_threaded);
+    ("fig11", "Multi-threaded insert, high contention (Figure 11).",
+     Harness.Suites.fig11_insert_high_contention);
+    ("fig12", "Multi-threaded insert, low contention (Figure 12).",
+     Harness.Suites.fig12_insert_low_contention);
+    ("fig13", "Multi-threaded lookup (Figure 13).",
+     Harness.Suites.fig13_parallel_lookup);
+    ("hist", "Level-occupancy histograms (Artifact A.5.1).",
+     Harness.Suites.histograms);
+    ("theory", "Depth-distribution theory, Theorems 4.1-4.4 (Section 4.1).",
+     Harness.Suites.theory);
+    ("ablation", "Cache ablation: on/off and max_misses sweep.",
+     Harness.Suites.ablation_cache);
+    ("ablation-narrow", "Narrow-node (4-slot) ablation: insert time and footprint.",
+     Harness.Suites.ablation_narrow);
+    ("mixed", "Extension: YCSB-style mixed workloads across structures.",
+     Harness.Suites.mixed_workload);
+    ("zipf", "Extension: Zipf-skewed lookup throughput.",
+     Harness.Suites.zipf_lookup);
+    ("remove", "Extension: remove throughput and compression behaviour.",
+     Harness.Suites.remove_throughput);
+    ("trace", "Extension: production-style trace replay across structures.",
+     Harness.Suites.trace_replay);
+  ]
+
+let all_cmd =
+  let run scale =
+    List.iter (fun (_, _, f) -> f scale) all_experiments;
+    0
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment in sequence.")
+    Term.(const run $ scale_term)
+
+let () =
+  let info =
+    Cmd.info "repro" ~version:"1.0"
+      ~doc:"Reproduce the evaluation of the Cache-Tries paper (PPoPP 2018)."
+  in
+  let cmds =
+    all_cmd :: List.map (fun (n, d, f) -> experiment n d f) all_experiments
+  in
+  exit (Cmd.eval' (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/dedup_membership.ml: Array Cachetrie Ct_util Harness List Printf Stack

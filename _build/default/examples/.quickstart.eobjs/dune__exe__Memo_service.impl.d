@@ -1,0 +1,1 @@
+examples/memo_service.ml: Array Cachetrie Ct_util Harness Printf

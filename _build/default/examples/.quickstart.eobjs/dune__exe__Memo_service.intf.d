@@ -1,0 +1,1 @@
+examples/memo_service.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cachetrie Ct_util Domain List Printf

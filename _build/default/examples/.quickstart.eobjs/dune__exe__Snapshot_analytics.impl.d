@@ -1,0 +1,1 @@
+examples/snapshot_analytics.ml: Atomic Ct_util Ctrie_snap Domain List Printf

@@ -1,0 +1,1 @@
+examples/word_count.ml: Array Cachetrie Char Ct_util Harness List Printf String

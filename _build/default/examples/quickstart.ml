@@ -1,0 +1,59 @@
+(* Quickstart: the cache-trie public API in two minutes.
+
+     dune exec examples/quickstart.exe *)
+
+(* Instantiate the map for your key type.  Ct_util.Hashing ships ready
+   key modules for int and string; any type with [equal] and a
+   well-distributed [hash] works. *)
+module Dict = Cachetrie.Make (Ct_util.Hashing.String_key)
+
+let () =
+  let t : int Dict.t = Dict.create () in
+
+  (* Basic operations: every one of these is lock-free and safe to call
+     from any number of domains concurrently. *)
+  Dict.insert t "mercury" 1;
+  Dict.insert t "venus" 2;
+  Dict.insert t "earth" 3;
+  assert (Dict.lookup t "earth" = Some 3);
+  assert (Dict.lookup t "pluto" = None);
+
+  (* put/putIfAbsent/replace follow the JDK ConcurrentMap contract. *)
+  assert (Dict.add t "earth" 30 = Some 3);
+  assert (Dict.put_if_absent t "mars" 4 = None);
+  assert (Dict.put_if_absent t "mars" 44 = Some 4);
+  assert (Dict.replace t "pluto" 9 = None);
+  assert (Dict.remove t "venus" = Some 2);
+
+  (* replace_if is a compare-and-swap on the binding: the building
+     block for atomic read-modify-write loops. *)
+  let rec bump key =
+    match Dict.lookup t key with
+    | None -> ignore (Dict.put_if_absent t key 1)
+    | Some v -> if not (Dict.replace_if t key ~expected:v (v + 1)) then bump key
+  in
+  bump "earth";
+
+  (* Weakly consistent aggregates. *)
+  Printf.printf "size: %d\n" (Dict.size t);
+  Dict.iter (fun k v -> Printf.printf "  %-8s -> %d\n" k v) t;
+
+  (* The trie exposes its paper-level internals for inspection. *)
+  let stats = Dict.stats t in
+  Printf.printf "expansions so far: %d (cache level: %s)\n"
+    stats.Cachetrie.expansions
+    (match stats.Cachetrie.cache_level with
+    | None -> "not yet installed — the trie is small"
+    | Some l -> string_of_int l);
+
+  (* Concurrent use: spawn domains freely. *)
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to 999 do
+              Dict.insert t (Printf.sprintf "key-%d-%d" d i) i
+            done))
+  in
+  List.iter Domain.join domains;
+  Printf.printf "after 4 domains x 1000 inserts: size = %d\n" (Dict.size t);
+  print_endline "quickstart OK"

@@ -1,0 +1,1 @@
+lib/analysis/depth_theory.ml: Array

@@ -1,0 +1,61 @@
+(* Numerically stable evaluation of the paper's depth distribution:
+   (1 - 16^-d)^n is computed as exp(n * log1p(-16^-d)). *)
+
+let pow_term d n =
+  (* (1 - 16^-d)^n, with d >= 0 and n >= 0. *)
+  if d <= 0 then if n = 0 then 1.0 else 0.0
+  else begin
+    let x = 16.0 ** float_of_int (-d) in
+    exp (float_of_int n *. log1p (-.x))
+  end
+
+let p d n =
+  if d < 0 || n < 0 then invalid_arg "Depth_theory.p";
+  pow_term (d + 1) n -. pow_term d n
+
+let eta d n = p d n +. p (d + 1) n
+
+(* Depths beyond log16 n + a few carry negligible mass; 16 covers every
+   32-bit trie (8 levels) with margin. *)
+let max_interesting_depth = 16
+
+let best_pair n =
+  let best = ref 0 and best_mass = ref neg_infinity in
+  for d = 0 to max_interesting_depth - 1 do
+    let m = eta d n in
+    if m > !best_mass then begin
+      best := d;
+      best_mass := m
+    end
+  done;
+  !best
+
+let mu n = eta (best_pair n) n
+
+let expected_depth n =
+  let acc = ref 0.0 in
+  for d = 0 to max_interesting_depth do
+    acc := !acc +. (float_of_int d *. p d n)
+  done;
+  !acc
+
+let distribution n ~max_depth = Array.init (max_depth + 1) (fun d -> p d n)
+
+let distribution_levels n ~max_depth =
+  Array.init (max_depth + 1) (fun d -> if d = 0 then 0.0 else p (d - 1) n)
+
+let theorem42_interval = (0.8745, 0.9746)
+
+let chi_square_distance expected observed =
+  let n_obs = Array.fold_left ( + ) 0 observed in
+  if n_obs = 0 then invalid_arg "Depth_theory.chi_square_distance: empty histogram";
+  let total_e = Array.fold_left ( +. ) 0.0 expected in
+  let len = min (Array.length expected) (Array.length observed) in
+  let acc = ref 0.0 in
+  for i = 0 to len - 1 do
+    let e = expected.(i) /. total_e *. float_of_int n_obs in
+    let o = float_of_int observed.(i) in
+    if e > 1e-9 then acc := !acc +. (((o -. e) ** 2.0) /. e)
+    else if o > 0.0 then acc := !acc +. o (* observed mass where none expected *)
+  done;
+  !acc

@@ -1,0 +1,36 @@
+let total hist = Array.fold_left ( + ) 0 hist
+
+let render ?label hist =
+  let buf = Buffer.create 256 in
+  let n = total hist in
+  (match label with
+  | Some l -> Buffer.add_string buf (Printf.sprintf ":: %s ::\n" l)
+  | None -> ());
+  Array.iteri
+    (fun d count ->
+      let pct = if n = 0 then 0.0 else 100.0 *. float_of_int count /. float_of_int n in
+      let stars = String.make (int_of_float (pct /. 5.0)) '*' in
+      Buffer.add_string buf
+        (Printf.sprintf "%4d: %8d (%3.0f%%) %s\n" (4 * d) count pct stars))
+    hist;
+  Buffer.contents buf
+
+let top_pair_fraction hist =
+  let n = total hist in
+  if n = 0 then (0, 0.0)
+  else begin
+    let best = ref 0 and best_count = ref (-1) in
+    for d = 0 to Array.length hist - 2 do
+      let c = hist.(d) + hist.(d + 1) in
+      if c > !best_count then begin
+        best := d;
+        best_count := c
+      end
+    done;
+    (!best, float_of_int !best_count /. float_of_int n)
+  end
+
+let normalize hist =
+  let n = total hist in
+  if n = 0 then Array.map (fun _ -> 0.0) hist
+  else Array.map (fun c -> float_of_int c /. float_of_int n) hist

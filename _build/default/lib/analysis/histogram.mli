@@ -1,0 +1,14 @@
+(** Rendering and summarising level-occupancy histograms in the format
+    used by the paper's artifact (Appendix A.5.1). *)
+
+val render : ?label:string -> int array -> string
+(** [render hist] formats a per-depth key histogram as the artifact
+    prints it: one line per level (level = 4 * depth index), with the
+    absolute count, percentage and a star bar. *)
+
+val top_pair_fraction : int array -> int * float
+(** [top_pair_fraction hist] is [(d, frac)] where depths [d] and
+    [d+1] jointly hold the largest fraction [frac] of keys. *)
+
+val normalize : int array -> float array
+(** Histogram counts as fractions of the total (all zeros if empty). *)

@@ -1,0 +1,1 @@
+lib/chm/split_ordered.ml: Array Atomic Ct_util List Option Printf String

@@ -1,0 +1,1 @@
+lib/chm/split_ordered.mli: Ct_util

@@ -1,0 +1,1 @@
+lib/chm/striped.ml: Array Atomic Ct_util Fun List Mutex Option

@@ -1,0 +1,1 @@
+lib/chm/striped.mli: Ct_util

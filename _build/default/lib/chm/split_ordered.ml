@@ -1,0 +1,377 @@
+(* Split-ordered hash map: one Harris-style lock-free ordered list over
+   bit-reversed hashes, plus a growable table of bucket sentinels.
+
+   Split-order keys: regular nodes use reverse(hash) | 1 (odd), bucket
+   sentinels use reverse(bucket) (even), so a bucket's sentinel sorts
+   just before the regular nodes that hash into it.  Doubling the
+   table splits each bucket in two without moving any list node.
+
+   A binding's value and liveness share a single atomic [state] word
+   (Live v / Dead): every logical transition of a binding is one CAS on
+   it, which is what makes in-place value updates (including the
+   replace_if compare-and-swap) linearizable.  A Dead node's link is
+   then marked and unlinked as pure physical cleanup. *)
+
+module Hashing = Ct_util.Hashing
+module Bits = Ct_util.Bits
+
+let initial_buckets = 16
+let max_buckets = 1 lsl 22
+
+(* Average bindings per bucket before doubling; JDK 8's CHM keeps bins
+   near 0.75 entries, so growth triggers at 1. *)
+let load_factor = 1
+
+module Make (H : Hashing.HASHABLE) = struct
+  type key = H.t
+
+  let name = "chm"
+
+  type 'v node = {
+    sokey : int;  (* split-order key: reversed hash, odd for regular nodes *)
+    kind : 'v kind;
+    next : 'v link Atomic.t;
+  }
+
+  and 'v kind =
+    | Sentinel  (* bucket dummy *)
+    | Binding of { hash : int; key : key; state : 'v state Atomic.t }
+
+  and 'v state = Live of 'v | Dead
+
+  and 'v link = { succ : 'v node option; marked : bool }
+
+  type 'v t = {
+    table : 'v node option Atomic.t array Atomic.t;
+    count : int Atomic.t;
+    list_head : 'v node;  (* sentinel of bucket 0 *)
+  }
+
+  let regular_sokey h = (Bits.reverse_bits32 h lsl 1) lor 1
+  let sentinel_sokey b = Bits.reverse_bits32 b lsl 1
+
+  let create () =
+    let head =
+      {
+        sokey = sentinel_sokey 0;
+        kind = Sentinel;
+        next = Atomic.make { succ = None; marked = false };
+      }
+    in
+    let table = Array.init initial_buckets (fun _ -> Atomic.make None) in
+    Atomic.set table.(0) (Some head);
+    { table = Atomic.make table; count = Atomic.make 0; list_head = head }
+
+  let hash_of k = H.hash k land Hashing.mask
+
+  (* ----------------------- the underlying list ---------------------- *)
+
+  (* Mark a dead node's link so traversals unlink it. *)
+  let rec bury (node : 'v node) =
+    let link = Atomic.get node.next in
+    if not link.marked then
+      if not (Atomic.compare_and_set node.next link { succ = link.succ; marked = true })
+      then bury node
+
+  (* Position in the list after [start] for ([sokey], [key]):
+     [pred, curr] with [pred.sokey <= sokey <= curr.sokey]; when the
+     exact binding exists, [curr] is it.  Physically unlinks marked
+     nodes on the way (Harris). *)
+  let rec list_find (start : 'v node) sokey key : 'v node * 'v node option =
+    let rec advance (pred : 'v node) (plink : 'v link) =
+      match plink.succ with
+      | None -> (pred, None)
+      | Some curr ->
+          let clink = Atomic.get curr.next in
+          if clink.marked then begin
+            (* Unlink the dead node.  The stored replacement link must
+               be the exact record we keep using (CAS compares
+               identities). *)
+            let repl = { succ = clink.succ; marked = false } in
+            if Atomic.compare_and_set pred.next plink repl then advance pred repl
+            else list_find start sokey key
+          end
+          else if curr.sokey < sokey then advance curr clink
+          else if curr.sokey > sokey then (pred, Some curr)
+          else begin
+            (* Equal split-order key: scan the equal-key run for the
+               matching binding. *)
+            match curr.kind with
+            | Binding b when H.equal b.key key -> (pred, Some curr)
+            | Binding _ | Sentinel -> advance curr clink
+          end
+    in
+    advance start (Atomic.get start.next)
+
+  (* --------------------------- bucket table ------------------------- *)
+
+  let parent_bucket b =
+    (* Clear the most significant set bit. *)
+    if b = 0 then 0 else b lxor (1 lsl (31 - Bits.count_leading_zeros32 b))
+
+  let rec get_bucket t (table : 'v node option Atomic.t array) b : 'v node =
+    match Atomic.get table.(b) with
+    | Some sentinel -> sentinel
+    | None ->
+        (* Initialize recursively from the parent bucket. *)
+        let parent = get_bucket t table (parent_bucket b) in
+        let sokey = sentinel_sokey b in
+        let rec install () =
+          (* A sentinel has no key; find the splice point by sokey
+             alone. *)
+          let rec splice_point (pred : 'v node) =
+            let plink = Atomic.get pred.next in
+            match plink.succ with
+            | Some curr when curr.sokey < sokey ->
+                let clink = Atomic.get curr.next in
+                if clink.marked then begin
+                  let repl = { succ = clink.succ; marked = false } in
+                  if Atomic.compare_and_set pred.next plink repl then
+                    splice_point pred
+                  else splice_point parent
+                end
+                else splice_point curr
+            | Some curr when curr.sokey = sokey && curr.kind = Sentinel ->
+                `Exists curr
+            | _ -> `Splice (pred, plink)
+          in
+          match splice_point parent with
+          | `Exists sentinel -> sentinel
+          | `Splice (pred, plink) ->
+              if plink.marked then install ()
+              else begin
+                let sentinel = { sokey; kind = Sentinel; next = Atomic.make plink } in
+                if
+                  Atomic.compare_and_set pred.next plink
+                    { succ = Some sentinel; marked = false }
+                then sentinel
+                else install ()
+              end
+        in
+        let sentinel = install () in
+        ignore (Atomic.compare_and_set table.(b) None (Some sentinel));
+        (* Another thread may have installed a different-but-equivalent
+           sentinel pointer first; always use the published one. *)
+        (match Atomic.get table.(b) with Some s -> s | None -> sentinel)
+
+  let bucket_for t h =
+    let table = Atomic.get t.table in
+    let b = h land (Array.length table - 1) in
+    get_bucket t table b
+
+  let bucket_count t = Array.length (Atomic.get t.table)
+
+  (* Double the bucket table when the load factor is exceeded.  The
+     new array reuses initialized buckets; lazy initialization fills
+     the rest. *)
+  let maybe_grow t =
+    let table = Atomic.get t.table in
+    let buckets = Array.length table in
+    if buckets < max_buckets && Atomic.get t.count > buckets * load_factor then begin
+      let bigger = Array.init (buckets * 2) (fun _ -> Atomic.make None) in
+      Array.blit table 0 bigger 0 buckets;
+      ignore (Atomic.compare_and_set t.table table bigger)
+    end
+
+  (* ------------------------------ lookup ---------------------------- *)
+
+  let lookup t k =
+    let h = hash_of k in
+    let sokey = regular_sokey h in
+    let start = bucket_for t h in
+    (* Wait-free read: traverse skipping marked nodes without helping. *)
+    let rec go (node : 'v node option) =
+      match node with
+      | None -> None
+      | Some n ->
+          if n.sokey < sokey then go (Atomic.get n.next).succ
+          else if n.sokey > sokey then None
+          else begin
+            match n.kind with
+            | Binding b when H.equal b.key k -> (
+                match Atomic.get b.state with Live v -> Some v | Dead -> None)
+            | Binding _ | Sentinel -> go (Atomic.get n.next).succ
+          end
+    in
+    go (Atomic.get start.next).succ
+
+  let mem t k = Option.is_some (lookup t k)
+
+  (* ------------------------------ updates --------------------------- *)
+
+  type 'v mode = Always | If_absent | If_present | If_value of 'v
+
+  let rec update t k v mode : 'v option =
+    let h = hash_of k in
+    let sokey = regular_sokey h in
+    let start = bucket_for t h in
+    let pred, curr = list_find start sokey k in
+    match curr with
+    | Some n when n.sokey = sokey -> (
+        match n.kind with
+        | Binding b -> (
+            match Atomic.get b.state with
+            | Dead ->
+                (* Logically removed but not yet unlinked: help, retry. *)
+                bury n;
+                ignore (list_find start sokey k);
+                update t k v mode
+            | Live existing as live -> (
+                match mode with
+                | If_absent -> Some existing
+                | If_value expected when existing != expected -> Some existing
+                | Always | If_present | If_value _ ->
+                    if Atomic.compare_and_set b.state live (Live v) then
+                      Some existing
+                    else update t k v mode))
+        | Sentinel -> assert false)
+    | _ ->
+        if (match mode with If_present | If_value _ -> true | Always | If_absent -> false)
+        then None
+        else begin
+          let node =
+            {
+              sokey;
+              kind = Binding { hash = h; key = k; state = Atomic.make (Live v) };
+              next = Atomic.make { succ = curr; marked = false };
+            }
+          in
+          let plink = Atomic.get pred.next in
+          let same_succ =
+            match (plink.succ, curr) with
+            | None, None -> true
+            | Some a, Some b -> a == b
+            | None, Some _ | Some _, None -> false
+          in
+          if plink.marked || not same_succ then update t k v mode
+          else if
+            Atomic.compare_and_set pred.next plink
+              { succ = Some node; marked = false }
+          then begin
+            Atomic.incr t.count;
+            maybe_grow t;
+            None
+          end
+          else update t k v mode
+        end
+
+  let insert t k v = ignore (update t k v Always)
+  let add t k v = update t k v Always
+  let put_if_absent t k v = update t k v If_absent
+  let replace t k v = update t k v If_present
+
+  let replace_if t k ~expected v =
+    match update t k v (If_value expected) with
+    | Some p -> p == expected
+    | None -> false
+
+  let rec remove_with t k cond : 'v option =
+    let h = hash_of k in
+    let sokey = regular_sokey h in
+    let start = bucket_for t h in
+    let _, curr = list_find start sokey k in
+    match curr with
+    | Some n when n.sokey = sokey -> (
+        match n.kind with
+        | Binding b -> (
+            match Atomic.get b.state with
+            | Dead ->
+                bury n;
+                ignore (list_find start sokey k);
+                None
+            | Live v as live ->
+                if not (cond v) then Some v
+                else if Atomic.compare_and_set b.state live Dead then begin
+                  (* Removal linearized; clean up physically. *)
+                  Atomic.decr t.count;
+                  bury n;
+                  ignore (list_find start sokey k);
+                  Some v
+                end
+                else remove_with t k cond)
+        | Sentinel -> assert false)
+    | _ -> None
+
+  let remove t k = remove_with t k (fun _ -> true)
+
+  let remove_if t k ~expected =
+    match remove_with t k (fun v -> v == expected) with
+    | Some p -> p == expected
+    | None -> false
+
+  (* ------------------------- aggregate queries ---------------------- *)
+
+  let fold f acc t =
+    let rec go acc (node : 'v node option) =
+      match node with
+      | None -> acc
+      | Some n ->
+          let acc =
+            match n.kind with
+            | Binding b -> (
+                match Atomic.get b.state with
+                | Live v -> f acc b.key v
+                | Dead -> acc)
+            | Sentinel -> acc
+          in
+          go acc (Atomic.get n.next).succ
+    in
+    go acc (Atomic.get t.list_head.next).succ
+
+  let iter f t = fold (fun () k v -> f k v) () t
+  let size t = fold (fun n _ _ -> n + 1) 0 t
+  let is_empty t = size t = 0
+  let to_list t = fold (fun acc k v -> (k, v) :: acc) [] t
+
+  (* Structural invariants, checked during quiescence. *)
+  let validate t =
+    let errors = ref [] in
+    let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+    let rec walk (node : 'v node option) last =
+      match node with
+      | None -> ()
+      | Some n ->
+          let link = Atomic.get n.next in
+          if link.marked then err "marked node reachable during quiescence";
+          if n.sokey < last then err "split-order keys not sorted"
+          else if n.sokey = last && n.sokey land 1 = 0 then
+            err "duplicate sentinel sokey %#x" n.sokey;
+          (match n.kind with
+          | Sentinel ->
+              if n.sokey land 1 <> 0 then err "sentinel with odd sokey"
+          | Binding b -> (
+              if n.sokey land 1 <> 1 then err "binding with even sokey";
+              if regular_sokey b.hash <> n.sokey then err "binding sokey mismatch";
+              if hash_of b.key <> b.hash then err "binding hash mismatch";
+              match Atomic.get b.state with
+              | Dead -> err "dead binding reachable during quiescence"
+              | Live _ -> ()));
+          walk link.succ n.sokey
+    in
+    walk (Some t.list_head) min_int;
+    let table = Atomic.get t.table in
+    Array.iteri
+      (fun b slot ->
+        match Atomic.get slot with
+        | None -> ()
+        | Some sentinel ->
+            if sentinel.kind <> Sentinel then err "bucket %d points at a binding" b;
+            if sentinel.sokey <> sentinel_sokey b then
+              err "bucket %d sentinel has wrong sokey" b)
+      table;
+    match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))
+
+  (* Word-cost model (DESIGN.md): node = 4 + link box 2 + link record 3;
+     binding payload = 4 + state box 2 + Live box 2; table = arrays +
+     option boxes. *)
+  let footprint_words t =
+    let rec go acc (node : 'v node option) =
+      match node with
+      | None -> acc
+      | Some n ->
+          let words = match n.kind with Sentinel -> 9 | Binding _ -> 9 + 8 in
+          go (acc + words) (Atomic.get n.next).succ
+    in
+    let table = Atomic.get t.table in
+    go (1 + (3 * Array.length table)) (Some t.list_head)
+end

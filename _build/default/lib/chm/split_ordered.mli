@@ -1,0 +1,27 @@
+(** Lock-free extensible hash map with recursive split-ordering
+    (Shalev & Shavit, "Split-Ordered Lists", JACM 2006) — the
+    [ConcurrentHashMap] stand-in for the paper's evaluation.
+
+    All bindings live in a single lock-free ordered linked list keyed
+    by the bit-reversed 32-bit hash ("split-order key"); the bucket
+    table is an array of lazily-initialized sentinel ("dummy") nodes
+    pointing into the list.  Doubling the table never moves a binding:
+    a new bucket's sentinel is spliced next to its parent bucket's,
+    which is what makes growth lock-free — and is the "resize" cost
+    the cache-trie paper contrasts tries against.
+
+    Values are updated in place through a per-node [Atomic.t], with a
+    deletion-mark recheck that keeps updates linearizable. *)
+
+module Make (H : Ct_util.Hashing.HASHABLE) : sig
+  include Ct_util.Map_intf.CONCURRENT_MAP with type key = H.t
+
+  val bucket_count : 'v t -> int
+  (** Current size of the bucket table (doubles as the map grows). *)
+
+  val validate : 'v t -> (unit, string) result
+  (** Structural invariants of a quiescent map: the list is strictly
+      sorted by split-order key (sentinels even, bindings odd), no
+      marked or dead nodes remain reachable, and every initialized
+      bucket points at a sentinel with the right split-order key. *)
+end

@@ -1,0 +1,161 @@
+(* Lock-striped chaining hash table with wait-free reads: bucket heads
+   are atomic immutable lists; writers take the stripe lock for their
+   bucket, readers never lock.  Resize locks all stripes in order. *)
+
+module Hashing = Ct_util.Hashing
+
+let n_stripes = 16
+let initial_buckets = 16
+let load_factor = 4
+let max_buckets = 1 lsl 22
+
+module Make (H : Hashing.HASHABLE) = struct
+  type key = H.t
+
+  let name = "chm-striped"
+
+  type 'v bucket = (int * key * 'v) list
+
+  type 'v t = {
+    mutable table : 'v bucket Atomic.t array;  (* replaced under all locks *)
+    stripes : Mutex.t array;
+    count : int Atomic.t;
+  }
+
+  let create () =
+    {
+      table = Array.init initial_buckets (fun _ -> Atomic.make []);
+      stripes = Array.init n_stripes (fun _ -> Mutex.create ());
+      count = Atomic.make 0;
+    }
+
+  let hash_of k = H.hash k land Hashing.mask
+  let bucket_count t = Array.length t.table
+
+  let with_stripe t h f =
+    let m = t.stripes.(h land (n_stripes - 1)) in
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+  let with_all_stripes t f =
+    Array.iter Mutex.lock t.stripes;
+    Fun.protect
+      ~finally:(fun () -> Array.iter Mutex.unlock t.stripes)
+      f
+
+  let rec find_bucket entries h k =
+    match entries with
+    | [] -> None
+    | (h', k', v') :: rest ->
+        if h' = h && H.equal k' k then Some v' else find_bucket rest h k
+
+  let lookup t k =
+    let h = hash_of k in
+    let table = t.table in
+    let entries = Atomic.get table.(h land (Array.length table - 1)) in
+    find_bucket entries h k
+
+  let mem t k = Option.is_some (lookup t k)
+
+  let resize_if_needed t =
+    if
+      Atomic.get t.count > Array.length t.table * load_factor
+      && Array.length t.table < max_buckets
+    then
+      with_all_stripes t (fun () ->
+          let old = t.table in
+          if Atomic.get t.count > Array.length old * load_factor then begin
+            let size = Array.length old * 2 in
+            let fresh = Array.init size (fun _ -> Atomic.make []) in
+            Array.iter
+              (fun slot ->
+                List.iter
+                  (fun ((h, _, _) as e) ->
+                    let b = fresh.(h land (size - 1)) in
+                    Atomic.set b (e :: Atomic.get b))
+                  (Atomic.get slot))
+              old;
+            t.table <- fresh
+          end)
+
+  type 'v mode = Always | If_absent | If_present | If_value of 'v
+
+  let update t k v mode : 'v option =
+    let h = hash_of k in
+    let previous =
+      with_stripe t h (fun () ->
+          let table = t.table in
+          let slot = table.(h land (Array.length table - 1)) in
+          let entries = Atomic.get slot in
+          let previous = find_bucket entries h k in
+          let proceed =
+            match (mode, previous) with
+            | If_absent, Some _ -> false
+            | (If_present | If_value _), None -> false
+            | If_value expected, Some p -> p == expected
+            | (Always | If_absent | If_present), _ -> true
+          in
+          if proceed then begin
+            let without =
+              if previous = None then entries
+              else List.filter (fun (h', k', _) -> not (h' = h && H.equal k' k)) entries
+            in
+            Atomic.set slot ((h, k, v) :: without);
+            if previous = None then Atomic.incr t.count
+          end;
+          previous)
+    in
+    resize_if_needed t;
+    previous
+
+  let insert t k v = ignore (update t k v Always)
+  let add t k v = update t k v Always
+  let put_if_absent t k v = update t k v If_absent
+  let replace t k v = update t k v If_present
+
+  let replace_if t k ~expected v =
+    match update t k v (If_value expected) with
+    | Some p -> p == expected
+    | None -> false
+
+  let remove_with t k cond : 'v option =
+    let h = hash_of k in
+    with_stripe t h (fun () ->
+        let table = t.table in
+        let slot = table.(h land (Array.length table - 1)) in
+        let entries = Atomic.get slot in
+        match find_bucket entries h k with
+        | None -> None
+        | Some v as previous ->
+            if cond v then begin
+              Atomic.set slot
+                (List.filter (fun (h', k', _) -> not (h' = h && H.equal k' k)) entries);
+              Atomic.decr t.count
+            end;
+            previous)
+
+  let remove t k = remove_with t k (fun _ -> true)
+
+  let remove_if t k ~expected =
+    match remove_with t k (fun v -> v == expected) with
+    | Some p -> p == expected
+    | None -> false
+
+  let fold f acc t =
+    let table = t.table in
+    Array.fold_left
+      (fun acc slot ->
+        List.fold_left (fun acc (_, k, v) -> f acc k v) acc (Atomic.get slot))
+      acc table
+
+  let iter f t = fold (fun () k v -> f k v) () t
+  let size t = fold (fun n _ _ -> n + 1) 0 t
+  let is_empty t = size t = 0
+  let to_list t = fold (fun acc k v -> (k, v) :: acc) [] t
+
+  (* Word-cost model: table array + atomic boxes + 5-word cells
+     (cons 3 + tuple header... tuple of 3 = 4 words, cons = 3). *)
+  let footprint_words t =
+    let cells = Atomic.get t.count in
+    1 + (3 * Array.length t.table) + (7 * cells) + n_stripes
+end

@@ -1,0 +1,14 @@
+(** Lock-striped chaining hash table (pre-JDK-8 [ConcurrentHashMap]
+    style): an array of buckets guarded by a fixed set of mutexes,
+    with lock-free (wait-free) reads through atomic bucket heads.
+
+    Included as an ablation baseline: comparing it against
+    {!Split_ordered} shows what the paper's "flat hash table" costs
+    when writers block, especially during resize (which takes all
+    stripes).  Reads never lock. *)
+
+module Make (H : Ct_util.Hashing.HASHABLE) : sig
+  include Ct_util.Map_intf.CONCURRENT_MAP with type key = H.t
+
+  val bucket_count : 'v t -> int
+end

@@ -1,0 +1,1041 @@
+(* Cache-trie: lock-free concurrent hash trie with a quiescently
+   consistent cache (Prokopec, PPoPP'18).
+
+   The implementation follows the paper's pseudocode (Figures 2-8)
+   with the OCaml-specific decisions documented in DESIGN.md:
+
+   - ANodes are arrays of [Atomic.t] slot boxes (no atomic arrays in
+     the stdlib); slot boxes never change identity, so CAS works on
+     stable locations.
+   - The SNode [txn] field is a closed variant instead of [Any].
+   - Full 32-bit hash collisions are resolved with immutable LNodes
+     (association lists), updated by direct slot CAS and frozen by
+     wrapping in FNode.
+   - Remove-side compression uses an explicit XNode descriptor that
+     mirrors ENode, so every restarted operation finds a descriptor to
+     help (the paper describes this step in prose in Section 3.7).
+   - The cache entry arrays are plain (non-atomic) arrays: the cache is
+     quiescently consistent and every fast-path read is validated
+     against the trie, so racy cache reads are benign (the paper's
+     inhabit uses a plain WRITE for the same reason). *)
+
+module Hashing = Ct_util.Hashing
+module Bits = Ct_util.Bits
+module Rng = Ct_util.Rng
+
+type config = {
+  enable_cache : bool;  (** if false, behaves as the paper's "w/o cache" variant *)
+  max_misses : int;  (** misses per counter stripe before a sampling pass (paper: 2048) *)
+  sample_paths : int;  (** random paths walked per sampling pass *)
+  min_cache_level : int;  (** first cache level installed (paper: 8) *)
+  cache_trigger_level : int;  (** trie level whose nodes trigger cache creation (paper: 12) *)
+  max_cache_level : int;  (** cap on the cache level, bounding cache memory *)
+  miss_stripes : int;  (** number of per-domain miss counter stripes *)
+  narrow_nodes : bool;  (** if false, always allocate wide ANodes (ablation) *)
+  dual_level_cache : bool;
+      (** keep the fallback cache level fresh too (paper Section 7's
+          two-level-cache suggestion); if false only the head level is
+          inhabited *)
+}
+
+let default_config =
+  {
+    enable_cache = true;
+    max_misses = 2048;
+    sample_paths = 64;
+    min_cache_level = 8;
+    cache_trigger_level = 12;
+    max_cache_level = 20;
+    miss_stripes = 64;
+    narrow_nodes = true;
+    dual_level_cache = true;
+  }
+
+type stats = {
+  cache_level : int option;
+  cache_chain : int list;
+  expansions : int;
+  compressions : int;
+  sampling_passes : int;
+  cache_installs : int;
+  cache_adjustments : int;
+}
+
+module Make (H : Hashing.HASHABLE) = struct
+  type key = H.t
+
+  let name = "cachetrie"
+
+  (* ---------------------------------------------------------------- *)
+  (* Node types (paper Figure 1 and Table 1).                          *)
+  (* ---------------------------------------------------------------- *)
+
+  type 'v node =
+    | Null  (** empty ANode slot *)
+    | FVNode  (** frozen empty slot *)
+    | SNode of 'v snode  (** leaf holding one binding *)
+    | ANode of 'v anode  (** inner node: 4 (narrow) or 16 (wide) slots *)
+    | LNode of 'v lnode  (** list of bindings whose 32-bit hashes collide *)
+    | FNode of 'v node  (** freeze wrapper for an ANode or LNode *)
+    | ENode of 'v enode  (** expansion descriptor *)
+    | XNode of 'v xnode  (** compression descriptor *)
+
+  and 'v snode = { hash : int; key : key; value : 'v; txn : 'v txn Atomic.t }
+
+  and 'v txn =
+    | No_txn
+    | Frozen_snode
+    | Replace of 'v node  (** announced replacement (SNode, ANode or LNode) *)
+    | Removed  (** announced removal: parent slot will become Null *)
+
+  and 'v anode = 'v node Atomic.t array
+
+  and 'v lnode = { lhash : int; entries : (key * 'v) list }
+
+  and 'v enode = {
+    e_parent : 'v anode;
+    e_parentpos : int;
+    e_narrow : 'v anode;
+    e_level : int;  (** level of the narrow node being expanded *)
+    e_wide : 'v anode option Atomic.t;
+  }
+
+  and 'v xnode = {
+    x_parent : 'v anode;
+    x_parentpos : int;
+    x_stale : 'v anode;
+    x_level : int;  (** level of the node being compressed *)
+    x_repl : 'v node option Atomic.t;
+  }
+
+  (* Cache (paper Figure 5): a list of levels, deepest first.  Entry
+     arrays are plain: see the header comment. *)
+  type 'v cache_level = {
+    c_level : int;  (** trie level covered, multiple of 4 *)
+    c_entries : 'v node array;  (** length [2^c_level] *)
+    c_misses : int array;  (** striped per-domain miss counters *)
+    c_parent : 'v cache_level option;
+  }
+
+  type 'v t = {
+    root : 'v anode;
+    cache_head : 'v cache_level option Atomic.t;
+    config : config;
+    n_expansions : int Atomic.t;
+    n_compressions : int Atomic.t;
+    n_samples : int Atomic.t;
+    n_cache_installs : int Atomic.t;
+    n_adjustments : int Atomic.t;
+    seed : int Atomic.t;
+  }
+
+  let narrow_width = 4
+  let wide_width = 16
+  let miss_stride = 8
+
+  let new_anode n : 'v anode = Array.init n (fun _ -> Atomic.make Null)
+
+  let create_with ~config () =
+    {
+      root = new_anode wide_width;
+      cache_head = Atomic.make None;
+      config;
+      n_expansions = Atomic.make 0;
+      n_compressions = Atomic.make 0;
+      n_samples = Atomic.make 0;
+      n_cache_installs = Atomic.make 0;
+      n_adjustments = Atomic.make 0;
+      seed = Atomic.make 0x9E3779B9;
+    }
+
+  let create () = create_with ~config:default_config ()
+  let hash_of k = H.hash k land Hashing.mask
+  let apos (an : 'v anode) h lev = (h lsr lev) land (Array.length an - 1)
+  let is_narrow (an : 'v anode) = Array.length an = narrow_width
+
+  let fresh_snode h k v = SNode { hash = h; key = k; value = v; txn = Atomic.make No_txn }
+
+  (* ---------------------------------------------------------------- *)
+  (* Sequential construction on private nodes.                         *)
+  (*                                                                    *)
+  (* These run on nodes not yet published (expansion/compression       *)
+  (* targets, children built for a txn announcement), so plain          *)
+  (* Atomic.set is race-free here.                                      *)
+  (* ---------------------------------------------------------------- *)
+
+  (* Build the node that holds two bindings whose hashes differ,
+     starting at [lev] (paper's createANode).  Always allocates fresh
+     SNodes: a published SNode must never be reinstalled elsewhere,
+     because its txn field would no longer mean "reachable". *)
+  let rec join_disjoint cfg h1 k1 v1 h2 k2 v2 lev : 'v node =
+    assert (h1 <> h2);
+    let np1 = (h1 lsr lev) land (narrow_width - 1)
+    and np2 = (h2 lsr lev) land (narrow_width - 1) in
+    if cfg.narrow_nodes && np1 <> np2 then begin
+      let an = new_anode narrow_width in
+      Atomic.set an.(np1) (fresh_snode h1 k1 v1);
+      Atomic.set an.(np2) (fresh_snode h2 k2 v2);
+      ANode an
+    end
+    else begin
+      let wp1 = (h1 lsr lev) land (wide_width - 1)
+      and wp2 = (h2 lsr lev) land (wide_width - 1) in
+      let an = new_anode wide_width in
+      if wp1 <> wp2 then begin
+        Atomic.set an.(wp1) (fresh_snode h1 k1 v1);
+        Atomic.set an.(wp2) (fresh_snode h2 k2 v2)
+      end
+      else Atomic.set an.(wp1) (join_disjoint cfg h1 k1 v1 h2 k2 v2 (lev + 4));
+      ANode an
+    end
+
+  (* Insert into a private (unpublished) subtree.  [build_insert node
+     lev h k v] returns the node that replaces [node], where [node]
+     sits at pointer level [lev] (an ANode result indexes hash bits
+     [lev, lev+4)).  Narrow nodes with an occupied target slot are
+     promoted to wide ones, preserving the invariant that narrow
+     ANodes contain only SNodes. *)
+  let rec build_insert cfg (node : 'v node) lev h k v : 'v node =
+    match node with
+    | Null -> fresh_snode h k v
+    | SNode sn ->
+        if sn.hash = h && H.equal sn.key k then fresh_snode h k v
+        else if sn.hash = h then
+          LNode { lhash = h; entries = [ (k, v); (sn.key, sn.value) ] }
+        else join_disjoint cfg sn.hash sn.key sn.value h k v lev
+    | LNode ln ->
+        if ln.lhash = h then
+          LNode { ln with entries = (k, v) :: List.remove_assoc k ln.entries }
+        else begin
+          (* Push the whole list one level down next to the new key. *)
+          let an = new_anode wide_width in
+          Atomic.set an.((ln.lhash lsr lev) land (wide_width - 1)) (LNode ln);
+          build_into_anode cfg an lev h k v
+        end
+    | ANode an ->
+        if is_narrow an then begin
+          let pos = (h lsr lev) land (narrow_width - 1) in
+          match Atomic.get an.(pos) with
+          | Null ->
+              Atomic.set an.(pos) (fresh_snode h k v);
+              ANode an
+          | _ ->
+              (* Promote the narrow node to a wide one, then insert. *)
+              let wide = new_anode wide_width in
+              Array.iter
+                (fun slot ->
+                  match Atomic.get slot with
+                  | Null -> ()
+                  | SNode sn as leaf ->
+                      Atomic.set wide.((sn.hash lsr lev) land (wide_width - 1)) leaf
+                  | LNode _ | ANode _ | FVNode | FNode _ | ENode _ | XNode _ ->
+                      (* narrow nodes hold only SNodes *)
+                      assert false)
+                an;
+              build_into_anode cfg wide lev h k v
+        end
+        else build_into_anode cfg an lev h k v
+    | FVNode | FNode _ | ENode _ | XNode _ ->
+        (* Private subtrees contain only committed node kinds. *)
+        assert false
+
+  and build_into_anode cfg (an : 'v anode) lev h k v : 'v node =
+    let pos = apos an h lev in
+    Atomic.set an.(pos) (build_insert cfg (Atomic.get an.(pos)) (lev + 4) h k v);
+    ANode an
+
+  (* Collect all bindings of a frozen subtree (used by compression and
+     as the generic expansion-copy fallback). *)
+  let rec collect_frozen (node : 'v node) acc =
+    match node with
+    | Null | FVNode -> acc
+    | SNode sn -> (sn.hash, sn.key, sn.value) :: acc
+    | LNode ln -> List.fold_left (fun acc (k, v) -> (ln.lhash, k, v) :: acc) acc ln.entries
+    | FNode inner -> collect_frozen inner acc
+    | ANode an ->
+        Array.fold_left (fun acc slot -> collect_frozen (Atomic.get slot) acc) acc an
+    | ENode _ | XNode _ ->
+        (* freeze completes nested descriptors before wrapping *)
+        assert false
+
+  (* Copy a frozen narrow node into a fresh wide node (paper's copy
+     subroutine).  The narrow-node invariant means entries are frozen
+     SNodes, FNode-wrapped LNodes, or FVNode; the generic collect +
+     build_into_anode also covers any deeper content defensively. *)
+  let transfer cfg (narrow : 'v anode) (wide : 'v anode) lev =
+    let bindings =
+      Array.fold_left (fun acc slot -> collect_frozen (Atomic.get slot) acc) [] narrow
+    in
+    List.iter (fun (h, k, v) -> ignore (build_into_anode cfg wide lev h k v)) bindings
+
+  (* ---------------------------------------------------------------- *)
+  (* Freezing, expansion, compression (paper Figure 4 + Section 3.7).  *)
+  (* ---------------------------------------------------------------- *)
+
+  let rec freeze t (cur : 'v anode) =
+    let i = ref 0 in
+    while !i < Array.length cur do
+      let slot = cur.(!i) in
+      (match Atomic.get slot with
+      | Null -> if Atomic.compare_and_set slot Null FVNode then incr i
+      | FVNode -> incr i
+      | SNode sn as old -> begin
+          match Atomic.get sn.txn with
+          | No_txn -> if Atomic.compare_and_set sn.txn No_txn Frozen_snode then incr i
+          | Frozen_snode -> incr i
+          | Replace repl ->
+              (* Commit the pending transaction first, then re-examine. *)
+              ignore (Atomic.compare_and_set slot old repl)
+          | Removed -> ignore (Atomic.compare_and_set slot old Null)
+        end
+      | ANode _ as old -> ignore (Atomic.compare_and_set slot old (FNode old))
+      | LNode _ as old -> ignore (Atomic.compare_and_set slot old (FNode old))
+      | FNode (ANode an) ->
+          freeze t an;
+          incr i
+      | FNode _ -> incr i
+      | ENode en as self -> complete_expansion t self en
+      | XNode xn as self -> complete_compression t self xn);
+      ()
+    done
+
+  (* [self] must be the physical ENode value read from the parent slot
+     (the commit CAS compares identities). *)
+  and complete_expansion t (self : 'v node) (en : 'v enode) =
+    freeze t en.e_narrow;
+    (match Atomic.get en.e_wide with
+    | Some _ -> ()
+    | None ->
+        let wide = new_anode wide_width in
+        transfer t.config en.e_narrow wide en.e_level;
+        if Atomic.compare_and_set en.e_wide None (Some wide) then
+          Atomic.incr t.n_expansions);
+    match Atomic.get en.e_wide with
+    | Some wide ->
+        ignore (Atomic.compare_and_set en.e_parent.(en.e_parentpos) self (ANode wide))
+    | None -> assert false
+
+  and complete_compression t (self : 'v node) (xn : 'v xnode) =
+    freeze t xn.x_stale;
+    (match Atomic.get xn.x_repl with
+    | Some _ -> ()
+    | None ->
+        let bindings =
+          Array.fold_left
+            (fun acc slot -> collect_frozen (Atomic.get slot) acc)
+            [] xn.x_stale
+        in
+        let repl =
+          match bindings with
+          | [] -> Null
+          | [ (h, k, v) ] -> fresh_snode h k v
+          | many ->
+              let an = new_anode wide_width in
+              List.iter (fun (h, k, v) -> ignore (build_into_anode t.config an xn.x_level h k v)) many;
+              ANode an
+        in
+        if Atomic.compare_and_set xn.x_repl None (Some repl) then
+          Atomic.incr t.n_compressions);
+    match Atomic.get xn.x_repl with
+    | Some repl ->
+        ignore (Atomic.compare_and_set xn.x_parent.(xn.x_parentpos) self repl)
+    | None -> assert false
+
+  (* ---------------------------------------------------------------- *)
+  (* Cache maintenance (paper Figures 5-8).                             *)
+  (* ---------------------------------------------------------------- *)
+
+  let make_cache_level t level parent =
+    {
+      c_level = level;
+      c_entries = Array.make (1 lsl level) Null;
+      c_misses = Array.make (t.config.miss_stripes * miss_stride) 0;
+      c_parent = parent;
+    }
+
+  (* Install a node into the cache (paper Figure 7).  [nv] is a live
+     SNode or wide ANode whose trie level is [lev].  With
+     [dual_level_cache] the fallback level in the chain keeps being
+     refreshed too — the paper's Section 7 suggestion of caching two
+     levels at once, which serves both of the populated adjacent
+     levels without the extra trie hop. *)
+  let inhabit t (nv : 'v node) h lev =
+    if t.config.enable_cache then begin
+      match Atomic.get t.cache_head with
+      | None ->
+          if lev >= t.config.cache_trigger_level then begin
+            let fresh = make_cache_level t t.config.min_cache_level None in
+            if Atomic.compare_and_set t.cache_head None (Some fresh) then
+              Atomic.incr t.n_cache_installs
+          end
+      | Some head ->
+          let write cl =
+            let pos = h land (Array.length cl.c_entries - 1) in
+            cl.c_entries.(pos) <- nv
+          in
+          if head.c_level = lev then write head
+          else if t.config.dual_level_cache then begin
+            match head.c_parent with
+            | Some cl when cl.c_level = lev -> write cl
+            | Some _ | None -> ()
+          end
+    end
+
+  (* Does any cache level in the chain cover trie level [lev]? *)
+  let cache_covers t lev =
+    match Atomic.get t.cache_head with
+    | None -> false
+    | Some head -> (
+        head.c_level = lev
+        ||
+        (t.config.dual_level_cache
+        && match head.c_parent with Some cl -> cl.c_level = lev | None -> false))
+
+  (* Walk one random path and accumulate, per level, how many SNode /
+     LNode children the ANodes along the path hold (Section 3.6). *)
+  let sample_path t rng (hist : int array) =
+    let h = Rng.next_int32 rng in
+    let rec go (an : 'v anode) lev =
+      let child_depth = (lev + 4) / 4 in
+      if child_depth < Array.length hist then begin
+        let snodes = ref 0 in
+        Array.iter
+          (fun slot ->
+            match Atomic.get slot with
+            | SNode _ | LNode _ -> incr snodes
+            | Null | FVNode | ANode _ | FNode _ | ENode _ | XNode _ -> ())
+          an;
+        hist.(child_depth) <- hist.(child_depth) + !snodes;
+        match Atomic.get an.(apos an h lev) with
+        | ANode child -> go child (lev + 4)
+        | ENode en -> go en.e_narrow (lev + 4)
+        | XNode xn -> go xn.x_stale (lev + 4)
+        | FNode (ANode child) -> go child (lev + 4)
+        | Null | FVNode | SNode _ | LNode _ | FNode _ -> ()
+      end
+    in
+    go t.root 0
+
+  let chain_levels head =
+    let rec go acc = function
+      | None -> List.rev acc
+      | Some cl -> go (cl.c_level :: acc) cl.c_parent
+    in
+    go [] head
+
+  let sample_and_adjust t =
+    Atomic.incr t.n_samples;
+    let seed = Atomic.fetch_and_add t.seed 0x61C88647 in
+    let rng = Rng.create (Rng.mix64 (seed lxor (Domain.self () :> int))) in
+    let hist = Array.make 10 0 in
+    for _ = 1 to t.config.sample_paths do
+      sample_path t rng hist
+    done;
+    (* Most populated pair of adjacent depths; the cache targets the
+       first of the pair. *)
+    let best = ref 1 and best_count = ref (-1) in
+    for d = 1 to Array.length hist - 2 do
+      let c = hist.(d) + hist.(d + 1) in
+      if c > !best_count then begin
+        best := d;
+        best_count := c
+      end
+    done;
+    let target =
+      let lv = 4 * !best in
+      min t.config.max_cache_level (max t.config.min_cache_level lv)
+    in
+    match Atomic.get t.cache_head with
+    | None -> ()
+    | Some head as old ->
+        if head.c_level <> target then begin
+          (* Keep at most one fallback level below the new head. *)
+          let rec fallback c =
+            match c with
+            | None -> None
+            | Some cl when cl.c_level < target -> Some { cl with c_parent = None }
+            | Some cl -> fallback cl.c_parent
+          in
+          let fresh = make_cache_level t target (fallback (Some head)) in
+          if Atomic.compare_and_set t.cache_head old (Some fresh) then
+            Atomic.incr t.n_adjustments
+        end
+
+  (* Count a miss against the striped counters (paper Figure 8). *)
+  let record_miss t =
+    match Atomic.get t.cache_head with
+    | None -> ()
+    | Some cl ->
+        let id = (Domain.self () :> int) in
+        let stripe = Rng.mix64 id land (t.config.miss_stripes - 1) in
+        let idx = stripe * miss_stride in
+        let count = cl.c_misses.(idx) in
+        if count >= t.config.max_misses then begin
+          cl.c_misses.(idx) <- 0;
+          sample_and_adjust t
+        end
+        else cl.c_misses.(idx) <- count + 1
+
+  let cache_level_of t =
+    match Atomic.get t.cache_head with None -> -1 | Some cl -> cl.c_level
+
+  (* Cache bookkeeping when the slow path reaches an SNode/LNode at
+     pointer level [plev] (paper Figure 6, lines 9-13). *)
+  let leaf_housekeeping t (leaf : 'v node) h plev =
+    if t.config.enable_cache then begin
+      let cl = cache_level_of t in
+      if cl < 0 then inhabit t leaf h plev (* may create the cache *)
+      else if plev = cl || (t.config.dual_level_cache && cache_covers t plev)
+      then begin
+        match leaf with SNode _ -> inhabit t leaf h plev | _ -> ()
+      end
+      else if plev < cl || plev > cl + 4 then record_miss t
+    end
+
+  (* ---------------------------------------------------------------- *)
+  (* Lookup (paper Figure 2, with Figure 6's housekeeping).             *)
+  (* ---------------------------------------------------------------- *)
+
+  let rec lookup_at t k h lev (cur : 'v anode) =
+    if t.config.enable_cache && lev > 0 && cache_covers t lev
+       && Array.length cur = wide_width
+    then inhabit t (ANode cur) h lev;
+    let pos = apos cur h lev in
+    match Atomic.get cur.(pos) with
+    | Null | FVNode -> None
+    | ANode an -> lookup_at t k h (lev + 4) an
+    | SNode sn as leaf ->
+        leaf_housekeeping t leaf h (lev + 4);
+        if H.equal sn.key k then Some sn.value else None
+    | LNode ln as leaf ->
+        leaf_housekeeping t leaf h (lev + 4);
+        if ln.lhash = h then List.assoc_opt k ln.entries else None
+    | ENode en -> lookup_at t k h (lev + 4) en.e_narrow
+    | XNode xn -> lookup_at t k h (lev + 4) xn.x_stale
+    | FNode (ANode an) -> lookup_at t k h (lev + 4) an
+    | FNode (LNode ln) -> if ln.lhash = h then List.assoc_opt k ln.entries else None
+    | FNode _ -> None
+
+  (* Fast lookup through the cache (paper Figure 6). *)
+  let lookup t k =
+    let h = hash_of k in
+    match Atomic.get t.cache_head with
+    | None -> lookup_at t k h 0 t.root
+    | Some head ->
+        let rec probe = function
+          | None -> lookup_at t k h 0 t.root
+          | Some cl -> (
+              let pos = h land (Array.length cl.c_entries - 1) in
+              match cl.c_entries.(pos) with
+              | SNode sn when Atomic.get sn.txn = No_txn ->
+                  if H.equal sn.key k then Some sn.value else None
+              | ANode an -> (
+                  let cpos = (h lsr cl.c_level) land (Array.length an - 1) in
+                  match Atomic.get an.(cpos) with
+                  | FVNode | FNode _ -> probe cl.c_parent
+                  | SNode s2 when Atomic.get s2.txn = Frozen_snode -> probe cl.c_parent
+                  | Null | SNode _ | ANode _ | LNode _ | ENode _ | XNode _ ->
+                      lookup_at t k h cl.c_level an)
+              | Null | FVNode | SNode _ | LNode _ | FNode _ | ENode _ | XNode _ ->
+                  probe cl.c_parent)
+        in
+        probe (Some head)
+
+  let mem t k = Option.is_some (lookup t k)
+
+  (* ---------------------------------------------------------------- *)
+  (* Updates (paper Figure 3 generalized to put/putIfAbsent/replace/   *)
+  (* remove).                                                           *)
+  (* ---------------------------------------------------------------- *)
+
+  type 'v outcome = Done of 'v option | Restart
+
+  type 'v mode =
+    | Always  (** JDK put *)
+    | If_absent  (** JDK putIfAbsent *)
+    | If_present  (** JDK replace(k,v) *)
+    | If_value of 'v  (** JDK replace(k,old,new): physical equality on the old value *)
+
+  (* Announce a transaction on [old] and commit it into [slot].
+     [old_node] must be the value physically read from the slot (CAS
+     compares identities).  The first CAS invalidates cache entries
+     pointing at [old]; the second publishes the change in the trie. *)
+  let announce_and_commit (slot : 'v node Atomic.t) (old : 'v snode)
+      (old_node : 'v node) txn_value repl =
+    if Atomic.compare_and_set old.txn No_txn txn_value then begin
+      ignore (Atomic.compare_and_set slot old_node repl);
+      true
+    end
+    else false
+
+  let rec insert_at t k v h lev (cur : 'v anode) (prev : 'v anode option) mode :
+      'v outcome =
+    if t.config.enable_cache && lev > 0 && cache_covers t lev
+       && Array.length cur = wide_width
+    then inhabit t (ANode cur) h lev;
+    let pos = apos cur h lev in
+    let slot = cur.(pos) in
+    match Atomic.get slot with
+    | Null -> (
+        match mode with
+        | If_present | If_value _ -> Done None
+        | Always | If_absent ->
+            if Atomic.compare_and_set slot Null (fresh_snode h k v) then Done None
+            else insert_at t k v h lev cur prev mode)
+    | ANode an -> insert_at t k v h (lev + 4) an (Some cur) mode
+    | SNode old as old_node -> begin
+        match Atomic.get old.txn with
+        | No_txn ->
+            leaf_housekeeping t old_node h (lev + 4);
+            if H.equal old.key k then begin
+              match mode with
+              | If_absent -> Done (Some old.value)
+              | If_value expected when old.value != expected -> Done (Some old.value)
+              | Always | If_present | If_value _ ->
+                  let repl = fresh_snode h k v in
+                  if announce_and_commit slot old old_node (Replace repl) repl then
+                    Done (Some old.value)
+                  else insert_at t k v h lev cur prev mode
+            end
+            else if (match mode with If_present | If_value _ -> true | Always | If_absent -> false)
+            then Done None
+            else if old.hash = h && not (is_narrow cur) then begin
+              (* Full hash collision: replace the SNode with an LNode.
+                 Narrow nodes expand first, so LNodes (and ANode
+                 children) only ever live inside wide nodes. *)
+              let ln = LNode { lhash = h; entries = [ (k, v); (old.key, old.value) ] } in
+              if announce_and_commit slot old old_node (Replace ln) ln then Done None
+              else insert_at t k v h lev cur prev mode
+            end
+            else if is_narrow cur then begin
+              (* Narrow node must be expanded first (scenario 3). *)
+              match prev with
+              | None -> Restart (* fast path entered here without a parent *)
+              | Some parent -> (
+                  let ppos = apos parent h (lev - 4) in
+                  (* CAS compares physical identity, so re-read the
+                     parent slot to obtain the exact node wrapping
+                     [cur]. *)
+                  match Atomic.get parent.(ppos) with
+                  | ANode a as pnode when a == cur ->
+                      let en =
+                        {
+                          e_parent = parent;
+                          e_parentpos = ppos;
+                          e_narrow = cur;
+                          e_level = lev;
+                          e_wide = Atomic.make None;
+                        }
+                      in
+                      let self = ENode en in
+                      if Atomic.compare_and_set parent.(ppos) pnode self then begin
+                        complete_expansion t self en;
+                        match Atomic.get parent.(ppos) with
+                        | ANode wide -> insert_at t k v h lev wide (Some parent) mode
+                        | _ -> Restart
+                      end
+                      else Restart
+                  | ENode e as self ->
+                      complete_expansion t self e;
+                      Restart
+                  | XNode x as self ->
+                      complete_compression t self x;
+                      Restart
+                  | _ -> Restart)
+            end
+            else begin
+              (* Wide node: push both bindings one level down. *)
+              let child = join_disjoint t.config old.hash old.key old.value h k v (lev + 4) in
+              if announce_and_commit slot old old_node (Replace child) child then Done None
+              else insert_at t k v h lev cur prev mode
+            end
+        | Frozen_snode -> Restart
+        | Replace repl ->
+            ignore (Atomic.compare_and_set slot old_node repl);
+            insert_at t k v h lev cur prev mode
+        | Removed ->
+            ignore (Atomic.compare_and_set slot old_node Null);
+            insert_at t k v h lev cur prev mode
+      end
+    | LNode ln as old_node ->
+        if ln.lhash = h then begin
+          let previous = List.assoc_opt k ln.entries in
+          let proceed =
+            match (mode, previous) with
+            | If_absent, Some _ -> false
+            | (If_present | If_value _), None -> false
+            | If_value expected, Some p -> p == expected
+            | (Always | If_absent | If_present), _ -> true
+          in
+          if not proceed then Done previous
+          else begin
+            let entries = (k, v) :: List.remove_assoc k ln.entries in
+            let fresh = LNode { ln with entries } in
+            if Atomic.compare_and_set slot old_node fresh then Done previous
+            else insert_at t k v h lev cur prev mode
+          end
+        end
+        else if (match mode with If_present | If_value _ -> true | Always | If_absent -> false)
+        then Done None
+        else begin
+          (* Different hash shares this slot prefix: grow downward. *)
+          let child = new_anode wide_width in
+          let lpos = (ln.lhash lsr (lev + 4)) land (wide_width - 1) in
+          Atomic.set child.(lpos) old_node;
+          let repl = build_into_anode t.config child (lev + 4) h k v in
+          if Atomic.compare_and_set slot old_node repl then Done None
+          else insert_at t k v h lev cur prev mode
+        end
+    | ENode en as self ->
+        complete_expansion t self en;
+        insert_at t k v h lev cur prev mode
+    | XNode xn as self ->
+        complete_compression t self xn;
+        insert_at t k v h lev cur prev mode
+    | FVNode | FNode _ -> Restart
+
+  (* Attempt compression of [cur] (which just lost an entry) into its
+     parent (Section 3.7).  Best effort: triggers when the node looks
+     empty, or holds a single leaf (SNode or LNode), which the rebuild
+     lifts one level up — this is what lets survivors float back
+     towards the root after mass removals, so that depth sampling can
+     move the cache to a shallower level.  The freeze + rebuild inside
+     complete_compression recomputes the truth, so a stale trigger is
+     harmless. *)
+  let try_compress t (cur : 'v anode) lev h (prev : 'v anode option) =
+    match prev with
+    | None -> ()
+    | Some parent ->
+        if lev > 0 then begin
+          let live = ref 0 and only_leaves = ref true in
+          Array.iter
+            (fun slot ->
+              match Atomic.get slot with
+              | Null -> ()
+              | SNode _ | LNode _ -> incr live
+              | ANode _ | FVNode | FNode _ | ENode _ | XNode _ ->
+                  incr live;
+                  only_leaves := false)
+            cur;
+          if !live = 0 || (!live = 1 && !only_leaves) then begin
+            let ppos = apos parent h (lev - 4) in
+            match Atomic.get parent.(ppos) with
+            | ANode a as pnode when a == cur ->
+                let xn =
+                  {
+                    x_parent = parent;
+                    x_parentpos = ppos;
+                    x_stale = cur;
+                    x_level = lev;
+                    x_repl = Atomic.make None;
+                  }
+                in
+                let self = XNode xn in
+                if Atomic.compare_and_set parent.(ppos) pnode self then
+                  complete_compression t self xn
+            | _ -> ()
+          end
+        end
+
+  (* [rmode] mirrors the JDK remove variants: unconditional, or only
+     when the current value is physically [expected]. *)
+  let rmode_allows rmode v =
+    match rmode with `Always -> true | `If_value expected -> v == expected
+
+  let rec remove_at t k h lev (cur : 'v anode) (prev : 'v anode option) rmode :
+      'v outcome =
+    let pos = apos cur h lev in
+    let slot = cur.(pos) in
+    match Atomic.get slot with
+    | Null -> Done None
+    | ANode an ->
+        let res = remove_at t k h (lev + 4) an (Some cur) rmode in
+        (* Cascade compaction up the removal path: the child may have
+           contracted into [cur], leaving [cur] itself with at most one
+           leaf. *)
+        (match res with
+        | Done (Some _) -> try_compress t cur lev h prev
+        | Done None | Restart -> ());
+        res
+    | SNode old as old_node -> begin
+        match Atomic.get old.txn with
+        | No_txn ->
+            if not (H.equal old.key k) then Done None
+            else if not (rmode_allows rmode old.value) then Done (Some old.value)
+            else if announce_and_commit slot old old_node Removed Null then begin
+              try_compress t cur lev h prev;
+              Done (Some old.value)
+            end
+            else remove_at t k h lev cur prev rmode
+        | Frozen_snode -> Restart
+        | Replace repl ->
+            ignore (Atomic.compare_and_set slot old_node repl);
+            remove_at t k h lev cur prev rmode
+        | Removed ->
+            ignore (Atomic.compare_and_set slot old_node Null);
+            remove_at t k h lev cur prev rmode
+      end
+    | LNode ln as old_node ->
+        if ln.lhash <> h then Done None
+        else begin
+          match List.assoc_opt k ln.entries with
+          | None -> Done None
+          | Some prev_v when not (rmode_allows rmode prev_v) -> Done (Some prev_v)
+          | Some prev_v ->
+              let entries = List.remove_assoc k ln.entries in
+              let fresh =
+                match entries with
+                | [ (k1, v1) ] -> fresh_snode h k1 v1
+                | _ -> LNode { ln with entries }
+              in
+              if Atomic.compare_and_set slot old_node fresh then Done (Some prev_v)
+              else remove_at t k h lev cur prev rmode
+        end
+    | ENode en as self ->
+        complete_expansion t self en;
+        remove_at t k h lev cur prev rmode
+    | XNode xn as self ->
+        complete_compression t self xn;
+        remove_at t k h lev cur prev rmode
+    | FVNode | FNode _ -> Restart
+
+  (* Probe the cache for a wide ANode to start an update from; validate
+     that the relevant entry is not frozen (paper Figure 6 applied to
+     updates).  Returns the node and its level. *)
+  let probe_cache_for_update t h : ('v anode * int) option =
+    match Atomic.get t.cache_head with
+    | None -> None
+    | Some head ->
+        let rec probe = function
+          | None -> None
+          | Some cl -> (
+              let pos = h land (Array.length cl.c_entries - 1) in
+              match cl.c_entries.(pos) with
+              | ANode an -> (
+                  let cpos = (h lsr cl.c_level) land (Array.length an - 1) in
+                  match Atomic.get an.(cpos) with
+                  | FVNode | FNode _ -> probe cl.c_parent
+                  | SNode s2 when Atomic.get s2.txn = Frozen_snode -> probe cl.c_parent
+                  | Null | SNode _ | ANode _ | LNode _ | ENode _ | XNode _ ->
+                      Some (an, cl.c_level))
+              | Null | FVNode | SNode _ | LNode _ | FNode _ | ENode _ | XNode _ ->
+                  probe cl.c_parent)
+        in
+        probe (Some head)
+
+  let update t k v mode : 'v option =
+    let h = hash_of k in
+    let rec fast_then_slow first =
+      let attempt =
+        if first then
+          match probe_cache_for_update t h with
+          | Some (an, lev) -> insert_at t k v h lev an None mode
+          | None -> insert_at t k v h 0 t.root None mode
+        else insert_at t k v h 0 t.root None mode
+      in
+      match attempt with Done prev -> prev | Restart -> fast_then_slow false
+    in
+    fast_then_slow true
+
+  let insert t k v = ignore (update t k v Always)
+  let add t k v = update t k v Always
+  let put_if_absent t k v = update t k v If_absent
+  let replace t k v = update t k v If_present
+
+  let replace_if t k ~expected v =
+    match update t k v (If_value expected) with
+    | Some p -> p == expected
+    | None -> false
+
+  let remove_with t k rmode =
+    let h = hash_of k in
+    let rec fast_then_slow first =
+      let attempt =
+        if first then
+          match probe_cache_for_update t h with
+          | Some (an, lev) -> remove_at t k h lev an None rmode
+          | None -> remove_at t k h 0 t.root None rmode
+        else remove_at t k h 0 t.root None rmode
+      in
+      match attempt with Done prev -> prev | Restart -> fast_then_slow false
+    in
+    fast_then_slow true
+
+  let remove t k = remove_with t k `Always
+
+  let remove_if t k ~expected =
+    match remove_with t k (`If_value expected) with
+    | Some p -> p == expected
+    | None -> false
+
+  (* ---------------------------------------------------------------- *)
+  (* Aggregate queries (weakly consistent).                             *)
+  (* ---------------------------------------------------------------- *)
+
+  let fold f acc t =
+    let rec go_node acc (node : 'v node) =
+      match node with
+      | Null | FVNode -> acc
+      | SNode sn -> (
+          match Atomic.get sn.txn with
+          | Removed -> acc
+          | Replace repl -> go_node acc repl
+          | No_txn | Frozen_snode -> f acc sn.key sn.value)
+      | LNode ln -> List.fold_left (fun acc (k, v) -> f acc k v) acc ln.entries
+      | FNode inner -> go_node acc inner
+      | ANode an ->
+          Array.fold_left (fun acc slot -> go_node acc (Atomic.get slot)) acc an
+      | ENode en -> go_node acc (ANode en.e_narrow)
+      | XNode xn -> go_node acc (ANode xn.x_stale)
+    in
+    go_node acc (ANode t.root)
+
+  let iter f t = fold (fun () k v -> f k v) () t
+  let size t = fold (fun n _ _ -> n + 1) 0 t
+  let is_empty t = size t = 0
+  let to_list t = fold (fun acc k v -> (k, v) :: acc) [] t
+
+  (* Lazy, weakly consistent iteration: slots are read on demand, so an
+     unconsumed suffix observes later updates. *)
+  let to_seq t =
+    let rec seq_node (node : 'v node) (rest : (key * 'v) Seq.t) () =
+      match node with
+      | Null | FVNode -> rest ()
+      | SNode sn -> (
+          match Atomic.get sn.txn with
+          | Removed -> rest ()
+          | Replace repl -> seq_node repl rest ()
+          | No_txn | Frozen_snode -> Seq.Cons ((sn.key, sn.value), rest))
+      | LNode ln -> Seq.append (List.to_seq ln.entries) rest ()
+      | FNode inner -> seq_node inner rest ()
+      | ANode an -> seq_slots an 0 rest ()
+      | ENode en -> seq_slots en.e_narrow 0 rest ()
+      | XNode xn -> seq_slots xn.x_stale 0 rest ()
+    and seq_slots (an : 'v anode) i rest () =
+      if i >= Array.length an then rest ()
+      else seq_node (Atomic.get an.(i)) (seq_slots an (i + 1) rest) ()
+    in
+    seq_slots t.root 0 Seq.empty
+
+  (* ---------------------------------------------------------------- *)
+  (* Introspection: statistics, histograms, footprint, validation.     *)
+  (* ---------------------------------------------------------------- *)
+
+  let stats t =
+    let head = Atomic.get t.cache_head in
+    {
+      cache_level = (match head with None -> None | Some cl -> Some cl.c_level);
+      cache_chain = chain_levels head;
+      expansions = Atomic.get t.n_expansions;
+      compressions = Atomic.get t.n_compressions;
+      sampling_passes = Atomic.get t.n_samples;
+      cache_installs = Atomic.get t.n_cache_installs;
+      cache_adjustments = Atomic.get t.n_adjustments;
+    }
+
+  (* Histogram of key depths: slot [d] counts keys whose SNode sits at
+     pointer level [4d] (used by the artifact's BirthdaySimulations). *)
+  let depth_histogram t =
+    let hist = Array.make 10 0 in
+    let bump depth count =
+      let d = min depth (Array.length hist - 1) in
+      hist.(d) <- hist.(d) + count
+    in
+    let rec go (node : 'v node) depth =
+      match node with
+      | Null | FVNode -> ()
+      | SNode _ -> bump depth 1
+      | LNode ln -> bump depth (List.length ln.entries)
+      | FNode inner -> go inner depth
+      | ANode an -> Array.iter (fun slot -> go (Atomic.get slot) (depth + 1)) an
+      | ENode en -> go (ANode en.e_narrow) depth
+      | XNode xn -> go (ANode xn.x_stale) depth
+    in
+    Array.iter (fun slot -> go (Atomic.get slot) 1) t.root;
+    hist
+
+  (* Word-cost model (see DESIGN.md): array = 1 + length; Atomic box =
+     2; SNode block = 5 (+ its txn box); list cell = 3; LNode = 3. *)
+  let footprint_words t =
+    let rec node_words (node : 'v node) =
+      match node with
+      | Null | FVNode -> 0
+      | SNode _ -> 5 + 2
+      | LNode ln -> 3 + (3 * List.length ln.entries)
+      | FNode inner -> 2 + node_words inner
+      | ANode an ->
+          Array.fold_left
+            (fun acc slot -> acc + 2 + node_words (Atomic.get slot))
+            (1 + Array.length an)
+            an
+      | ENode en -> 6 + node_words (ANode en.e_narrow)
+      | XNode xn -> 6 + node_words (ANode xn.x_stale)
+    in
+    let cache_words =
+      let rec go = function
+        | None -> 0
+        | Some cl ->
+            1 + Array.length cl.c_entries + 1 + Array.length cl.c_misses + 4
+            + go cl.c_parent
+      in
+      go (Atomic.get t.cache_head)
+    in
+    node_words (ANode t.root) + cache_words + 8
+
+  (* Structural invariant checker used by the property tests.  Only
+     meaningful during quiescence. *)
+  let validate t =
+    let errors = ref [] in
+    let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+    (* [prefix]/[pmask] are the hash bits determined by the path so far
+       (narrow nodes determine only 2 of their 4 level bits). *)
+    let check_hash what h lev prefix pmask =
+      if h land pmask <> prefix then
+        err "%s at level %d violates the prefix invariant (hash %#x, prefix %#x, mask %#x)"
+          what lev h prefix pmask
+    in
+    let rec go (node : 'v node) lev prefix pmask in_narrow =
+      match node with
+      | Null -> ()
+      | FVNode -> err "FVNode reachable at level %d during quiescence" lev
+      | FNode _ -> err "FNode reachable at level %d during quiescence" lev
+      | ENode _ -> err "ENode reachable at level %d during quiescence" lev
+      | XNode _ -> err "XNode reachable at level %d during quiescence" lev
+      | SNode sn -> begin
+          if sn.hash <> hash_of sn.key then
+            err "SNode hash %#x does not match key hash %#x" sn.hash (hash_of sn.key);
+          check_hash "SNode" sn.hash lev prefix pmask;
+          match Atomic.get sn.txn with
+          | No_txn -> ()
+          | Frozen_snode -> err "frozen SNode reachable during quiescence"
+          | Replace _ -> err "SNode with pending Replace during quiescence"
+          | Removed -> err "SNode with pending Removed during quiescence"
+        end
+      | LNode ln ->
+          if in_narrow then err "LNode stored inside a narrow ANode";
+          if List.length ln.entries < 2 then err "LNode with fewer than 2 entries";
+          check_hash "LNode" ln.lhash lev prefix pmask;
+          List.iter
+            (fun (k, _) ->
+              if hash_of k <> ln.lhash then err "LNode entry with mismatched hash")
+            ln.entries
+      | ANode an ->
+          if in_narrow then err "ANode stored inside a narrow ANode"
+          else begin
+            let w = Array.length an in
+            if w <> narrow_width && w <> wide_width then
+              err "ANode of width %d (must be 4 or 16)" w;
+            Array.iteri
+              (fun i slot ->
+                go (Atomic.get slot) (lev + 4)
+                  (prefix lor (i lsl lev))
+                  (pmask lor ((w - 1) lsl lev))
+                  (w = narrow_width))
+              an
+          end
+    in
+    Array.iteri
+      (fun i slot -> go (Atomic.get slot) 4 i (wide_width - 1) false)
+      t.root;
+    match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))
+end

@@ -1,0 +1,399 @@
+(* Ctrie (Prokopec et al., PPoPP 2012) without snapshots: INodes are
+   CAS-able boxes holding main nodes; CNodes branch on 5 hash bits with
+   a 32-bit bitmap; removal entombs single leaves into TNodes which are
+   compacted by clean/cleanParent.  This is the baseline data structure
+   the cache-trie paper compares against (its I-node indirection is
+   exactly the overhead cache-tries remove). *)
+
+module Hashing = Ct_util.Hashing
+module Bits = Ct_util.Bits
+
+let w = 5 (* bits per level *)
+let branching = 1 lsl w
+
+module Make (H : Hashing.HASHABLE) = struct
+  type key = H.t
+
+  let name = "ctrie"
+
+  type 'v leaf = { hash : int; key : key; value : 'v }
+
+  type 'v main =
+    | CNode of { bmp : int; arr : 'v branch array }
+    | TNode of 'v leaf  (** entombed leaf awaiting compaction *)
+    | LNode of { lhash : int; entries : (key * 'v) list }
+
+  and 'v branch = IN of 'v inode | SN of 'v leaf
+  and 'v inode = 'v main Atomic.t
+
+  type 'v t = { root : 'v inode }
+
+  let empty_cnode = CNode { bmp = 0; arr = [||] }
+  let create () = { root = Atomic.make empty_cnode }
+  let hash_of k = H.hash k land Hashing.mask
+
+  (* Position of hash [h] within a CNode at level [lev]: [flag] is the
+     bitmap bit, [pos] the compressed array index. *)
+  let flagpos h lev bmp =
+    let idx = (h lsr lev) land (branching - 1) in
+    let flag = 1 lsl idx in
+    let pos = Bits.popcount (bmp land (flag - 1)) in
+    (flag, pos)
+
+  let cnode_inserted bmp arr pos flag branch =
+    let n = Array.length arr in
+    let narr = Array.make (n + 1) branch in
+    Array.blit arr 0 narr 0 pos;
+    Array.blit arr pos narr (pos + 1) (n - pos);
+    CNode { bmp = bmp lor flag; arr = narr }
+
+  let cnode_updated bmp arr pos branch =
+    let narr = Array.copy arr in
+    narr.(pos) <- branch;
+    CNode { bmp; arr = narr }
+
+  let cnode_removed bmp arr pos flag =
+    let n = Array.length arr in
+    let narr = Array.make (max 0 (n - 1)) arr.(0) in
+    Array.blit arr 0 narr 0 pos;
+    Array.blit arr (pos + 1) narr pos (n - 1 - pos);
+    CNode { bmp = bmp lxor flag; arr = narr }
+
+  (* Build the subtree joining two leaves below level [lev] (the 2012
+     paper's CNode.dual).  Equal hashes sink to a bottom-level LNode
+     through a chain of single-child CNodes, so an LNode always means
+     "all keys share the full 32-bit hash". *)
+  let rec dual (l1 : 'v leaf) (l2 : 'v leaf) lev : 'v main =
+    if lev >= Hashing.hash_bits then begin
+      assert (l1.hash = l2.hash);
+      LNode { lhash = l1.hash; entries = [ (l2.key, l2.value); (l1.key, l1.value) ] }
+    end
+    else begin
+      let i1 = (l1.hash lsr lev) land (branching - 1)
+      and i2 = (l2.hash lsr lev) land (branching - 1) in
+      if i1 <> i2 then begin
+        let bmp = (1 lsl i1) lor (1 lsl i2) in
+        let arr =
+          if i1 < i2 then [| SN l1; SN l2 |] else [| SN l2; SN l1 |]
+        in
+        CNode { bmp; arr }
+      end
+      else CNode { bmp = 1 lsl i1; arr = [| IN (Atomic.make (dual l1 l2 (lev + w))) |] }
+    end
+
+  (* Compaction helpers (paper Figure 6). *)
+
+  let resurrect (branch : 'v branch) : 'v branch =
+    match branch with
+    | IN i -> ( match Atomic.get i with TNode leaf -> SN leaf | _ -> branch)
+    | SN _ -> branch
+
+  let to_contracted (main : 'v main) lev : 'v main =
+    match main with
+    | CNode { arr = [| SN leaf |]; _ } when lev > 0 -> TNode leaf
+    | CNode _ | TNode _ | LNode _ -> main
+
+  let to_compressed (bmp : int) arr lev : 'v main =
+    let narr = Array.map resurrect arr in
+    to_contracted (CNode { bmp; arr = narr }) lev
+
+  let clean (i : 'v inode) lev =
+    match Atomic.get i with
+    | CNode { bmp; arr } as main ->
+        ignore (Atomic.compare_and_set i main (to_compressed bmp arr lev))
+    | TNode _ | LNode _ -> ()
+
+  let rec clean_parent (p : 'v inode) (i : 'v inode) h plev =
+    match Atomic.get p with
+    | CNode { bmp; arr } as main -> (
+        let flag, pos = flagpos h plev bmp in
+        if bmp land flag <> 0 then
+          match arr.(pos) with
+          | IN child when child == i -> (
+              match Atomic.get i with
+              | TNode leaf ->
+                  let ncn = cnode_updated bmp arr pos (SN leaf) in
+                  if not (Atomic.compare_and_set p main (to_contracted ncn plev))
+                  then clean_parent p i h plev
+              | CNode _ | LNode _ -> ())
+          | IN _ | SN _ -> ())
+    | TNode _ | LNode _ -> ()
+
+  (* ------------------------------ lookup ---------------------------- *)
+
+  type 'v outcome = Done of 'v option | Restart
+
+  let rec ilookup (i : 'v inode) k h lev (parent : 'v inode option) : 'v outcome =
+    match Atomic.get i with
+    | CNode { bmp; arr } -> (
+        let flag, pos = flagpos h lev bmp in
+        if bmp land flag = 0 then Done None
+        else
+          match arr.(pos) with
+          | IN child -> ilookup child k h (lev + w) (Some i)
+          | SN leaf -> if H.equal leaf.key k then Done (Some leaf.value) else Done None)
+    | TNode _ ->
+        (match parent with Some p -> clean p (lev - w) | None -> ());
+        Restart
+    | LNode ln -> if ln.lhash = h then Done (List.assoc_opt k ln.entries) else Done None
+
+  let lookup t k =
+    let h = hash_of k in
+    let rec go () =
+      match ilookup t.root k h 0 None with Done v -> v | Restart -> go ()
+    in
+    go ()
+
+  let mem t k = Option.is_some (lookup t k)
+
+  (* ------------------------------ insert ---------------------------- *)
+
+  type 'v mode = Always | If_absent | If_present | If_value of 'v
+
+  let rec iinsert (i : 'v inode) k v h lev (parent : 'v inode option) mode :
+      'v outcome =
+    match Atomic.get i with
+    | CNode { bmp; arr } as main -> (
+        let flag, pos = flagpos h lev bmp in
+        if bmp land flag = 0 then begin
+          match mode with
+          | If_present | If_value _ -> Done None
+          | Always | If_absent ->
+              let ncn =
+                cnode_inserted bmp arr pos flag (SN { hash = h; key = k; value = v })
+              in
+              if Atomic.compare_and_set i main ncn then Done None else Restart
+        end
+        else
+          match arr.(pos) with
+          | IN child -> iinsert child k v h (lev + w) (Some i) mode
+          | SN leaf ->
+              if H.equal leaf.key k then begin
+                match mode with
+                | If_absent -> Done (Some leaf.value)
+                | If_value expected when leaf.value != expected ->
+                    Done (Some leaf.value)
+                | Always | If_present | If_value _ ->
+                    let ncn =
+                      cnode_updated bmp arr pos (SN { hash = h; key = k; value = v })
+                    in
+                    if Atomic.compare_and_set i main ncn then Done (Some leaf.value)
+                    else Restart
+              end
+              else if
+                match mode with
+                | If_present | If_value _ -> true
+                | Always | If_absent -> false
+              then Done None
+              else begin
+                let child =
+                  IN (Atomic.make (dual leaf { hash = h; key = k; value = v } (lev + w)))
+                in
+                let ncn = cnode_updated bmp arr pos child in
+                if Atomic.compare_and_set i main ncn then Done None else Restart
+              end)
+    | TNode _ ->
+        (match parent with Some p -> clean p (lev - w) | None -> ());
+        Restart
+    | LNode ln as main ->
+        assert (ln.lhash = h);
+        let previous = List.assoc_opt k ln.entries in
+        let proceed =
+          match (mode, previous) with
+          | If_absent, Some _ -> false
+          | (If_present | If_value _), None -> false
+          | If_value expected, Some p -> p == expected
+          | (Always | If_absent | If_present), _ -> true
+        in
+        if not proceed then Done previous
+        else begin
+          let nln =
+            LNode { ln with entries = (k, v) :: List.remove_assoc k ln.entries }
+          in
+          if Atomic.compare_and_set i main nln then Done previous else Restart
+        end
+
+  let update t k v mode =
+    let h = hash_of k in
+    let rec go () =
+      match iinsert t.root k v h 0 None mode with Done prev -> prev | Restart -> go ()
+    in
+    go ()
+
+  let insert t k v = ignore (update t k v Always)
+  let add t k v = update t k v Always
+  let put_if_absent t k v = update t k v If_absent
+  let replace t k v = update t k v If_present
+
+  let replace_if t k ~expected v =
+    match update t k v (If_value expected) with
+    | Some p -> p == expected
+    | None -> false
+
+  (* ------------------------------ remove ---------------------------- *)
+
+  let rmode_allows rmode v =
+    match rmode with `Always -> true | `If_value expected -> v == expected
+
+  let rec iremove (i : 'v inode) k h lev (parent : 'v inode option) rmode :
+      'v outcome =
+    match Atomic.get i with
+    | CNode { bmp; arr } as main -> (
+        let flag, pos = flagpos h lev bmp in
+        if bmp land flag = 0 then Done None
+        else
+          let res =
+            match arr.(pos) with
+            | IN child -> (
+                match iremove child k h (lev + w) (Some i) rmode with
+                | Done (Some _) as r ->
+                    (* The removal may have entombed [child]. *)
+                    (match Atomic.get child with
+                    | TNode _ -> clean_parent i child h lev
+                    | CNode _ | LNode _ -> ());
+                    r
+                | r -> r)
+            | SN leaf ->
+                if not (H.equal leaf.key k) then Done None
+                else if not (rmode_allows rmode leaf.value) then Done (Some leaf.value)
+                else begin
+                  let ncn = cnode_removed bmp arr pos flag in
+                  let nmain = to_contracted ncn lev in
+                  if Atomic.compare_and_set i main nmain then Done (Some leaf.value)
+                  else Restart
+                end
+          in
+          res)
+    | TNode _ ->
+        (match parent with Some p -> clean p (lev - w) | None -> ());
+        Restart
+    | LNode ln as main ->
+        if ln.lhash <> h then Done None
+        else begin
+          match List.assoc_opt k ln.entries with
+          | None -> Done None
+          | Some prev when not (rmode_allows rmode prev) -> Done (Some prev)
+          | Some prev ->
+              let entries = List.remove_assoc k ln.entries in
+              let nmain =
+                match entries with
+                | [ (k1, v1) ] -> TNode { hash = h; key = k1; value = v1 }
+                | _ -> LNode { ln with entries }
+              in
+              if Atomic.compare_and_set i main nmain then Done (Some prev)
+              else Restart
+        end
+
+  let remove_with t k rmode =
+    let h = hash_of k in
+    let rec go () =
+      match iremove t.root k h 0 None rmode with Done prev -> prev | Restart -> go ()
+    in
+    go ()
+
+  let remove t k = remove_with t k `Always
+
+  let remove_if t k ~expected =
+    match remove_with t k (`If_value expected) with
+    | Some p -> p == expected
+    | None -> false
+
+  (* ------------------------- aggregate queries ---------------------- *)
+
+  let fold f acc t =
+    let rec go_main acc (main : 'v main) =
+      match main with
+      | CNode { arr; _ } -> Array.fold_left go_branch acc arr
+      | TNode leaf -> f acc leaf.key leaf.value
+      | LNode ln -> List.fold_left (fun acc (k, v) -> f acc k v) acc ln.entries
+    and go_branch acc = function
+      | IN i -> go_main acc (Atomic.get i)
+      | SN leaf -> f acc leaf.key leaf.value
+    in
+    go_main acc (Atomic.get t.root)
+
+  let iter f t = fold (fun () k v -> f k v) () t
+  let size t = fold (fun n _ _ -> n + 1) 0 t
+  let is_empty t = size t = 0
+  let to_list t = fold (fun acc k v -> (k, v) :: acc) [] t
+
+  let depth_histogram t =
+    let hist = Array.make 12 0 in
+    let bump d n =
+      let d = min d (Array.length hist - 1) in
+      hist.(d) <- hist.(d) + n
+    in
+    let rec go_main (main : 'v main) depth =
+      match main with
+      | CNode { arr; _ } ->
+          Array.iter
+            (function
+              | IN i -> go_main (Atomic.get i) (depth + 1)
+              | SN _ -> bump (depth + 1) 1)
+            arr
+      | TNode _ -> bump depth 1
+      | LNode ln -> bump depth (List.length ln.entries)
+    in
+    go_main (Atomic.get t.root) 0;
+    hist
+
+  (* Structural invariants, checked during quiescence. *)
+  let validate t =
+    let errors = ref [] in
+    let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+    let check_leaf what (leaf : 'v leaf) lev prefix pmask =
+      if leaf.hash <> hash_of leaf.key then
+        err "%s: stored hash %#x differs from key hash %#x" what leaf.hash
+          (hash_of leaf.key);
+      if leaf.hash land pmask <> prefix then
+        err "%s at level %d violates the prefix invariant" what lev
+    in
+    let rec go_main (main : 'v main) lev prefix pmask =
+      match main with
+      | TNode _ -> err "reachable TNode at level %d during quiescence" lev
+      | LNode ln ->
+          if List.length ln.entries < 2 then err "LNode with fewer than 2 entries";
+          List.iter
+            (fun (k, _) ->
+              if hash_of k <> ln.lhash then err "LNode entry hash mismatch")
+            ln.entries;
+          if ln.lhash land pmask <> prefix then
+            err "LNode at level %d violates the prefix invariant" lev
+      | CNode { bmp; arr } ->
+          if bmp < 0 || bmp >= 1 lsl branching then err "bitmap out of range";
+          if Bits.popcount bmp <> Array.length arr then
+            err "bitmap cardinality %d does not match array length %d"
+              (Bits.popcount bmp) (Array.length arr);
+          (* Children appear in ascending index order. *)
+          let pos = ref 0 in
+          for idx = 0 to branching - 1 do
+            if bmp land (1 lsl idx) <> 0 then begin
+              let child = arr.(!pos) in
+              incr pos;
+              let prefix' = prefix lor (idx lsl lev) in
+              let pmask' = pmask lor ((branching - 1) lsl lev) in
+              match child with
+              | SN leaf -> check_leaf "SNode" leaf (lev + w) prefix' pmask'
+              | IN i -> go_main (Atomic.get i) (lev + w) prefix' pmask'
+            end
+          done
+    in
+    go_main (Atomic.get t.root) 0 0 0;
+    match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))
+
+  (* Word-cost model (DESIGN.md): leaf = 4 (header + hash + key + value);
+     CNode = 3 + array (1 + n) + n branch wrappers (2 each);
+     INode = atomic box 2. *)
+  let footprint_words t =
+    let rec go_main (main : 'v main) =
+      match main with
+      | CNode { arr; _ } ->
+          Array.fold_left
+            (fun acc b -> acc + 2 + go_branch b)
+            (3 + 1 + Array.length arr)
+            arr
+      | TNode _ -> 2 + 4
+      | LNode ln -> 3 + (3 * List.length ln.entries)
+    and go_branch = function IN i -> 2 + go_main (Atomic.get i) | SN _ -> 4 in
+    2 + go_main (Atomic.get t.root)
+end

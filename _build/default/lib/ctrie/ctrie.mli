@@ -1,0 +1,28 @@
+(** Ctrie: the original lock-free concurrent hash trie (Prokopec,
+    Bagwell, Bronson & Odersky, PPoPP 2012), re-implemented as the
+    primary baseline the cache-trie paper compares against.
+
+    Structure: indirection nodes ([INode]) point to main nodes; a main
+    node is either a bitmapped branching node ([CNode], up to 32
+    children selected by 5 hash bits per level), an entombed leaf
+    ([TNode]) awaiting compaction, or a hash-collision list ([LNode]).
+    Every mutation replaces an INode's main node with CAS; tombing and
+    contraction keep the trie compact after removals.
+
+    This implementation omits the generation-stamped GCAS/RDCSS used
+    for O(1) snapshots (the cache-trie paper does not benchmark
+    snapshots); all operations here are lock-free and linearizable. *)
+
+module Make (H : Ct_util.Hashing.HASHABLE) : sig
+  include Ct_util.Map_intf.CONCURRENT_MAP with type key = H.t
+
+  val depth_histogram : 'v t -> int array
+  (** [depth_histogram t].(d) counts keys whose leaf hangs off a CNode
+      chain of length [d] (root CNode children are depth 1). *)
+
+  val validate : 'v t -> (unit, string) result
+  (** Structural invariant check for a quiescent trie: bitmap
+      cardinality matches the child array, hash prefixes match paths,
+      no entombed nodes remain reachable, collision lists are sane.
+      Used by the property-based tests. *)
+end

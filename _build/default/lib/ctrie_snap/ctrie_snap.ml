@@ -1,0 +1,496 @@
+(* Snapshotting Ctrie (PPoPP 2012): the baseline Ctrie extended with
+   generation tokens, GCAS and an RDCSS-swapped root.
+
+   - Every I-node carries a [gen] token (a unique [unit ref]).
+   - GCAS replaces an I-node's main node only if the trie's root
+     generation still equals the I-node's generation at commit time:
+     the new main box is linked to the old one through its [prev]
+     field, published with CAS, and then committed (prev := No_prev)
+     or rolled back (prev := Failed, main restored) depending on the
+     root generation.  This makes every update invisible to
+     generations it does not belong to.
+   - [snapshot] swaps the root I-node for a copy with a fresh
+     generation using an RDCSS descriptor (double-compare on root and
+     root's main, single-swap of root).  Both tries then lazily copy
+     ("renew") I-nodes whose generation is stale as they descend.
+
+   Compared to the Scala original we omit the per-CNode generation
+   stamp: it accelerates renewal but is not needed for correctness,
+   because a stale-generation write is always caught by the GCAS
+   commit check against the current root generation. *)
+
+module Hashing = Ct_util.Hashing
+module Bits = Ct_util.Bits
+
+let w = 5
+let branching = 1 lsl w
+
+module Make (H : Hashing.HASHABLE) = struct
+  type key = H.t
+
+  let name = "ctrie-snap"
+
+  type gen = unit ref
+
+  type 'v leaf = { hash : int; key : key; value : 'v }
+
+  type 'v main =
+    | CNode of { bmp : int; arr : 'v branch array }
+    | TNode of 'v leaf
+    | LNode of { lhash : int; entries : (key * 'v) list }
+
+  and 'v branch = IN of 'v inode | SN of 'v leaf
+
+  and 'v inode = { gen : gen; main : 'v main_box Atomic.t }
+
+  and 'v main_box = { node : 'v main; prev : 'v prev Atomic.t }
+
+  and 'v prev =
+    | No_prev  (** committed *)
+    | Prev of 'v main_box  (** pending: roll back to this on failure *)
+    | Failed of 'v main_box  (** decided: must roll back *)
+
+  type 'v root_state = Root of 'v inode | Desc of 'v rdcss_desc
+
+  and 'v rdcss_desc = {
+    ov : 'v inode;
+    exp : 'v main_box;
+    nv : 'v inode;
+    committed : bool Atomic.t;
+  }
+
+  type 'v t = { root : 'v root_state Atomic.t }
+
+  let boxed node = { node; prev = Atomic.make No_prev }
+  let empty_main () = boxed (CNode { bmp = 0; arr = [||] })
+
+  let create () =
+    { root = Atomic.make (Root { gen = ref (); main = Atomic.make (empty_main ()) }) }
+
+  let hash_of k = H.hash k land Hashing.mask
+
+  (* ------------------------- GCAS and RDCSS -------------------------- *)
+
+  let rec gcas_read_box t (i : 'v inode) : 'v main_box =
+    let m = Atomic.get i.main in
+    match Atomic.get m.prev with No_prev -> m | _ -> gcas_commit t i m
+
+  and gcas_commit t (i : 'v inode) (m : 'v main_box) : 'v main_box =
+    match Atomic.get m.prev with
+    | No_prev -> m
+    | Failed fb ->
+        (* Roll the failed update back to the previous main node. *)
+        if Atomic.compare_and_set i.main m fb then fb
+        else gcas_commit t i (Atomic.get i.main)
+    | Prev pb as p ->
+        let root = rdcss_read_root t ~abort:true in
+        if root.gen == i.gen then begin
+          (* Still the same generation: commit. *)
+          if Atomic.compare_and_set m.prev p No_prev then m else gcas_commit t i m
+        end
+        else begin
+          (* A snapshot intervened: mark failed and retry (rolls back). *)
+          ignore (Atomic.compare_and_set m.prev p (Failed pb));
+          gcas_commit t i (Atomic.get i.main)
+        end
+
+  and rdcss_read_root t ~abort : 'v inode =
+    match Atomic.get t.root with
+    | Root r -> r
+    | Desc _ ->
+        rdcss_complete t ~abort;
+        rdcss_read_root t ~abort
+
+  and rdcss_complete t ~abort =
+    match Atomic.get t.root with
+    | Root _ -> ()
+    | Desc d as cur ->
+        if abort then ignore (Atomic.compare_and_set t.root cur (Root d.ov))
+        else begin
+          let oldmain = gcas_read_box t d.ov in
+          if oldmain == d.exp then begin
+            if Atomic.compare_and_set t.root cur (Root d.nv) then
+              Atomic.set d.committed true
+          end
+          else ignore (Atomic.compare_and_set t.root cur (Root d.ov))
+        end
+
+  (* Publish [new_main] into [i] expecting [old_box]; true iff the
+     update committed under the current generation. *)
+  let gcas t (i : 'v inode) (old_box : 'v main_box) (new_main : 'v main) : bool =
+    let nb = { node = new_main; prev = Atomic.make (Prev old_box) } in
+    if Atomic.compare_and_set i.main old_box nb then begin
+      ignore (gcas_commit t i nb);
+      match Atomic.get nb.prev with No_prev -> true | Prev _ | Failed _ -> false
+    end
+    else false
+
+  let rdcss_root t (ov : 'v inode) (exp : 'v main_box) (nv : 'v inode) : bool =
+    let d = { ov; exp; nv; committed = Atomic.make false } in
+    match Atomic.get t.root with
+    | Root r as cur when r == ov ->
+        if Atomic.compare_and_set t.root cur (Desc d) then begin
+          rdcss_complete t ~abort:false;
+          Atomic.get d.committed
+        end
+        else false
+    | Root _ -> false
+    | Desc _ ->
+        rdcss_complete t ~abort:false;
+        false
+
+  (* --------------------------- node helpers -------------------------- *)
+
+  let flagpos h lev bmp =
+    let idx = (h lsr lev) land (branching - 1) in
+    let flag = 1 lsl idx in
+    let pos = Bits.popcount (bmp land (flag - 1)) in
+    (flag, pos)
+
+  let cnode_inserted bmp arr pos flag branch =
+    let n = Array.length arr in
+    let narr = Array.make (n + 1) branch in
+    Array.blit arr 0 narr 0 pos;
+    Array.blit arr pos narr (pos + 1) (n - pos);
+    CNode { bmp = bmp lor flag; arr = narr }
+
+  let cnode_updated bmp arr pos branch =
+    let narr = Array.copy arr in
+    narr.(pos) <- branch;
+    CNode { bmp; arr = narr }
+
+  let cnode_removed bmp arr pos flag =
+    let n = Array.length arr in
+    let narr = Array.make (max 0 (n - 1)) arr.(0) in
+    Array.blit arr 0 narr 0 pos;
+    Array.blit arr (pos + 1) narr pos (n - 1 - pos);
+    CNode { bmp = bmp lxor flag; arr = narr }
+
+  (* Copy an I-node into a new generation (lazy copy-on-write step). *)
+  let copy_inode t (i : 'v inode) (gen : gen) : 'v inode =
+    { gen; main = Atomic.make (boxed (gcas_read_box t i).node) }
+
+  (* Copy a CNode, regenerating its I-node children. *)
+  let renewed t bmp arr (gen : gen) : 'v main =
+    let narr =
+      Array.map
+        (function IN child -> IN (copy_inode t child gen) | SN _ as b -> b)
+        arr
+    in
+    CNode { bmp; arr = narr }
+
+  let rec dual (l1 : 'v leaf) (l2 : 'v leaf) lev (gen : gen) : 'v main =
+    if lev >= Hashing.hash_bits then begin
+      assert (l1.hash = l2.hash);
+      LNode { lhash = l1.hash; entries = [ (l2.key, l2.value); (l1.key, l1.value) ] }
+    end
+    else begin
+      let i1 = (l1.hash lsr lev) land (branching - 1)
+      and i2 = (l2.hash lsr lev) land (branching - 1) in
+      if i1 <> i2 then begin
+        let bmp = (1 lsl i1) lor (1 lsl i2) in
+        let arr = if i1 < i2 then [| SN l1; SN l2 |] else [| SN l2; SN l1 |] in
+        CNode { bmp; arr }
+      end
+      else
+        CNode
+          {
+            bmp = 1 lsl i1;
+            arr = [| IN { gen; main = Atomic.make (boxed (dual l1 l2 (lev + w) gen)) } |];
+          }
+    end
+
+  (* Compaction. *)
+
+  let resurrect t (branch : 'v branch) : 'v branch =
+    match branch with
+    | IN i -> (
+        match (gcas_read_box t i).node with TNode leaf -> SN leaf | _ -> branch)
+    | SN _ -> branch
+
+  let to_contracted (main : 'v main) lev : 'v main =
+    match main with
+    | CNode { arr = [| SN leaf |]; _ } when lev > 0 -> TNode leaf
+    | CNode _ | TNode _ | LNode _ -> main
+
+  let clean t (i : 'v inode) lev =
+    let mb = gcas_read_box t i in
+    match mb.node with
+    | CNode { bmp; arr } ->
+        let narr = Array.map (resurrect t) arr in
+        ignore (gcas t i mb (to_contracted (CNode { bmp; arr = narr }) lev))
+    | TNode _ | LNode _ -> ()
+
+  let rec clean_parent t (p : 'v inode) (i : 'v inode) h plev (startgen : gen) =
+    let mb = gcas_read_box t p in
+    match mb.node with
+    | CNode { bmp; arr } -> (
+        let flag, pos = flagpos h plev bmp in
+        if bmp land flag <> 0 then
+          match arr.(pos) with
+          | IN child when child == i -> (
+              match (gcas_read_box t i).node with
+              | TNode leaf ->
+                  if p.gen == startgen then begin
+                    let ncn = cnode_updated bmp arr pos (SN leaf) in
+                    if not (gcas t p mb (to_contracted ncn plev)) then
+                      clean_parent t p i h plev startgen
+                  end
+              | CNode _ | LNode _ -> ())
+          | IN _ | SN _ -> ())
+    | TNode _ | LNode _ -> ()
+
+  (* ------------------------------ lookup ----------------------------- *)
+
+  type 'v outcome = Done of 'v option | Restart
+
+  let rec ilookup t (i : 'v inode) k h lev (parent : 'v inode option)
+      (startgen : gen) : 'v outcome =
+    let mb = gcas_read_box t i in
+    match mb.node with
+    | CNode { bmp; arr } -> (
+        let flag, pos = flagpos h lev bmp in
+        if bmp land flag = 0 then Done None
+        else
+          match arr.(pos) with
+          | IN child ->
+              if child.gen == startgen then
+                ilookup t child k h (lev + w) (Some i) startgen
+              else if gcas t i mb (renewed t bmp arr startgen) then
+                ilookup t i k h lev parent startgen
+              else Restart
+          | SN leaf ->
+              if H.equal leaf.key k then Done (Some leaf.value) else Done None)
+    | TNode _ ->
+        (match parent with Some p -> clean t p (lev - w) | None -> ());
+        Restart
+    | LNode ln -> if ln.lhash = h then Done (List.assoc_opt k ln.entries) else Done None
+
+  let rec lookup t k =
+    let h = hash_of k in
+    let r = rdcss_read_root t ~abort:false in
+    match ilookup t r k h 0 None r.gen with Done v -> v | Restart -> lookup t k
+
+  let mem t k = Option.is_some (lookup t k)
+
+  (* ------------------------------ updates ---------------------------- *)
+
+  type 'v mode = Always | If_absent | If_present | If_value of 'v
+
+  let rec iinsert t (i : 'v inode) k v h lev (parent : 'v inode option) mode
+      (startgen : gen) : 'v outcome =
+    let mb = gcas_read_box t i in
+    match mb.node with
+    | CNode { bmp; arr } -> (
+        let flag, pos = flagpos h lev bmp in
+        if bmp land flag = 0 then begin
+          match mode with
+          | If_present | If_value _ -> Done None
+          | Always | If_absent ->
+              let ncn =
+                cnode_inserted bmp arr pos flag (SN { hash = h; key = k; value = v })
+              in
+              if gcas t i mb ncn then Done None else Restart
+        end
+        else
+          match arr.(pos) with
+          | IN child ->
+              if child.gen == startgen then
+                iinsert t child k v h (lev + w) (Some i) mode startgen
+              else if gcas t i mb (renewed t bmp arr startgen) then
+                iinsert t i k v h lev parent mode startgen
+              else Restart
+          | SN leaf ->
+              if H.equal leaf.key k then begin
+                match mode with
+                | If_absent -> Done (Some leaf.value)
+                | If_value expected when leaf.value != expected ->
+                    Done (Some leaf.value)
+                | Always | If_present | If_value _ ->
+                    let ncn =
+                      cnode_updated bmp arr pos (SN { hash = h; key = k; value = v })
+                    in
+                    if gcas t i mb ncn then Done (Some leaf.value) else Restart
+              end
+              else if
+                match mode with
+                | If_present | If_value _ -> true
+                | Always | If_absent -> false
+              then Done None
+              else begin
+                let child =
+                  IN
+                    {
+                      gen = startgen;
+                      main =
+                        Atomic.make
+                          (boxed
+                             (dual leaf
+                                { hash = h; key = k; value = v }
+                                (lev + w) startgen));
+                    }
+                in
+                let ncn = cnode_updated bmp arr pos child in
+                if gcas t i mb ncn then Done None else Restart
+              end)
+    | TNode _ ->
+        (match parent with Some p -> clean t p (lev - w) | None -> ());
+        Restart
+    | LNode ln ->
+        assert (ln.lhash = h);
+        let previous = List.assoc_opt k ln.entries in
+        let proceed =
+          match (mode, previous) with
+          | If_absent, Some _ -> false
+          | (If_present | If_value _), None -> false
+          | If_value expected, Some p -> p == expected
+          | (Always | If_absent | If_present), _ -> true
+        in
+        if not proceed then Done previous
+        else begin
+          let nln =
+            LNode { ln with entries = (k, v) :: List.remove_assoc k ln.entries }
+          in
+          if gcas t i mb nln then Done previous else Restart
+        end
+
+  let rec update t k v mode =
+    let h = hash_of k in
+    let r = rdcss_read_root t ~abort:false in
+    match iinsert t r k v h 0 None mode r.gen with
+    | Done prev -> prev
+    | Restart -> update t k v mode
+
+  let insert t k v = ignore (update t k v Always)
+  let add t k v = update t k v Always
+  let put_if_absent t k v = update t k v If_absent
+  let replace t k v = update t k v If_present
+
+  let replace_if t k ~expected v =
+    match update t k v (If_value expected) with
+    | Some p -> p == expected
+    | None -> false
+
+  (* ------------------------------ remove ----------------------------- *)
+
+  let rmode_allows rmode v =
+    match rmode with `Always -> true | `If_value expected -> v == expected
+
+  let rec iremove t (i : 'v inode) k h lev (parent : 'v inode option) rmode
+      (startgen : gen) : 'v outcome =
+    let mb = gcas_read_box t i in
+    match mb.node with
+    | CNode { bmp; arr } -> (
+        let flag, pos = flagpos h lev bmp in
+        if bmp land flag = 0 then Done None
+        else
+          let res =
+            match arr.(pos) with
+            | IN child -> (
+                if child.gen == startgen then begin
+                  match iremove t child k h (lev + w) (Some i) rmode startgen with
+                  | Done (Some _) as r ->
+                      (match (gcas_read_box t child).node with
+                      | TNode _ -> clean_parent t i child h lev startgen
+                      | CNode _ | LNode _ -> ());
+                      r
+                  | r -> r
+                end
+                else if gcas t i mb (renewed t bmp arr startgen) then
+                  iremove t i k h lev parent rmode startgen
+                else Restart)
+            | SN leaf ->
+                if not (H.equal leaf.key k) then Done None
+                else if not (rmode_allows rmode leaf.value) then
+                  Done (Some leaf.value)
+                else begin
+                  let ncn = cnode_removed bmp arr pos flag in
+                  let nmain = to_contracted ncn lev in
+                  if gcas t i mb nmain then Done (Some leaf.value) else Restart
+                end
+          in
+          res)
+    | TNode _ ->
+        (match parent with Some p -> clean t p (lev - w) | None -> ());
+        Restart
+    | LNode ln ->
+        if ln.lhash <> h then Done None
+        else begin
+          match List.assoc_opt k ln.entries with
+          | None -> Done None
+          | Some prev when not (rmode_allows rmode prev) -> Done (Some prev)
+          | Some prev ->
+              let entries = List.remove_assoc k ln.entries in
+              let nmain =
+                match entries with
+                | [ (k1, v1) ] -> TNode { hash = h; key = k1; value = v1 }
+                | _ -> LNode { ln with entries }
+              in
+              if gcas t i mb nmain then Done (Some prev) else Restart
+        end
+
+  let rec remove_with t k rmode =
+    let h = hash_of k in
+    let r = rdcss_read_root t ~abort:false in
+    match iremove t r k h 0 None rmode r.gen with
+    | Done prev -> prev
+    | Restart -> remove_with t k rmode
+
+  let remove t k = remove_with t k `Always
+
+  let remove_if t k ~expected =
+    match remove_with t k (`If_value expected) with
+    | Some p -> p == expected
+    | None -> false
+
+  (* ------------------------------ snapshot --------------------------- *)
+
+  let rec snapshot t =
+    let r = rdcss_read_root t ~abort:false in
+    let mb = gcas_read_box t r in
+    (* Swap our root to a fresh generation; hand the old structure to
+       the snapshot under another fresh generation. *)
+    if rdcss_root t r mb { gen = ref (); main = Atomic.make (boxed mb.node) } then
+      { root = Atomic.make (Root { gen = ref (); main = Atomic.make (boxed mb.node) }) }
+    else snapshot t
+
+  (* ------------------------- aggregate queries ----------------------- *)
+
+  let fold f acc t =
+    let rec go_main acc (main : 'v main) =
+      match main with
+      | CNode { arr; _ } -> Array.fold_left go_branch acc arr
+      | TNode leaf -> f acc leaf.key leaf.value
+      | LNode ln -> List.fold_left (fun acc (k, v) -> f acc k v) acc ln.entries
+    and go_branch acc = function
+      | IN i -> go_main acc (gcas_read_box t i).node
+      | SN leaf -> f acc leaf.key leaf.value
+    in
+    let r = rdcss_read_root t ~abort:false in
+    go_main acc (gcas_read_box t r).node
+
+  let fold_snapshot f acc t = fold f acc (snapshot t)
+  let iter f t = fold (fun () k v -> f k v) () t
+  let size t = fold (fun n _ _ -> n + 1) 0 t
+  let is_empty t = size t = 0
+  let to_list t = fold (fun acc k v -> (k, v) :: acc) [] t
+
+  (* Word-cost model: as the plain Ctrie plus one gen word per I-node
+     and a 2-word prev box per main node. *)
+  let footprint_words t =
+    let rec go_main (main : 'v main) =
+      match main with
+      | CNode { arr; _ } ->
+          Array.fold_left
+            (fun acc b -> acc + 2 + go_branch b)
+            (3 + 1 + Array.length arr)
+            arr
+      | TNode _ -> 2 + 4
+      | LNode ln -> 3 + (3 * List.length ln.entries)
+    and go_branch = function
+      | IN i -> 3 + 4 + go_main (gcas_read_box t i).node
+      | SN _ -> 4
+    in
+    let r = rdcss_read_root t ~abort:false in
+    2 + 3 + 4 + go_main (gcas_read_box t r).node
+end

@@ -1,0 +1,1 @@
+lib/hamt/cow_map.ml: Atomic Ct_util Hamt

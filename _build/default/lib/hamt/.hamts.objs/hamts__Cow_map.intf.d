@@ -1,0 +1,1 @@
+lib/hamt/cow_map.mli: Ct_util

@@ -1,0 +1,1 @@
+lib/hamt/hamt.ml: Array Ct_util List Option Printf String

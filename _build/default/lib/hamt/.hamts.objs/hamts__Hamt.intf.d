@@ -1,0 +1,1 @@
+lib/hamt/hamt.mli: Ct_util

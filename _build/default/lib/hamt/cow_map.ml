@@ -1,0 +1,78 @@
+module Hashing = Ct_util.Hashing
+
+module Make (H : Hashing.HASHABLE) = struct
+  module P = Hamt.Make (H)
+
+  type key = H.t
+
+  let name = "cow-hamt"
+
+  (* Root version: the persistent trie plus its cardinality (kept
+     together so [size] is O(1) and snapshots carry it along). *)
+  type 'v root = { trie : 'v P.t; card : int; version : int }
+
+  type 'v t = { root : 'v root Atomic.t }
+
+  let create () = { root = Atomic.make { trie = P.empty; card = 0; version = 0 } }
+  let lookup t k = P.find (Atomic.get t.root).trie k
+  let mem t k = P.mem (Atomic.get t.root).trie k
+
+  (* Retry loop: build the next version functionally, CAS the root. *)
+  let rec update t k v mode : 'v option =
+    let cur = Atomic.get t.root in
+    let previous = P.find cur.trie k in
+    let proceed =
+      match (mode, previous) with
+      | `If_absent, Some _ -> false
+      | (`If_present | `If_value _), None -> false
+      | `If_value expected, Some p -> p == expected
+      | (`Always | `If_absent | `If_present), _ -> true
+    in
+    if not proceed then previous
+    else begin
+      let trie', prev' = P.add cur.trie k v in
+      assert (prev' = previous);
+      let card = if previous = None then cur.card + 1 else cur.card in
+      let next = { trie = trie'; card; version = cur.version + 1 } in
+      if Atomic.compare_and_set t.root cur next then previous else update t k v mode
+    end
+
+  let insert t k v = ignore (update t k v `Always)
+  let add t k v = update t k v `Always
+  let put_if_absent t k v = update t k v `If_absent
+  let replace t k v = update t k v `If_present
+
+  let replace_if t k ~expected v =
+    match update t k v (`If_value expected) with
+    | Some p -> p == expected
+    | None -> false
+
+  let rec remove_with t k cond : 'v option =
+    let cur = Atomic.get t.root in
+    match P.find cur.trie k with
+    | None -> None
+    | Some v when not (cond v) -> Some v
+    | Some _ ->
+        let trie', prev = P.remove cur.trie k in
+        let next = { trie = trie'; card = cur.card - 1; version = cur.version + 1 } in
+        if Atomic.compare_and_set t.root cur next then prev else remove_with t k cond
+
+  let remove t k = remove_with t k (fun _ -> true)
+
+  let remove_if t k ~expected =
+    match remove_with t k (fun v -> v == expected) with
+    | Some p -> p == expected
+    | None -> false
+
+  (* Aggregates read one consistent version: they are all linearizable
+     snapshots here, not merely weakly consistent. *)
+  let fold f acc t = P.fold f acc (Atomic.get t.root).trie
+  let iter f t = P.iter f (Atomic.get t.root).trie
+  let size t = (Atomic.get t.root).card
+  let is_empty t = size t = 0
+  let to_list t = P.to_list (Atomic.get t.root).trie
+
+  let snapshot t = { root = Atomic.make (Atomic.get t.root) }
+  let version t = (Atomic.get t.root).version
+  let footprint_words t = 4 + 2 + P.footprint_words (Atomic.get t.root).trie
+end

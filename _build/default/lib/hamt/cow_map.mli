@@ -1,0 +1,22 @@
+(** Concurrent map built from a persistent {!Hamt} behind a single
+    atomic root (copy-on-write).
+
+    Reads are wait-free pointer chases with no per-node atomics —
+    the fastest possible lookup path.  Every write path-copies the
+    spine and CASes the root, so concurrent writers invalidate each
+    other wholesale: write throughput collapses under contention.
+    This is exactly the trade-off that motivated Ctries (share the
+    trie, CAS per node) and it makes a revealing extra baseline for
+    the paper's insert benchmarks.  Snapshots are a single atomic
+    read: O(1) and trivially linearizable. *)
+
+module Make (H : Ct_util.Hashing.HASHABLE) : sig
+  include Ct_util.Map_intf.CONCURRENT_MAP with type key = H.t
+
+  val snapshot : 'v t -> 'v t
+  (** O(1) linearizable snapshot (one atomic read). *)
+
+  val version : 'v t -> int
+  (** Number of committed root swaps, for write-amplification
+      diagnostics. *)
+end

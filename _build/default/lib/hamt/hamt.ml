@@ -1,0 +1,243 @@
+(* Persistent 32-way bitmapped hash trie with path copying.  Every
+   update rebuilds the spine from the modified leaf to the root and
+   shares everything else; removal collapses single-leaf branches on
+   the way back up so versions stay canonical. *)
+
+module Hashing = Ct_util.Hashing
+module Bits = Ct_util.Bits
+
+let w = 5
+let branching = 1 lsl w
+
+module Make (H : Hashing.HASHABLE) = struct
+  type key = H.t
+
+  type 'v t =
+    | Empty
+    | Leaf of { hash : int; key : key; value : 'v }
+    | Collision of { chash : int; entries : (key * 'v) list }
+    | Branch of { bmp : int; children : 'v t array }
+
+  let empty = Empty
+  let is_empty t = t = Empty
+  let hash_of k = H.hash k land Hashing.mask
+
+  let flagpos h lev bmp =
+    let idx = (h lsr lev) land (branching - 1) in
+    let flag = 1 lsl idx in
+    (flag, Bits.popcount (bmp land (flag - 1)))
+
+  (* ------------------------------ find ------------------------------ *)
+
+  let find t k =
+    let h = hash_of k in
+    let rec go t lev =
+      match t with
+      | Empty -> None
+      | Leaf l -> if H.equal l.key k then Some l.value else None
+      | Collision c -> if c.chash = h then List.assoc_opt k c.entries else None
+      | Branch { bmp; children } ->
+          let flag, pos = flagpos h lev bmp in
+          if bmp land flag = 0 then None else go children.(pos) (lev + w)
+    in
+    go t 0
+
+  let mem t k = Option.is_some (find t k)
+
+  (* ------------------------------- add ------------------------------ *)
+
+  let branch_inserted bmp children pos flag child =
+    let n = Array.length children in
+    let arr = Array.make (n + 1) child in
+    Array.blit children 0 arr 0 pos;
+    Array.blit children pos arr (pos + 1) (n - pos);
+    Branch { bmp = bmp lor flag; children = arr }
+
+  let branch_updated bmp children pos child =
+    let arr = Array.copy children in
+    arr.(pos) <- child;
+    Branch { bmp; children = arr }
+
+  let branch_removed bmp children pos flag =
+    let n = Array.length children in
+    let arr = Array.make (max 0 (n - 1)) children.(0) in
+    Array.blit children 0 arr 0 pos;
+    Array.blit children (pos + 1) arr pos (n - 1 - pos);
+    Branch { bmp = bmp lxor flag; children = arr }
+
+  (* Join two leaves whose hashes differ below [lev]. *)
+  let rec join h1 l1 h2 l2 lev =
+    if lev >= Hashing.hash_bits then begin
+      assert (h1 = h2);
+      match (l1, l2) with
+      | Leaf a, Leaf b ->
+          Collision { chash = h1; entries = [ (b.key, b.value); (a.key, a.value) ] }
+      | _ -> assert false
+    end
+    else begin
+      let i1 = (h1 lsr lev) land (branching - 1)
+      and i2 = (h2 lsr lev) land (branching - 1) in
+      if i1 <> i2 then
+        Branch
+          {
+            bmp = (1 lsl i1) lor (1 lsl i2);
+            children = (if i1 < i2 then [| l1; l2 |] else [| l2; l1 |]);
+          }
+      else Branch { bmp = 1 lsl i1; children = [| join h1 l1 h2 l2 (lev + w) |] }
+    end
+
+  let add t k v =
+    let h = hash_of k in
+    let prev = ref None in
+    let rec go t lev =
+      match t with
+      | Empty -> Leaf { hash = h; key = k; value = v }
+      | Leaf l ->
+          if H.equal l.key k then begin
+            prev := Some l.value;
+            Leaf { hash = h; key = k; value = v }
+          end
+          else if l.hash = h then
+            Collision { chash = h; entries = [ (k, v); (l.key, l.value) ] }
+          else join l.hash t h (Leaf { hash = h; key = k; value = v }) lev
+      | Collision c ->
+          if c.chash = h then begin
+            prev := List.assoc_opt k c.entries;
+            Collision { c with entries = (k, v) :: List.remove_assoc k c.entries }
+          end
+          else
+            (* Push the collision bucket one level down next to the new
+               leaf. *)
+            join c.chash t h (Leaf { hash = h; key = k; value = v }) lev
+      | Branch { bmp; children } ->
+          let flag, pos = flagpos h lev bmp in
+          if bmp land flag = 0 then
+            branch_inserted bmp children pos flag (Leaf { hash = h; key = k; value = v })
+          else branch_updated bmp children pos (go children.(pos) (lev + w))
+    in
+    let t' = go t 0 in
+    (t', !prev)
+
+  (* ------------------------------ remove ---------------------------- *)
+
+  let remove t k =
+    let h = hash_of k in
+    let prev = ref None in
+    let rec go t lev =
+      match t with
+      | Empty -> Empty
+      | Leaf l ->
+          if H.equal l.key k then begin
+            prev := Some l.value;
+            Empty
+          end
+          else t
+      | Collision c ->
+          if c.chash <> h then t
+          else begin
+            match List.assoc_opt k c.entries with
+            | None -> t
+            | Some v ->
+                prev := Some v;
+                (match List.remove_assoc k c.entries with
+                | [ (k1, v1) ] -> Leaf { hash = h; key = k1; value = v1 }
+                | entries -> Collision { c with entries })
+          end
+      | Branch { bmp; children } -> (
+          let flag, pos = flagpos h lev bmp in
+          if bmp land flag = 0 then t
+          else begin
+            match go children.(pos) (lev + w) with
+            | Empty -> (
+                (* Child vanished: shrink, collapsing singleton leaves. *)
+                match branch_removed bmp children pos flag with
+                | Branch { children = [| (Leaf _ | Collision _) as only |]; _ }
+                  when lev > 0 ->
+                    only
+                | Branch { children = [||]; _ } -> Empty
+                | t' -> t')
+            | (Leaf _ | Collision _) as small
+              when lev > 0 && Array.length children = 1 ->
+                (* Lone child simplified: lift it. *)
+                small
+            | child -> branch_updated bmp children pos child
+          end)
+    in
+    let t' = go t 0 in
+    if !prev = None then (t, None) else (t', !prev)
+
+  (* --------------------------- aggregates --------------------------- *)
+
+  let rec fold f acc t =
+    match t with
+    | Empty -> acc
+    | Leaf l -> f acc l.key l.value
+    | Collision c -> List.fold_left (fun acc (k, v) -> f acc k v) acc c.entries
+    | Branch { children; _ } -> Array.fold_left (fold f) acc children
+
+  let iter f t = fold (fun () k v -> f k v) () t
+  let cardinal t = fold (fun n _ _ -> n + 1) 0 t
+  let to_list t = fold (fun acc k v -> (k, v) :: acc) [] t
+
+  let depth_histogram t =
+    let hist = Array.make 12 0 in
+    let bump d n =
+      let d = min d (Array.length hist - 1) in
+      hist.(d) <- hist.(d) + n
+    in
+    let rec go t depth =
+      match t with
+      | Empty -> ()
+      | Leaf _ -> bump depth 1
+      | Collision c -> bump depth (List.length c.entries)
+      | Branch { children; _ } -> Array.iter (fun c -> go c (depth + 1)) children
+    in
+    go t 0;
+    hist
+
+  let rec footprint_words t =
+    match t with
+    | Empty -> 0
+    | Leaf _ -> 4
+    | Collision c -> 3 + (3 * List.length c.entries)
+    | Branch { children; _ } ->
+        Array.fold_left (fun acc c -> acc + footprint_words c) (2 + 1 + Array.length children)
+          children
+
+  let validate t =
+    let errors = ref [] in
+    let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+    let rec go t lev prefix pmask =
+      match t with
+      | Empty -> if lev > 0 then err "Empty below the root"
+      | Leaf l ->
+          if l.hash <> hash_of l.key then err "leaf hash mismatch";
+          if l.hash land pmask <> prefix then err "leaf prefix violation at level %d" lev
+      | Collision c ->
+          if List.length c.entries < 2 then err "collision bucket with < 2 entries";
+          List.iter
+            (fun (k, _) -> if hash_of k <> c.chash then err "collision hash mismatch")
+            c.entries;
+          if c.chash land pmask <> prefix then err "collision prefix violation"
+      | Branch { bmp; children } ->
+          if Bits.popcount bmp <> Array.length children then
+            err "bitmap/array mismatch at level %d" lev;
+          if lev > 0 && Array.length children = 1 then begin
+            match children.(0) with
+            | Leaf _ | Collision _ -> err "uncollapsed singleton branch at level %d" lev
+            | Empty | Branch _ -> ()
+          end;
+          let pos = ref 0 in
+          for idx = 0 to branching - 1 do
+            if bmp land (1 lsl idx) <> 0 then begin
+              let child = children.(!pos) in
+              incr pos;
+              go child (lev + w)
+                (prefix lor (idx lsl lev))
+                (pmask lor ((branching - 1) lsl lev))
+            end
+          done
+    in
+    go t 0 0 0;
+    match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))
+end

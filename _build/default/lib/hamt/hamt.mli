@@ -1,0 +1,56 @@
+(** Persistent (immutable) hash array mapped trie.
+
+    The immutable dictionary the paper's related-work section traces
+    tries back to (Bagwell's ideal hash trees, as popularized by
+    functional language runtimes): a 32-way bitmapped trie where every
+    update path-copies the spine, sharing the rest of the structure.
+
+    All operations are pure; [add]/[remove] return the new version.
+    Structural sharing makes old versions persist for free — which is
+    what {!Cow_map} exploits to build a concurrent map with O(1)
+    snapshots out of a single atomic root (and why its contended write
+    throughput collapses, motivating Ctries). *)
+
+module Make (H : Ct_util.Hashing.HASHABLE) : sig
+  type key = H.t
+
+  type 'v t
+
+  val empty : 'v t
+
+  val is_empty : 'v t -> bool
+
+  val find : 'v t -> key -> 'v option
+
+  val mem : 'v t -> key -> bool
+
+  val add : 'v t -> key -> 'v -> 'v t * 'v option
+  (** [add t k v] is the version with [k] bound to [v], plus the
+      previous binding. *)
+
+  val remove : 'v t -> key -> 'v t * 'v option
+  (** [remove t k] is the version without [k], plus the removed
+      binding ([t] itself when [k] was absent). *)
+
+  val cardinal : 'v t -> int
+  (** O(n). *)
+
+  val fold : ('a -> key -> 'v -> 'a) -> 'a -> 'v t -> 'a
+
+  val iter : (key -> 'v -> unit) -> 'v t -> unit
+
+  val to_list : 'v t -> (key * 'v) list
+
+  val depth_histogram : 'v t -> int array
+  (** Leaf depths, root children at depth 1 (same convention as the
+      concurrent tries). *)
+
+  val footprint_words : 'v t -> int
+  (** Word-cost of this version if it were the only one (sharing with
+      other versions is not discounted). *)
+
+  val validate : 'v t -> (unit, string) result
+  (** Structural invariants: bitmap cardinality, prefix consistency,
+      no single-child chains that should have been inlined, collision
+      sanity. *)
+end

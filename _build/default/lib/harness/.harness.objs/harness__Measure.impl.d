@@ -1,0 +1,1 @@
+lib/harness/measure.ml: Array Ct_util List Unix

@@ -1,0 +1,1 @@
+lib/harness/parallel.ml: Barrier Domain List Unix

@@ -1,0 +1,1 @@
+lib/harness/suites.ml: Analysis Array Cachetrie Chm Ct_util Ctrie Ctrie_snap Footprint Hamts List Measure Parallel Printf Report Skiplist Trace Workload

@@ -1,0 +1,1 @@
+lib/harness/suites.mli: Ct_util

@@ -1,0 +1,1 @@
+lib/harness/trace.ml: Array Ct_util List Parallel Unix Workload

@@ -1,0 +1,1 @@
+lib/harness/trace.mli: Ct_util

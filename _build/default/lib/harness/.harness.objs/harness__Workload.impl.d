@@ -1,0 +1,1 @@
+lib/harness/workload.ml: Array Ct_util Fun

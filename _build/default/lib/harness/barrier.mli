@@ -1,0 +1,14 @@
+(** Sense-reversing spin barrier for domains.
+
+    Used by the parallel benchmark driver so that all worker domains
+    enter the timed section together, as the paper's multi-threaded
+    benchmarks require. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes a barrier for [n] participants. *)
+
+val await : t -> unit
+(** [await t] blocks (spinning with [Domain.cpu_relax]) until all [n]
+    participants have arrived.  Reusable across phases. *)

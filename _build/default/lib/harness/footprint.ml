@@ -1,0 +1,2 @@
+let reachable_words v = Obj.reachable_words (Obj.repr v)
+let words_to_kb w = float_of_int (w * (Sys.word_size / 8)) /. 1024.0

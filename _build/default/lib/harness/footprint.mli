@@ -1,0 +1,13 @@
+(** Memory footprint measurement (paper Figure 9).
+
+    Two estimates per structure: the runtime's own transitive heap walk
+    ([Obj.reachable_words], which handles sharing exactly), and the
+    structure's analytic word-cost model ([footprint_words] from the
+    shared map signature) as a cross-check. *)
+
+val reachable_words : 'a -> int
+(** [reachable_words v] — machine words transitively reachable from
+    [v], computed by the OCaml runtime. *)
+
+val words_to_kb : int -> float
+(** Words to kilobytes on this platform (8-byte words on 64-bit). *)

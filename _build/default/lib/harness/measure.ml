@@ -1,0 +1,35 @@
+module Stats = Ct_util.Stats
+
+type result = {
+  summary : Stats.summary;
+  warmup_runs : int;
+  ops : int;
+}
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let run ?(warmup_limit = 10) ?(repetitions = 5) ?(cov_threshold = 0.10) ~ops
+    ?(setup = fun () -> ()) f =
+  if ops <= 0 then invalid_arg "Measure.run: ops";
+  let warmup = ref [] in
+  let warmed = ref false in
+  let runs = ref 0 in
+  while (not !warmed) && !runs < warmup_limit do
+    setup ();
+    warmup := time f :: !warmup;
+    incr runs;
+    let arr = Array.of_list (List.rev !warmup) in
+    warmed := Stats.warmed_up ~window:3 ~threshold:cov_threshold arr
+  done;
+  let samples =
+    Array.init repetitions (fun _ ->
+        setup ();
+        time f)
+  in
+  { summary = Stats.summarize samples; warmup_runs = !runs; ops }
+
+let ns_per_op r = r.summary.Stats.mean *. 1e9 /. float_of_int r.ops
+let mops r = float_of_int r.ops /. r.summary.Stats.mean /. 1e6

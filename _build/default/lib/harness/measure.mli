@@ -1,0 +1,32 @@
+(** Timing with warmup detection and repetition, following the
+    methodology the paper cites (Georges et al.): repeat until the
+    coefficient of variation of recent runs drops below a threshold,
+    then record a fixed number of measurements. *)
+
+type result = {
+  summary : Ct_util.Stats.summary;  (** seconds per run *)
+  warmup_runs : int;
+  ops : int;  (** operations per run, for per-op normalization *)
+}
+
+val time : (unit -> unit) -> float
+(** [time f] — wall-clock seconds of one call. *)
+
+val run :
+  ?warmup_limit:int ->
+  ?repetitions:int ->
+  ?cov_threshold:float ->
+  ops:int ->
+  ?setup:(unit -> unit) ->
+  (unit -> unit) ->
+  result
+(** [run ~ops f] warms [f] up (at most [warmup_limit] runs, default 10,
+    stopping early when stable), then measures [repetitions] (default
+    5) runs.  [setup] runs before every timed run, outside the clock.
+    [ops] is the number of map operations one run performs. *)
+
+val ns_per_op : result -> float
+(** Mean nanoseconds per operation. *)
+
+val mops : result -> float
+(** Mean throughput in million operations per second. *)

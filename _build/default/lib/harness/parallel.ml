@@ -1,0 +1,28 @@
+let available_domains () = Domain.recommended_domain_count ()
+
+let run_collect ~domains body =
+  if domains <= 0 then invalid_arg "Parallel.run_collect";
+  let barrier = Barrier.create domains in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            Barrier.await barrier;
+            body d))
+  in
+  List.map Domain.join workers
+
+let run_timed ~domains body =
+  if domains <= 0 then invalid_arg "Parallel.run_timed";
+  (* The main thread participates in the barrier so the clock starts
+     when the workers are released, not when they are spawned. *)
+  let barrier = Barrier.create (domains + 1) in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            Barrier.await barrier;
+            body d))
+  in
+  Barrier.await barrier;
+  let t0 = Unix.gettimeofday () in
+  List.iter Domain.join workers;
+  Unix.gettimeofday () -. t0

@@ -1,0 +1,19 @@
+(** Multi-domain benchmark execution.
+
+    Spawns worker domains, synchronizes them on a {!Barrier.t} and
+    times the window from release to the last completion — the
+    methodology behind the paper's Figures 11-13. *)
+
+val run_timed : domains:int -> (int -> unit) -> float
+(** [run_timed ~domains body] runs [body d] on [domains] domains
+    (domain index [d] in [0, domains)) starting simultaneously and
+    returns the elapsed wall-clock seconds until every domain
+    finished. *)
+
+val run_collect : domains:int -> (int -> 'a) -> 'a list
+(** [run_collect ~domains body] runs [body] on each domain after a
+    common barrier and returns the per-domain results in index
+    order. *)
+
+val available_domains : unit -> int
+(** Recommended domain count on this machine. *)

@@ -1,0 +1,25 @@
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let widths = Array.make cols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let render_row r =
+    String.concat "  "
+      (List.mapi (fun i cell -> Printf.sprintf "%*s" widths.(i) cell) r)
+  in
+  let sep =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n" (render_row header :: sep :: List.map render_row rows) ^ "\n"
+
+let print_table ~header rows = print_string (table ~header rows)
+let fmt_ns ns = Printf.sprintf "%.1f" ns
+let fmt_ms s = Printf.sprintf "%.2f" (s *. 1000.0)
+let fmt_kb kb = Printf.sprintf "%.1f" kb
+let fmt_x x = Printf.sprintf "%.2fx" x
+
+let section title =
+  let bar = String.make (String.length title + 8) '=' in
+  Printf.printf "\n%s\n==  %s  ==\n%s\n" bar title bar

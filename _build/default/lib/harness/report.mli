@@ -1,0 +1,21 @@
+(** Plain-text table rendering for benchmark reports, mirroring the
+    row/series layout of the paper's tables and figures. *)
+
+val table : header:string list -> string list list -> string
+(** [table ~header rows] — a column-aligned plain-text table. *)
+
+val print_table : header:string list -> string list list -> unit
+
+val fmt_ns : float -> string
+(** Nanoseconds with 1 decimal, e.g. ["123.4"]. *)
+
+val fmt_ms : float -> string
+(** Seconds rendered as milliseconds with 2 decimals. *)
+
+val fmt_kb : float -> string
+
+val fmt_x : float -> string
+(** Multiplier, e.g. ["2.3x"]. *)
+
+val section : string -> unit
+(** Print a banner heading. *)

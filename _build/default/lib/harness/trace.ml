@@ -1,0 +1,95 @@
+module Rng = Ct_util.Rng
+
+type op = Lookup of int | Insert of int * int | Remove of int
+
+type profile = {
+  reads : int;
+  inserts : int;
+  removes : int;
+  universe : int;
+  skew : float;
+}
+
+let read_mostly = { reads = 95; inserts = 4; removes = 1; universe = 100_000; skew = 0.9 }
+let churn = { reads = 50; inserts = 25; removes = 25; universe = 100_000; skew = 0.0 }
+let write_heavy = { reads = 10; inserts = 60; removes = 30; universe = 100_000; skew = 0.5 }
+
+let generate ?(seed = 0x7EACE) profile n =
+  if profile.reads + profile.inserts + profile.removes <> 100 then
+    invalid_arg "Trace.generate: percentages must sum to 100";
+  if profile.universe <= 0 then invalid_arg "Trace.generate: empty universe";
+  let rng = Rng.create seed in
+  let keys =
+    if profile.skew = 0.0 then
+      Array.init n (fun _ -> Rng.next_int rng profile.universe)
+    else
+      Workload.zipf_keys ~seed:(seed lxor 0x5A5A) ~n ~universe:profile.universe
+        profile.skew
+  in
+  Array.init n (fun i ->
+      let dice = Rng.next_int rng 100 in
+      let k = keys.(i) in
+      if dice < profile.reads then Lookup k
+      else if dice < profile.reads + profile.inserts then Insert (k, i)
+      else Remove k)
+
+type outcome = {
+  hits : int;
+  misses : int;
+  updates : int;
+  fresh : int;
+  removed : int;
+  elapsed : float;
+}
+
+module Replay (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
+  let run_slice t trace lo hi step =
+    let hits = ref 0
+    and misses = ref 0
+    and updates = ref 0
+    and fresh = ref 0
+    and removed = ref 0 in
+    let i = ref lo in
+    while !i < hi do
+      (match trace.(!i) with
+      | Lookup k -> if M.lookup t k = None then incr misses else incr hits
+      | Insert (k, v) -> if M.add t k v = None then incr fresh else incr updates
+      | Remove k -> if M.remove t k <> None then incr removed);
+      i := !i + step
+    done;
+    (!hits, !misses, !updates, !fresh, !removed)
+
+  let prefill_keys t n =
+    for k = 0 to n - 1 do
+      M.insert t k k
+    done
+
+  let replay ?(prefill = 0) t trace =
+    prefill_keys t prefill;
+    let t0 = Unix.gettimeofday () in
+    let hits, misses, updates, fresh, removed =
+      run_slice t trace 0 (Array.length trace) 1
+    in
+    { hits; misses; updates; fresh; removed; elapsed = Unix.gettimeofday () -. t0 }
+
+  let replay_parallel ?(prefill = 0) t ~domains trace =
+    prefill_keys t prefill;
+    let t0 = Unix.gettimeofday () in
+    let results =
+      Parallel.run_collect ~domains (fun d ->
+          run_slice t trace d (Array.length trace) domains)
+    in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    List.fold_left
+      (fun acc (h, m, u, f, r) ->
+        {
+          acc with
+          hits = acc.hits + h;
+          misses = acc.misses + m;
+          updates = acc.updates + u;
+          fresh = acc.fresh + f;
+          removed = acc.removed + r;
+        })
+      { hits = 0; misses = 0; updates = 0; fresh = 0; removed = 0; elapsed }
+      results
+end

@@ -1,0 +1,55 @@
+(** Synthetic operation traces and a replay engine.
+
+    The paper's evaluation uses generated workloads (Appendix A.2.4:
+    "there are no special datasets used... workloads are generated");
+    this module packages that as reusable production-trace simulation:
+    a [profile] describes an operation mix, key universe and popularity
+    skew; [generate] expands it into a deterministic trace;
+    [replay]/[replay_parallel] drive any map with it and report what
+    happened.  Used by the [trace] benchmark and the workload tests. *)
+
+type op =
+  | Lookup of int
+  | Insert of int * int
+  | Remove of int
+
+type profile = {
+  reads : int;  (** percent of operations that are lookups *)
+  inserts : int;  (** percent that are inserts *)
+  removes : int;  (** percent that are removes; the three must sum to 100 *)
+  universe : int;  (** keys are drawn from [0, universe) *)
+  skew : float;  (** Zipf exponent; 0 = uniform *)
+}
+
+val read_mostly : profile
+(** 95/4/1 over 100k keys, Zipf 0.9 — a cache-friendly serving tier. *)
+
+val churn : profile
+(** 50/25/25 over 100k keys, uniform — a session-store-like mix. *)
+
+val write_heavy : profile
+(** 10/60/30 over 100k keys, Zipf 0.5 — an ingest pipeline. *)
+
+val generate : ?seed:int -> profile -> int -> op array
+(** [generate profile n] — a deterministic trace of [n] operations.
+    @raise Invalid_argument if the percentages do not sum to 100. *)
+
+type outcome = {
+  hits : int;  (** lookups that found a binding *)
+  misses : int;
+  updates : int;  (** inserts that replaced an existing binding *)
+  fresh : int;  (** inserts of a new key *)
+  removed : int;  (** removes that found their key *)
+  elapsed : float;  (** seconds *)
+}
+
+module Replay (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) : sig
+  val replay : ?prefill:int -> int M.t -> op array -> outcome
+  (** [replay t trace] runs the trace on one domain.  [prefill] inserts
+      keys [0, prefill) first (outside the clock). *)
+
+  val replay_parallel : ?prefill:int -> int M.t -> domains:int -> op array -> outcome
+  (** Splits the trace across [domains] (interleaved round-robin so all
+      domains see the same mix) and replays concurrently; counters are
+      summed. *)
+end

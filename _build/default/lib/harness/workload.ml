@@ -1,0 +1,44 @@
+module Rng = Ct_util.Rng
+
+let shuffled_keys ?(seed = 0xC0FFEE) n =
+  let keys = Array.init n Fun.id in
+  Rng.shuffle (Rng.create seed) keys;
+  keys
+
+let disjoint_ranges ~domains ~total =
+  if domains <= 0 then invalid_arg "Workload.disjoint_ranges";
+  let base = total / domains and rem = total mod domains in
+  let start = ref 0 in
+  Array.init domains (fun d ->
+      let len = base + if d < rem then 1 else 0 in
+      let r = Array.init len (fun i -> !start + i) in
+      start := !start + len;
+      r)
+
+let lookup_order ?(seed = 0xFEEDFACE) keys =
+  let copy = Array.copy keys in
+  Rng.shuffle (Rng.create seed) copy;
+  copy
+
+let zipf_keys ?(seed = 0x5EED) ~n ~universe s =
+  if universe <= 0 || n < 0 || s < 0.0 then invalid_arg "Workload.zipf_keys";
+  let rng = Rng.create seed in
+  (* Inverse-CDF sampling over the harmonic weights. *)
+  let weights = Array.init universe (fun i -> (1.0 /. float_of_int (i + 1)) ** s) in
+  let cdf = Array.make universe 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. w;
+      cdf.(i) <- !acc)
+    weights;
+  let total = !acc in
+  Array.init n (fun _ ->
+      let x = Rng.next_float rng *. total in
+      (* Binary search for the first cdf entry >= x. *)
+      let lo = ref 0 and hi = ref (universe - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if cdf.(mid) < x then lo := mid + 1 else hi := mid
+      done;
+      !lo)

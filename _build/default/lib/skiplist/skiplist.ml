@@ -1,0 +1,368 @@
+(* Lock-free skip list with logical deletion marks (Herlihy-Shavit
+   style).  Towers are ordered by 32-bit mixed hash; a node carries the
+   binding list for its hash, updated by CAS on an immutable list.  A
+   node whose binding list becomes empty is logically dead and gets
+   marked and unlinked; any thread observing an empty list helps. *)
+
+module Hashing = Ct_util.Hashing
+module Rng = Ct_util.Rng
+
+let max_height = 24
+
+module Make (H : Hashing.HASHABLE) = struct
+  type key = H.t
+
+  let name = "skiplist"
+
+  type 'v node = {
+    nhash : int;  (* ordering key; head = -1, tail = 2^32 *)
+    bindings : (key * 'v) list Atomic.t;
+    next : 'v link Atomic.t array;  (* length = tower height *)
+  }
+
+  and 'v link = { succ : 'v node; marked : bool }
+  (* [succ] of the tail node points to itself and is never followed. *)
+
+  type 'v t = { head : 'v node; tail : 'v node }
+
+  let create () =
+    (* The tail's own links are never followed (every traversal checks
+       [is_tail] first), so its tower can stay empty. *)
+    let tail =
+      { nhash = 1 lsl Hashing.hash_bits; bindings = Atomic.make []; next = [||] }
+    in
+    let head =
+      {
+        nhash = -1;
+        bindings = Atomic.make [];
+        next =
+          Array.init max_height (fun _ -> Atomic.make { succ = tail; marked = false });
+      }
+    in
+    { head; tail }
+
+  let hash_of k = H.hash k land Hashing.mask
+  let is_tail t n = n == t.tail
+
+  (* Domain-local PRNG for tower heights (p = 1/2). *)
+  let rng_key =
+    Domain.DLS.new_key (fun () ->
+        Rng.create (0x5DEECE66D lxor (Domain.self () :> int)))
+
+  let random_height () =
+    let rng = Domain.DLS.get rng_key in
+    let r = Rng.next rng in
+    let rec go h bits =
+      if h >= max_height || bits land 1 = 0 then h else go (h + 1) (bits lsr 1)
+    in
+    go 1 r
+
+  (* find returns [(preds, succs)] such that at every level
+     [preds.(l).nhash < h <= succs.(l).nhash], unlinking marked nodes
+     along the way (restarting on CAS interference). *)
+  let rec find t h : 'v node array * 'v node array =
+    let preds = Array.make max_height t.head in
+    let succs = Array.make max_height t.tail in
+    let restart = ref false in
+    let pred = ref t.head in
+    let level = ref (max_height - 1) in
+    while !level >= 0 && not !restart do
+      let continue_level = ref true in
+      let curr = ref (Atomic.get !pred.next.(!level)).succ in
+      while !continue_level && not !restart do
+        if is_tail t !curr then begin
+          preds.(!level) <- !pred;
+          succs.(!level) <- !curr;
+          continue_level := false
+        end
+        else begin
+          let clink = Atomic.get !curr.next.(!level) in
+          if clink.marked then begin
+            (* Help unlink the marked node. *)
+            let plink = Atomic.get !pred.next.(!level) in
+            if plink.marked || plink.succ != !curr then restart := true
+            else if
+              Atomic.compare_and_set !pred.next.(!level) plink
+                { succ = clink.succ; marked = false }
+            then curr := clink.succ
+            else restart := true
+          end
+          else if !curr.nhash < h then begin
+            pred := !curr;
+            curr := clink.succ
+          end
+          else begin
+            preds.(!level) <- !pred;
+            succs.(!level) <- !curr;
+            continue_level := false
+          end
+        end
+      done;
+      decr level
+    done;
+    if !restart then find t h else (preds, succs)
+
+  (* Mark every level of [node], then let [find] unlink it. *)
+  let rec mark_node t (node : 'v node) =
+    let height = Array.length node.next in
+    for level = height - 1 downto 1 do
+      let rec mark () =
+        let link = Atomic.get node.next.(level) in
+        if not link.marked then
+          if not (Atomic.compare_and_set node.next.(level) link
+                    { succ = link.succ; marked = true })
+          then mark ()
+      in
+      mark ()
+    done;
+    (* Level 0 is the linearization point of the tower's death. *)
+    let link = Atomic.get node.next.(0) in
+    if not link.marked then begin
+      if Atomic.compare_and_set node.next.(0) link { succ = link.succ; marked = true }
+      then ignore (find t node.nhash) (* physically unlink *)
+      else mark_node t node
+    end
+    else ignore (find t node.nhash)
+
+  (* Locate the live node for hash [h], if any (read-only path). *)
+  let find_node t h : 'v node option =
+    let rec go (pred : 'v node) level =
+      let curr = (Atomic.get pred.next.(level)).succ in
+      if is_tail t curr || curr.nhash > h then
+        if level = 0 then None else go pred (level - 1)
+      else if curr.nhash < h then go curr level
+      else begin
+        let clink = Atomic.get curr.next.(0) in
+        if clink.marked then None else Some curr
+      end
+    in
+    go t.head (max_height - 1)
+
+  let lookup t k =
+    let h = hash_of k in
+    match find_node t h with
+    | None -> None
+    | Some node -> List.assoc_opt k (Atomic.get node.bindings)
+
+  let mem t k = Option.is_some (lookup t k)
+
+  (* ------------------------------ updates --------------------------- *)
+
+  type 'v mode = Always | If_absent | If_present | If_value of 'v
+
+  let rec update t k v mode : 'v option =
+    let h = hash_of k in
+    let preds, succs = find t h in
+    let candidate = succs.(0) in
+    if (not (is_tail t candidate)) && candidate.nhash = h then begin
+      (* Hash already present: update its binding list. *)
+      let bindings = Atomic.get candidate.bindings in
+      if bindings = [] then begin
+        (* Node logically dead; help bury it and retry. *)
+        mark_node t candidate;
+        update t k v mode
+      end
+      else begin
+        let previous = List.assoc_opt k bindings in
+        let proceed =
+          match (mode, previous) with
+          | If_absent, Some _ -> false
+          | (If_present | If_value _), None -> false
+          | If_value expected, Some p -> p == expected
+          | (Always | If_absent | If_present), _ -> true
+        in
+        if not proceed then previous
+        else begin
+          let nb = (k, v) :: List.remove_assoc k bindings in
+          (* A successful CAS from a non-empty list is the
+             linearization point: the list can only become empty (and
+             the node die) by first CASing away the list we swapped,
+             so no post-hoc mark check is needed — and retrying here
+             would wrongly apply the operation twice. *)
+          if Atomic.compare_and_set candidate.bindings bindings nb then previous
+          else update t k v mode
+        end
+      end
+    end
+    else if
+      match mode with If_present | If_value _ -> true | Always | If_absent -> false
+    then None
+    else begin
+      (* Splice in a fresh tower. *)
+      let height = random_height () in
+      let node =
+        {
+          nhash = h;
+          bindings = Atomic.make [ (k, v) ];
+          next =
+            Array.init height (fun l ->
+                Atomic.make { succ = succs.(l); marked = false });
+        }
+      in
+      let plink = Atomic.get preds.(0).next.(0) in
+      if plink.marked || plink.succ != succs.(0) then update t k v mode
+      else if not (Atomic.compare_and_set preds.(0).next.(0) plink
+                     { succ = node; marked = false })
+      then update t k v mode
+      else begin
+        (* Level 0 linked: the insert is linearized.  Link the upper
+           levels best-effort, re-finding on interference. *)
+        let rec link_level level preds succs =
+          if level < height then begin
+            let nlink = Atomic.get node.next.(level) in
+            if nlink.marked then () (* concurrently removed; stop *)
+            else begin
+              if nlink.succ != succs.(level) then
+                ignore
+                  (Atomic.compare_and_set node.next.(level) nlink
+                     { succ = succs.(level); marked = false });
+              let plink = Atomic.get preds.(level).next.(level) in
+              if
+                (not plink.marked)
+                && plink.succ == succs.(level)
+                && Atomic.compare_and_set preds.(level).next.(level) plink
+                     { succ = node; marked = false }
+              then link_level (level + 1) preds succs
+              else begin
+                let preds', succs' = find t h in
+                if succs'.(0) == node then link_level level preds' succs'
+                (* else the node was removed concurrently; stop *)
+              end
+            end
+          end
+        in
+        link_level 1 preds succs;
+        None
+      end
+    end
+
+  let insert t k v = ignore (update t k v Always)
+  let add t k v = update t k v Always
+  let put_if_absent t k v = update t k v If_absent
+  let replace t k v = update t k v If_present
+
+  let replace_if t k ~expected v =
+    match update t k v (If_value expected) with
+    | Some p -> p == expected
+    | None -> false
+
+  let rec remove_with t k cond : 'v option =
+    let h = hash_of k in
+    match find_node t h with
+    | None -> None
+    | Some node -> (
+        let bindings = Atomic.get node.bindings in
+        match List.assoc_opt k bindings with
+        | None ->
+            if bindings = [] then begin
+              mark_node t node;
+              remove_with t k cond
+            end
+            else None
+        | Some prev when not (cond prev) -> Some prev
+        | Some prev ->
+            let nb = List.remove_assoc k bindings in
+            if Atomic.compare_and_set node.bindings bindings nb then begin
+              if nb = [] then mark_node t node;
+              Some prev
+            end
+            else remove_with t k cond)
+
+  let remove t k = remove_with t k (fun _ -> true)
+
+  let remove_if t k ~expected =
+    match remove_with t k (fun v -> v == expected) with
+    | Some p -> p == expected
+    | None -> false
+
+  (* ------------------------- aggregate queries ---------------------- *)
+
+  let fold f acc t =
+    let rec go acc (node : 'v node) =
+      if is_tail t node then acc
+      else begin
+        let link = Atomic.get node.next.(0) in
+        let acc =
+          if link.marked then acc
+          else
+            List.fold_left (fun acc (k, v) -> f acc k v) acc (Atomic.get node.bindings)
+        in
+        go acc link.succ
+      end
+    in
+    go acc (Atomic.get t.head.next.(0)).succ
+
+  let iter f t = fold (fun () k v -> f k v) () t
+  let size t = fold (fun n _ _ -> n + 1) 0 t
+  let is_empty t = size t = 0
+  let to_list t = fold (fun acc k v -> (k, v) :: acc) [] t
+
+  let height_histogram t =
+    let hist = Array.make max_height 0 in
+    let rec go (node : 'v node) =
+      if not (is_tail t node) then begin
+        let link = Atomic.get node.next.(0) in
+        if not link.marked then begin
+          let h = Array.length node.next in
+          hist.(h - 1) <- hist.(h - 1) + 1
+        end;
+        go link.succ
+      end
+    in
+    go (Atomic.get t.head.next.(0)).succ;
+    hist
+
+  (* Structural invariants, checked during quiescence. *)
+  let validate t =
+    let errors = ref [] in
+    let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+    (* Level 0: strictly ascending hashes, unmarked, sane bindings. *)
+    let level0 = Hashtbl.create 64 in
+    let rec walk0 (node : 'v node) last =
+      if not (is_tail t node) then begin
+        let link = Atomic.get node.next.(0) in
+        if link.marked then err "marked node reachable at level 0 during quiescence";
+        if node.nhash <= last then err "level-0 hashes not strictly ascending";
+        let h = Array.length node.next in
+        if h < 1 || h > max_height then err "tower height %d out of bounds" h;
+        (match Atomic.get node.bindings with
+        | [] -> err "reachable node with empty bindings"
+        | entries ->
+            List.iter
+              (fun (k, _) ->
+                if hash_of k <> node.nhash then err "binding hash mismatch")
+              entries);
+        Hashtbl.replace level0 node.nhash ();
+        walk0 link.succ node.nhash
+      end
+    in
+    walk0 (Atomic.get t.head.next.(0)).succ (-1);
+    (* Upper levels: sorted sublists of level 0. *)
+    for level = 1 to max_height - 1 do
+      let rec walk (node : 'v node) last =
+        if not (is_tail t node) then begin
+          if node.nhash <= last then err "level-%d hashes not ascending" level;
+          if not (Hashtbl.mem level0 node.nhash) then
+            err "level-%d node missing from level 0" level;
+          if Array.length node.next <= level then
+            err "node reachable above its tower height"
+          else walk (Atomic.get node.next.(level)).succ node.nhash
+        end
+      in
+      walk (Atomic.get t.head.next.(level)).succ (-1)
+    done;
+    match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))
+
+  (* Word-cost model (DESIGN.md): node = 4 + tower (1 + h link boxes of
+     2 + link records of 3) + bindings atomic 2 + list cells 3 each. *)
+  let footprint_words t =
+    let node_words (node : 'v node) =
+      let h = Array.length node.next in
+      4 + 1 + (h * 5) + 2 + (3 * List.length (Atomic.get node.bindings))
+    in
+    let rec go acc (node : 'v node) =
+      if is_tail t node then acc + node_words node
+      else go (acc + node_words node) (Atomic.get node.next.(0)).succ
+    in
+    go 0 t.head
+end

@@ -1,0 +1,28 @@
+(** Lock-free concurrent skip list, the [ConcurrentSkipListMap]
+    baseline from the paper's evaluation.
+
+    The algorithm is the Herlihy–Shavit / Fraser lock-free skip list:
+    towers of forward links with logical deletion marks, lazy physical
+    unlinking during [find], and wait-free read traversal.  OCaml has
+    no pointer tagging, so each (pointer, mark) pair is a small
+    immutable record swapped with CAS — the extra allocation on unlink
+    mirrors what a JVM implementation pays for its marker nodes.
+
+    Nodes are ordered by the key's 32-bit mixed hash; all bindings that
+    share one hash live in a single node's binding list (the same
+    convention the tries use for full collisions), so only hash
+    equality and key equality are required of keys. *)
+
+module Make (H : Ct_util.Hashing.HASHABLE) : sig
+  include Ct_util.Map_intf.CONCURRENT_MAP with type key = H.t
+
+  val height_histogram : 'v t -> int array
+  (** [height_histogram t].(l) counts towers of height [l+1]; the
+      geometric decay of tower heights is checked by the tests. *)
+
+  val validate : 'v t -> (unit, string) result
+  (** Structural invariants of a quiescent list: level-0 strictly
+      sorted by hash with no marked links, every upper-level list a
+      sublist of level 0, tower heights within bounds, binding lists
+      non-empty and hash-consistent. *)
+end

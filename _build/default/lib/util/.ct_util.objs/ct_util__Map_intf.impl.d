@@ -1,0 +1,1 @@
+lib/util/map_intf.ml: Hashing

@@ -1,0 +1,24 @@
+type t = {
+  min_wait : int;
+  max_wait : int;
+  mutable wait : int;
+  rng : Rng.t;
+}
+
+let create ?(min_wait = 16) ?(max_wait = 4096) () =
+  if min_wait <= 0 || max_wait < min_wait then invalid_arg "Backoff.create";
+  { min_wait; max_wait; wait = min_wait; rng = Rng.create 0x2545F4914F6CDD1D }
+
+(* A data dependency the compiler cannot remove, so the loop really spins. *)
+let consume = ref 0
+
+let once t =
+  let n = Rng.next_int t.rng t.wait in
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := !acc + i
+  done;
+  consume := !acc;
+  if t.wait < t.max_wait then t.wait <- t.wait * 2
+
+let reset t = t.wait <- t.min_wait

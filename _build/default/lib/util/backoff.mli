@@ -1,0 +1,19 @@
+(** Exponential backoff for CAS retry loops.
+
+    The paper's operations retry immediately; under heavy contention a
+    bounded randomized backoff reduces cache-line ping-pong without
+    affecting lock-freedom (some thread always makes progress).  Used
+    only by the benchmark drivers and the striped table — the trie
+    algorithms themselves retry bare, as in the paper. *)
+
+type t
+
+val create : ?min_wait:int -> ?max_wait:int -> unit -> t
+(** [create ()] makes a backoff controller; [min_wait]/[max_wait] are
+    spin iteration counts (defaults 16 and 4096). *)
+
+val once : t -> unit
+(** [once t] spins for the current window and doubles it (capped). *)
+
+val reset : t -> unit
+(** [reset t] shrinks the window back to [min_wait]. *)

@@ -1,0 +1,48 @@
+let count_trailing_zeros x =
+  if x = 0 then 63
+  else begin
+    let x = ref x and n = ref 0 in
+    if !x land 0xFFFFFFFF = 0 then begin n := !n + 32; x := !x lsr 32 end;
+    if !x land 0xFFFF = 0 then begin n := !n + 16; x := !x lsr 16 end;
+    if !x land 0xFF = 0 then begin n := !n + 8; x := !x lsr 8 end;
+    if !x land 0xF = 0 then begin n := !n + 4; x := !x lsr 4 end;
+    if !x land 0x3 = 0 then begin n := !n + 2; x := !x lsr 2 end;
+    if !x land 0x1 = 0 then n := !n + 1;
+    !n
+  end
+
+let count_leading_zeros32 x =
+  assert (x >= 0 && x <= 0xFFFFFFFF);
+  if x = 0 then 32
+  else begin
+    let x = ref x and n = ref 0 in
+    if !x land 0xFFFF0000 = 0 then begin n := !n + 16; x := !x lsl 16 end;
+    if !x land 0xFF000000 = 0 then begin n := !n + 8; x := !x lsl 8 end;
+    if !x land 0xF0000000 = 0 then begin n := !n + 4; x := !x lsl 4 end;
+    if !x land 0xC0000000 = 0 then begin n := !n + 2; x := !x lsl 2 end;
+    if !x land 0x80000000 = 0 then n := !n + 1;
+    !n
+  end
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  go x 0
+
+let is_power_of_two x = x > 0 && x land (x - 1) = 0
+
+let next_power_of_two x =
+  let rec go p = if p >= x then p else go (p lsl 1) in
+  go 1
+
+let log2_exact x =
+  if not (is_power_of_two x) then invalid_arg "Bits.log2_exact";
+  count_trailing_zeros x
+
+let reverse_bits32 x =
+  let x = ((x land 0x55555555) lsl 1) lor ((x lsr 1) land 0x55555555) in
+  let x = ((x land 0x33333333) lsl 2) lor ((x lsr 2) land 0x33333333) in
+  let x = ((x land 0x0F0F0F0F) lsl 4) lor ((x lsr 4) land 0x0F0F0F0F) in
+  let x = ((x land 0x00FF00FF) lsl 8) lor ((x lsr 8) land 0x00FF00FF) in
+  ((x land 0x0000FFFF) lsl 16) lor ((x lsr 16) land 0x0000FFFF)
+
+let extract ~hash ~level ~width = (hash lsr level) land (width - 1)

@@ -1,0 +1,38 @@
+(** Bit-manipulation helpers shared by the trie implementations.
+
+    All functions operate on OCaml's native 63-bit integers but are
+    primarily used on values already masked to 32 bits (the hash width
+    of the tries, see {!Hashing}). *)
+
+val count_trailing_zeros : int -> int
+(** [count_trailing_zeros x] is the number of consecutive zero bits at
+    the least-significant end of [x].  [count_trailing_zeros 0] is 63
+    (every representable bit is zero). *)
+
+val count_leading_zeros32 : int -> int
+(** [count_leading_zeros32 x] counts leading zeros of [x] viewed as an
+    unsigned 32-bit value.  [x] must fit in 32 bits. *)
+
+val popcount : int -> int
+(** [popcount x] is the number of set bits in [x]. *)
+
+val is_power_of_two : int -> bool
+(** [is_power_of_two x] holds iff [x] is a positive power of two. *)
+
+val next_power_of_two : int -> int
+(** [next_power_of_two x] is the smallest power of two [>= max 1 x]. *)
+
+val log2_exact : int -> int
+(** [log2_exact x] is [n] such that [x = 1 lsl n].
+    @raise Invalid_argument if [x] is not a positive power of two. *)
+
+val reverse_bits32 : int -> int
+(** [reverse_bits32 x] reverses the lowest 32 bits of [x] (bit 0 swaps
+    with bit 31, and so on).  Used by the split-ordered hash map. *)
+
+val extract : hash:int -> level:int -> width:int -> int
+(** [extract ~hash ~level ~width] selects [width] bits of [hash]
+    starting at bit [level]:  [(hash lsr level) land (width' - 1)]
+    where [width'] is the number of slots, i.e. [width] must be the
+    slot count (a power of two), matching the paper's
+    [(h >>> lev) & (cur.length - 1)]. *)

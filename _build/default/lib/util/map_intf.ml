@@ -1,0 +1,83 @@
+(** Shared signature implemented by all four concurrent maps
+    (cache-trie, Ctrie, hash map, skip list), so that the benchmark
+    harness, linearizability checker and cross-structure tests are
+    generic over the structure under test.
+
+    Semantics follow the JDK [ConcurrentMap] contract the paper
+    benchmarks against; every operation is atomic (linearizable) with
+    the exception of the aggregate queries ([size], [fold], [iter],
+    [to_list]), which are weakly consistent: they observe every key
+    present for the whole duration of the call and never observe a key
+    absent for the whole duration. *)
+
+module type CONCURRENT_MAP = sig
+  type key
+
+  type 'v t
+
+  val name : string
+  (** Short structure name used in benchmark reports ("cachetrie",
+      "ctrie", "chm", "skiplist", ...). *)
+
+  val create : unit -> 'v t
+  (** [create ()] makes an empty map. *)
+
+  val lookup : 'v t -> key -> 'v option
+  (** [lookup t k] is the current binding of [k], if any. *)
+
+  val mem : 'v t -> key -> bool
+
+  val insert : 'v t -> key -> 'v -> unit
+  (** [insert t k v] binds [k] to [v], replacing any previous
+      binding (JDK [put] without the return value). *)
+
+  val add : 'v t -> key -> 'v -> 'v option
+  (** [add t k v] binds [k] to [v] and returns the previous binding
+      (JDK [put]). *)
+
+  val put_if_absent : 'v t -> key -> 'v -> 'v option
+  (** [put_if_absent t k v] binds [k] to [v] only if unbound; returns
+      the existing binding otherwise (JDK [putIfAbsent]). *)
+
+  val replace : 'v t -> key -> 'v -> 'v option
+  (** [replace t k v] rebinds [k] only if already bound; returns the
+      previous binding (JDK [replace]). *)
+
+  val replace_if : 'v t -> key -> expected:'v -> 'v -> bool
+  (** [replace_if t k ~expected v] atomically rebinds [k] to [v] iff
+      its current value is physically equal to [expected] — the JDK
+      [replace(key, old, new)], i.e. a compare-and-swap on the
+      binding.  For immediate values such as [int], physical equality
+      coincides with structural equality. *)
+
+  val remove : 'v t -> key -> 'v option
+  (** [remove t k] removes and returns the binding of [k], if any. *)
+
+  val remove_if : 'v t -> key -> expected:'v -> bool
+  (** [remove_if t k ~expected] atomically removes [k] iff its current
+      value is physically equal to [expected] — the JDK
+      [remove(key, value)]. *)
+
+  val size : 'v t -> int
+  (** Number of bindings; weakly consistent, O(n). *)
+
+  val is_empty : 'v t -> bool
+
+  val fold : ('a -> key -> 'v -> 'a) -> 'a -> 'v t -> 'a
+  (** Weakly consistent fold over the bindings. *)
+
+  val iter : (key -> 'v -> unit) -> 'v t -> unit
+
+  val to_list : 'v t -> (key * 'v) list
+  (** Bindings in unspecified order. *)
+
+  val footprint_words : 'v t -> int
+  (** Structural memory footprint estimate in machine words, using the
+      word-cost model documented in DESIGN.md (headers included, keys
+      and values counted as one pointer word each).  Single-threaded
+      use only. *)
+end
+
+(** A concurrent map construction parameterized by the key type. *)
+module type MAKER = functor (H : Hashing.HASHABLE) ->
+  CONCURRENT_MAP with type key = H.t

@@ -1,0 +1,41 @@
+(* SplitMix64 implemented over Int64 (native ints are 63-bit, the
+   constants need all 64). Results are exposed as non-negative OCaml
+   ints by dropping the sign bit. *)
+
+type t = { mutable state : int64 }
+
+let gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let mix64_i64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_i64 t =
+  t.state <- Int64.add t.state gamma;
+  mix64_i64 t.state
+
+let next t = Int64.to_int (next_i64 t) land max_int
+
+let split t = { state = next_i64 t }
+
+let next_int t bound =
+  if bound <= 0 then invalid_arg "Rng.next_int";
+  (* Rejection-free modulo is fine here: bound is tiny vs 2^62. *)
+  next t mod bound
+
+let next_int32 t = Int64.to_int (Int64.logand (next_i64 t) 0xFFFFFFFFL)
+
+let next_float t = float_of_int (next t) *. (1.0 /. 4611686018427387904.0)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = next_int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let mix64 x = Int64.to_int (mix64_i64 (Int64.of_int x)) land max_int

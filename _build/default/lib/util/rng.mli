@@ -1,0 +1,34 @@
+(** SplitMix64 pseudo-random number generator.
+
+    A small, fast, splittable PRNG (Steele, Lea & Flood, OOPSLA'14) used
+    for workload generation, skip-list level choice and depth sampling.
+    Each domain owns its own state, so no synchronization is needed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from [seed]. *)
+
+val split : t -> t
+(** [split t] derives an independent generator, advancing [t]. *)
+
+val next : t -> int
+(** [next t] returns the next 64-bit pseudo-random value truncated to
+    OCaml's 63-bit [int] (non-negative). *)
+
+val next_int : t -> int -> int
+(** [next_int t bound] is uniform in [\[0, bound)].  [bound > 0]. *)
+
+val next_int32 : t -> int
+(** [next_int32 t] is uniform over the 32-bit range [\[0, 2^32)]. *)
+
+val next_float : t -> float
+(** [next_float t] is uniform in [\[0, 1)]. *)
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle t a] permutes [a] in place (Fisher–Yates). *)
+
+val mix64 : int -> int
+(** [mix64 x] is the stateless SplitMix64 finalizer: a high-quality
+    avalanche mix of [x], truncated to 63 bits. *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Cachetrie Ct_util List Printf String

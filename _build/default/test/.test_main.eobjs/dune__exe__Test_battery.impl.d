@@ -1,0 +1,1 @@
+test/test_battery.ml: Alcotest Array Atomic Cachetrie Chm Ct_util Ctrie Ctrie_snap Domain Hamts Hashing Hashtbl List Map_intf Printf QCheck QCheck_alcotest Skiplist

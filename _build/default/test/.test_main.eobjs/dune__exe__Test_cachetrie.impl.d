@@ -1,0 +1,1 @@
+test/test_cachetrie.ml: Alcotest Analysis Array Cachetrie Ct_util Hashing List Printf Seq

@@ -1,0 +1,1 @@
+test/test_cachetrie_concurrent.ml: Alcotest Array Atomic Cachetrie Ct_util Domain Hashing Hashtbl List Printf Rng

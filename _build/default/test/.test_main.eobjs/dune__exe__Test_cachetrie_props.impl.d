@@ -1,0 +1,1 @@
+test/test_cachetrie_props.ml: Array Cachetrie Ct_util Fun Hashing Hashtbl List Map_intf Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_chm.ml: Alcotest Atomic Bits Chm Ct_util Domain Hashing List Printf QCheck QCheck_alcotest

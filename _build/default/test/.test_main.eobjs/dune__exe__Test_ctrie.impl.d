@@ -1,0 +1,1 @@
+test/test_ctrie.ml: Alcotest Array Atomic Ct_util Ctrie Domain Hashing List QCheck QCheck_alcotest

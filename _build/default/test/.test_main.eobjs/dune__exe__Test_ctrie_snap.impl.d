@@ -1,0 +1,1 @@
+test/test_ctrie_snap.ml: Alcotest Array Atomic Ct_util Ctrie_snap Domain Fun Hashing Hashtbl List Rng

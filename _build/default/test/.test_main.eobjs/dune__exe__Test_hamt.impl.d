@@ -1,0 +1,1 @@
+test/test_hamt.ml: Alcotest Array Ct_util Hamts Hashing Int List Map Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Atomic Cachetrie Ct_util Domain Fun Harness List String

@@ -1,0 +1,1 @@
+test/test_lincheck.ml: Alcotest Cachetrie Chm Ct_util Ctrie Ctrie_snap Hamts Lincheck List Printf Skiplist

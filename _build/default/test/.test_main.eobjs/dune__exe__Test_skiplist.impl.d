@@ -1,0 +1,1 @@
+test/test_skiplist.ml: Alcotest Array Atomic Ct_util Domain Hashing List QCheck QCheck_alcotest Skiplist

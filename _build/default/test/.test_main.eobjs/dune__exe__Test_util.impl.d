@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Backoff Bits Ct_util Fun Hashing List Printf Rng Stats

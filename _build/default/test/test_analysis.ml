@@ -1,0 +1,134 @@
+(* Tests for the Section 4.1 theory: Theorem 4.1's distribution,
+   Theorem 4.2's interval, Theorem 4.3's expected depth, and the
+   agreement between the analytic distribution and real tries. *)
+
+module DT = Analysis.Depth_theory
+module Hist = Analysis.Histogram
+module CT = Cachetrie.Make (Ct_util.Hashing.Int_key)
+
+let check_bool = Alcotest.(check bool)
+let feq eps msg a b = Alcotest.(check (float eps)) msg a b
+
+let test_p_is_distribution () =
+  (* p(.,n) sums to ~1 for a range of n. *)
+  List.iter
+    (fun n ->
+      let total = ref 0.0 in
+      for d = 0 to 20 do
+        let p = DT.p d n in
+        check_bool "p >= 0" true (p >= 0.0);
+        total := !total +. p
+      done;
+      feq 1e-6 (Printf.sprintf "sums to 1 (n=%d)" n) 1.0 !total)
+    [ 1; 10; 1_000; 100_000; 10_000_000 ]
+
+let test_p_small_cases () =
+  (* n = 1 (two keys total): with probability 15/16 the other key
+     differs in the first nibble, so both leaves hang off the root
+     (the paper's depth 0, trie level 4). *)
+  feq 1e-12 "two keys split at root" (15.0 /. 16.0) (DT.p 0 1);
+  (* ... and collide through exactly the first nibble w.p. 15/256. *)
+  feq 1e-12 "one-nibble collision" (15.0 /. 256.0) (DT.p 1 1);
+  (* The formula is degenerate for n = 0 (it describes n+1 >= 2 keys). *)
+  feq 1e-12 "n=0 degenerate" 0.0 (DT.p 0 0)
+
+let test_expected_depth_log16 () =
+  (* Theorem 4.3: E[d](n) = log16 n + O(1). *)
+  List.iter
+    (fun n ->
+      let expected = DT.expected_depth n in
+      let log16 = log (float_of_int n) /. log 16.0 in
+      check_bool
+        (Printf.sprintf "E[d]=%.2f vs log16=%.2f (n=%d)" expected log16 n)
+        true
+        (abs_float (expected -. log16) < 1.5))
+    [ 1_000; 100_000; 1_000_000; 100_000_000 ]
+
+let test_mu_interval () =
+  (* Theorem 4.2: for large n, mu(n) within (0.8745, 0.9746). *)
+  let lo, hi = DT.theorem42_interval in
+  List.iter
+    (fun n ->
+      let m = DT.mu n in
+      check_bool
+        (Printf.sprintf "mu(%d)=%.4f in interval" n m)
+        true
+        (m >= lo -. 0.002 && m <= hi +. 0.002))
+    [ 10_000; 100_000; 1_000_000; 10_000_000; 100_000_000 ]
+
+let test_best_pair_tracks_log () =
+  List.iter
+    (fun (n, expected_d) ->
+      Alcotest.(check int)
+        (Printf.sprintf "best pair for n=%d" n)
+        expected_d (DT.best_pair n))
+    [ (100, 1); (10_000, 3); (1_000_000, 4) ]
+
+let test_distribution_array () =
+  let d = DT.distribution 100_000 ~max_depth:8 in
+  Alcotest.(check int) "length" 9 (Array.length d);
+  feq 1e-4 "sums to ~1" 1.0 (Array.fold_left ( +. ) 0.0 d);
+  let dl = DT.distribution_levels 100_000 ~max_depth:9 in
+  feq 1e-12 "level 0 empty" 0.0 dl.(0);
+  feq 1e-12 "levels shifted" (DT.p 0 100_000) dl.(1)
+
+let test_empirical_matches_theory () =
+  (* A real cache-trie with mixed hashes matches Theorem 4.1: compare
+     per-depth fractions within a small absolute tolerance. *)
+  let n = 100_000 in
+  let t = CT.create () in
+  for i = 0 to n - 1 do
+    CT.insert t i i
+  done;
+  let observed = Hist.normalize (CT.depth_histogram t) in
+  let expected = DT.distribution_levels n ~max_depth:(Array.length observed - 1) in
+  Array.iteri
+    (fun d obs ->
+      let exp_p = expected.(d) in
+      check_bool
+        (Printf.sprintf "depth %d: obs %.4f vs theory %.4f" d obs exp_p)
+        true
+        (abs_float (obs -. exp_p) < 0.02))
+    observed
+
+let test_top_pair_of_real_trie () =
+  let n = 200_000 in
+  let t = CT.create () in
+  for i = 0 to n - 1 do
+    CT.insert t i i
+  done;
+  let _, frac = Hist.top_pair_fraction (CT.depth_histogram t) in
+  check_bool
+    (Printf.sprintf "adjacent pair holds %.3f" frac)
+    true (frac > 0.87)
+
+let test_chi_square () =
+  let expected = [| 0.5; 0.5 |] in
+  Alcotest.(check (float 1e-9)) "perfect fit" 0.0
+    (DT.chi_square_distance expected [| 100; 100 |]);
+  check_bool "bad fit is large" true
+    (DT.chi_square_distance expected [| 200; 0 |] > 100.0)
+
+let test_histogram_render () =
+  let s = Hist.render ~label:"size 42" [| 0; 10; 30; 2 |] in
+  check_bool "has label" true
+    (String.length s > 0
+    && String.sub s 0 13 = ":: size 42 ::");
+  check_bool "levels are multiples of 4" true
+    (let lines = String.split_on_char '\n' s in
+     List.exists (fun l -> String.length l > 3 && String.trim l <> ""
+                           && String.sub (String.trim l) 0 2 = "8:") lines)
+
+let suite =
+  [
+    ("p_is_distribution", `Quick, test_p_is_distribution);
+    ("p_small_cases", `Quick, test_p_small_cases);
+    ("expected_depth_log16", `Quick, test_expected_depth_log16);
+    ("mu_interval_thm42", `Quick, test_mu_interval);
+    ("best_pair_tracks_log", `Quick, test_best_pair_tracks_log);
+    ("distribution_array", `Quick, test_distribution_array);
+    ("empirical_matches_theory", `Slow, test_empirical_matches_theory);
+    ("top_pair_of_real_trie", `Slow, test_top_pair_of_real_trie);
+    ("chi_square", `Quick, test_chi_square);
+    ("histogram_render", `Quick, test_histogram_render);
+  ]

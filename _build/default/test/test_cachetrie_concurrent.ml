@@ -1,0 +1,312 @@
+(* Multi-domain stress tests for the cache-trie. *)
+
+open Ct_util
+module CT = Cachetrie.Make (Hashing.Int_key)
+
+let n_domains = 4
+
+(* Spin barrier so domains start their critical section together. *)
+let make_barrier n =
+  let waiting = Atomic.make 0 in
+  fun () ->
+    Atomic.incr waiting;
+    while Atomic.get waiting < n do
+      Domain.cpu_relax ()
+    done
+
+let run_domains n f =
+  let barrier = make_barrier n in
+  let domains =
+    List.init n (fun i -> Domain.spawn (fun () -> barrier (); f i))
+  in
+  List.map Domain.join domains
+
+let test_disjoint_inserts () =
+  let t = CT.create () in
+  let per = 20_000 in
+  ignore
+    (run_domains n_domains (fun d ->
+         for i = 0 to per - 1 do
+           CT.insert t ((d * per) + i) d
+         done));
+  Alcotest.(check int) "all present" (n_domains * per) (CT.size t);
+  for d = 0 to n_domains - 1 do
+    for i = 0 to per - 1 do
+      let k = (d * per) + i in
+      if CT.lookup t k <> Some d then Alcotest.failf "lost key %d" k
+    done
+  done;
+  match CT.validate t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invariant: %s" e
+
+let test_overlapping_inserts () =
+  (* All domains insert the same keys (paper's high-contention bench):
+     every key must end up present exactly once, value from some domain. *)
+  let t = CT.create () in
+  let n = 30_000 in
+  ignore
+    (run_domains n_domains (fun d ->
+         for i = 0 to n - 1 do
+           CT.insert t i d
+         done));
+  Alcotest.(check int) "exactly n keys" n (CT.size t);
+  for i = 0 to n - 1 do
+    match CT.lookup t i with
+    | Some v when v >= 0 && v < n_domains -> ()
+    | Some v -> Alcotest.failf "key %d has impossible value %d" i v
+    | None -> Alcotest.failf "key %d missing" i
+  done;
+  match CT.validate t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invariant: %s" e
+
+let test_concurrent_insert_lookup () =
+  (* Writers fill disjoint ranges while readers continuously scan; a
+     reader must never see a key disappear once observed. *)
+  let t = CT.create () in
+  let per = 15_000 in
+  let writers = 2 and readers = 2 in
+  let results =
+    run_domains (writers + readers) (fun d ->
+        if d < writers then begin
+          for i = 0 to per - 1 do
+            CT.insert t ((d * per) + i) i
+          done;
+          0
+        end
+        else begin
+          let regressions = ref 0 in
+          let seen = Hashtbl.create 64 in
+          for _pass = 1 to 20 do
+            for k = 0 to (writers * per) - 1 do
+              match CT.lookup t k with
+              | Some _ -> Hashtbl.replace seen k true
+              | None -> if Hashtbl.mem seen k then incr regressions
+            done
+          done;
+          !regressions
+        end)
+  in
+  List.iteri
+    (fun i r -> Alcotest.(check int) (Printf.sprintf "no regressions (domain %d)" i) 0 r)
+    results;
+  Alcotest.(check int) "final size" (writers * per) (CT.size t)
+
+let test_concurrent_insert_remove () =
+  (* Each domain owns a key range and repeatedly inserts/removes it;
+     at the end everything must be gone and the trie valid. *)
+  let t = CT.create () in
+  let per = 4_000 in
+  ignore
+    (run_domains n_domains (fun d ->
+         let base = d * per in
+         for round = 1 to 5 do
+           for i = 0 to per - 1 do
+             CT.insert t (base + i) round
+           done;
+           for i = 0 to per - 1 do
+             if CT.remove t (base + i) = None then
+               failwith (Printf.sprintf "domain %d lost its own key %d" d (base + i))
+           done
+         done));
+  Alcotest.(check int) "emptied" 0 (CT.size t);
+  match CT.validate t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invariant: %s" e
+
+let test_contended_single_key () =
+  (* Hammer one key from all domains with mixed operations; the final
+     state must be one of the possible outcomes and lookups must never
+     see a value nobody wrote. *)
+  let t = CT.create () in
+  let iters = 20_000 in
+  ignore
+    (run_domains n_domains (fun d ->
+         for i = 1 to iters do
+           if i land 3 = 0 then ignore (CT.remove t 42)
+           else CT.insert t 42 ((d * iters) + i)
+         done));
+  (match CT.lookup t 42 with
+  | None -> ()
+  | Some v ->
+      Alcotest.(check bool) "value was written by someone" true
+        (v >= 1 && v <= n_domains * iters));
+  match CT.validate t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invariant: %s" e
+
+let test_contended_collisions () =
+  (* All keys collide into LNodes; concurrent churn on the list. *)
+  let module C = Cachetrie.Make (Hashing.Constant_hash_int) in
+  let t = C.create () in
+  ignore
+    (run_domains n_domains (fun d ->
+         for round = 1 to 200 do
+           for k = 0 to 15 do
+             C.insert t k ((d * 1000) + round);
+             if (k + d) land 1 = 0 then ignore (C.remove t k);
+             ignore (C.lookup t k)
+           done
+         done));
+  (* Converge: reinsert all and verify. *)
+  for k = 0 to 15 do
+    C.insert t k k
+  done;
+  for k = 0 to 15 do
+    Alcotest.(check (option int)) "collider present" (Some k) (C.lookup t k)
+  done;
+  Alcotest.(check int) "16 colliders" 16 (C.size t)
+
+let test_put_if_absent_unique_winner () =
+  (* Exactly one domain must win each put_if_absent. *)
+  let t = CT.create () in
+  let n = 10_000 in
+  let winners = Array.init n_domains (fun _ -> ref 0) in
+  ignore
+    (run_domains n_domains (fun d ->
+         for i = 0 to n - 1 do
+           if CT.put_if_absent t i d = None then incr winners.(d)
+         done));
+  let total = Array.fold_left (fun acc r -> acc + !r) 0 winners in
+  Alcotest.(check int) "each key won exactly once" n total;
+  for i = 0 to n - 1 do
+    match CT.lookup t i with
+    | Some v when v >= 0 && v < n_domains -> ()
+    | _ -> Alcotest.failf "bad winner for %d" i
+  done
+
+let test_concurrent_with_fast_paths () =
+  (* Force a cache (low trigger), then run mixed traffic through it. *)
+  let config =
+    {
+      Cachetrie.default_config with
+      cache_trigger_level = 4;
+      min_cache_level = 4;
+      max_misses = 32;
+      sample_paths = 8;
+    }
+  in
+  let t = CT.create_with ~config () in
+  for i = 0 to 9_999 do
+    CT.insert t i i
+  done;
+  for i = 0 to 9_999 do
+    ignore (CT.lookup t i)
+  done;
+  ignore
+    (run_domains n_domains (fun d ->
+         for round = 1 to 3 do
+           for i = 0 to 9_999 do
+             match (i + d + round) land 3 with
+             | 0 -> CT.insert t i (i + round)
+             | 1 -> ignore (CT.lookup t i)
+             | 2 -> ignore (CT.remove t i)
+             | _ -> ignore (CT.put_if_absent t i i)
+           done
+         done));
+  (* Quiesce and verify the map still answers consistently. *)
+  for i = 0 to 9_999 do
+    CT.insert t i (-i)
+  done;
+  for i = 0 to 9_999 do
+    if CT.lookup t i <> Some (-i) then Alcotest.failf "fast-path corruption at %d" i
+  done;
+  match CT.validate t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invariant: %s" e
+
+let test_linear_counter_increments () =
+  (* Lost-update detection: domains CAS-increment counters stored in
+     the map via put/replace loops; the sum must be exact. *)
+  let t = CT.create () in
+  let keys = 64 and per_domain = 5_000 in
+  for k = 0 to keys - 1 do
+    CT.insert t k 0
+  done;
+  ignore
+    (run_domains n_domains (fun d ->
+         let rng = Rng.create (d + 1) in
+         for _ = 1 to per_domain do
+           let k = Rng.next_int rng keys in
+           let rec bump () =
+             match CT.lookup t k with
+             | Some v -> if not (CT.replace_if t k ~expected:v (v + 1)) then bump ()
+             | None -> bump ()
+           in
+           bump ()
+         done));
+  let total = CT.fold (fun acc _ v -> acc + v) 0 t in
+  Alcotest.(check int) "no lost updates" (n_domains * per_domain) total
+
+module CT_bad = Cachetrie.Make (Hashing.Bad_hash_int)
+
+let test_deep_chain_churn () =
+  (* Identity hashes force long narrow-node chains; concurrent insert/
+     remove churn exercises expansion and compression racing each
+     other on the same paths. *)
+  let t = CT_bad.create () in
+  ignore
+    (run_domains n_domains (fun d ->
+         for round = 1 to 10 do
+           for i = 0 to 399 do
+             let k = i * 1024 in
+             match (i + d + round) land 3 with
+             | 0 | 1 -> CT_bad.insert t k (d + i)
+             | 2 -> ignore (CT_bad.remove t k)
+             | _ -> ignore (CT_bad.lookup t k)
+           done
+         done));
+  (* Converge to a known state and verify. *)
+  for i = 0 to 399 do
+    CT_bad.insert t (i * 1024) i
+  done;
+  for i = 0 to 399 do
+    if CT_bad.lookup t (i * 1024) <> Some i then
+      Alcotest.failf "deep churn lost %d" (i * 1024)
+  done;
+  Alcotest.(check int) "size" 400 (CT_bad.size t);
+  (match CT_bad.validate t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "deep churn invariant: %s" e);
+  let s = CT_bad.stats t in
+  Alcotest.(check bool) "expansions under churn" true (s.Cachetrie.expansions > 0);
+  Alcotest.(check bool) "compressions under churn" true (s.Cachetrie.compressions > 0)
+
+let test_removal_storm_then_empty () =
+  (* All domains remove overlapping ranges so most removals race;
+     afterwards the trie must be fully empty and structurally clean. *)
+  let t = CT.create () in
+  let n = 20_000 in
+  for i = 0 to n - 1 do
+    CT.insert t i i
+  done;
+  let removed_counts =
+    run_domains n_domains (fun _d ->
+        let mine = ref 0 in
+        for i = 0 to n - 1 do
+          if CT.remove t i <> None then incr mine
+        done;
+        !mine)
+  in
+  Alcotest.(check int) "each key removed exactly once" n
+    (List.fold_left ( + ) 0 removed_counts);
+  Alcotest.(check int) "empty" 0 (CT.size t);
+  match CT.validate t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "post-storm invariant: %s" e
+
+let suite =
+  [
+    ("deep_chain_churn", `Slow, test_deep_chain_churn);
+    ("removal_storm_then_empty", `Slow, test_removal_storm_then_empty);
+    ("disjoint_inserts", `Slow, test_disjoint_inserts);
+    ("overlapping_inserts", `Slow, test_overlapping_inserts);
+    ("concurrent_insert_lookup", `Slow, test_concurrent_insert_lookup);
+    ("concurrent_insert_remove", `Slow, test_concurrent_insert_remove);
+    ("contended_single_key", `Slow, test_contended_single_key);
+    ("contended_collisions", `Slow, test_contended_collisions);
+    ("put_if_absent_unique_winner", `Slow, test_put_if_absent_unique_winner);
+    ("concurrent_with_fast_paths", `Slow, test_concurrent_with_fast_paths);
+    ("linear_counter_increments", `Slow, test_linear_counter_increments);
+  ]

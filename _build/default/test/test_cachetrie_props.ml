@@ -1,0 +1,169 @@
+(* Property-based tests: the cache-trie against a model (Hashtbl), and
+   structural invariants after arbitrary operation sequences. *)
+
+open Ct_util
+module CT = Cachetrie.Make (Hashing.Int_key)
+module CT_bad = Cachetrie.Make (Hashing.Bad_hash_int)
+
+(* An operation sequence over a small key universe, so that collisions,
+   overwrites and removals all occur. *)
+type op =
+  | Insert of int * int
+  | Remove of int
+  | Lookup of int
+  | Put_if_absent of int * int
+  | Replace of int * int
+
+let op_gen =
+  let open QCheck.Gen in
+  let key = int_bound 63 in
+  let value = int_bound 1000 in
+  frequency
+    [
+      (5, map2 (fun k v -> Insert (k, v)) key value);
+      (2, map (fun k -> Remove k) key);
+      (3, map (fun k -> Lookup k) key);
+      (1, map2 (fun k v -> Put_if_absent (k, v)) key value);
+      (1, map2 (fun k v -> Replace (k, v)) key value);
+    ]
+
+let show_op = function
+  | Insert (k, v) -> Printf.sprintf "Insert(%d,%d)" k v
+  | Remove k -> Printf.sprintf "Remove(%d)" k
+  | Lookup k -> Printf.sprintf "Lookup(%d)" k
+  | Put_if_absent (k, v) -> Printf.sprintf "PutIfAbsent(%d,%d)" k v
+  | Replace (k, v) -> Printf.sprintf "Replace(%d,%d)" k v
+
+let ops_arb = QCheck.make ~print:(fun l -> String.concat "; " (List.map show_op l))
+    QCheck.Gen.(list_size (int_bound 400) op_gen)
+
+(* Run an op sequence against both the map under test and a Hashtbl
+   model, checking agreement of every return value and the final
+   contents. *)
+let run_against_model (type k)
+    (module M : Map_intf.CONCURRENT_MAP with type key = k) (to_key : int -> k) ops =
+  let t = M.create () in
+  let model = Hashtbl.create 64 in
+  let expect_opt what a b =
+    if a <> b then
+      QCheck.Test.fail_reportf "%s: map %s, model %s" what
+        (match a with None -> "None" | Some v -> string_of_int v)
+        (match b with None -> "None" | Some v -> string_of_int v)
+  in
+  let apply = function
+    | Insert (k, v) ->
+        let prev_m = Hashtbl.find_opt model k in
+        let prev_t = M.add t (to_key k) v in
+        Hashtbl.replace model k v;
+        expect_opt "add prev" prev_t prev_m
+    | Remove k ->
+        let prev_m = Hashtbl.find_opt model k in
+        let prev_t = M.remove t (to_key k) in
+        Hashtbl.remove model k;
+        expect_opt "remove prev" prev_t prev_m
+    | Lookup k ->
+        expect_opt "lookup" (M.lookup t (to_key k)) (Hashtbl.find_opt model k)
+    | Put_if_absent (k, v) ->
+        let prev_m = Hashtbl.find_opt model k in
+        let prev_t = M.put_if_absent t (to_key k) v in
+        if prev_m = None then Hashtbl.replace model k v;
+        expect_opt "put_if_absent prev" prev_t prev_m
+    | Replace (k, v) ->
+        let prev_m = Hashtbl.find_opt model k in
+        let prev_t = M.replace t (to_key k) v in
+        if prev_m <> None then Hashtbl.replace model k v;
+        expect_opt "replace prev" prev_t prev_m
+  in
+  List.iter apply ops;
+  Hashtbl.iter
+    (fun k v ->
+      if M.lookup t (to_key k) <> Some v then
+        QCheck.Test.fail_reportf "final: key %d should map to %d" k v)
+    model;
+  if M.size t <> Hashtbl.length model then
+    QCheck.Test.fail_reportf "final: size %d vs model %d" (M.size t)
+      (Hashtbl.length model);
+  true
+
+let prop_model ops = run_against_model (module CT) Fun.id ops
+
+let prop_model_bad_hash ops =
+  (* Identity hashes: multiplying by 65536 pushes the collisions to
+     deep trie levels, exercising expansion and compression chains. *)
+  run_against_model (module CT_bad) (fun k -> k * 65536) ops
+
+let prop_invariants ops =
+  let t = CT.create () in
+  List.iter
+    (function
+      | Insert (k, v) -> CT.insert t k v
+      | Remove k -> ignore (CT.remove t k)
+      | Lookup k -> ignore (CT.lookup t k)
+      | Put_if_absent (k, v) -> ignore (CT.put_if_absent t k v)
+      | Replace (k, v) -> ignore (CT.replace t k v))
+    ops;
+  match CT.validate t with
+  | Ok () -> true
+  | Error e -> QCheck.Test.fail_reportf "invariant violated: %s" e
+
+let prop_histogram_counts ops =
+  let t = CT.create () in
+  let model = Hashtbl.create 64 in
+  List.iter
+    (function
+      | Insert (k, v) | Put_if_absent (k, v) | Replace (k, v) ->
+          CT.insert t k v;
+          Hashtbl.replace model k v
+      | Remove k ->
+          ignore (CT.remove t k);
+          Hashtbl.remove model k
+      | Lookup _ -> ())
+    ops;
+  Array.fold_left ( + ) 0 (CT.depth_histogram t) = Hashtbl.length model
+
+let prop_to_list_matches ops =
+  let t = CT.create () in
+  let model = Hashtbl.create 64 in
+  List.iter
+    (function
+      | Insert (k, v) ->
+          CT.insert t k v;
+          Hashtbl.replace model k v
+      | Remove k ->
+          ignore (CT.remove t k);
+          Hashtbl.remove model k
+      | _ -> ())
+    ops;
+  let trie_list = List.sort compare (CT.to_list t) in
+  let model_list =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) model [])
+  in
+  trie_list = model_list
+
+let prop_idempotent_double_insert kvs =
+  let t = CT.create () in
+  List.iter (fun (k, v) -> CT.insert t k v) kvs;
+  List.iter (fun (k, v) -> CT.insert t k v) kvs;
+  List.for_all (fun (k, _) -> CT.mem t k) kvs
+  && CT.size t = List.length (List.sort_uniq compare (List.map fst kvs))
+
+let count = 150
+
+let qtests =
+  [
+    QCheck.Test.make ~count ~name:"cachetrie agrees with Hashtbl model" ops_arb
+      prop_model;
+    QCheck.Test.make ~count:60 ~name:"cachetrie (pathological hash) agrees with model"
+      ops_arb prop_model_bad_hash;
+    QCheck.Test.make ~count ~name:"structural invariants hold after random ops" ops_arb
+      prop_invariants;
+    QCheck.Test.make ~count ~name:"depth histogram counts every key" ops_arb
+      prop_histogram_counts;
+    QCheck.Test.make ~count ~name:"to_list matches model bindings" ops_arb
+      prop_to_list_matches;
+    QCheck.Test.make ~count:100 ~name:"double insert is idempotent"
+      QCheck.(list (pair (int_bound 200) int))
+      prop_idempotent_double_insert;
+  ]
+
+let suite = List.map (QCheck_alcotest.to_alcotest ~long:false) qtests

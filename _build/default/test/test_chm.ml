@@ -1,0 +1,179 @@
+(* Hash-map-specific tests: bucket growth, split-order key layout, and
+   striped-table resize under concurrency. *)
+
+open Ct_util
+module SO = Chm.Split_ordered.Make (Hashing.Int_key)
+module ST = Chm.Striped.Make (Hashing.Int_key)
+
+let check_int = Alcotest.(check int)
+let check_opt = Alcotest.(check (option int))
+let check_bool = Alcotest.(check bool)
+
+let test_split_ordered_growth () =
+  let t = SO.create () in
+  let before = SO.bucket_count t in
+  for i = 0 to 9_999 do
+    SO.insert t i i
+  done;
+  let after = SO.bucket_count t in
+  check_bool
+    (Printf.sprintf "table grew (%d -> %d)" before after)
+    true (after > before);
+  check_bool "power of two" true (Bits.is_power_of_two after);
+  for i = 0 to 9_999 do
+    if SO.lookup t i <> Some i then Alcotest.failf "lost %d after growth" i
+  done
+
+let test_split_ordered_remove_then_grow () =
+  let t = SO.create () in
+  for i = 0 to 4_999 do
+    SO.insert t i i
+  done;
+  for i = 0 to 4_999 do
+    if SO.remove t i <> Some i then Alcotest.failf "remove lost %d" i
+  done;
+  check_int "empty" 0 (SO.size t);
+  (* Growth state persists; reuse must still work. *)
+  for i = 0 to 4_999 do
+    SO.insert t i (i + 1)
+  done;
+  for i = 0 to 4_999 do
+    if SO.lookup t i <> Some (i + 1) then Alcotest.failf "reinsert lost %d" i
+  done
+
+let test_split_ordered_concurrent_growth () =
+  (* Growth while other domains insert: lock-free table doubling must
+     not lose bindings. *)
+  let t = SO.create () in
+  let n_domains = 4 and per = 8_000 in
+  let barrier = Atomic.make 0 in
+  let workers =
+    List.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            Atomic.incr barrier;
+            while Atomic.get barrier < n_domains do
+              Domain.cpu_relax ()
+            done;
+            for i = 0 to per - 1 do
+              SO.insert t ((d * per) + i) d
+            done))
+  in
+  List.iter Domain.join workers;
+  check_int "all present" (n_domains * per) (SO.size t);
+  check_bool "grew" true (SO.bucket_count t > 16)
+
+let test_striped_growth () =
+  let t = ST.create () in
+  let before = ST.bucket_count t in
+  for i = 0 to 9_999 do
+    ST.insert t i i
+  done;
+  check_bool "grew" true (ST.bucket_count t > before);
+  for i = 0 to 9_999 do
+    if ST.lookup t i <> Some i then Alcotest.failf "striped lost %d" i
+  done
+
+let test_striped_concurrent_resize () =
+  let t = ST.create () in
+  let n_domains = 4 and per = 5_000 in
+  let barrier = Atomic.make 0 in
+  let workers =
+    List.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            Atomic.incr barrier;
+            while Atomic.get barrier < n_domains do
+              Domain.cpu_relax ()
+            done;
+            for i = 0 to per - 1 do
+              ST.insert t ((d * per) + i) d;
+              if i land 7 = 0 then ignore (ST.lookup t (d * per))
+            done))
+  in
+  List.iter Domain.join workers;
+  check_int "all present" (n_domains * per) (ST.size t)
+
+let test_wait_free_read_during_writes () =
+  (* Readers on the split-ordered map never block or fail while a
+     writer churns the same bucket region. *)
+  let t = SO.create () in
+  for i = 0 to 99 do
+    SO.insert t i i
+  done;
+  let stop = Atomic.make false in
+  let writer =
+    Domain.spawn (fun () ->
+        let i = ref 0 in
+        while not (Atomic.get stop) do
+          SO.insert t (100 + (!i mod 1000)) !i;
+          ignore (SO.remove t (100 + ((!i + 500) mod 1000)));
+          incr i
+        done)
+  in
+  for _pass = 1 to 200 do
+    for i = 0 to 99 do
+      if SO.lookup t i <> Some i then begin
+        Atomic.set stop true;
+        Alcotest.failf "stable key %d disappeared" i
+      end
+    done
+  done;
+  Atomic.set stop true;
+  Domain.join writer
+
+let prop_invariants ops =
+  let t = SO.create () in
+  List.iter
+    (fun (tag, k, v) ->
+      match tag mod 3 with
+      | 0 -> SO.insert t k v
+      | 1 -> ignore (SO.remove t k)
+      | _ -> ignore (SO.replace_if t k ~expected:v (v + 1)))
+    ops;
+  match SO.validate t with
+  | Ok () -> true
+  | Error e -> QCheck.Test.fail_reportf "split-ordered invariant violated: %s" e
+
+let qchecks =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:150 ~name:"split-ordered invariants after random ops"
+         QCheck.(list (triple small_nat (int_bound 63) (int_bound 999)))
+         prop_invariants);
+  ]
+
+let test_validate_after_concurrency () =
+  let t = SO.create () in
+  let barrier = Atomic.make 0 in
+  let n_domains = 4 in
+  let workers =
+    List.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            Atomic.incr barrier;
+            while Atomic.get barrier < n_domains do
+              Domain.cpu_relax ()
+            done;
+            for round = 1 to 3 do
+              for i = 0 to 1_999 do
+                match (i + d + round) land 3 with
+                | 0 | 1 -> SO.insert t i (d + i)
+                | 2 -> ignore (SO.remove t i)
+                | _ -> ignore (SO.lookup t i)
+              done
+            done))
+  in
+  List.iter Domain.join workers;
+  match SO.validate t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "post-concurrency split-ordered invariant: %s" e
+
+let suite =
+  qchecks
+  @ [
+    ("validate_after_concurrency", `Slow, test_validate_after_concurrency);
+    ("split_ordered_growth", `Quick, test_split_ordered_growth);
+    ("split_ordered_remove_then_grow", `Quick, test_split_ordered_remove_then_grow);
+    ("split_ordered_concurrent_growth", `Slow, test_split_ordered_concurrent_growth);
+    ("striped_growth", `Quick, test_striped_growth);
+    ("striped_concurrent_resize", `Slow, test_striped_concurrent_resize);
+    ("wait_free_read_during_writes", `Slow, test_wait_free_read_during_writes);
+  ]

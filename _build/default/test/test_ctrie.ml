@@ -1,0 +1,163 @@
+(* Ctrie-specific tests: entombment/contraction behaviour and the
+   depth histogram (the generic battery covers shared semantics). *)
+
+open Ct_util
+module C = Ctrie.Make (Hashing.Int_key)
+module C_bad = Ctrie.Make (Hashing.Bad_hash_int)
+
+let check_int = Alcotest.(check int)
+let check_opt = Alcotest.(check (option int))
+let check_bool = Alcotest.(check bool)
+
+let test_contraction_after_removals () =
+  (* Fill enough to create inner CNodes, remove everything; entombment
+     plus cleanParent must leave a working, compact trie. *)
+  let t = C.create () in
+  let n = 5_000 in
+  for i = 0 to n - 1 do
+    C.insert t i i
+  done;
+  for i = 0 to n - 1 do
+    if C.remove t i <> Some i then Alcotest.failf "remove lost %d" i
+  done;
+  check_int "empty" 0 (C.size t);
+  (* Reuse after total contraction. *)
+  for i = 0 to 99 do
+    C.insert t i (-i)
+  done;
+  for i = 0 to 99 do
+    check_opt "reusable" (Some (-i)) (C.lookup t i)
+  done
+
+let test_tomb_then_lookup () =
+  (* Two deep-colliding keys (identity hash): removing one entombs the
+     other; lookups must keep finding it through the tomb. *)
+  let t = C_bad.create () in
+  let k1 = 0b1_00000 and k2 = 0b10_00000 in
+  (* same lowest 5 bits *)
+  C_bad.insert t k1 1;
+  C_bad.insert t k2 2;
+  check_opt "both in" (Some 1) (C_bad.lookup t k1);
+  check_opt "remove k1" (Some 1) (C_bad.remove t k1);
+  check_opt "k2 via tomb" (Some 2) (C_bad.lookup t k2);
+  check_opt "k2 update ok" (Some 2) (C_bad.add t k2 22);
+  check_opt "k2 new" (Some 22) (C_bad.lookup t k2);
+  check_int "one key" 1 (C_bad.size t)
+
+let test_deep_chains () =
+  let t = C_bad.create () in
+  let n = 2_000 in
+  for i = 0 to n - 1 do
+    C_bad.insert t (i * 32) i (* share lowest 5 bits -> deep CNode chain *)
+  done;
+  check_int "size" n (C_bad.size t);
+  for i = 0 to n - 1 do
+    if C_bad.lookup t (i * 32) <> Some i then Alcotest.failf "lost %d" i
+  done
+
+let test_depth_histogram () =
+  let t = C.create () in
+  let n = 50_000 in
+  for i = 0 to n - 1 do
+    C.insert t i i
+  done;
+  let hist = C.depth_histogram t in
+  check_int "counts all keys" n (Array.fold_left ( + ) 0 hist);
+  (* With 32-way branching most keys sit at depth ~log32 n. *)
+  check_bool "no keys at depth 0" true (hist.(0) = 0)
+
+let test_lnode_entomb () =
+  let module CC = Ctrie.Make (Hashing.Constant_hash_int) in
+  let t = CC.create () in
+  CC.insert t 1 10;
+  CC.insert t 2 20;
+  CC.insert t 3 30;
+  check_opt "removed from lnode" (Some 20) (CC.remove t 2);
+  check_opt "remaining 1" (Some 10) (CC.lookup t 1);
+  check_opt "remaining 3" (Some 30) (CC.lookup t 3);
+  (* Down to one: the LNode entombs into a TNode. *)
+  check_opt "removed 1" (Some 10) (CC.remove t 1);
+  check_opt "survivor" (Some 30) (CC.lookup t 3);
+  CC.insert t 4 40;
+  check_opt "growable again" (Some 40) (CC.lookup t 4);
+  check_int "size 2" 2 (CC.size t)
+
+(* Property: structural invariants hold after arbitrary op sequences,
+   including under pathological hashes. *)
+let prop_invariants to_key ops =
+  let t = C_bad.create () in
+  List.iter
+    (fun (tag, k, v) ->
+      let k = to_key k in
+      match tag mod 3 with
+      | 0 -> C_bad.insert t k v
+      | 1 -> ignore (C_bad.remove t k)
+      | _ -> ignore (C_bad.put_if_absent t k v))
+    ops;
+  match C_bad.validate t with
+  | Ok () -> true
+  | Error e -> QCheck.Test.fail_reportf "ctrie invariant violated: %s" e
+
+let prop_invariants_mixed ops =
+  let t = C.create () in
+  List.iter
+    (fun (tag, k, v) ->
+      match tag mod 3 with
+      | 0 -> C.insert t k v
+      | 1 -> ignore (C.remove t k)
+      | _ -> ignore (C.replace t k v))
+    ops;
+  match C.validate t with
+  | Ok () -> true
+  | Error e -> QCheck.Test.fail_reportf "ctrie invariant violated: %s" e
+
+let qchecks =
+  List.map
+    (QCheck_alcotest.to_alcotest ~long:false)
+    [
+      QCheck.Test.make ~count:150 ~name:"ctrie invariants (mixed hashes)"
+        QCheck.(list (triple small_nat (int_bound 63) (int_bound 999)))
+        prop_invariants_mixed;
+      QCheck.Test.make ~count:100 ~name:"ctrie invariants (deep identity hashes)"
+        QCheck.(list (triple small_nat (int_bound 31) (int_bound 999)))
+        (prop_invariants (fun k -> k * 1024));
+      QCheck.Test.make ~count:100 ~name:"ctrie invariants (shallow identity hashes)"
+        QCheck.(list (triple small_nat (int_bound 31) (int_bound 999)))
+        (prop_invariants (fun k -> k));
+    ]
+
+let test_validate_after_concurrency () =
+  let t = C.create () in
+  let barrier = Atomic.make 0 in
+  let n_domains = 4 in
+  let workers =
+    List.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            Atomic.incr barrier;
+            while Atomic.get barrier < n_domains do
+              Domain.cpu_relax ()
+            done;
+            for round = 1 to 3 do
+              for i = 0 to 2_999 do
+                match (i + d + round) land 3 with
+                | 0 | 1 -> C.insert t i (d + i)
+                | 2 -> ignore (C.remove t i)
+                | _ -> ignore (C.lookup t i)
+              done
+            done))
+  in
+  List.iter Domain.join workers;
+  match C.validate t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "post-concurrency invariant: %s" e
+
+let suite =
+  qchecks
+  @ [
+    ("validate_after_concurrency", `Slow, test_validate_after_concurrency);
+    ("contraction_after_removals", `Quick, test_contraction_after_removals);
+    ("tomb_then_lookup", `Quick, test_tomb_then_lookup);
+    ("deep_chains", `Quick, test_deep_chains);
+    ("depth_histogram", `Quick, test_depth_histogram);
+    ("lnode_entomb", `Quick, test_lnode_entomb);
+  ]

@@ -1,0 +1,316 @@
+(* Tests for the snapshotting Ctrie (PPoPP 2012): GCAS/RDCSS snapshot
+   semantics on top of the shared battery coverage. *)
+
+open Ct_util
+module CS = Ctrie_snap.Make (Hashing.Int_key)
+
+let check_int = Alcotest.(check int)
+let check_opt = Alcotest.(check (option int))
+let check_bool = Alcotest.(check bool)
+
+let test_snapshot_isolates_original () =
+  let t = CS.create () in
+  for i = 0 to 999 do
+    CS.insert t i i
+  done;
+  let s = CS.snapshot t in
+  (* Mutate the original heavily. *)
+  for i = 0 to 999 do
+    CS.insert t i (i * 100)
+  done;
+  for i = 1000 to 1999 do
+    CS.insert t i i
+  done;
+  for i = 0 to 499 do
+    ignore (CS.remove t i)
+  done;
+  (* The snapshot still shows the old world. *)
+  check_int "snapshot size" 1000 (CS.size s);
+  for i = 0 to 999 do
+    if CS.lookup s i <> Some i then Alcotest.failf "snapshot key %d changed" i
+  done;
+  check_opt "snapshot lacks new keys" None (CS.lookup s 1500)
+
+let test_snapshot_isolates_snapshot () =
+  let t = CS.create () in
+  for i = 0 to 499 do
+    CS.insert t i i
+  done;
+  let s = CS.snapshot t in
+  (* Mutate the snapshot; the original must not see it. *)
+  for i = 0 to 499 do
+    CS.insert s i (-i)
+  done;
+  CS.insert s 9999 1;
+  for i = 0 to 499 do
+    if CS.lookup t i <> Some i then Alcotest.failf "original key %d changed" i
+  done;
+  check_opt "original lacks snapshot-only key" None (CS.lookup t 9999);
+  check_opt "snapshot sees own writes" (Some (-42)) (CS.lookup s 42)
+
+let test_snapshot_of_snapshot () =
+  let t = CS.create () in
+  CS.insert t 1 1;
+  let s1 = CS.snapshot t in
+  CS.insert t 2 2;
+  let s2 = CS.snapshot t in
+  CS.insert t 3 3;
+  let s3 = CS.snapshot s1 in
+  CS.insert s1 4 4;
+  check_int "t has 3" 3 (CS.size t);
+  check_int "s1 has 2 (1 + own insert)" 2 (CS.size s1);
+  check_int "s2 has 2" 2 (CS.size s2);
+  check_int "s3 has 1" 1 (CS.size s3);
+  check_opt "s3 untouched by s1's insert" None (CS.lookup s3 4)
+
+let test_empty_snapshot () =
+  let t = CS.create () in
+  let s = CS.snapshot t in
+  check_int "empty" 0 (CS.size s);
+  CS.insert s 1 1;
+  check_int "snapshot usable" 1 (CS.size s);
+  check_int "original still empty" 0 (CS.size t)
+
+let test_snapshot_prefix_consistency () =
+  (* One writer inserts keys in ascending order while another domain
+     takes snapshots: every snapshot must be a prefix {0..j-1} of the
+     insert sequence — the linearizability of snapshot made visible. *)
+  let t = CS.create () in
+  let n = 20_000 in
+  let barrier = Atomic.make 0 in
+  let arrive () =
+    Atomic.incr barrier;
+    while Atomic.get barrier < 2 do
+      Domain.cpu_relax ()
+    done
+  in
+  let writer =
+    Domain.spawn (fun () ->
+        arrive ();
+        for i = 0 to n - 1 do
+          CS.insert t i i
+        done)
+  in
+  let snapshotter =
+    Domain.spawn (fun () ->
+        arrive ();
+        let sizes = ref [] in
+        for _ = 1 to 50 do
+          let s = CS.snapshot t in
+          let contents = CS.to_list s in
+          let size = List.length contents in
+          (* Prefix property: exactly the keys 0..size-1. *)
+          let sorted = List.sort compare (List.map fst contents) in
+          if sorted <> List.init size Fun.id then
+            failwith "snapshot is not a prefix of the insertion order";
+          sizes := size :: !sizes
+        done;
+        List.rev !sizes)
+  in
+  Domain.join writer;
+  let sizes = Domain.join snapshotter in
+  (* Sizes are monotonically non-decreasing across snapshots. *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  check_bool "snapshot sizes monotone" true (monotone sizes);
+  check_int "final size" n (CS.size t)
+
+let test_concurrent_snapshot_remove () =
+  (* Writer removes keys in ascending order; snapshots must be
+     suffixes. *)
+  let t = CS.create () in
+  let n = 10_000 in
+  for i = 0 to n - 1 do
+    CS.insert t i i
+  done;
+  let barrier = Atomic.make 0 in
+  let arrive () =
+    Atomic.incr barrier;
+    while Atomic.get barrier < 2 do
+      Domain.cpu_relax ()
+    done
+  in
+  let remover =
+    Domain.spawn (fun () ->
+        arrive ();
+        for i = 0 to n - 1 do
+          ignore (CS.remove t i)
+        done)
+  in
+  let snapshotter =
+    Domain.spawn (fun () ->
+        arrive ();
+        for _ = 1 to 30 do
+          let s = CS.snapshot t in
+          let keys = List.sort compare (List.map fst (CS.to_list s)) in
+          let size = List.length keys in
+          if keys <> List.init size (fun i -> n - size + i) then
+            failwith "snapshot is not a suffix under ordered removal"
+        done;
+        true)
+  in
+  Domain.join remover;
+  check_bool "snapshots were suffixes" true (Domain.join snapshotter);
+  check_int "emptied" 0 (CS.size t)
+
+let test_fold_snapshot_consistent_total () =
+  (* Concurrent value bumps preserve a per-snapshot invariant: with
+     each writer moving value mass between two fixed keys using
+     replace_if, every linearizable snapshot sees the same total. *)
+  let t = CS.create () in
+  CS.insert t 0 1000;
+  CS.insert t 1 1000;
+  let stop = Atomic.make false in
+  let mover =
+    Domain.spawn (fun () ->
+        let rng = Rng.create 99 in
+        while not (Atomic.get stop) do
+          let src = Rng.next_int rng 2 in
+          let dst = 1 - src in
+          match (CS.lookup t src, CS.lookup t dst) with
+          | Some a, Some b when a > 0 ->
+              if CS.replace_if t src ~expected:a (a - 1) then begin
+                (* Not atomic across keys; rebalance via a second CAS
+                   loop so the grand total is eventually restored. *)
+                let rec deposit () =
+                  match CS.lookup t dst with
+                  | Some cur -> if not (CS.replace_if t dst ~expected:cur (cur + 1)) then deposit ()
+                  | None -> ()
+                in
+                ignore b;
+                deposit ()
+              end
+          | _ -> ()
+        done)
+  in
+  (* The mover's two steps are not jointly atomic, so totals in a
+     snapshot can be off by at most the number of in-flight transfers
+     (here: one). *)
+  for _ = 1 to 200 do
+    let total = CS.fold_snapshot (fun acc _ v -> acc + v) 0 t in
+    if total < 1999 || total > 2001 then
+      Alcotest.failf "snapshot total %d out of bounds" total
+  done;
+  Atomic.set stop true;
+  Domain.join mover
+
+(* Linearizability of snapshot itself: record concurrent histories
+   where one op is "take a snapshot and report its size"; check them
+   against a sequential spec where that op returns the model size. *)
+let test_snapshot_size_linearizable () =
+  let module L = struct
+    type op = Ins of int * int | Rem of int | Snap_size
+
+    let apply t = function
+      | Ins (k, v) ->
+          CS.insert t k v;
+          -1
+      | Rem k -> ( match CS.remove t k with Some v -> v | None -> -1)
+      | Snap_size -> CS.size (CS.snapshot t)
+
+    let seq_apply model = function
+      | Ins (k, v) -> ((k, v) :: List.remove_assoc k model, -1)
+      | Rem k -> (
+          match List.assoc_opt k model with
+          | Some v -> (List.remove_assoc k model, v)
+          | None -> (model, -1))
+      | Snap_size -> (model, List.length model)
+  end in
+  let rng = Rng.create 4242 in
+  for _trial = 1 to 25 do
+    let t = CS.create () in
+    let clock = Atomic.make 0 in
+    let script _d =
+      List.init 5 (fun _ ->
+          match Rng.next_int rng 5 with
+          | 0 | 1 -> L.Ins (Rng.next_int rng 3, Rng.next_int rng 50)
+          | 2 -> L.Rem (Rng.next_int rng 3)
+          | _ -> L.Snap_size)
+    in
+    let scripts = List.init 3 script in
+    let barrier = Atomic.make 0 in
+    let run thread script =
+      Atomic.incr barrier;
+      while Atomic.get barrier < 3 do
+        Domain.cpu_relax ()
+      done;
+      List.map
+        (fun op ->
+          let inv = Atomic.fetch_and_add clock 1 in
+          let result = L.apply t op in
+          let res = Atomic.fetch_and_add clock 1 in
+          (thread, op, result, inv, res))
+        script
+    in
+    let events =
+      List.concat_map Domain.join
+        (List.mapi (fun i s -> Domain.spawn (fun () -> run i s)) scripts)
+    in
+    (* Wing-Gong search over the custom op set. *)
+    let threads =
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun ((th, _, _, _, _) as e) ->
+          Hashtbl.replace tbl th (e :: (try Hashtbl.find tbl th with Not_found -> [])))
+        events;
+      Hashtbl.fold
+        (fun _ evs acc ->
+          Array.of_list
+            (List.sort (fun (_, _, _, a, _) (_, _, _, b, _) -> compare a b) evs)
+          :: acc)
+        tbl []
+      |> Array.of_list
+    in
+    let total = List.length events in
+    let visited = Hashtbl.create 256 in
+    let rec dfs progress model done_count =
+      done_count = total
+      ||
+      let key = (Array.to_list progress, List.sort compare model) in
+      if Hashtbl.mem visited key then false
+      else begin
+        Hashtbl.add visited key ();
+        let min_res = ref max_int in
+        Array.iteri
+          (fun i evs ->
+            if progress.(i) < Array.length evs then begin
+              let _, _, _, _, res = evs.(progress.(i)) in
+              min_res := min !min_res res
+            end)
+          threads;
+        let ok = ref false in
+        Array.iteri
+          (fun i evs ->
+            if (not !ok) && progress.(i) < Array.length evs then begin
+              let _, op, result, inv, _ = evs.(progress.(i)) in
+              if inv <= !min_res then begin
+                let model', expected = L.seq_apply model op in
+                if expected = result then begin
+                  progress.(i) <- progress.(i) + 1;
+                  if dfs progress model' (done_count + 1) then ok := true
+                  else progress.(i) <- progress.(i) - 1
+                end
+              end
+            end)
+          threads;
+        !ok
+      end
+    in
+    if not (dfs (Array.make (Array.length threads) 0) [] 0) then
+      Alcotest.failf "snapshot history not linearizable (trial %d)" _trial;
+    Hashtbl.reset visited
+  done
+
+let suite =
+  [
+    ("snapshot_isolates_original", `Quick, test_snapshot_isolates_original);
+    ("snapshot_size_linearizable", `Slow, test_snapshot_size_linearizable);
+    ("snapshot_isolates_snapshot", `Quick, test_snapshot_isolates_snapshot);
+    ("snapshot_of_snapshot", `Quick, test_snapshot_of_snapshot);
+    ("empty_snapshot", `Quick, test_empty_snapshot);
+    ("snapshot_prefix_consistency", `Slow, test_snapshot_prefix_consistency);
+    ("concurrent_snapshot_remove", `Slow, test_concurrent_snapshot_remove);
+    ("fold_snapshot_consistent_total", `Slow, test_fold_snapshot_consistent_total);
+  ]

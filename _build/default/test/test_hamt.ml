@@ -1,0 +1,193 @@
+(* Tests for the persistent HAMT and its copy-on-write concurrent
+   wrapper (the battery covers the shared concurrent-map semantics of
+   the wrapper; here we test persistence itself). *)
+
+open Ct_util
+module P = Hamts.Hamt.Make (Hashing.Int_key)
+module P_bad = Hamts.Hamt.Make (Hashing.Bad_hash_int)
+module P_collide = Hamts.Hamt.Make (Hashing.Constant_hash_int)
+module CW = Hamts.Cow_map.Make (Hashing.Int_key)
+
+let check_int = Alcotest.(check int)
+let check_opt = Alcotest.(check (option int))
+let check_bool = Alcotest.(check bool)
+
+let assert_valid name t =
+  match P.validate t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" name e
+
+(* --------------------------- persistence --------------------------- *)
+
+let test_versions_are_independent () =
+  let v0 = P.empty in
+  let v1, _ = P.add v0 1 10 in
+  let v2, _ = P.add v1 2 20 in
+  let v3, _ = P.remove v2 1 in
+  let v4, _ = P.add v2 1 99 in
+  check_opt "v0 has nothing" None (P.find v0 1);
+  check_opt "v1 has 1" (Some 10) (P.find v1 1);
+  check_opt "v1 lacks 2" None (P.find v1 2);
+  check_opt "v2 has both" (Some 20) (P.find v2 2);
+  check_opt "v3 dropped 1" None (P.find v3 1);
+  check_opt "v3 kept 2" (Some 20) (P.find v3 2);
+  check_opt "v4 rebound 1" (Some 99) (P.find v4 1);
+  check_opt "v2 unchanged by v4" (Some 10) (P.find v2 1);
+  List.iter (assert_valid "versions") [ v0; v1; v2; v3; v4 ]
+
+let test_add_returns_previous () =
+  let v1, p1 = P.add P.empty 5 50 in
+  let _, p2 = P.add v1 5 51 in
+  check_opt "fresh" None p1;
+  check_opt "prev" (Some 50) p2
+
+let test_remove_absent_is_noop () =
+  let v1, _ = P.add P.empty 1 1 in
+  let v2, prev = P.remove v1 42 in
+  check_opt "no binding" None prev;
+  check_bool "same version returned" true (v1 == v2)
+
+let test_many_keys_and_histogram () =
+  let n = 30_000 in
+  let t = ref P.empty in
+  for i = 0 to n - 1 do
+    t := fst (P.add !t i i)
+  done;
+  check_int "cardinal" n (P.cardinal !t);
+  for i = 0 to n - 1 do
+    if P.find !t i <> Some i then Alcotest.failf "lost %d" i
+  done;
+  check_int "histogram total" n (Array.fold_left ( + ) 0 (P.depth_histogram !t));
+  assert_valid "30k" !t
+
+let test_mass_removal_collapses () =
+  let n = 10_000 in
+  let t = ref P.empty in
+  for i = 0 to n - 1 do
+    t := fst (P.add !t i i)
+  done;
+  for i = 100 to n - 1 do
+    t := fst (P.remove !t i)
+  done;
+  check_int "survivors" 100 (P.cardinal !t);
+  assert_valid "collapsed" !t;
+  let hist = P.depth_histogram !t in
+  (* 100 keys in a 32-way trie sit at depths 1-3 once canonical
+     (~4% at depth 1, ~87% at 2, ~9% at 3). *)
+  check_bool
+    (Printf.sprintf "canonical shallow: d1=%d d2=%d d3=%d" hist.(1) hist.(2) hist.(3))
+    true
+    (hist.(1) + hist.(2) + hist.(3) = 100)
+
+let test_collisions () =
+  let t = ref P_collide.empty in
+  for i = 0 to 9 do
+    t := fst (P_collide.add !t i (i * 2))
+  done;
+  check_int "ten colliders" 10 (P_collide.cardinal !t);
+  for i = 0 to 9 do
+    check_opt "collider" (Some (i * 2)) (P_collide.find !t i)
+  done;
+  for i = 0 to 8 do
+    t := fst (P_collide.remove !t i)
+  done;
+  check_opt "last one" (Some 18) (P_collide.find !t 9);
+  match P_collide.validate !t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "collision validate: %s" e
+
+let test_deep_identity_hashes () =
+  let t = ref P_bad.empty in
+  for i = 0 to 999 do
+    t := fst (P_bad.add !t (i * 1024) i)
+  done;
+  for i = 0 to 999 do
+    if P_bad.find !t (i * 1024) <> Some i then Alcotest.failf "deep lost %d" i
+  done;
+  match P_bad.validate !t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "deep validate: %s" e
+
+(* Property: HAMT agrees with Map and stays valid across versions. *)
+let prop_model ops =
+  let module IM = Map.Make (Int) in
+  let t = ref P.empty and m = ref IM.empty in
+  List.iter
+    (fun (tag, k, v) ->
+      match tag mod 3 with
+      | 0 ->
+          t := fst (P.add !t k v);
+          m := IM.add k v !m
+      | 1 ->
+          t := fst (P.remove !t k);
+          m := IM.remove k !m
+      | _ ->
+          if P.find !t k <> IM.find_opt k !m then
+            QCheck.Test.fail_reportf "find mismatch on %d" k)
+    ops;
+  (match P.validate !t with
+  | Ok () -> ()
+  | Error e -> QCheck.Test.fail_reportf "invariants: %s" e);
+  P.cardinal !t = IM.cardinal !m
+  && List.sort compare (P.to_list !t)
+     = List.sort compare (IM.bindings !m)
+
+let qchecks =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:150 ~name:"hamt agrees with Map"
+         QCheck.(list (triple small_nat (int_bound 63) (int_bound 999)))
+         prop_model);
+  ]
+
+(* --------------------------- cow wrapper --------------------------- *)
+
+let test_cow_snapshot () =
+  let t = CW.create () in
+  for i = 0 to 99 do
+    CW.insert t i i
+  done;
+  let s = CW.snapshot t in
+  for i = 0 to 99 do
+    CW.insert t i (-i)
+  done;
+  CW.insert t 1000 1;
+  for i = 0 to 99 do
+    if CW.lookup s i <> Some i then Alcotest.failf "cow snapshot key %d changed" i
+  done;
+  check_int "snapshot size" 100 (CW.size s);
+  check_int "live size" 101 (CW.size t)
+
+let test_cow_version_counts_writes () =
+  let t = CW.create () in
+  check_int "v0" 0 (CW.version t);
+  CW.insert t 1 1;
+  CW.insert t 2 2;
+  ignore (CW.remove t 1);
+  check_int "three commits" 3 (CW.version t);
+  ignore (CW.remove t 42);
+  check_int "no-op remove does not commit" 3 (CW.version t);
+  ignore (CW.put_if_absent t 2 99);
+  check_int "declined pia does not commit" 3 (CW.version t)
+
+let test_cow_o1_size () =
+  let t = CW.create () in
+  for i = 0 to 9_999 do
+    CW.insert t i i
+  done;
+  check_int "cardinality tracked" 10_000 (CW.size t)
+
+let suite =
+  qchecks
+  @ [
+      ("versions_are_independent", `Quick, test_versions_are_independent);
+      ("add_returns_previous", `Quick, test_add_returns_previous);
+      ("remove_absent_is_noop", `Quick, test_remove_absent_is_noop);
+      ("many_keys_and_histogram", `Quick, test_many_keys_and_histogram);
+      ("mass_removal_collapses", `Quick, test_mass_removal_collapses);
+      ("collisions", `Quick, test_collisions);
+      ("deep_identity_hashes", `Quick, test_deep_identity_hashes);
+      ("cow_snapshot", `Quick, test_cow_snapshot);
+      ("cow_version_counts_writes", `Quick, test_cow_version_counts_writes);
+      ("cow_o1_size", `Quick, test_cow_o1_size);
+    ]

@@ -1,0 +1,182 @@
+(* Tests for the benchmark harness substrate. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_barrier_releases_all () =
+  let n = 4 in
+  let b = Harness.Barrier.create n in
+  let counter = Atomic.make 0 in
+  let workers =
+    List.init n (fun _ ->
+        Domain.spawn (fun () ->
+            Atomic.incr counter;
+            Harness.Barrier.await b;
+            (* After the barrier, every participant must have arrived. *)
+            Atomic.get counter))
+  in
+  let results = List.map Domain.join workers in
+  List.iter (fun seen -> check_int "saw all arrivals" n seen) results
+
+let test_barrier_reusable () =
+  let n = 3 in
+  let b = Harness.Barrier.create n in
+  let phase = Atomic.make 0 in
+  let workers =
+    List.init n (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 5 do
+              Harness.Barrier.await b;
+              Atomic.incr phase;
+              Harness.Barrier.await b
+            done;
+            true))
+  in
+  let oks = List.map Domain.join workers in
+  check_bool "all joined" true (List.for_all Fun.id oks);
+  check_int "phases" (5 * n) (Atomic.get phase)
+
+let test_run_timed () =
+  let hits = Atomic.make 0 in
+  let dt = Harness.Parallel.run_timed ~domains:3 (fun _ -> Atomic.incr hits) in
+  check_int "every domain ran" 3 (Atomic.get hits);
+  check_bool "time positive" true (dt >= 0.0)
+
+let test_run_collect_order () =
+  let results = Harness.Parallel.run_collect ~domains:4 (fun d -> d * 10) in
+  Alcotest.(check (list int)) "in index order" [ 0; 10; 20; 30 ] results
+
+let test_shuffled_keys () =
+  let keys = Harness.Workload.shuffled_keys 1000 in
+  check_int "length" 1000 (Array.length keys);
+  let sorted = Array.copy keys in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "permutation of 0..n-1" true
+    (Array.to_list sorted = List.init 1000 Fun.id);
+  (* Deterministic in the seed. *)
+  Alcotest.(check bool) "deterministic" true
+    (Harness.Workload.shuffled_keys 1000 = keys);
+  Alcotest.(check bool) "different seed differs" true
+    (Harness.Workload.shuffled_keys ~seed:7 1000 <> keys)
+
+let test_disjoint_ranges () =
+  let ranges = Harness.Workload.disjoint_ranges ~domains:3 ~total:10 in
+  check_int "three ranges" 3 (Array.length ranges);
+  let all = Array.to_list ranges |> List.concat_map Array.to_list in
+  Alcotest.(check (list int)) "covers total" (List.init 10 Fun.id) (List.sort compare all);
+  let sizes = Array.map Array.length ranges in
+  check_bool "balanced" true
+    (Array.for_all (fun s -> abs (s - 3) <= 1) sizes)
+
+let test_zipf () =
+  let keys = Harness.Workload.zipf_keys ~n:10_000 ~universe:100 1.0 in
+  check_int "n draws" 10_000 (Array.length keys);
+  Array.iter (fun k -> check_bool "in range" true (k >= 0 && k < 100)) keys;
+  (* Rank 0 must be drawn much more often than rank 50. *)
+  let count x = Array.fold_left (fun a k -> if k = x then a + 1 else a) 0 keys in
+  check_bool "skewed" true (count 0 > 5 * count 50)
+
+let test_measure_run () =
+  let calls = ref 0 in
+  let r =
+    Harness.Measure.run ~warmup_limit:2 ~repetitions:3 ~ops:100 (fun () -> incr calls)
+  in
+  check_bool "ran warmup + reps" true (!calls >= 3);
+  check_int "ops recorded" 100 r.Harness.Measure.ops;
+  check_bool "ns/op sane" true (Harness.Measure.ns_per_op r >= 0.0);
+  check_bool "mops sane" true (Harness.Measure.mops r >= 0.0)
+
+let test_footprint () =
+  let small = Harness.Footprint.reachable_words [| 1; 2; 3 |] in
+  let big = Harness.Footprint.reachable_words (Array.make 1000 0) in
+  check_bool "bigger is bigger" true (big > small);
+  Alcotest.(check (float 1e-9)) "kb conversion" 8.0
+    (Harness.Footprint.words_to_kb 1024)
+
+let test_report_table () =
+  let s =
+    Harness.Report.table ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  check_bool "contains header" true
+    (String.length s > 0 && String.index_opt s 'a' <> None);
+  (* Columns aligned: every line has the same length. *)
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' s) in
+  let lens = List.map String.length lines in
+  check_bool "aligned" true (List.for_all (fun l -> l = List.hd lens) lens)
+
+let test_structures_registry () =
+  check_int "eight structures" 8 (List.length Harness.Suites.structures);
+  check_bool "cachetrie present" true
+    (Harness.Suites.find_structure "cachetrie" <> None);
+  check_bool "unknown absent" true (Harness.Suites.find_structure "nope" = None)
+
+module CT_for_trace = Cachetrie.Make (Ct_util.Hashing.Int_key)
+module Replay_ct = Harness.Trace.Replay (CT_for_trace)
+
+let test_trace_generate () =
+  let trace = Harness.Trace.generate Harness.Trace.read_mostly 10_000 in
+  check_int "length" 10_000 (Array.length trace);
+  let reads = ref 0 and writes = ref 0 and removes = ref 0 in
+  Array.iter
+    (function
+      | Harness.Trace.Lookup _ -> incr reads
+      | Harness.Trace.Insert _ -> incr writes
+      | Harness.Trace.Remove _ -> incr removes)
+    trace;
+  (* 95/4/1 profile within sampling noise. *)
+  check_bool "read share" true (!reads > 9_300 && !reads < 9_700);
+  check_bool "all accounted" true (!reads + !writes + !removes = 10_000);
+  (* Deterministic. *)
+  check_bool "deterministic" true
+    (Harness.Trace.generate Harness.Trace.read_mostly 10_000 = trace);
+  Alcotest.check_raises "bad profile"
+    (Invalid_argument "Trace.generate: percentages must sum to 100") (fun () ->
+      ignore
+        (Harness.Trace.generate
+           { Harness.Trace.read_mostly with Harness.Trace.reads = 10 }
+           5))
+
+let test_trace_replay_counts () =
+  let trace = Harness.Trace.generate Harness.Trace.churn 20_000 in
+  let t = CT_for_trace.create () in
+  let o = Replay_ct.replay ~prefill:50_000 t trace in
+  let reads =
+    Array.fold_left
+      (fun a -> function Harness.Trace.Lookup _ -> a + 1 | _ -> a)
+      0 trace
+  in
+  check_int "hits+misses = lookups" reads Harness.Trace.(o.hits + o.misses);
+  check_bool "elapsed positive" true (o.Harness.Trace.elapsed >= 0.0);
+  (* Half the universe was prefilled, so both hits and misses occur. *)
+  check_bool "hits happen" true (o.Harness.Trace.hits > 0);
+  check_bool "misses happen" true (o.Harness.Trace.misses > 0)
+
+let test_trace_replay_parallel_counts () =
+  let trace = Harness.Trace.generate Harness.Trace.churn 20_000 in
+  let t = CT_for_trace.create () in
+  let o = Replay_ct.replay_parallel ~prefill:50_000 t ~domains:3 trace in
+  let reads =
+    Array.fold_left
+      (fun a -> function Harness.Trace.Lookup _ -> a + 1 | _ -> a)
+      0 trace
+  in
+  (* Round-robin slicing covers every op exactly once. *)
+  check_int "parallel hits+misses = lookups" reads Harness.Trace.(o.hits + o.misses)
+
+let suite =
+  [
+    ("trace_generate", `Quick, test_trace_generate);
+    ("trace_replay_counts", `Quick, test_trace_replay_counts);
+    ("trace_replay_parallel_counts", `Slow, test_trace_replay_parallel_counts);
+    ("barrier_releases_all", `Quick, test_barrier_releases_all);
+    ("barrier_reusable", `Quick, test_barrier_reusable);
+    ("run_timed", `Quick, test_run_timed);
+    ("run_collect_order", `Quick, test_run_collect_order);
+    ("shuffled_keys", `Quick, test_shuffled_keys);
+    ("disjoint_ranges", `Quick, test_disjoint_ranges);
+    ("zipf", `Quick, test_zipf);
+    ("measure_run", `Quick, test_measure_run);
+    ("footprint", `Quick, test_footprint);
+    ("report_table", `Quick, test_report_table);
+    ("structures_registry", `Quick, test_structures_registry);
+  ]

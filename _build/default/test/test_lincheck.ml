@@ -1,0 +1,126 @@
+(* Tests for the linearizability checker itself, plus linearizability
+   runs against all four concurrent maps (paper Section 4.2). *)
+
+open Lincheck
+
+let check_bool = Alcotest.(check bool)
+
+(* ------------------- the sequential specification ------------------ *)
+
+let test_sequential_spec () =
+  let m0 = [] in
+  let m1, r1 = sequential_apply m0 (Insert (1, 10)) in
+  check_bool "insert new" true (r1 = None);
+  let _, r2 = sequential_apply m1 (Lookup 1) in
+  check_bool "lookup hit" true (r2 = Some 10);
+  let m3, r3 = sequential_apply m1 (Put_if_absent (1, 99)) in
+  check_bool "pia declines" true (r3 = Some 10 && List.assoc 1 m3 = 10);
+  let m4, r4 = sequential_apply m1 (Replace (1, 11)) in
+  check_bool "replace hits" true (r4 = Some 10 && List.assoc 1 m4 = 11);
+  let m5, r5 = sequential_apply m1 (Remove 1) in
+  check_bool "remove" true (r5 = Some 10 && m5 = []);
+  let _, r6 = sequential_apply [] (Replace (7, 1)) in
+  check_bool "replace miss" true (r6 = None)
+
+(* ---------------- checker on hand-crafted histories ---------------- *)
+
+let ev thread op result inv res = { thread; op; result; inv; res }
+
+let test_accepts_sequential_history () =
+  let h =
+    [
+      ev 0 (Insert (1, 10)) None 0 1;
+      ev 0 (Lookup 1) (Some 10) 2 3;
+      ev 0 (Remove 1) (Some 10) 4 5;
+      ev 0 (Lookup 1) None 6 7;
+    ]
+  in
+  check_bool "legal sequential" true (check h)
+
+let test_accepts_overlapping_history () =
+  (* Two overlapping inserts on one key: either order is legal as long
+     as results are consistent with some order. *)
+  let h =
+    [
+      ev 0 (Insert (1, 10)) None 0 3;
+      ev 1 (Insert (1, 20)) (Some 10) 1 4;
+      ev 0 (Lookup 1) (Some 20) 5 6;
+    ]
+  in
+  check_bool "overlap linearizes" true (check h)
+
+let test_rejects_stale_read () =
+  (* A lookup that starts after a completed remove must not see the
+     removed value. *)
+  let h =
+    [
+      ev 0 (Insert (1, 10)) None 0 1;
+      ev 0 (Remove 1) (Some 10) 2 3;
+      ev 1 (Lookup 1) (Some 10) 4 5;
+    ]
+  in
+  check_bool "stale read rejected" false (check h)
+
+let test_rejects_lost_update () =
+  (* Both threads' put_if_absent claiming to win is impossible. *)
+  let h =
+    [
+      ev 0 (Put_if_absent (1, 10)) None 0 2;
+      ev 1 (Put_if_absent (1, 20)) None 1 3;
+    ]
+  in
+  check_bool "double winner rejected" false (check h)
+
+let test_rejects_value_from_nowhere () =
+  let h = [ ev 0 (Lookup 5) (Some 42) 0 1 ] in
+  check_bool "phantom value rejected" false (check h)
+
+let test_respects_program_order () =
+  (* Within one thread the later op cannot linearize first. *)
+  let h =
+    [
+      ev 0 (Insert (1, 10)) None 0 1;
+      ev 0 (Insert (1, 20)) (Some 10) 2 3;
+      ev 0 (Lookup 1) (Some 10) 4 5;
+    ]
+  in
+  check_bool "final lookup must see 20" false (check h)
+
+(* ------------------- real structures, random runs ------------------ *)
+
+module CT = Cachetrie.Make (Ct_util.Hashing.Int_key)
+module CTR = Ctrie.Make (Ct_util.Hashing.Int_key)
+module SO = Chm.Split_ordered.Make (Ct_util.Hashing.Int_key)
+module ST = Chm.Striped.Make (Ct_util.Hashing.Int_key)
+module SL = Skiplist.Make (Ct_util.Hashing.Int_key)
+module CW = Hamts.Cow_map.Make (Ct_util.Hashing.Int_key)
+module CSN = Ctrie_snap.Make (Ct_util.Hashing.Int_key)
+
+let random_battery name (module M : IMAP) =
+  ( Printf.sprintf "linearizable: %s" name,
+    `Slow,
+    fun () ->
+      for seed = 1 to 30 do
+        if
+          not
+            (run_random (module M) ~seed ~threads:3 ~ops_per_thread:5 ~key_range:3)
+        then Alcotest.failf "%s: non-linearizable history at seed %d" name seed
+      done )
+
+let suite =
+  [
+    ("sequential_spec", `Quick, test_sequential_spec);
+    ("accepts_sequential_history", `Quick, test_accepts_sequential_history);
+    ("accepts_overlapping_history", `Quick, test_accepts_overlapping_history);
+    ("rejects_stale_read", `Quick, test_rejects_stale_read);
+    ("rejects_lost_update", `Quick, test_rejects_lost_update);
+    ("rejects_value_from_nowhere", `Quick, test_rejects_value_from_nowhere);
+    ("respects_program_order", `Quick, test_respects_program_order);
+    random_battery "cachetrie" (module CT);
+    random_battery "ctrie" (module CTR);
+    random_battery "chm" (module SO);
+    random_battery "chm-striped" (module ST);
+    random_battery "skiplist" (module SL);
+    random_battery "cow-hamt" (module CW);
+    random_battery "ctrie-snap" (module CSN);
+  ]

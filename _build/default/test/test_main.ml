@@ -1,0 +1,25 @@
+(* Aggregated alcotest entry point for all suites. *)
+
+let () =
+  Alcotest.run "cachetries"
+    [
+      ("util", Test_util.suite);
+      ("cachetrie", Test_cachetrie.suite);
+      ("cachetrie-concurrent", Test_cachetrie_concurrent.suite);
+      ("cachetrie-props", Test_cachetrie_props.suite);
+      ("battery-cachetrie", Test_battery.Cachetrie_battery.suite);
+      ("battery-ctrie", Test_battery.Ctrie_battery.suite);
+      ("battery-ctrie-snap", Test_battery.Ctrie_snap_battery.suite);
+      ("battery-chm", Test_battery.Chm_battery.suite);
+      ("battery-chm-striped", Test_battery.Striped_battery.suite);
+      ("battery-skiplist", Test_battery.Skiplist_battery.suite);
+      ("battery-cow-hamt", Test_battery.Cow_battery.suite);
+      ("ctrie", Test_ctrie.suite);
+      ("ctrie-snap", Test_ctrie_snap.suite);
+      ("skiplist", Test_skiplist.suite);
+      ("chm", Test_chm.suite);
+      ("hamt", Test_hamt.suite);
+      ("analysis", Test_analysis.suite);
+      ("lincheck", Test_lincheck.suite);
+      ("harness", Test_harness.suite);
+    ]

@@ -1,0 +1,161 @@
+(* Skip-list-specific tests: tower heights, hash-ordered iteration,
+   dead-node burial. *)
+
+open Ct_util
+module S = Skiplist.Make (Hashing.Int_key)
+module S_collide = Skiplist.Make (Hashing.Constant_hash_int)
+
+let check_int = Alcotest.(check int)
+let check_opt = Alcotest.(check (option int))
+let check_bool = Alcotest.(check bool)
+
+let test_height_distribution () =
+  let t = S.create () in
+  let n = 20_000 in
+  for i = 0 to n - 1 do
+    S.insert t i i
+  done;
+  let hist = S.height_histogram t in
+  check_int "towers = keys" n (Array.fold_left ( + ) 0 hist);
+  (* Geometric decay with p = 1/2: roughly half the towers have
+     height 1, a quarter height 2, ... *)
+  check_bool "height-1 majority" true
+    (float_of_int hist.(0) /. float_of_int n > 0.4
+    && float_of_int hist.(0) /. float_of_int n < 0.6);
+  check_bool "decay" true (hist.(0) > hist.(1) && hist.(1) > hist.(2))
+
+let test_reinsert_after_node_death () =
+  (* Removing the only binding kills the tower; reinserting the same
+     hash must build a fresh one. *)
+  let t = S.create () in
+  S.insert t 42 1;
+  check_opt "in" (Some 1) (S.lookup t 42);
+  check_opt "out" (Some 1) (S.remove t 42);
+  check_opt "gone" None (S.lookup t 42);
+  S.insert t 42 2;
+  check_opt "back" (Some 2) (S.lookup t 42);
+  check_int "size" 1 (S.size t)
+
+let test_shared_hash_bindings () =
+  (* All keys share one tower; binding-list updates must not lose
+     entries. *)
+  let t = S_collide.create () in
+  for i = 0 to 30 do
+    S_collide.insert t i (i * 3)
+  done;
+  check_int "all present" 31 (S_collide.size t);
+  (* The height histogram sees one tower only. *)
+  let hist = S_collide.height_histogram t in
+  check_int "single tower" 1 (Array.fold_left ( + ) 0 hist);
+  for i = 0 to 29 do
+    ignore (S_collide.remove t i)
+  done;
+  check_opt "survivor" (Some 90) (S_collide.lookup t 30)
+
+let test_interleaved_remove_insert () =
+  let t = S.create () in
+  for i = 0 to 999 do
+    S.insert t i i
+  done;
+  (* Remove evens, verify odds, reinsert evens doubled. *)
+  for i = 0 to 499 do
+    ignore (S.remove t (2 * i))
+  done;
+  check_int "half" 500 (S.size t);
+  for i = 0 to 499 do
+    if S.lookup t ((2 * i) + 1) <> Some ((2 * i) + 1) then
+      Alcotest.failf "odd %d lost" ((2 * i) + 1)
+  done;
+  for i = 0 to 499 do
+    S.insert t (2 * i) (4 * i)
+  done;
+  for i = 0 to 499 do
+    if S.lookup t (2 * i) <> Some (4 * i) then Alcotest.failf "even %d wrong" (2 * i)
+  done
+
+let test_concurrent_tower_churn () =
+  (* Hammer a small hash range so towers die and get rebuilt under
+     contention. *)
+  let t = S.create () in
+  let barrier = Atomic.make 0 in
+  let n_domains = 4 in
+  let workers =
+    List.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            Atomic.incr barrier;
+            while Atomic.get barrier < n_domains do
+              Domain.cpu_relax ()
+            done;
+            for round = 1 to 500 do
+              for k = 0 to 9 do
+                S.insert t k ((d * 1_000_000) + round);
+                if (k + d + round) land 1 = 0 then ignore (S.remove t k);
+                ignore (S.lookup t k)
+              done
+            done))
+  in
+  List.iter Domain.join workers;
+  for k = 0 to 9 do
+    S.insert t k k
+  done;
+  for k = 0 to 9 do
+    check_opt "converged" (Some k) (S.lookup t k)
+  done;
+  check_int "ten keys" 10 (S.size t)
+
+let prop_invariants ops =
+  let t = S.create () in
+  List.iter
+    (fun (tag, k, v) ->
+      match tag mod 3 with
+      | 0 -> S.insert t k v
+      | 1 -> ignore (S.remove t k)
+      | _ -> ignore (S.put_if_absent t k v))
+    ops;
+  match S.validate t with
+  | Ok () -> true
+  | Error e -> QCheck.Test.fail_reportf "skiplist invariant violated: %s" e
+
+let qchecks =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:150 ~name:"skiplist invariants after random ops"
+         QCheck.(list (triple small_nat (int_bound 63) (int_bound 999)))
+         prop_invariants);
+  ]
+
+let test_validate_after_concurrency () =
+  let t = S.create () in
+  let barrier = Atomic.make 0 in
+  let n_domains = 4 in
+  let workers =
+    List.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            Atomic.incr barrier;
+            while Atomic.get barrier < n_domains do
+              Domain.cpu_relax ()
+            done;
+            for round = 1 to 3 do
+              for i = 0 to 1_999 do
+                match (i + d + round) land 3 with
+                | 0 | 1 -> S.insert t i (d + i)
+                | 2 -> ignore (S.remove t i)
+                | _ -> ignore (S.lookup t i)
+              done
+            done))
+  in
+  List.iter Domain.join workers;
+  match S.validate t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "post-concurrency skiplist invariant: %s" e
+
+let suite =
+  qchecks
+  @ [
+    ("validate_after_concurrency", `Slow, test_validate_after_concurrency);
+    ("height_distribution", `Quick, test_height_distribution);
+    ("reinsert_after_node_death", `Quick, test_reinsert_after_node_death);
+    ("shared_hash_bindings", `Quick, test_shared_hash_bindings);
+    ("interleaved_remove_insert", `Quick, test_interleaved_remove_insert);
+    ("concurrent_tower_churn", `Slow, test_concurrent_tower_churn);
+  ]

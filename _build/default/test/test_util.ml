@@ -1,0 +1,242 @@
+(* Unit tests for the Ct_util substrate. *)
+
+open Ct_util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------ Bits ------------------------------ *)
+
+let test_ctz () =
+  check_int "ctz 1" 0 (Bits.count_trailing_zeros 1);
+  check_int "ctz 2" 1 (Bits.count_trailing_zeros 2);
+  check_int "ctz 96" 5 (Bits.count_trailing_zeros 96);
+  check_int "ctz 0" 63 (Bits.count_trailing_zeros 0);
+  check_int "ctz 2^40" 40 (Bits.count_trailing_zeros (1 lsl 40))
+
+let test_clz32 () =
+  check_int "clz 0" 32 (Bits.count_leading_zeros32 0);
+  check_int "clz 1" 31 (Bits.count_leading_zeros32 1);
+  check_int "clz max" 0 (Bits.count_leading_zeros32 0xFFFFFFFF);
+  check_int "clz 0x8000" 16 (Bits.count_leading_zeros32 0x8000)
+
+let test_popcount () =
+  check_int "pop 0" 0 (Bits.popcount 0);
+  check_int "pop 0xFF" 8 (Bits.popcount 0xFF);
+  check_int "pop 0b1010101" 4 (Bits.popcount 0b1010101)
+
+let test_powers_of_two () =
+  check_bool "1 is pow2" true (Bits.is_power_of_two 1);
+  check_bool "16 is pow2" true (Bits.is_power_of_two 16);
+  check_bool "0 not pow2" false (Bits.is_power_of_two 0);
+  check_bool "12 not pow2" false (Bits.is_power_of_two 12);
+  check_int "next_pow2 1" 1 (Bits.next_power_of_two 1);
+  check_int "next_pow2 17" 32 (Bits.next_power_of_two 17);
+  check_int "log2 16" 4 (Bits.log2_exact 16);
+  Alcotest.check_raises "log2 12 raises" (Invalid_argument "Bits.log2_exact")
+    (fun () -> ignore (Bits.log2_exact 12))
+
+let test_reverse_bits () =
+  check_int "rev 0" 0 (Bits.reverse_bits32 0);
+  check_int "rev 1" 0x80000000 (Bits.reverse_bits32 1);
+  check_int "rev 0x80000000" 1 (Bits.reverse_bits32 0x80000000);
+  (* Involution on a spread of values. *)
+  let rng = Rng.create 7 in
+  for _ = 1 to 100 do
+    let x = Rng.next_int32 rng in
+    check_int "rev involutive" x (Bits.reverse_bits32 (Bits.reverse_bits32 x))
+  done
+
+let test_extract () =
+  check_int "extract lo" 0x5 (Bits.extract ~hash:0x12345 ~level:0 ~width:16);
+  check_int "extract mid" 0x4 (Bits.extract ~hash:0x12345 ~level:4 ~width:16);
+  check_int "extract narrow" 0x1 (Bits.extract ~hash:0x12345 ~level:0 ~width:4)
+
+(* ------------------------------ Rng ------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 50 do
+    check_int "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 20 do
+    if Rng.next a = Rng.next b then incr same
+  done;
+  check_bool "streams differ" true (!same < 3)
+
+let test_rng_bounds () =
+  let r = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let x = Rng.next_int r 7 in
+    check_bool "in [0,7)" true (x >= 0 && x < 7)
+  done;
+  for _ = 1 to 1000 do
+    let x = Rng.next_int32 r in
+    check_bool "32-bit" true (x >= 0 && x <= 0xFFFFFFFF)
+  done;
+  for _ = 1 to 1000 do
+    let f = Rng.next_float r in
+    check_bool "unit float" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_uniformity () =
+  (* Chi-square-ish sanity: 16 buckets over 32k draws. *)
+  let r = Rng.create 123 in
+  let buckets = Array.make 16 0 in
+  let n = 32768 in
+  for _ = 1 to n do
+    let b = Rng.next_int32 r land 15 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  let expected = n / 16 in
+  Array.iteri
+    (fun i c ->
+      check_bool (Printf.sprintf "bucket %d balanced (%d)" i c) true
+        (abs (c - expected) < expected / 4))
+    buckets
+
+let test_rng_split () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  let overlaps = ref 0 in
+  for _ = 1 to 20 do
+    if Rng.next a = Rng.next b then incr overlaps
+  done;
+  check_bool "split independent" true (!overlaps < 3)
+
+let test_shuffle () =
+  let r = Rng.create 77 in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 100 Fun.id) sorted;
+  check_bool "actually moved" true (a <> Array.init 100 Fun.id)
+
+(* ----------------------------- Hashing ---------------------------- *)
+
+let test_mix_masks () =
+  for i = 0 to 1000 do
+    let h = Hashing.mix i in
+    check_bool "32-bit" true (h >= 0 && h <= Hashing.mask)
+  done
+
+let test_mix_avalanche () =
+  (* Nearby inputs land in different low nibbles most of the time. *)
+  let same_nibble = ref 0 in
+  for i = 0 to 999 do
+    if Hashing.mix i land 15 = Hashing.mix (i + 1) land 15 then incr same_nibble
+  done;
+  check_bool "low nibble spread" true (!same_nibble < 200)
+
+let test_fnv1a () =
+  check_bool "distinct strings" true (Hashing.fnv1a "hello" <> Hashing.fnv1a "world");
+  check_int "stable" (Hashing.fnv1a "abc") (Hashing.fnv1a "abc");
+  check_bool "32-bit" true (Hashing.fnv1a "xyz" <= 0xFFFFFFFF)
+
+let test_key_modules () =
+  check_bool "int keys equal" true (Hashing.Int_key.equal 3 3);
+  check_bool "string hash differs" true
+    (Hashing.String_key.hash "a" <> Hashing.String_key.hash "b");
+  check_int "constant hash" (Hashing.Constant_hash_int.hash 1)
+    (Hashing.Constant_hash_int.hash 999);
+  check_int "bad hash is identity" 12345 (Hashing.Bad_hash_int.hash 12345)
+
+(* ------------------------------ Stats ----------------------------- *)
+
+let feq msg a b = Alcotest.(check (float 1e-9)) msg a b
+
+let test_mean_stddev () =
+  feq "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  feq "stddev" 1.0 (Stats.stddev [| 1.0; 2.0; 3.0 |]);
+  feq "stddev singleton" 0.0 (Stats.stddev [| 5.0 |])
+
+let test_summary () =
+  let s = Stats.summarize [| 4.0; 1.0; 3.0; 2.0 |] in
+  check_int "n" 4 s.Stats.n;
+  feq "mean" 2.5 s.Stats.mean;
+  feq "min" 1.0 s.Stats.min;
+  feq "max" 4.0 s.Stats.max;
+  feq "median" 2.5 s.Stats.median
+
+let test_percentile () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0 |] in
+  feq "p0" 10.0 (Stats.percentile xs 0.0);
+  feq "p100" 40.0 (Stats.percentile xs 100.0);
+  feq "p50" 25.0 (Stats.percentile xs 50.0)
+
+let test_warmup () =
+  check_bool "stable tail" true
+    (Stats.warmed_up [| 9.0; 5.0; 1.0; 1.0; 1.0; 1.0; 1.0 |]);
+  check_bool "noisy tail" false
+    (Stats.warmed_up [| 1.0; 9.0; 1.0; 9.0; 1.0; 9.0; 1.0 |]);
+  check_bool "too short" false (Stats.warmed_up [| 1.0; 1.0 |])
+
+let test_confidence_interval () =
+  let lo, hi = Stats.confidence_interval95 [| 10.0; 10.0; 10.0; 10.0 |] in
+  feq "degenerate lo" 10.0 lo;
+  feq "degenerate hi" 10.0 hi;
+  let lo, hi = Stats.confidence_interval95 [| 8.0; 12.0; 9.0; 11.0; 10.0 |] in
+  check_bool "mean inside" true (lo < 10.0 && 10.0 < hi);
+  check_bool "interval ordered" true (lo < hi);
+  let lo1, hi1 = Stats.confidence_interval95 [| 5.0 |] in
+  feq "singleton" 5.0 lo1;
+  feq "singleton hi" 5.0 hi1;
+  (* More samples shrink the interval. *)
+  let wide = Stats.confidence_interval95 [| 8.0; 12.0 |] in
+  let narrow =
+    Stats.confidence_interval95 (Array.concat (List.init 10 (fun _ -> [| 8.0; 12.0 |])))
+  in
+  check_bool "narrower with more samples" true
+    (snd narrow -. fst narrow < snd wide -. fst wide)
+
+let test_speedup () =
+  feq "2x" 2.0 (Stats.speedup ~baseline:10.0 5.0);
+  feq "slowdown" 0.5 (Stats.speedup ~baseline:5.0 10.0);
+  Alcotest.check_raises "zero raises" (Invalid_argument "Stats.speedup") (fun () ->
+      ignore (Stats.speedup ~baseline:1.0 0.0))
+
+(* ----------------------------- Backoff ---------------------------- *)
+
+let test_backoff () =
+  let b = Backoff.create ~min_wait:2 ~max_wait:8 () in
+  (* Just exercise growth and reset paths; behaviour is timing-only. *)
+  Backoff.once b;
+  Backoff.once b;
+  Backoff.once b;
+  Backoff.reset b;
+  Backoff.once b;
+  check_bool "alive" true true;
+  Alcotest.check_raises "bad args" (Invalid_argument "Backoff.create") (fun () ->
+      ignore (Backoff.create ~min_wait:0 ~max_wait:1 ()))
+
+let suite =
+  [
+    ("bits.ctz", `Quick, test_ctz);
+    ("bits.clz32", `Quick, test_clz32);
+    ("bits.popcount", `Quick, test_popcount);
+    ("bits.powers_of_two", `Quick, test_powers_of_two);
+    ("bits.reverse_bits32", `Quick, test_reverse_bits);
+    ("bits.extract", `Quick, test_extract);
+    ("rng.deterministic", `Quick, test_rng_deterministic);
+    ("rng.seeds_differ", `Quick, test_rng_seeds_differ);
+    ("rng.bounds", `Quick, test_rng_bounds);
+    ("rng.uniformity", `Quick, test_rng_uniformity);
+    ("rng.split", `Quick, test_rng_split);
+    ("rng.shuffle", `Quick, test_shuffle);
+    ("hashing.mix_masks", `Quick, test_mix_masks);
+    ("hashing.mix_avalanche", `Quick, test_mix_avalanche);
+    ("hashing.fnv1a", `Quick, test_fnv1a);
+    ("hashing.key_modules", `Quick, test_key_modules);
+    ("stats.mean_stddev", `Quick, test_mean_stddev);
+    ("stats.summary", `Quick, test_summary);
+    ("stats.percentile", `Quick, test_percentile);
+    ("stats.warmup", `Quick, test_warmup);
+    ("stats.confidence_interval", `Quick, test_confidence_interval);
+    ("stats.speedup", `Quick, test_speedup);
+    ("backoff.basic", `Quick, test_backoff);
+  ]
