@@ -1,0 +1,109 @@
+(* Fault injectors on top of Ct_util.Yieldpoint.  Each constructor
+   installs itself as THE global yield-point hook (last installed
+   wins); [clear] restores the production fast path.  Injectors never
+   touch the structure under test — they only park, raise, or spin in
+   the calling domain. *)
+
+module Yp = Ct_util.Yieldpoint
+module Rng = Ct_util.Rng
+module Backoff = Ct_util.Backoff
+
+exception Injected_crash of string
+
+type stall_state = {
+  s_reached : bool Atomic.t;
+  s_released : bool Atomic.t;
+  s_armed : bool Atomic.t;
+}
+
+type crash_state = { c_remaining : int Atomic.t; c_crashed : bool Atomic.t }
+
+type kind = Stall of stall_state | Crash of crash_state | Jitter
+
+type t = { kind : kind; victim : int Atomic.t }
+
+let no_victim = -1
+
+let is_victim inj = (Domain.self () :> int) = Atomic.get inj.victim
+
+let stall ?(phase = Yp.Before) site =
+  let st =
+    {
+      s_reached = Atomic.make false;
+      s_released = Atomic.make false;
+      s_armed = Atomic.make true;
+    }
+  in
+  let inj = { kind = Stall st; victim = Atomic.make no_victim } in
+  Yp.install (fun ph s ->
+      if
+        s == site && ph = phase && is_victim inj
+        && Atomic.get st.s_armed
+        && Atomic.compare_and_set st.s_armed true false
+      then begin
+        Atomic.set st.s_reached true;
+        (* Sleep, don't spin: a sleeping domain is in a blocking
+           section, so its backup thread keeps answering STW requests
+           and a long park cannot wedge other domains' GC. *)
+        while not (Atomic.get st.s_released) do
+          Unix.sleepf 1e-4
+        done
+      end);
+  inj
+
+let crash ?(phase = Yp.After) ?(skip = 0) site =
+  let st = { c_remaining = Atomic.make skip; c_crashed = Atomic.make false } in
+  let inj = { kind = Crash st; victim = Atomic.make no_victim } in
+  Yp.install (fun ph s ->
+      if s == site && ph = phase && is_victim inj && not (Atomic.get st.c_crashed)
+      then
+        if Atomic.fetch_and_add st.c_remaining (-1) <= 0 then begin
+          Atomic.set st.c_crashed true;
+          raise (Injected_crash (Yp.name site))
+        end);
+  inj
+
+let jitter ?(seed = 0x00C0FFEE) ?(one_in = 4) ?(max_spin = 512) () =
+  if one_in <= 0 || max_spin <= 0 then invalid_arg "Chaos.jitter";
+  (* Per-domain state: a seeded decision RNG plus a Backoff controller
+     drawing the pause lengths, each domain on its own seed stream. *)
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let id = (Domain.self () :> int) in
+        let b =
+          Backoff.create ~min_wait:4 ~max_wait:max_spin
+            ~seed:(Rng.mix64 (seed lxor (id * 0x9E3779B9)))
+            ()
+        in
+        let rng = Rng.create (Rng.mix64 (seed + id)) in
+        (b, rng))
+  in
+  let inj = { kind = Jitter; victim = Atomic.make no_victim } in
+  Yp.install (fun _ _ ->
+      let b, rng = Domain.DLS.get key in
+      if Rng.next_int rng one_in = 0 then
+        for _ = 1 to Backoff.next_wait b do
+          Domain.cpu_relax ()
+        done);
+  inj
+
+let as_victim inj f =
+  Atomic.set inj.victim (Domain.self () :> int);
+  Fun.protect ~finally:(fun () -> Atomic.set inj.victim no_victim) f
+
+let stalled inj =
+  match inj.kind with
+  | Stall st -> Atomic.get st.s_reached
+  | Crash _ | Jitter -> invalid_arg "Chaos.stalled"
+
+let release inj =
+  match inj.kind with
+  | Stall st -> Atomic.set st.s_released true
+  | Crash _ | Jitter -> invalid_arg "Chaos.release"
+
+let crashed inj =
+  match inj.kind with
+  | Crash st -> Atomic.get st.c_crashed
+  | Stall _ | Jitter -> invalid_arg "Chaos.crashed"
+
+let clear = Yp.clear

@@ -22,6 +22,35 @@
 module Hashing = Ct_util.Hashing
 module Bits = Ct_util.Bits
 module Rng = Ct_util.Rng
+module Yp = Ct_util.Yieldpoint
+
+(* Yield points (DESIGN.md "Fault injection & robustness"): one site
+   per distinct CAS/write, registered once per program.  [yp_cas]
+   brackets a CAS so that After fires only when the value was actually
+   published. *)
+let yp_freeze_null = Yp.register "cachetrie.freeze.null"
+let yp_freeze_txn = Yp.register "cachetrie.freeze.txn"
+let yp_freeze_wrap = Yp.register "cachetrie.freeze.wrap"
+let yp_txn_announce = Yp.register "cachetrie.txn.announce"
+let yp_txn_commit = Yp.register "cachetrie.txn.commit"
+let yp_txn_help = Yp.register "cachetrie.txn.help"
+let yp_expand_publish = Yp.register "cachetrie.expand.publish"
+let yp_expand_wide = Yp.register "cachetrie.expand.wide"
+let yp_expand_commit = Yp.register "cachetrie.expand.commit"
+let yp_compress_publish = Yp.register "cachetrie.compress.publish"
+let yp_compress_repl = Yp.register "cachetrie.compress.repl"
+let yp_compress_commit = Yp.register "cachetrie.compress.commit"
+let yp_insert_null = Yp.register "cachetrie.insert.null"
+let yp_insert_lnode = Yp.register "cachetrie.insert.lnode"
+let yp_remove_lnode = Yp.register "cachetrie.remove.lnode"
+let yp_cache_install = Yp.register "cachetrie.cache.install"
+let yp_cache_adjust = Yp.register "cachetrie.cache.adjust"
+
+let yp_cas site slot expected repl =
+  Yp.here Yp.Before site;
+  let ok = Atomic.compare_and_set slot expected repl in
+  if ok then Yp.here Yp.After site;
+  ok
 
 type config = {
   enable_cache : bool;  (** if false, behaves as the paper's "w/o cache" variant *)
@@ -277,19 +306,19 @@ module Make (H : Hashing.HASHABLE) = struct
     while !i < Array.length cur do
       let slot = cur.(!i) in
       (match Atomic.get slot with
-      | Null -> if Atomic.compare_and_set slot Null FVNode then incr i
+      | Null -> if yp_cas yp_freeze_null slot Null FVNode then incr i
       | FVNode -> incr i
       | SNode sn as old -> begin
           match Atomic.get sn.txn with
-          | No_txn -> if Atomic.compare_and_set sn.txn No_txn Frozen_snode then incr i
+          | No_txn -> if yp_cas yp_freeze_txn sn.txn No_txn Frozen_snode then incr i
           | Frozen_snode -> incr i
           | Replace repl ->
               (* Commit the pending transaction first, then re-examine. *)
-              ignore (Atomic.compare_and_set slot old repl)
-          | Removed -> ignore (Atomic.compare_and_set slot old Null)
+              ignore (yp_cas yp_txn_help slot old repl)
+          | Removed -> ignore (yp_cas yp_txn_help slot old Null)
         end
-      | ANode _ as old -> ignore (Atomic.compare_and_set slot old (FNode old))
-      | LNode _ as old -> ignore (Atomic.compare_and_set slot old (FNode old))
+      | ANode _ as old -> ignore (yp_cas yp_freeze_wrap slot old (FNode old))
+      | LNode _ as old -> ignore (yp_cas yp_freeze_wrap slot old (FNode old))
       | FNode (ANode an) ->
           freeze t an;
           incr i
@@ -308,11 +337,11 @@ module Make (H : Hashing.HASHABLE) = struct
     | None ->
         let wide = new_anode wide_width in
         transfer t.config en.e_narrow wide en.e_level;
-        if Atomic.compare_and_set en.e_wide None (Some wide) then
+        if yp_cas yp_expand_wide en.e_wide None (Some wide) then
           Atomic.incr t.n_expansions);
     match Atomic.get en.e_wide with
     | Some wide ->
-        ignore (Atomic.compare_and_set en.e_parent.(en.e_parentpos) self (ANode wide))
+        ignore (yp_cas yp_expand_commit en.e_parent.(en.e_parentpos) self (ANode wide))
     | None -> assert false
 
   and complete_compression t (self : 'v node) (xn : 'v xnode) =
@@ -334,11 +363,11 @@ module Make (H : Hashing.HASHABLE) = struct
               List.iter (fun (h, k, v) -> ignore (build_into_anode t.config an xn.x_level h k v)) many;
               ANode an
         in
-        if Atomic.compare_and_set xn.x_repl None (Some repl) then
+        if yp_cas yp_compress_repl xn.x_repl None (Some repl) then
           Atomic.incr t.n_compressions);
     match Atomic.get xn.x_repl with
     | Some repl ->
-        ignore (Atomic.compare_and_set xn.x_parent.(xn.x_parentpos) self repl)
+        ignore (yp_cas yp_compress_commit xn.x_parent.(xn.x_parentpos) self repl)
     | None -> assert false
 
   (* ---------------------------------------------------------------- *)
@@ -365,13 +394,15 @@ module Make (H : Hashing.HASHABLE) = struct
       | None ->
           if lev >= t.config.cache_trigger_level then begin
             let fresh = make_cache_level t t.config.min_cache_level None in
-            if Atomic.compare_and_set t.cache_head None (Some fresh) then
+            if yp_cas yp_cache_install t.cache_head None (Some fresh) then
               Atomic.incr t.n_cache_installs
           end
       | Some head ->
           let write cl =
             let pos = h land (Array.length cl.c_entries - 1) in
-            cl.c_entries.(pos) <- nv
+            Yp.here Yp.Before yp_cache_install;
+            cl.c_entries.(pos) <- nv;
+            Yp.here Yp.After yp_cache_install
           in
           if head.c_level = lev then write head
           else if t.config.dual_level_cache then begin
@@ -457,7 +488,7 @@ module Make (H : Hashing.HASHABLE) = struct
             | Some cl -> fallback cl.c_parent
           in
           let fresh = make_cache_level t target (fallback (Some head)) in
-          if Atomic.compare_and_set t.cache_head old (Some fresh) then
+          if yp_cas yp_cache_adjust t.cache_head old (Some fresh) then
             Atomic.incr t.n_adjustments
         end
 
@@ -562,8 +593,8 @@ module Make (H : Hashing.HASHABLE) = struct
      pointing at [old]; the second publishes the change in the trie. *)
   let announce_and_commit (slot : 'v node Atomic.t) (old : 'v snode)
       (old_node : 'v node) txn_value repl =
-    if Atomic.compare_and_set old.txn No_txn txn_value then begin
-      ignore (Atomic.compare_and_set slot old_node repl);
+    if yp_cas yp_txn_announce old.txn No_txn txn_value then begin
+      ignore (yp_cas yp_txn_commit slot old_node repl);
       true
     end
     else false
@@ -580,7 +611,7 @@ module Make (H : Hashing.HASHABLE) = struct
         match mode with
         | If_present | If_value _ -> Done None
         | Always | If_absent ->
-            if Atomic.compare_and_set slot Null (fresh_snode h k v) then Done None
+            if yp_cas yp_insert_null slot Null (fresh_snode h k v) then Done None
             else insert_at t k v h lev cur prev mode)
     | ANode an -> insert_at t k v h (lev + 4) an (Some cur) mode
     | SNode old as old_node -> begin
@@ -628,7 +659,7 @@ module Make (H : Hashing.HASHABLE) = struct
                         }
                       in
                       let self = ENode en in
-                      if Atomic.compare_and_set parent.(ppos) pnode self then begin
+                      if yp_cas yp_expand_publish parent.(ppos) pnode self then begin
                         complete_expansion t self en;
                         match Atomic.get parent.(ppos) with
                         | ANode wide -> insert_at t k v h lev wide (Some parent) mode
@@ -651,10 +682,10 @@ module Make (H : Hashing.HASHABLE) = struct
             end
         | Frozen_snode -> Restart
         | Replace repl ->
-            ignore (Atomic.compare_and_set slot old_node repl);
+            ignore (yp_cas yp_txn_help slot old_node repl);
             insert_at t k v h lev cur prev mode
         | Removed ->
-            ignore (Atomic.compare_and_set slot old_node Null);
+            ignore (yp_cas yp_txn_help slot old_node Null);
             insert_at t k v h lev cur prev mode
       end
     | LNode ln as old_node ->
@@ -671,7 +702,7 @@ module Make (H : Hashing.HASHABLE) = struct
           else begin
             let entries = (k, v) :: List.remove_assoc k ln.entries in
             let fresh = LNode { ln with entries } in
-            if Atomic.compare_and_set slot old_node fresh then Done previous
+            if yp_cas yp_insert_lnode slot old_node fresh then Done previous
             else insert_at t k v h lev cur prev mode
           end
         end
@@ -683,7 +714,7 @@ module Make (H : Hashing.HASHABLE) = struct
           let lpos = (ln.lhash lsr (lev + 4)) land (wide_width - 1) in
           Atomic.set child.(lpos) old_node;
           let repl = build_into_anode t.config child (lev + 4) h k v in
-          if Atomic.compare_and_set slot old_node repl then Done None
+          if yp_cas yp_insert_lnode slot old_node repl then Done None
           else insert_at t k v h lev cur prev mode
         end
     | ENode en as self ->
@@ -731,7 +762,7 @@ module Make (H : Hashing.HASHABLE) = struct
                   }
                 in
                 let self = XNode xn in
-                if Atomic.compare_and_set parent.(ppos) pnode self then
+                if yp_cas yp_compress_publish parent.(ppos) pnode self then
                   complete_compression t self xn
             | _ -> ()
           end
@@ -769,10 +800,10 @@ module Make (H : Hashing.HASHABLE) = struct
             else remove_at t k h lev cur prev rmode
         | Frozen_snode -> Restart
         | Replace repl ->
-            ignore (Atomic.compare_and_set slot old_node repl);
+            ignore (yp_cas yp_txn_help slot old_node repl);
             remove_at t k h lev cur prev rmode
         | Removed ->
-            ignore (Atomic.compare_and_set slot old_node Null);
+            ignore (yp_cas yp_txn_help slot old_node Null);
             remove_at t k h lev cur prev rmode
       end
     | LNode ln as old_node ->
@@ -788,7 +819,7 @@ module Make (H : Hashing.HASHABLE) = struct
                 | [ (k1, v1) ] -> fresh_snode h k1 v1
                 | _ -> LNode { ln with entries }
               in
-              if Atomic.compare_and_set slot old_node fresh then Done (Some prev_v)
+              if yp_cas yp_remove_lnode slot old_node fresh then Done (Some prev_v)
               else remove_at t k h lev cur prev rmode
         end
     | ENode en as self ->

@@ -7,6 +7,19 @@
 
 module Hashing = Ct_util.Hashing
 module Bits = Ct_util.Bits
+module Yp = Ct_util.Yieldpoint
+
+(* Yield points (DESIGN.md "Fault injection & robustness"). *)
+let yp_insert_cas = Yp.register "ctrie.insert.cas"
+let yp_remove_cas = Yp.register "ctrie.remove.cas"
+let yp_clean_cas = Yp.register "ctrie.clean.cas"
+let yp_cleanparent_cas = Yp.register "ctrie.cleanparent.cas"
+
+let yp_cas site slot expected repl =
+  Yp.here Yp.Before site;
+  let ok = Atomic.compare_and_set slot expected repl in
+  if ok then Yp.here Yp.After site;
+  ok
 
 let w = 5 (* bits per level *)
 let branching = 1 lsl w
@@ -100,7 +113,7 @@ module Make (H : Hashing.HASHABLE) = struct
   let clean (i : 'v inode) lev =
     match Atomic.get i with
     | CNode { bmp; arr } as main ->
-        ignore (Atomic.compare_and_set i main (to_compressed bmp arr lev))
+        ignore (yp_cas yp_clean_cas i main (to_compressed bmp arr lev))
     | TNode _ | LNode _ -> ()
 
   let rec clean_parent (p : 'v inode) (i : 'v inode) h plev =
@@ -113,7 +126,7 @@ module Make (H : Hashing.HASHABLE) = struct
               match Atomic.get i with
               | TNode leaf ->
                   let ncn = cnode_updated bmp arr pos (SN leaf) in
-                  if not (Atomic.compare_and_set p main (to_contracted ncn plev))
+                  if not (yp_cas yp_cleanparent_cas p main (to_contracted ncn plev))
                   then clean_parent p i h plev
               | CNode _ | LNode _ -> ())
           | IN _ | SN _ -> ())
@@ -162,7 +175,7 @@ module Make (H : Hashing.HASHABLE) = struct
               let ncn =
                 cnode_inserted bmp arr pos flag (SN { hash = h; key = k; value = v })
               in
-              if Atomic.compare_and_set i main ncn then Done None else Restart
+              if yp_cas yp_insert_cas i main ncn then Done None else Restart
         end
         else
           match arr.(pos) with
@@ -177,7 +190,7 @@ module Make (H : Hashing.HASHABLE) = struct
                     let ncn =
                       cnode_updated bmp arr pos (SN { hash = h; key = k; value = v })
                     in
-                    if Atomic.compare_and_set i main ncn then Done (Some leaf.value)
+                    if yp_cas yp_insert_cas i main ncn then Done (Some leaf.value)
                     else Restart
               end
               else if
@@ -190,7 +203,7 @@ module Make (H : Hashing.HASHABLE) = struct
                   IN (Atomic.make (dual leaf { hash = h; key = k; value = v } (lev + w)))
                 in
                 let ncn = cnode_updated bmp arr pos child in
-                if Atomic.compare_and_set i main ncn then Done None else Restart
+                if yp_cas yp_insert_cas i main ncn then Done None else Restart
               end)
     | TNode _ ->
         (match parent with Some p -> clean p (lev - w) | None -> ());
@@ -210,7 +223,7 @@ module Make (H : Hashing.HASHABLE) = struct
           let nln =
             LNode { ln with entries = (k, v) :: List.remove_assoc k ln.entries }
           in
-          if Atomic.compare_and_set i main nln then Done previous else Restart
+          if yp_cas yp_insert_cas i main nln then Done previous else Restart
         end
 
   let update t k v mode =
@@ -259,7 +272,7 @@ module Make (H : Hashing.HASHABLE) = struct
                 else begin
                   let ncn = cnode_removed bmp arr pos flag in
                   let nmain = to_contracted ncn lev in
-                  if Atomic.compare_and_set i main nmain then Done (Some leaf.value)
+                  if yp_cas yp_remove_cas i main nmain then Done (Some leaf.value)
                   else Restart
                 end
           in
@@ -280,7 +293,7 @@ module Make (H : Hashing.HASHABLE) = struct
                 | [ (k1, v1) ] -> TNode { hash = h; key = k1; value = v1 }
                 | _ -> LNode { ln with entries }
               in
-              if Atomic.compare_and_set i main nmain then Done (Some prev)
+              if yp_cas yp_remove_cas i main nmain then Done (Some prev)
               else Restart
         end
 

@@ -21,6 +21,25 @@
 
 module Hashing = Ct_util.Hashing
 module Bits = Ct_util.Bits
+module Yp = Ct_util.Yieldpoint
+
+(* Yield points (DESIGN.md "Fault injection & robustness").  GCAS and
+   RDCSS are multi-CAS protocols, so every step is a distinct site: a
+   domain crashed between publish and commit leaves a descriptor that
+   any later reader must complete. *)
+let yp_gcas_publish = Yp.register "ctrie_snap.gcas.publish"
+let yp_gcas_commit = Yp.register "ctrie_snap.gcas.commit"
+let yp_gcas_abort = Yp.register "ctrie_snap.gcas.abort"
+let yp_gcas_rollback = Yp.register "ctrie_snap.gcas.rollback"
+let yp_rdcss_publish = Yp.register "ctrie_snap.rdcss.publish"
+let yp_rdcss_commit = Yp.register "ctrie_snap.rdcss.commit"
+let yp_rdcss_abort = Yp.register "ctrie_snap.rdcss.abort"
+
+let yp_cas site slot expected repl =
+  Yp.here Yp.Before site;
+  let ok = Atomic.compare_and_set slot expected repl in
+  if ok then Yp.here Yp.After site;
+  ok
 
 let w = 5
 let branching = 1 lsl w
@@ -80,17 +99,17 @@ module Make (H : Hashing.HASHABLE) = struct
     | No_prev -> m
     | Failed fb ->
         (* Roll the failed update back to the previous main node. *)
-        if Atomic.compare_and_set i.main m fb then fb
+        if yp_cas yp_gcas_rollback i.main m fb then fb
         else gcas_commit t i (Atomic.get i.main)
     | Prev pb as p ->
         let root = rdcss_read_root t ~abort:true in
         if root.gen == i.gen then begin
           (* Still the same generation: commit. *)
-          if Atomic.compare_and_set m.prev p No_prev then m else gcas_commit t i m
+          if yp_cas yp_gcas_commit m.prev p No_prev then m else gcas_commit t i m
         end
         else begin
           (* A snapshot intervened: mark failed and retry (rolls back). *)
-          ignore (Atomic.compare_and_set m.prev p (Failed pb));
+          ignore (yp_cas yp_gcas_abort m.prev p (Failed pb));
           gcas_commit t i (Atomic.get i.main)
         end
 
@@ -105,21 +124,21 @@ module Make (H : Hashing.HASHABLE) = struct
     match Atomic.get t.root with
     | Root _ -> ()
     | Desc d as cur ->
-        if abort then ignore (Atomic.compare_and_set t.root cur (Root d.ov))
+        if abort then ignore (yp_cas yp_rdcss_abort t.root cur (Root d.ov))
         else begin
           let oldmain = gcas_read_box t d.ov in
           if oldmain == d.exp then begin
-            if Atomic.compare_and_set t.root cur (Root d.nv) then
+            if yp_cas yp_rdcss_commit t.root cur (Root d.nv) then
               Atomic.set d.committed true
           end
-          else ignore (Atomic.compare_and_set t.root cur (Root d.ov))
+          else ignore (yp_cas yp_rdcss_abort t.root cur (Root d.ov))
         end
 
   (* Publish [new_main] into [i] expecting [old_box]; true iff the
      update committed under the current generation. *)
   let gcas t (i : 'v inode) (old_box : 'v main_box) (new_main : 'v main) : bool =
     let nb = { node = new_main; prev = Atomic.make (Prev old_box) } in
-    if Atomic.compare_and_set i.main old_box nb then begin
+    if yp_cas yp_gcas_publish i.main old_box nb then begin
       ignore (gcas_commit t i nb);
       match Atomic.get nb.prev with No_prev -> true | Prev _ | Failed _ -> false
     end
@@ -129,7 +148,7 @@ module Make (H : Hashing.HASHABLE) = struct
     let d = { ov; exp; nv; committed = Atomic.make false } in
     match Atomic.get t.root with
     | Root r as cur when r == ov ->
-        if Atomic.compare_and_set t.root cur (Desc d) then begin
+        if yp_cas yp_rdcss_publish t.root cur (Desc d) then begin
           rdcss_complete t ~abort:false;
           Atomic.get d.committed
         end
@@ -234,7 +253,16 @@ module Make (H : Hashing.HASHABLE) = struct
                   if p.gen == startgen then begin
                     let ncn = cnode_updated bmp arr pos (SN leaf) in
                     if not (gcas t p mb (to_contracted ncn plev)) then
-                      clean_parent t p i h plev startgen
+                      (* Retry only while the root generation still
+                         matches [startgen].  Once a snapshot commits,
+                         this GCAS can never succeed — [gcas_commit]
+                         fails any update whose I-node generation
+                         differs from the root's — so an unconditional
+                         retry livelocks.  The entombed node is
+                         collapsed anyway by whichever operation next
+                         renews this path. *)
+                      if (rdcss_read_root t ~abort:false).gen == startgen
+                      then clean_parent t p i h plev startgen
                   end
               | CNode _ | LNode _ -> ())
           | IN _ | SN _ -> ())
@@ -493,4 +521,60 @@ module Make (H : Hashing.HASHABLE) = struct
     in
     let r = rdcss_read_root t ~abort:false in
     2 + 3 + 4 + go_main (gcas_read_box t r).node
+
+  (* Structural invariants, checked during quiescence.  Read-only: a
+     pending GCAS box or RDCSS descriptor is reported as an error, not
+     helped to completion, so the chaos tests can observe the residue a
+     crashed domain leaves behind and then show that any ordinary
+     operation clears it. *)
+  let validate t =
+    let errors = ref [] in
+    let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+    let check_leaf what (leaf : 'v leaf) lev prefix pmask =
+      if leaf.hash <> hash_of leaf.key then
+        err "%s: stored hash %#x differs from key hash %#x" what leaf.hash
+          (hash_of leaf.key);
+      if leaf.hash land pmask <> prefix then
+        err "%s at level %d violates the prefix invariant" what lev
+    in
+    let rec go_inode (i : 'v inode) lev prefix pmask =
+      let mb = Atomic.get i.main in
+      (match Atomic.get mb.prev with
+      | No_prev -> ()
+      | Prev _ -> err "uncommitted GCAS box at level %d during quiescence" lev
+      | Failed _ -> err "failed GCAS box not rolled back at level %d" lev);
+      go_main mb.node lev prefix pmask
+    and go_main (main : 'v main) lev prefix pmask =
+      match main with
+      | TNode _ -> err "reachable TNode at level %d during quiescence" lev
+      | LNode ln ->
+          if List.length ln.entries < 2 then err "LNode with fewer than 2 entries";
+          List.iter
+            (fun (k, _) ->
+              if hash_of k <> ln.lhash then err "LNode entry hash mismatch")
+            ln.entries;
+          if ln.lhash land pmask <> prefix then
+            err "LNode at level %d violates the prefix invariant" lev
+      | CNode { bmp; arr } ->
+          if bmp < 0 || bmp >= 1 lsl branching then err "bitmap out of range";
+          if Bits.popcount bmp <> Array.length arr then
+            err "bitmap cardinality %d does not match array length %d"
+              (Bits.popcount bmp) (Array.length arr);
+          let pos = ref 0 in
+          for idx = 0 to branching - 1 do
+            if bmp land (1 lsl idx) <> 0 then begin
+              let child = arr.(!pos) in
+              incr pos;
+              let prefix' = prefix lor (idx lsl lev) in
+              let pmask' = pmask lor ((branching - 1) lsl lev) in
+              match child with
+              | SN leaf -> check_leaf "SNode" leaf (lev + w) prefix' pmask'
+              | IN i -> go_inode i (lev + w) prefix' pmask'
+            end
+          done
+    in
+    (match Atomic.get t.root with
+    | Desc _ -> err "pending RDCSS descriptor at the root during quiescence"
+    | Root r -> go_inode r 0 0 0);
+    match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))
 end

@@ -30,4 +30,12 @@ module Make (H : Ct_util.Hashing.HASHABLE) : sig
   val fold_snapshot : ('a -> key -> 'v -> 'a) -> 'a -> 'v t -> 'a
   (** [fold_snapshot f acc t] folds over a linearizable snapshot of
       [t] (unlike {!fold}, which is weakly consistent). *)
+
+  val validate : 'v t -> (unit, string) result
+  (** Structural invariant check for a quiescent trie: bitmap/array
+      agreement, hash-prefix consistency, LNode sanity, no reachable
+      TNode, every GCAS box committed and no pending RDCSS root
+      descriptor.  Read-only — residue left by a crashed domain is
+      reported, not repaired — which is what the chaos/crash-recovery
+      tests rely on.  Only meaningful during quiescence. *)
 end

@@ -5,20 +5,37 @@ type t = {
   rng : Rng.t;
 }
 
-let create ?(min_wait = 16) ?(max_wait = 4096) () =
+(* Distinct default seed per instance: with a shared constant seed all
+   controllers draw identical spin sequences, so contending domains
+   back off in lockstep and collide again.  The counter keeps default
+   construction deterministic (instance n always gets the same seed)
+   while decorrelating concurrent instances. *)
+let instances = Atomic.make 0
+
+let create ?(min_wait = 16) ?(max_wait = 4096) ?seed () =
   if min_wait <= 0 || max_wait < min_wait then invalid_arg "Backoff.create";
-  { min_wait; max_wait; wait = min_wait; rng = Rng.create 0x2545F4914F6CDD1D }
+  let seed =
+    match seed with
+    | Some s -> s
+    | None ->
+        Rng.mix64 (0x2545F4914F6CDD1D lxor Atomic.fetch_and_add instances 1)
+  in
+  { min_wait; max_wait; wait = min_wait; rng = Rng.create seed }
 
 (* A data dependency the compiler cannot remove, so the loop really spins. *)
 let consume = ref 0
 
-let once t =
+let next_wait t =
   let n = Rng.next_int t.rng t.wait in
+  if t.wait < t.max_wait then t.wait <- t.wait * 2;
+  n
+
+let once t =
+  let n = next_wait t in
   let acc = ref 0 in
   for i = 1 to n do
     acc := !acc + i
   done;
-  consume := !acc;
-  if t.wait < t.max_wait then t.wait <- t.wait * 2
+  consume := !acc
 
 let reset t = t.wait <- t.min_wait

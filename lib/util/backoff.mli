@@ -3,17 +3,26 @@
     The paper's operations retry immediately; under heavy contention a
     bounded randomized backoff reduces cache-line ping-pong without
     affecting lock-freedom (some thread always makes progress).  Used
-    only by the benchmark drivers and the striped table — the trie
-    algorithms themselves retry bare, as in the paper. *)
+    by the benchmark drivers, the striped table and the chaos delay
+    injector — the trie algorithms themselves retry bare, as in the
+    paper. *)
 
 type t
 
-val create : ?min_wait:int -> ?max_wait:int -> unit -> t
+val create : ?min_wait:int -> ?max_wait:int -> ?seed:int -> unit -> t
 (** [create ()] makes a backoff controller; [min_wait]/[max_wait] are
-    spin iteration counts (defaults 16 and 4096). *)
+    spin iteration counts (defaults 16 and 4096).  [seed] fixes the
+    PRNG drawing the spin lengths; by default each instance gets a
+    distinct deterministic seed, so concurrently contending domains do
+    not back off in lockstep. *)
 
 val once : t -> unit
 (** [once t] spins for the current window and doubles it (capped). *)
+
+val next_wait : t -> int
+(** [next_wait t] draws the spin count [once] would use and doubles the
+    window, without spinning — for custom waiters (the chaos jitter
+    injector) and for testing seed behaviour. *)
 
 val reset : t -> unit
 (** [reset t] shrinks the window back to [min_wait]. *)

@@ -1,0 +1,37 @@
+type phase = Before | After
+
+type site = { name : string }
+
+let registry : site list Atomic.t = Atomic.make []
+
+let register name =
+  let rec go () =
+    let cur = Atomic.get registry in
+    match List.find_opt (fun s -> s.name = name) cur with
+    | Some s -> s
+    | None ->
+        let s = { name } in
+        if Atomic.compare_and_set registry cur (s :: cur) then s else go ()
+  in
+  go ()
+
+let name s = s.name
+
+let all () =
+  List.sort (fun a b -> compare a.name b.name) (Atomic.get registry)
+
+let with_prefix prefix =
+  let n = String.length prefix in
+  List.filter
+    (fun s -> String.length s.name >= n && String.sub s.name 0 n = prefix)
+    (all ())
+
+let hook : (phase -> site -> unit) option Atomic.t = Atomic.make None
+
+let[@inline] here phase site =
+  match Atomic.get hook with None -> () | Some f -> f phase site
+
+let install f = Atomic.set hook (Some f)
+let clear () = Atomic.set hook None
+let active () =
+  match Atomic.get hook with None -> false | Some _ -> true

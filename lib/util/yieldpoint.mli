@@ -1,0 +1,62 @@
+(** Yield points: named fault-injection hooks inside the lock-free
+    algorithms.
+
+    Every CAS, freeze step, transaction announcement and cache install
+    in the trie implementations is bracketed by a call to {!here} with
+    a registered {!site}.  In production nothing is installed and
+    [here] is a single [Atomic.get] of a [None] default — no
+    allocation, no branch beyond the option match — so the hooks are
+    free to leave enabled unconditionally.
+
+    The chaos layer ([lib/chaos]) installs a hook to stall a victim
+    domain at a chosen point, abandon an operation mid-flight
+    (simulating a crashed/descheduled domain), or inject randomized
+    delays that widen race windows.  This is what lets the test suite
+    drive the helping and freeze-completion paths deterministically
+    instead of hoping the scheduler produces the adversarial
+    interleavings the paper's lock-freedom argument is about.
+
+    Contract at each instrumented operation:
+    - [here Before site] fires before the CAS/write is attempted;
+    - [here After site] fires only after a {e successful} CAS (or
+      after the plain write, for cache installs) — so a hook raising at
+      [After] leaves the published value visible, exactly the state a
+      domain that died right after publication would leave behind.
+
+    The hook may spin or raise; it must not re-enter the structure
+    under test. *)
+
+type phase = Before | After
+
+type site
+(** A registered yield point.  Sites are interned by name: registering
+    the same name twice returns the same site, so hooks can match on
+    physical equality. *)
+
+val register : string -> site
+(** [register name] interns a site.  Called at module-initialization
+    time by the instrumented libraries; names are dot-separated
+    ["structure.operation.step"], e.g. ["cachetrie.expand.publish"]. *)
+
+val name : site -> string
+
+val all : unit -> site list
+(** Every registered site, sorted by name.  Only sites of libraries
+    linked into the current program appear. *)
+
+val with_prefix : string -> site list
+(** [with_prefix "cachetrie."] — the instrumented points of one
+    structure. *)
+
+val here : phase -> site -> unit
+(** Fast path.  With no hook installed this is one atomic load. *)
+
+val install : (phase -> site -> unit) -> unit
+(** [install f] makes every [here] call run [f].  Installing replaces
+    any previous hook; the hook is global (all domains), so injectors
+    that target one domain must filter on [Domain.self] themselves. *)
+
+val clear : unit -> unit
+(** Remove the hook (back to the production fast path). *)
+
+val active : unit -> bool

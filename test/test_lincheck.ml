@@ -86,6 +86,70 @@ let test_respects_program_order () =
   in
   check_bool "final lookup must see 20" false (check h)
 
+(* -------------- conditional ops (Replace_if / Remove_if) ------------ *)
+
+(* Result encoding for the conditional ops: Some 1 = succeeded,
+   Some 0 = failed (see lincheck.mli). *)
+
+let test_rejects_replace_if_wrong_witness () =
+  (* The CAS claims success although the expected value never was the
+     binding at any legal linearization point. *)
+  let h =
+    [
+      ev 0 (Insert (1, 10)) None 0 1;
+      ev 0 (Replace_if (1, 20, 30)) (Some 1) 2 3;
+    ]
+  in
+  check_bool "replace_if with wrong witness rejected" false (check h)
+
+let test_rejects_replace_if_spurious_failure () =
+  (* No concurrent op can explain the failure: the binding is 10 for
+     the whole duration, so replace(1, 10, 20) must succeed. *)
+  let h =
+    [
+      ev 0 (Insert (1, 10)) None 0 1;
+      ev 0 (Replace_if (1, 10, 20)) (Some 0) 2 3;
+    ]
+  in
+  check_bool "spurious replace_if failure rejected" false (check h)
+
+let test_rejects_double_remove_if () =
+  (* Two overlapping conditional removes of the same binding cannot
+     both win. *)
+  let h =
+    [
+      ev 0 (Insert (1, 10)) None 0 1;
+      ev 0 (Remove_if (1, 10)) (Some 1) 2 5;
+      ev 1 (Remove_if (1, 10)) (Some 1) 3 6;
+    ]
+  in
+  check_bool "double remove_if winner rejected" false (check h)
+
+let test_rejects_replace_if_remove_if_conflict () =
+  (* Whichever linearizes first invalidates the other's witness, so
+     both succeeding is impossible in every order. *)
+  let h =
+    [
+      ev 0 (Insert (1, 10)) None 0 1;
+      ev 0 (Remove_if (1, 10)) (Some 1) 2 5;
+      ev 1 (Replace_if (1, 10, 20)) (Some 1) 3 6;
+    ]
+  in
+  check_bool "conflicting conditional winners rejected" false (check h)
+
+let test_accepts_replace_if_then_remove_if () =
+  (* Sanity guard against over-rejection: here both CAN win, in the
+     order replace (10 -> 20) then remove-of-20. *)
+  let h =
+    [
+      ev 0 (Insert (1, 10)) None 0 1;
+      ev 0 (Replace_if (1, 10, 20)) (Some 1) 2 5;
+      ev 1 (Remove_if (1, 20)) (Some 1) 3 6;
+      ev 0 (Lookup 1) None 7 8;
+    ]
+  in
+  check_bool "chained conditional winners accepted" true (check h)
+
 (* ------------------- real structures, random runs ------------------ *)
 
 module CT = Cachetrie.Make (Ct_util.Hashing.Int_key)
@@ -116,6 +180,19 @@ let suite =
     ("rejects_lost_update", `Quick, test_rejects_lost_update);
     ("rejects_value_from_nowhere", `Quick, test_rejects_value_from_nowhere);
     ("respects_program_order", `Quick, test_respects_program_order);
+    ( "rejects_replace_if_wrong_witness",
+      `Quick,
+      test_rejects_replace_if_wrong_witness );
+    ( "rejects_replace_if_spurious_failure",
+      `Quick,
+      test_rejects_replace_if_spurious_failure );
+    ("rejects_double_remove_if", `Quick, test_rejects_double_remove_if);
+    ( "rejects_replace_if_remove_if_conflict",
+      `Quick,
+      test_rejects_replace_if_remove_if_conflict );
+    ( "accepts_replace_if_then_remove_if",
+      `Quick,
+      test_accepts_replace_if_then_remove_if );
     random_battery "cachetrie" (module CT);
     random_battery "ctrie" (module CTR);
     random_battery "chm" (module SO);

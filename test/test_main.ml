@@ -21,5 +21,6 @@ let () =
       ("hamt", Test_hamt.suite);
       ("analysis", Test_analysis.suite);
       ("lincheck", Test_lincheck.suite);
+      ("chaos", Test_chaos.suite);
       ("harness", Test_harness.suite);
     ]

@@ -214,6 +214,59 @@ let test_backoff () =
   Alcotest.check_raises "bad args" (Invalid_argument "Backoff.create") (fun () ->
       ignore (Backoff.create ~min_wait:0 ~max_wait:1 ()))
 
+let test_backoff_seeding () =
+  let draws b = List.init 16 (fun _ -> Backoff.next_wait b) in
+  (* Same explicit seed -> identical wait sequences (reproducibility). *)
+  let b1 = Backoff.create ~min_wait:2 ~max_wait:64 ~seed:42 () in
+  let b2 = Backoff.create ~min_wait:2 ~max_wait:64 ~seed:42 () in
+  check_bool "same seed, same waits" true (draws b1 = draws b2);
+  (* Default-seeded instances get distinct streams, so contending
+     domains do not back off in lock-step. *)
+  let d1 = Backoff.create ~min_wait:2 ~max_wait:64 () in
+  let d2 = Backoff.create ~min_wait:2 ~max_wait:64 () in
+  check_bool "default seeds diverge" true (draws d1 <> draws d2);
+  (* next_wait stays within the current doubling window. *)
+  let b = Backoff.create ~min_wait:4 ~max_wait:8 ~seed:7 () in
+  check_bool "waits bounded" true
+    (List.for_all (fun n -> n >= 0 && n < 8) (draws b))
+
+(* --------------------------- Yieldpoint ---------------------------- *)
+
+let test_yieldpoint_registry () =
+  let s1 = Yieldpoint.register "test_util.yp.alpha" in
+  let s2 = Yieldpoint.register "test_util.yp.alpha" in
+  check_bool "interned by name" true (s1 == s2);
+  check_bool "name round-trips" true (Yieldpoint.name s1 = "test_util.yp.alpha");
+  let _ = Yieldpoint.register "test_util.yp.beta" in
+  let mine = Yieldpoint.with_prefix "test_util.yp." in
+  check_bool "with_prefix finds both" true (List.length mine = 2);
+  (* The instrumented structures register their sites at start-up. *)
+  check_bool "cachetrie sites present" true
+    (Yieldpoint.with_prefix "cachetrie." <> []);
+  check_bool "ctrie sites present" true (Yieldpoint.with_prefix "ctrie." <> []);
+  check_bool "ctrie_snap sites present" true
+    (Yieldpoint.with_prefix "ctrie_snap." <> [])
+
+let test_yieldpoint_hook () =
+  Fun.protect ~finally:Yieldpoint.clear @@ fun () ->
+  let s = Yieldpoint.register "test_util.yp.hook" in
+  let fired = ref [] in
+  check_bool "inactive by default" false (Yieldpoint.active ());
+  (* Disabled hook: here is a no-op. *)
+  Yieldpoint.here Yieldpoint.Before s;
+  check_bool "no-op when disabled" true (!fired = []);
+  Yieldpoint.install (fun ph site -> fired := (ph, Yieldpoint.name site) :: !fired);
+  check_bool "active after install" true (Yieldpoint.active ());
+  Yieldpoint.here Yieldpoint.Before s;
+  Yieldpoint.here Yieldpoint.After s;
+  check_bool "hook saw both phases" true
+    (List.rev !fired
+    = [ (Yieldpoint.Before, "test_util.yp.hook"); (Yieldpoint.After, "test_util.yp.hook") ]);
+  Yieldpoint.clear ();
+  check_bool "inactive after clear" false (Yieldpoint.active ());
+  Yieldpoint.here Yieldpoint.Before s;
+  check_bool "no-op after clear" true (List.length !fired = 2)
+
 let suite =
   [
     ("bits.ctz", `Quick, test_ctz);
@@ -239,4 +292,7 @@ let suite =
     ("stats.confidence_interval", `Quick, test_confidence_interval);
     ("stats.speedup", `Quick, test_speedup);
     ("backoff.basic", `Quick, test_backoff);
+    ("backoff.seeding", `Quick, test_backoff_seeding);
+    ("yieldpoint.registry", `Quick, test_yieldpoint_registry);
+    ("yieldpoint.hook", `Quick, test_yieldpoint_hook);
   ]
