@@ -14,6 +14,7 @@
 
 module Hashing = Ct_util.Hashing
 module Bits = Ct_util.Bits
+module Slots = Ct_util.Slots
 
 let initial_buckets = 16
 let max_buckets = 1 lsl 22
@@ -42,7 +43,7 @@ module Make (H : Hashing.HASHABLE) = struct
   and 'v link = { succ : 'v node option; marked : bool }
 
   type 'v t = {
-    table : 'v node option Atomic.t array Atomic.t;
+    table : 'v node option Slots.t Atomic.t;
     count : int Atomic.t;
     list_head : 'v node;  (* sentinel of bucket 0 *)
   }
@@ -58,8 +59,8 @@ module Make (H : Hashing.HASHABLE) = struct
         next = Atomic.make { succ = None; marked = false };
       }
     in
-    let table = Array.init initial_buckets (fun _ -> Atomic.make None) in
-    Atomic.set table.(0) (Some head);
+    let table = Slots.make initial_buckets None in
+    Slots.set table 0 (Some head);
     { table = Atomic.make table; count = Atomic.make 0; list_head = head }
 
   let hash_of k = H.hash k land Hashing.mask
@@ -109,8 +110,8 @@ module Make (H : Hashing.HASHABLE) = struct
     (* Clear the most significant set bit. *)
     if b = 0 then 0 else b lxor (1 lsl (31 - Bits.count_leading_zeros32 b))
 
-  let rec get_bucket t (table : 'v node option Atomic.t array) b : 'v node =
-    match Atomic.get table.(b) with
+  let rec get_bucket t (table : 'v node option Slots.t) b : 'v node =
+    match Slots.get table b with
     | Some sentinel -> sentinel
     | None ->
         (* Initialize recursively from the parent bucket. *)
@@ -149,53 +150,60 @@ module Make (H : Hashing.HASHABLE) = struct
               end
         in
         let sentinel = install () in
-        ignore (Atomic.compare_and_set table.(b) None (Some sentinel));
+        ignore (Slots.cas table b None (Some sentinel));
         (* Another thread may have installed a different-but-equivalent
            sentinel pointer first; always use the published one. *)
-        (match Atomic.get table.(b) with Some s -> s | None -> sentinel)
+        (match Slots.get table b with Some s -> s | None -> sentinel)
 
   let bucket_for t h =
     let table = Atomic.get t.table in
-    let b = h land (Array.length table - 1) in
+    let b = h land (Slots.length table - 1) in
     get_bucket t table b
 
-  let bucket_count t = Array.length (Atomic.get t.table)
+  let bucket_count t = Slots.length (Atomic.get t.table)
 
   (* Double the bucket table when the load factor is exceeded.  The
      new array reuses initialized buckets; lazy initialization fills
      the rest. *)
   let maybe_grow t =
     let table = Atomic.get t.table in
-    let buckets = Array.length table in
+    let buckets = Slots.length table in
     if buckets < max_buckets && Atomic.get t.count > buckets * load_factor then begin
-      let bigger = Array.init (buckets * 2) (fun _ -> Atomic.make None) in
-      Array.blit table 0 bigger 0 buckets;
+      let bigger = Slots.make (buckets * 2) None in
+      for b = 0 to buckets - 1 do
+        Slots.set bigger b (Slots.get table b)
+      done;
       ignore (Atomic.compare_and_set t.table table bigger)
     end
 
   (* ------------------------------ lookup ---------------------------- *)
 
-  let lookup t k =
-    let h = hash_of k in
-    let sokey = regular_sokey h in
-    let start = bucket_for t h in
-    (* Wait-free read: traverse skipping marked nodes without helping. *)
-    let rec go (node : 'v node option) =
-      match node with
-      | None -> None
-      | Some n ->
-          if n.sokey < sokey then go (Atomic.get n.next).succ
-          else if n.sokey > sokey then None
-          else begin
-            match n.kind with
-            | Binding b when H.equal b.key k -> (
-                match Atomic.get b.state with Live v -> Some v | Dead -> None)
-            | Binding _ | Sentinel -> go (Atomic.get n.next).succ
-          end
-    in
-    go (Atomic.get start.next).succ
+  (* Wait-free read: traverse skipping marked nodes without helping.
+     Top-level recursion (the old local [go] closure allocated per
+     lookup) raising (notrace) on a miss, so a read allocates nothing
+     once the bucket sentinel exists. *)
+  let rec find_in_list (node : 'v node option) sokey k : 'v =
+    match node with
+    | None -> raise_notrace Not_found
+    | Some n ->
+        if n.sokey < sokey then find_in_list (Atomic.get n.next).succ sokey k
+        else if n.sokey > sokey then raise_notrace Not_found
+        else begin
+          match n.kind with
+          | Binding b when H.equal b.key k -> (
+              match Atomic.get b.state with
+              | Live v -> v
+              | Dead -> raise_notrace Not_found)
+          | Binding _ | Sentinel -> find_in_list (Atomic.get n.next).succ sokey k
+        end
 
-  let mem t k = Option.is_some (lookup t k)
+  let find t k =
+    let h = hash_of k in
+    let start = bucket_for t h in
+    find_in_list (Atomic.get start.next).succ (regular_sokey h) k
+
+  let lookup t k = match find t k with v -> Some v | exception Not_found -> None
+  let mem t k = match find t k with _ -> true | exception Not_found -> false
 
   (* ------------------------------ updates --------------------------- *)
 
@@ -350,20 +358,19 @@ module Make (H : Hashing.HASHABLE) = struct
     in
     walk (Some t.list_head) min_int;
     let table = Atomic.get t.table in
-    Array.iteri
-      (fun b slot ->
-        match Atomic.get slot with
-        | None -> ()
-        | Some sentinel ->
-            if sentinel.kind <> Sentinel then err "bucket %d points at a binding" b;
-            if sentinel.sokey <> sentinel_sokey b then
-              err "bucket %d sentinel has wrong sokey" b)
-      table;
+    for b = 0 to Slots.length table - 1 do
+      match Slots.get table b with
+      | None -> ()
+      | Some sentinel ->
+          if sentinel.kind <> Sentinel then err "bucket %d points at a binding" b;
+          if sentinel.sokey <> sentinel_sokey b then
+            err "bucket %d sentinel has wrong sokey" b
+    done;
     match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))
 
   (* Word-cost model (DESIGN.md): node = 4 + link box 2 + link record 3;
-     binding payload = 4 + state box 2 + Live box 2; table = arrays +
-     option boxes. *)
+     binding payload = 4 + state box 2 + Live box 2; table = array +
+     per-slot overhead + Some boxes for initialized buckets. *)
   let footprint_words t =
     let rec go acc (node : 'v node option) =
       match node with
@@ -373,5 +380,11 @@ module Make (H : Hashing.HASHABLE) = struct
           go (acc + words) (Atomic.get n.next).succ
     in
     let table = Atomic.get t.table in
-    go (1 + (3 * Array.length table)) (Some t.list_head)
+    let table_words =
+      Slots.fold
+        (fun acc slot -> acc + (match slot with None -> 0 | Some _ -> 2))
+        (1 + ((1 + Slots.overhead_words_per_slot) * Slots.length table))
+        table
+    in
+    go table_words (Some t.list_head)
 end

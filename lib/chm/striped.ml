@@ -1,8 +1,12 @@
 (* Lock-striped chaining hash table with wait-free reads: bucket heads
-   are atomic immutable lists; writers take the stripe lock for their
-   bucket, readers never lock.  Resize locks all stripes in order. *)
+   live in an atomic slot array (Ct_util.Slots) holding immutable
+   lists; writers take the stripe lock for their bucket, readers never
+   lock.  Resize locks all stripes in order.  A bucket store under the
+   stripe lock needs no CAS — [Slots.set]'s release ordering is enough
+   to publish the new cons cell to lock-free readers. *)
 
 module Hashing = Ct_util.Hashing
+module Slots = Ct_util.Slots
 
 let n_stripes = 16
 let initial_buckets = 16
@@ -17,31 +21,44 @@ module Make (H : Hashing.HASHABLE) = struct
   type 'v bucket = (int * key * 'v) list
 
   type 'v t = {
-    mutable table : 'v bucket Atomic.t array;  (* replaced under all locks *)
+    mutable table : 'v bucket Slots.t;  (* replaced under all locks *)
     stripes : Mutex.t array;
     count : int Atomic.t;
   }
 
   let create () =
     {
-      table = Array.init initial_buckets (fun _ -> Atomic.make []);
+      table = Slots.make initial_buckets [];
       stripes = Array.init n_stripes (fun _ -> Mutex.create ());
       count = Atomic.make 0;
     }
 
   let hash_of k = H.hash k land Hashing.mask
-  let bucket_count t = Array.length t.table
+  let bucket_count t = Slots.length t.table
 
+  (* Manual unlock on both exits instead of [Fun.protect]: protect
+     allocates its [finally] closure and exception-wrapping machinery
+     on every write. *)
   let with_stripe t h f =
     let m = t.stripes.(h land (n_stripes - 1)) in
     Mutex.lock m;
-    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+    match f () with
+    | r ->
+        Mutex.unlock m;
+        r
+    | exception e ->
+        Mutex.unlock m;
+        raise e
 
   let with_all_stripes t f =
     Array.iter Mutex.lock t.stripes;
-    Fun.protect
-      ~finally:(fun () -> Array.iter Mutex.unlock t.stripes)
-      f
+    match f () with
+    | r ->
+        Array.iter Mutex.unlock t.stripes;
+        r
+    | exception e ->
+        Array.iter Mutex.unlock t.stripes;
+        raise e
 
   let rec find_bucket entries h k =
     match entries with
@@ -49,31 +66,38 @@ module Make (H : Hashing.HASHABLE) = struct
     | (h', k', v') :: rest ->
         if h' = h && H.equal k' k then Some v' else find_bucket rest h k
 
-  let lookup t k =
+  (* Raising twin of [find_bucket] for the allocation-free read path. *)
+  let rec find_in_bucket entries h k =
+    match entries with
+    | [] -> raise_notrace Not_found
+    | (h', k', v') :: rest ->
+        if h' = h && H.equal k' k then v' else find_in_bucket rest h k
+
+  let find t k =
     let h = hash_of k in
     let table = t.table in
-    let entries = Atomic.get table.(h land (Array.length table - 1)) in
-    find_bucket entries h k
+    find_in_bucket (Slots.get table (h land (Slots.length table - 1))) h k
 
-  let mem t k = Option.is_some (lookup t k)
+  let lookup t k = match find t k with v -> Some v | exception Not_found -> None
+  let mem t k = match find t k with _ -> true | exception Not_found -> false
 
   let resize_if_needed t =
     if
-      Atomic.get t.count > Array.length t.table * load_factor
-      && Array.length t.table < max_buckets
+      Atomic.get t.count > bucket_count t * load_factor
+      && bucket_count t < max_buckets
     then
       with_all_stripes t (fun () ->
           let old = t.table in
-          if Atomic.get t.count > Array.length old * load_factor then begin
-            let size = Array.length old * 2 in
-            let fresh = Array.init size (fun _ -> Atomic.make []) in
-            Array.iter
-              (fun slot ->
+          if Atomic.get t.count > Slots.length old * load_factor then begin
+            let size = Slots.length old * 2 in
+            let fresh = Slots.make size [] in
+            Slots.iter
+              (fun entries ->
                 List.iter
                   (fun ((h, _, _) as e) ->
-                    let b = fresh.(h land (size - 1)) in
-                    Atomic.set b (e :: Atomic.get b))
-                  (Atomic.get slot))
+                    let idx = h land (size - 1) in
+                    Slots.set fresh idx (e :: Slots.get fresh idx))
+                  entries)
               old;
             t.table <- fresh
           end)
@@ -85,8 +109,8 @@ module Make (H : Hashing.HASHABLE) = struct
     let previous =
       with_stripe t h (fun () ->
           let table = t.table in
-          let slot = table.(h land (Array.length table - 1)) in
-          let entries = Atomic.get slot in
+          let idx = h land (Slots.length table - 1) in
+          let entries = Slots.get table idx in
           let previous = find_bucket entries h k in
           let proceed =
             match (mode, previous) with
@@ -100,7 +124,7 @@ module Make (H : Hashing.HASHABLE) = struct
               if previous = None then entries
               else List.filter (fun (h', k', _) -> not (h' = h && H.equal k' k)) entries
             in
-            Atomic.set slot ((h, k, v) :: without);
+            Slots.set table idx ((h, k, v) :: without);
             if previous = None then Atomic.incr t.count
           end;
           previous)
@@ -122,13 +146,13 @@ module Make (H : Hashing.HASHABLE) = struct
     let h = hash_of k in
     with_stripe t h (fun () ->
         let table = t.table in
-        let slot = table.(h land (Array.length table - 1)) in
-        let entries = Atomic.get slot in
+        let idx = h land (Slots.length table - 1) in
+        let entries = Slots.get table idx in
         match find_bucket entries h k with
         | None -> None
         | Some v as previous ->
             if cond v then begin
-              Atomic.set slot
+              Slots.set table idx
                 (List.filter (fun (h', k', _) -> not (h' = h && H.equal k' k)) entries);
               Atomic.decr t.count
             end;
@@ -142,20 +166,21 @@ module Make (H : Hashing.HASHABLE) = struct
     | None -> false
 
   let fold f acc t =
-    let table = t.table in
-    Array.fold_left
-      (fun acc slot ->
-        List.fold_left (fun acc (_, k, v) -> f acc k v) acc (Atomic.get slot))
-      acc table
+    Slots.fold
+      (fun acc entries ->
+        List.fold_left (fun acc (_, k, v) -> f acc k v) acc entries)
+      acc t.table
 
   let iter f t = fold (fun () k v -> f k v) () t
   let size t = fold (fun n _ _ -> n + 1) 0 t
   let is_empty t = size t = 0
   let to_list t = fold (fun acc k v -> (k, v) :: acc) [] t
 
-  (* Word-cost model: table array + atomic boxes + 5-word cells
-     (cons 3 + tuple header... tuple of 3 = 4 words, cons = 3). *)
+  (* Word-cost model: table array + per-slot overhead + 7-word cells
+     (cons 3 + tuple of 3 = 4 words). *)
   let footprint_words t =
     let cells = Atomic.get t.count in
-    1 + (3 * Array.length t.table) + (7 * cells) + n_stripes
+    1
+    + ((1 + Slots.overhead_words_per_slot) * bucket_count t)
+    + (7 * cells) + n_stripes
 end

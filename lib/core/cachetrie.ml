@@ -1,12 +1,22 @@
+module Slots = Ct_util.Slots
+(* ^ Line 1 is load-bearing: lib/core/dune generates cachetrie_boxed.ml
+   by replacing exactly this line with an alias to Atomic_slots.Boxed,
+   so the boxed seed layout stays benchmarkable against the flat one in
+   the same binary.  Keep the alias on line 1, alone. *)
+
 (* Cache-trie: lock-free concurrent hash trie with a quiescently
    consistent cache (Prokopec, PPoPP'18).
 
    The implementation follows the paper's pseudocode (Figures 2-8)
    with the OCaml-specific decisions documented in DESIGN.md:
 
-   - ANodes are arrays of [Atomic.t] slot boxes (no atomic arrays in
-     the stdlib); slot boxes never change identity, so CAS works on
-     stable locations.
+   - ANodes are [Slots.t] arrays (Ct_util.Atomic_slots): by default a
+     single flat array CASed field-by-field through the runtime's
+     [caml_atomic_cas_field], with the seed's one-[Atomic.t]-box-per-
+     slot layout kept as the [Boxed] fallback behind the same
+     interface.  Either way a slot is a stable location for the
+     lifetime of its ANode, so CAS identities work exactly as in the
+     paper (DESIGN.md "Slot layout").
    - The SNode [txn] field is a closed variant instead of [Any].
    - Full 32-bit hash collisions are resolved with immutable LNodes
      (association lists), updated by direct slot CAS and frozen by
@@ -17,17 +27,21 @@
    - The cache entry arrays are plain (non-atomic) arrays: the cache is
      quiescently consistent and every fast-path read is validated
      against the trie, so racy cache reads are benign (the paper's
-     inhabit uses a plain WRITE for the same reason). *)
+     inhabit uses a plain WRITE for the same reason).
+   - [find] is the primitive read ([raise_notrace Not_found] on a
+     miss); [lookup]/[mem] wrap it, so a hit allocates nothing. *)
 
 module Hashing = Ct_util.Hashing
 module Bits = Ct_util.Bits
 module Rng = Ct_util.Rng
+module Stripe = Ct_util.Stripe
 module Yp = Ct_util.Yieldpoint
 
 (* Yield points (DESIGN.md "Fault injection & robustness"): one site
    per distinct CAS/write, registered once per program.  [yp_cas]
-   brackets a CAS so that After fires only when the value was actually
-   published. *)
+   brackets a CAS on an [Atomic.t] (txn fields, descriptor cells, the
+   cache head) and [yp_cas_slot] a CAS on an ANode slot, so that After
+   fires only when the value was actually published. *)
 let yp_freeze_null = Yp.register "cachetrie.freeze.null"
 let yp_freeze_txn = Yp.register "cachetrie.freeze.txn"
 let yp_freeze_wrap = Yp.register "cachetrie.freeze.wrap"
@@ -52,6 +66,12 @@ let yp_cas site slot expected repl =
   if ok then Yp.here Yp.After site;
   ok
 
+let yp_cas_slot site an pos expected repl =
+  Yp.here Yp.Before site;
+  let ok = Slots.cas an pos expected repl in
+  if ok then Yp.here Yp.After site;
+  ok
+
 type config = {
   enable_cache : bool;  (** if false, behaves as the paper's "w/o cache" variant *)
   max_misses : int;  (** misses per counter stripe before a sampling pass (paper: 2048) *)
@@ -59,7 +79,10 @@ type config = {
   min_cache_level : int;  (** first cache level installed (paper: 8) *)
   cache_trigger_level : int;  (** trie level whose nodes trigger cache creation (paper: 12) *)
   max_cache_level : int;  (** cap on the cache level, bounding cache memory *)
-  miss_stripes : int;  (** number of per-domain miss counter stripes *)
+  miss_stripes : int;
+      (** upper bound on the number of miss-counter stripes; the actual
+          count is [min (Domain.recommended_domain_count ()) miss_stripes]
+          rounded up to a power of two, fixed at cache creation *)
   narrow_nodes : bool;  (** if false, always allocate wide ANodes (ablation) *)
   dual_level_cache : bool;
       (** keep the fallback cache level fresh too (paper Section 7's
@@ -117,7 +140,7 @@ module Make (H : Hashing.HASHABLE) = struct
     | Replace of 'v node  (** announced replacement (SNode, ANode or LNode) *)
     | Removed  (** announced removal: parent slot will become Null *)
 
-  and 'v anode = 'v node Atomic.t array
+  and 'v anode = 'v node Slots.t
 
   and 'v lnode = { lhash : int; entries : (key * 'v) list }
 
@@ -138,11 +161,14 @@ module Make (H : Hashing.HASHABLE) = struct
   }
 
   (* Cache (paper Figure 5): a list of levels, deepest first.  Entry
-     arrays are plain: see the header comment. *)
+     arrays are plain: see the header comment.  Miss counters are a
+     padded [Stripe.t] (one counter per cache line) sized from the
+     domain count — with a bare [int array] eight domains' counters
+     share one line and every miss ping-pongs it. *)
   type 'v cache_level = {
     c_level : int;  (** trie level covered, multiple of 4 *)
     c_entries : 'v node array;  (** length [2^c_level] *)
-    c_misses : int array;  (** striped per-domain miss counters *)
+    c_misses : Stripe.t;  (** striped per-domain miss counters *)
     c_parent : 'v cache_level option;
   }
 
@@ -160,9 +186,8 @@ module Make (H : Hashing.HASHABLE) = struct
 
   let narrow_width = 4
   let wide_width = 16
-  let miss_stride = 8
 
-  let new_anode n : 'v anode = Array.init n (fun _ -> Atomic.make Null)
+  let new_anode n : 'v anode = Slots.make n Null
 
   let create_with ~config () =
     {
@@ -179,17 +204,25 @@ module Make (H : Hashing.HASHABLE) = struct
 
   let create () = create_with ~config:default_config ()
   let hash_of k = H.hash k land Hashing.mask
-  let apos (an : 'v anode) h lev = (h lsr lev) land (Array.length an - 1)
-  let is_narrow (an : 'v anode) = Array.length an = narrow_width
+  let apos (an : 'v anode) h lev = (h lsr lev) land (Slots.length an - 1)
+  let is_narrow (an : 'v anode) = Slots.length an = narrow_width
 
   let fresh_snode h k v = SNode { hash = h; key = k; value = v; txn = Atomic.make No_txn }
+
+  (* Association-list lookup with the structure's own key equality
+     (the [List.assoc_opt] it replaces used polymorphic [=], which both
+     disagrees with the [H.equal] the SNode paths use and compiles to a
+     [caml_equal] C call). *)
+  let rec lassoc k = function
+    | [] -> raise_notrace Not_found
+    | (k', v) :: rest -> if H.equal k' k then v else lassoc k rest
 
   (* ---------------------------------------------------------------- *)
   (* Sequential construction on private nodes.                         *)
   (*                                                                    *)
   (* These run on nodes not yet published (expansion/compression       *)
   (* targets, children built for a txn announcement), so plain          *)
-  (* Atomic.set is race-free here.                                      *)
+  (* Slots.set is race-free here.                                       *)
   (* ---------------------------------------------------------------- *)
 
   (* Build the node that holds two bindings whose hashes differ,
@@ -202,8 +235,8 @@ module Make (H : Hashing.HASHABLE) = struct
     and np2 = (h2 lsr lev) land (narrow_width - 1) in
     if cfg.narrow_nodes && np1 <> np2 then begin
       let an = new_anode narrow_width in
-      Atomic.set an.(np1) (fresh_snode h1 k1 v1);
-      Atomic.set an.(np2) (fresh_snode h2 k2 v2);
+      Slots.set an np1 (fresh_snode h1 k1 v1);
+      Slots.set an np2 (fresh_snode h2 k2 v2);
       ANode an
     end
     else begin
@@ -211,10 +244,10 @@ module Make (H : Hashing.HASHABLE) = struct
       and wp2 = (h2 lsr lev) land (wide_width - 1) in
       let an = new_anode wide_width in
       if wp1 <> wp2 then begin
-        Atomic.set an.(wp1) (fresh_snode h1 k1 v1);
-        Atomic.set an.(wp2) (fresh_snode h2 k2 v2)
+        Slots.set an wp1 (fresh_snode h1 k1 v1);
+        Slots.set an wp2 (fresh_snode h2 k2 v2)
       end
-      else Atomic.set an.(wp1) (join_disjoint cfg h1 k1 v1 h2 k2 v2 (lev + 4));
+      else Slots.set an wp1 (join_disjoint cfg h1 k1 v1 h2 k2 v2 (lev + 4));
       ANode an
     end
 
@@ -238,25 +271,25 @@ module Make (H : Hashing.HASHABLE) = struct
         else begin
           (* Push the whole list one level down next to the new key. *)
           let an = new_anode wide_width in
-          Atomic.set an.((ln.lhash lsr lev) land (wide_width - 1)) (LNode ln);
+          Slots.set an ((ln.lhash lsr lev) land (wide_width - 1)) (LNode ln);
           build_into_anode cfg an lev h k v
         end
     | ANode an ->
         if is_narrow an then begin
           let pos = (h lsr lev) land (narrow_width - 1) in
-          match Atomic.get an.(pos) with
+          match Slots.get an pos with
           | Null ->
-              Atomic.set an.(pos) (fresh_snode h k v);
+              Slots.set an pos (fresh_snode h k v);
               ANode an
           | _ ->
               (* Promote the narrow node to a wide one, then insert. *)
               let wide = new_anode wide_width in
-              Array.iter
-                (fun slot ->
-                  match Atomic.get slot with
+              Slots.iter
+                (fun child ->
+                  match child with
                   | Null -> ()
                   | SNode sn as leaf ->
-                      Atomic.set wide.((sn.hash lsr lev) land (wide_width - 1)) leaf
+                      Slots.set wide ((sn.hash lsr lev) land (wide_width - 1)) leaf
                   | LNode _ | ANode _ | FVNode | FNode _ | ENode _ | XNode _ ->
                       (* narrow nodes hold only SNodes *)
                       assert false)
@@ -270,7 +303,7 @@ module Make (H : Hashing.HASHABLE) = struct
 
   and build_into_anode cfg (an : 'v anode) lev h k v : 'v node =
     let pos = apos an h lev in
-    Atomic.set an.(pos) (build_insert cfg (Atomic.get an.(pos)) (lev + 4) h k v);
+    Slots.set an pos (build_insert cfg (Slots.get an pos) (lev + 4) h k v);
     ANode an
 
   (* Collect all bindings of a frozen subtree (used by compression and
@@ -281,8 +314,7 @@ module Make (H : Hashing.HASHABLE) = struct
     | SNode sn -> (sn.hash, sn.key, sn.value) :: acc
     | LNode ln -> List.fold_left (fun acc (k, v) -> (ln.lhash, k, v) :: acc) acc ln.entries
     | FNode inner -> collect_frozen inner acc
-    | ANode an ->
-        Array.fold_left (fun acc slot -> collect_frozen (Atomic.get slot) acc) acc an
+    | ANode an -> Slots.fold (fun acc child -> collect_frozen child acc) acc an
     | ENode _ | XNode _ ->
         (* freeze completes nested descriptors before wrapping *)
         assert false
@@ -292,9 +324,7 @@ module Make (H : Hashing.HASHABLE) = struct
      SNodes, FNode-wrapped LNodes, or FVNode; the generic collect +
      build_into_anode also covers any deeper content defensively. *)
   let transfer cfg (narrow : 'v anode) (wide : 'v anode) lev =
-    let bindings =
-      Array.fold_left (fun acc slot -> collect_frozen (Atomic.get slot) acc) [] narrow
-    in
+    let bindings = Slots.fold (fun acc child -> collect_frozen child acc) [] narrow in
     List.iter (fun (h, k, v) -> ignore (build_into_anode cfg wide lev h k v)) bindings
 
   (* ---------------------------------------------------------------- *)
@@ -303,10 +333,9 @@ module Make (H : Hashing.HASHABLE) = struct
 
   let rec freeze t (cur : 'v anode) =
     let i = ref 0 in
-    while !i < Array.length cur do
-      let slot = cur.(!i) in
-      (match Atomic.get slot with
-      | Null -> if yp_cas yp_freeze_null slot Null FVNode then incr i
+    while !i < Slots.length cur do
+      (match Slots.get cur !i with
+      | Null -> if yp_cas_slot yp_freeze_null cur !i Null FVNode then incr i
       | FVNode -> incr i
       | SNode sn as old -> begin
           match Atomic.get sn.txn with
@@ -314,11 +343,11 @@ module Make (H : Hashing.HASHABLE) = struct
           | Frozen_snode -> incr i
           | Replace repl ->
               (* Commit the pending transaction first, then re-examine. *)
-              ignore (yp_cas yp_txn_help slot old repl)
-          | Removed -> ignore (yp_cas yp_txn_help slot old Null)
+              ignore (yp_cas_slot yp_txn_help cur !i old repl)
+          | Removed -> ignore (yp_cas_slot yp_txn_help cur !i old Null)
         end
-      | ANode _ as old -> ignore (yp_cas yp_freeze_wrap slot old (FNode old))
-      | LNode _ as old -> ignore (yp_cas yp_freeze_wrap slot old (FNode old))
+      | ANode _ as old -> ignore (yp_cas_slot yp_freeze_wrap cur !i old (FNode old))
+      | LNode _ as old -> ignore (yp_cas_slot yp_freeze_wrap cur !i old (FNode old))
       | FNode (ANode an) ->
           freeze t an;
           incr i
@@ -341,7 +370,7 @@ module Make (H : Hashing.HASHABLE) = struct
           Atomic.incr t.n_expansions);
     match Atomic.get en.e_wide with
     | Some wide ->
-        ignore (yp_cas yp_expand_commit en.e_parent.(en.e_parentpos) self (ANode wide))
+        ignore (yp_cas_slot yp_expand_commit en.e_parent en.e_parentpos self (ANode wide))
     | None -> assert false
 
   and complete_compression t (self : 'v node) (xn : 'v xnode) =
@@ -349,11 +378,7 @@ module Make (H : Hashing.HASHABLE) = struct
     (match Atomic.get xn.x_repl with
     | Some _ -> ()
     | None ->
-        let bindings =
-          Array.fold_left
-            (fun acc slot -> collect_frozen (Atomic.get slot) acc)
-            [] xn.x_stale
-        in
+        let bindings = Slots.fold (fun acc child -> collect_frozen child acc) [] xn.x_stale in
         let repl =
           match bindings with
           | [] -> Null
@@ -367,7 +392,7 @@ module Make (H : Hashing.HASHABLE) = struct
           Atomic.incr t.n_compressions);
     match Atomic.get xn.x_repl with
     | Some repl ->
-        ignore (yp_cas yp_compress_commit xn.x_parent.(xn.x_parentpos) self repl)
+        ignore (yp_cas_slot yp_compress_commit xn.x_parent xn.x_parentpos self repl)
     | None -> assert false
 
   (* ---------------------------------------------------------------- *)
@@ -375,19 +400,26 @@ module Make (H : Hashing.HASHABLE) = struct
   (* ---------------------------------------------------------------- *)
 
   let make_cache_level t level parent =
+    let stripes = min (Domain.recommended_domain_count ()) t.config.miss_stripes in
     {
       c_level = level;
       c_entries = Array.make (1 lsl level) Null;
-      c_misses = Array.make (t.config.miss_stripes * miss_stride) 0;
+      c_misses = Stripe.create ~stripes ();
       c_parent = parent;
     }
 
+  let write_entry cl (nv : 'v node) h =
+    let pos = h land (Array.length cl.c_entries - 1) in
+    Yp.here Yp.Before yp_cache_install;
+    cl.c_entries.(pos) <- nv;
+    Yp.here Yp.After yp_cache_install
+
   (* Install a node into the cache (paper Figure 7).  [nv] is a live
-     SNode or wide ANode whose trie level is [lev].  With
-     [dual_level_cache] the fallback level in the chain keeps being
-     refreshed too — the paper's Section 7 suggestion of caching two
-     levels at once, which serves both of the populated adjacent
-     levels without the extra trie hop. *)
+     SNode whose trie level is [lev].  With [dual_level_cache] the
+     fallback level in the chain keeps being refreshed too — the
+     paper's Section 7 suggestion of caching two levels at once, which
+     serves both of the populated adjacent levels without the extra
+     trie hop. *)
   let inhabit t (nv : 'v node) h lev =
     if t.config.enable_cache then begin
       match Atomic.get t.cache_head with
@@ -397,20 +429,37 @@ module Make (H : Hashing.HASHABLE) = struct
             if yp_cas yp_cache_install t.cache_head None (Some fresh) then
               Atomic.incr t.n_cache_installs
           end
-      | Some head ->
-          let write cl =
-            let pos = h land (Array.length cl.c_entries - 1) in
-            Yp.here Yp.Before yp_cache_install;
-            cl.c_entries.(pos) <- nv;
-            Yp.here Yp.After yp_cache_install
-          in
-          if head.c_level = lev then write head
-          else if t.config.dual_level_cache then begin
+      | Some head -> (
+          if head.c_level = lev then write_entry head nv h
+          else if t.config.dual_level_cache then
             match head.c_parent with
-            | Some cl when cl.c_level = lev -> write cl
-            | Some _ | None -> ()
-          end
+            | Some cl when cl.c_level = lev -> write_entry cl nv h
+            | Some _ | None -> ())
     end
+
+  (* [inhabit] for the ANode the traversal is standing on.  Skips both
+     the [ANode] wrapper allocation and the entry store when the cache
+     already points at this exact node — the steady state for every
+     cache-served read, which would otherwise allocate 2 words and
+     dirty the entry's cache line on each hit. *)
+  let write_anode_entry cl (an : 'v anode) h =
+    let pos = h land (Array.length cl.c_entries - 1) in
+    match cl.c_entries.(pos) with
+    | ANode a when a == an -> ()
+    | _ ->
+        Yp.here Yp.Before yp_cache_install;
+        cl.c_entries.(pos) <- ANode an;
+        Yp.here Yp.After yp_cache_install
+
+  let inhabit_anode t (an : 'v anode) h lev =
+    match Atomic.get t.cache_head with
+    | None -> ()
+    | Some head -> (
+        if head.c_level = lev then write_anode_entry head an h
+        else if t.config.dual_level_cache then
+          match head.c_parent with
+          | Some cl when cl.c_level = lev -> write_anode_entry cl an h
+          | Some _ | None -> ())
 
   (* Does any cache level in the chain cover trie level [lev]? *)
   let cache_covers t lev =
@@ -424,28 +473,35 @@ module Make (H : Hashing.HASHABLE) = struct
 
   (* Walk one random path and accumulate, per level, how many SNode /
      LNode children the ANodes along the path hold (Section 3.6). *)
+  (* Count the SNode/LNode children of [an] without the closure and
+     ref a [Slots.iter] formulation would allocate per call (sampling
+     runs inside otherwise allocation-free reads). *)
+  let rec count_leaves (an : 'v anode) i acc =
+    if i >= Slots.length an then acc
+    else
+      let acc =
+        match Slots.get an i with
+        | SNode _ | LNode _ -> acc + 1
+        | Null | FVNode | ANode _ | FNode _ | ENode _ | XNode _ -> acc
+      in
+      count_leaves an (i + 1) acc
+
+  (* Top-level recursion (a nested [let rec] capturing [hist] would
+     allocate a closure per sampled path). *)
+  let rec sample_walk (hist : int array) h (an : 'v anode) lev =
+    let child_depth = (lev + 4) / 4 in
+    if child_depth < Array.length hist then begin
+      hist.(child_depth) <- hist.(child_depth) + count_leaves an 0 0;
+      match Slots.get an (apos an h lev) with
+      | ANode child -> sample_walk hist h child (lev + 4)
+      | ENode en -> sample_walk hist h en.e_narrow (lev + 4)
+      | XNode xn -> sample_walk hist h xn.x_stale (lev + 4)
+      | FNode (ANode child) -> sample_walk hist h child (lev + 4)
+      | Null | FVNode | SNode _ | LNode _ | FNode _ -> ()
+    end
+
   let sample_path t rng (hist : int array) =
-    let h = Rng.next_int32 rng in
-    let rec go (an : 'v anode) lev =
-      let child_depth = (lev + 4) / 4 in
-      if child_depth < Array.length hist then begin
-        let snodes = ref 0 in
-        Array.iter
-          (fun slot ->
-            match Atomic.get slot with
-            | SNode _ | LNode _ -> incr snodes
-            | Null | FVNode | ANode _ | FNode _ | ENode _ | XNode _ -> ())
-          an;
-        hist.(child_depth) <- hist.(child_depth) + !snodes;
-        match Atomic.get an.(apos an h lev) with
-        | ANode child -> go child (lev + 4)
-        | ENode en -> go en.e_narrow (lev + 4)
-        | XNode xn -> go xn.x_stale (lev + 4)
-        | FNode (ANode child) -> go child (lev + 4)
-        | Null | FVNode | SNode _ | LNode _ | FNode _ -> ()
-      end
-    in
-    go t.root 0
+    sample_walk hist (Rng.next_int32 rng) t.root 0
 
   let chain_levels head =
     let rec go acc = function
@@ -492,20 +548,20 @@ module Make (H : Hashing.HASHABLE) = struct
             Atomic.incr t.n_adjustments
         end
 
-  (* Count a miss against the striped counters (paper Figure 8). *)
+  (* Count a miss against the striped counters (paper Figure 8).  The
+     stripe index comes from the domain id; [Stripe] masks it and pads
+     each counter to its own cache line. *)
   let record_miss t =
     match Atomic.get t.cache_head with
     | None -> ()
     | Some cl ->
-        let id = (Domain.self () :> int) in
-        let stripe = Rng.mix64 id land (t.config.miss_stripes - 1) in
-        let idx = stripe * miss_stride in
-        let count = cl.c_misses.(idx) in
+        let stripe = Rng.mix64 (Domain.self () :> int) in
+        let count = Stripe.get cl.c_misses stripe in
         if count >= t.config.max_misses then begin
-          cl.c_misses.(idx) <- 0;
+          Stripe.set cl.c_misses stripe 0;
           sample_and_adjust t
         end
-        else cl.c_misses.(idx) <- count + 1
+        else Stripe.set cl.c_misses stripe (count + 1)
 
   let cache_level_of t =
     match Atomic.get t.cache_head with None -> -1 | Some cl -> cl.c_level
@@ -524,62 +580,79 @@ module Make (H : Hashing.HASHABLE) = struct
     end
 
   (* ---------------------------------------------------------------- *)
-  (* Lookup (paper Figure 2, with Figure 6's housekeeping).             *)
+  (* Reads (paper Figure 2, with Figure 6's fast path + housekeeping). *)
+  (*                                                                    *)
+  (* [find] is the primitive: a hit returns the value directly, a miss *)
+  (* raises (notrace) — no [option] box, and no closures: the cache    *)
+  (* probe is a top-level recursion over the level chain.              *)
   (* ---------------------------------------------------------------- *)
 
-  let rec lookup_at t k h lev (cur : 'v anode) =
-    if t.config.enable_cache && lev > 0 && cache_covers t lev
-       && Array.length cur = wide_width
-    then inhabit t (ANode cur) h lev;
-    let pos = apos cur h lev in
-    match Atomic.get cur.(pos) with
-    | Null | FVNode -> None
-    | ANode an -> lookup_at t k h (lev + 4) an
+  let rec find_at t k h lev (cur : 'v anode) : 'v =
+    if t.config.enable_cache && lev > 0 && Slots.length cur = wide_width then
+      inhabit_anode t cur h lev;
+    match Slots.get cur (apos cur h lev) with
+    | Null | FVNode -> raise_notrace Not_found
+    | ANode an -> find_at t k h (lev + 4) an
     | SNode sn as leaf ->
         leaf_housekeeping t leaf h (lev + 4);
-        if H.equal sn.key k then Some sn.value else None
+        if H.equal sn.key k then sn.value else raise_notrace Not_found
     | LNode ln as leaf ->
         leaf_housekeeping t leaf h (lev + 4);
-        if ln.lhash = h then List.assoc_opt k ln.entries else None
-    | ENode en -> lookup_at t k h (lev + 4) en.e_narrow
-    | XNode xn -> lookup_at t k h (lev + 4) xn.x_stale
-    | FNode (ANode an) -> lookup_at t k h (lev + 4) an
-    | FNode (LNode ln) -> if ln.lhash = h then List.assoc_opt k ln.entries else None
-    | FNode _ -> None
+        if ln.lhash = h then lassoc k ln.entries else raise_notrace Not_found
+    | ENode en -> find_at t k h (lev + 4) en.e_narrow
+    | XNode xn -> find_at t k h (lev + 4) xn.x_stale
+    | FNode (ANode an) -> find_at t k h (lev + 4) an
+    | FNode (LNode ln) ->
+        if ln.lhash = h then lassoc k ln.entries else raise_notrace Not_found
+    | FNode _ -> raise_notrace Not_found
 
-  (* Fast lookup through the cache (paper Figure 6). *)
-  let lookup t k =
+  (* Fast read through the cache (paper Figure 6): try each cache level
+     deepest-first, fall back to the root walk. *)
+  let rec probe_find t k h = function
+    | None -> find_at t k h 0 t.root
+    | Some cl -> (
+        let pos = h land (Array.length cl.c_entries - 1) in
+        match cl.c_entries.(pos) with
+        | SNode sn -> (
+            match Atomic.get sn.txn with
+            | No_txn ->
+                if H.equal sn.key k then sn.value else raise_notrace Not_found
+            | Frozen_snode | Replace _ | Removed -> probe_find t k h cl.c_parent)
+        | ANode an -> (
+            let cpos = (h lsr cl.c_level) land (Slots.length an - 1) in
+            match Slots.get an cpos with
+            | FVNode | FNode _ -> probe_find t k h cl.c_parent
+            | SNode s2
+              when (match Atomic.get s2.txn with
+                   | Frozen_snode -> true
+                   | No_txn | Replace _ | Removed -> false) ->
+                probe_find t k h cl.c_parent
+            | Null | SNode _ | ANode _ | LNode _ | ENode _ | XNode _ ->
+                find_at t k h cl.c_level an)
+        | Null | FVNode | LNode _ | FNode _ | ENode _ | XNode _ ->
+            probe_find t k h cl.c_parent)
+
+  let find t k =
     let h = hash_of k in
     match Atomic.get t.cache_head with
-    | None -> lookup_at t k h 0 t.root
-    | Some head ->
-        let rec probe = function
-          | None -> lookup_at t k h 0 t.root
-          | Some cl -> (
-              let pos = h land (Array.length cl.c_entries - 1) in
-              match cl.c_entries.(pos) with
-              | SNode sn when Atomic.get sn.txn = No_txn ->
-                  if H.equal sn.key k then Some sn.value else None
-              | ANode an -> (
-                  let cpos = (h lsr cl.c_level) land (Array.length an - 1) in
-                  match Atomic.get an.(cpos) with
-                  | FVNode | FNode _ -> probe cl.c_parent
-                  | SNode s2 when Atomic.get s2.txn = Frozen_snode -> probe cl.c_parent
-                  | Null | SNode _ | ANode _ | LNode _ | ENode _ | XNode _ ->
-                      lookup_at t k h cl.c_level an)
-              | Null | FVNode | SNode _ | LNode _ | FNode _ | ENode _ | XNode _ ->
-                  probe cl.c_parent)
-        in
-        probe (Some head)
+    | None -> find_at t k h 0 t.root
+    | Some _ as head -> probe_find t k h head
 
-  let mem t k = Option.is_some (lookup t k)
+  let lookup t k = match find t k with v -> Some v | exception Not_found -> None
+  let mem t k = match find t k with _ -> true | exception Not_found -> false
 
   (* ---------------------------------------------------------------- *)
   (* Updates (paper Figure 3 generalized to put/putIfAbsent/replace/   *)
   (* remove).                                                           *)
   (* ---------------------------------------------------------------- *)
 
-  type 'v outcome = Done of 'v option | Restart
+  (* Three-way result instead of [Done of 'v option]: the common "hit"
+     outcome carries the previous value unboxed, and callers that
+     discard the previous value ([insert], [replace_if], [remove_if])
+     never materialize an option at all. *)
+  type 'v outcome = Done_none | Done_some of 'v | Restart
+
+  let done_of_opt = function None -> Done_none | Some v -> Done_some v
 
   type 'v mode =
     | Always  (** JDK put *)
@@ -587,31 +660,31 @@ module Make (H : Hashing.HASHABLE) = struct
     | If_present  (** JDK replace(k,v) *)
     | If_value of 'v  (** JDK replace(k,old,new): physical equality on the old value *)
 
-  (* Announce a transaction on [old] and commit it into [slot].
-     [old_node] must be the value physically read from the slot (CAS
-     compares identities).  The first CAS invalidates cache entries
-     pointing at [old]; the second publishes the change in the trie. *)
-  let announce_and_commit (slot : 'v node Atomic.t) (old : 'v snode)
+  (* Announce a transaction on [old] and commit it into slot [pos] of
+     [cur].  [old_node] must be the value physically read from the slot
+     (CAS compares identities).  The first CAS invalidates cache
+     entries pointing at [old]; the second publishes the change in the
+     trie. *)
+  let announce_and_commit (cur : 'v anode) pos (old : 'v snode)
       (old_node : 'v node) txn_value repl =
     if yp_cas yp_txn_announce old.txn No_txn txn_value then begin
-      ignore (yp_cas yp_txn_commit slot old_node repl);
+      ignore (yp_cas_slot yp_txn_commit cur pos old_node repl);
       true
     end
     else false
 
   let rec insert_at t k v h lev (cur : 'v anode) (prev : 'v anode option) mode :
       'v outcome =
-    if t.config.enable_cache && lev > 0 && cache_covers t lev
-       && Array.length cur = wide_width
-    then inhabit t (ANode cur) h lev;
+    if t.config.enable_cache && lev > 0 && Slots.length cur = wide_width then
+      inhabit_anode t cur h lev;
     let pos = apos cur h lev in
-    let slot = cur.(pos) in
-    match Atomic.get slot with
+    match Slots.get cur pos with
     | Null -> (
         match mode with
-        | If_present | If_value _ -> Done None
+        | If_present | If_value _ -> Done_none
         | Always | If_absent ->
-            if yp_cas yp_insert_null slot Null (fresh_snode h k v) then Done None
+            if yp_cas_slot yp_insert_null cur pos Null (fresh_snode h k v) then
+              Done_none
             else insert_at t k v h lev cur prev mode)
     | ANode an -> insert_at t k v h (lev + 4) an (Some cur) mode
     | SNode old as old_node -> begin
@@ -620,22 +693,23 @@ module Make (H : Hashing.HASHABLE) = struct
             leaf_housekeeping t old_node h (lev + 4);
             if H.equal old.key k then begin
               match mode with
-              | If_absent -> Done (Some old.value)
-              | If_value expected when old.value != expected -> Done (Some old.value)
+              | If_absent -> Done_some old.value
+              | If_value expected when old.value != expected -> Done_some old.value
               | Always | If_present | If_value _ ->
                   let repl = fresh_snode h k v in
-                  if announce_and_commit slot old old_node (Replace repl) repl then
-                    Done (Some old.value)
+                  if announce_and_commit cur pos old old_node (Replace repl) repl
+                  then Done_some old.value
                   else insert_at t k v h lev cur prev mode
             end
             else if (match mode with If_present | If_value _ -> true | Always | If_absent -> false)
-            then Done None
+            then Done_none
             else if old.hash = h && not (is_narrow cur) then begin
               (* Full hash collision: replace the SNode with an LNode.
                  Narrow nodes expand first, so LNodes (and ANode
                  children) only ever live inside wide nodes. *)
               let ln = LNode { lhash = h; entries = [ (k, v); (old.key, old.value) ] } in
-              if announce_and_commit slot old old_node (Replace ln) ln then Done None
+              if announce_and_commit cur pos old old_node (Replace ln) ln then
+                Done_none
               else insert_at t k v h lev cur prev mode
             end
             else if is_narrow cur then begin
@@ -647,7 +721,7 @@ module Make (H : Hashing.HASHABLE) = struct
                   (* CAS compares physical identity, so re-read the
                      parent slot to obtain the exact node wrapping
                      [cur]. *)
-                  match Atomic.get parent.(ppos) with
+                  match Slots.get parent ppos with
                   | ANode a as pnode when a == cur ->
                       let en =
                         {
@@ -659,9 +733,10 @@ module Make (H : Hashing.HASHABLE) = struct
                         }
                       in
                       let self = ENode en in
-                      if yp_cas yp_expand_publish parent.(ppos) pnode self then begin
+                      if yp_cas_slot yp_expand_publish parent ppos pnode self
+                      then begin
                         complete_expansion t self en;
-                        match Atomic.get parent.(ppos) with
+                        match Slots.get parent ppos with
                         | ANode wide -> insert_at t k v h lev wide (Some parent) mode
                         | _ -> Restart
                       end
@@ -677,15 +752,16 @@ module Make (H : Hashing.HASHABLE) = struct
             else begin
               (* Wide node: push both bindings one level down. *)
               let child = join_disjoint t.config old.hash old.key old.value h k v (lev + 4) in
-              if announce_and_commit slot old old_node (Replace child) child then Done None
+              if announce_and_commit cur pos old old_node (Replace child) child
+              then Done_none
               else insert_at t k v h lev cur prev mode
             end
         | Frozen_snode -> Restart
         | Replace repl ->
-            ignore (yp_cas yp_txn_help slot old_node repl);
+            ignore (yp_cas_slot yp_txn_help cur pos old_node repl);
             insert_at t k v h lev cur prev mode
         | Removed ->
-            ignore (yp_cas yp_txn_help slot old_node Null);
+            ignore (yp_cas_slot yp_txn_help cur pos old_node Null);
             insert_at t k v h lev cur prev mode
       end
     | LNode ln as old_node ->
@@ -698,23 +774,24 @@ module Make (H : Hashing.HASHABLE) = struct
             | If_value expected, Some p -> p == expected
             | (Always | If_absent | If_present), _ -> true
           in
-          if not proceed then Done previous
+          if not proceed then done_of_opt previous
           else begin
             let entries = (k, v) :: List.remove_assoc k ln.entries in
             let fresh = LNode { ln with entries } in
-            if yp_cas yp_insert_lnode slot old_node fresh then Done previous
+            if yp_cas_slot yp_insert_lnode cur pos old_node fresh then
+              done_of_opt previous
             else insert_at t k v h lev cur prev mode
           end
         end
         else if (match mode with If_present | If_value _ -> true | Always | If_absent -> false)
-        then Done None
+        then Done_none
         else begin
           (* Different hash shares this slot prefix: grow downward. *)
           let child = new_anode wide_width in
           let lpos = (ln.lhash lsr (lev + 4)) land (wide_width - 1) in
-          Atomic.set child.(lpos) old_node;
+          Slots.set child lpos old_node;
           let repl = build_into_anode t.config child (lev + 4) h k v in
-          if yp_cas yp_insert_lnode slot old_node repl then Done None
+          if yp_cas_slot yp_insert_lnode cur pos old_node repl then Done_none
           else insert_at t k v h lev cur prev mode
         end
     | ENode en as self ->
@@ -739,9 +816,9 @@ module Make (H : Hashing.HASHABLE) = struct
     | Some parent ->
         if lev > 0 then begin
           let live = ref 0 and only_leaves = ref true in
-          Array.iter
-            (fun slot ->
-              match Atomic.get slot with
+          Slots.iter
+            (fun child ->
+              match child with
               | Null -> ()
               | SNode _ | LNode _ -> incr live
               | ANode _ | FVNode | FNode _ | ENode _ | XNode _ ->
@@ -750,7 +827,7 @@ module Make (H : Hashing.HASHABLE) = struct
             cur;
           if !live = 0 || (!live = 1 && !only_leaves) then begin
             let ppos = apos parent h (lev - 4) in
-            match Atomic.get parent.(ppos) with
+            match Slots.get parent ppos with
             | ANode a as pnode when a == cur ->
                 let xn =
                   {
@@ -762,7 +839,7 @@ module Make (H : Hashing.HASHABLE) = struct
                   }
                 in
                 let self = XNode xn in
-                if yp_cas yp_compress_publish parent.(ppos) pnode self then
+                if yp_cas_slot yp_compress_publish parent ppos pnode self then
                   complete_compression t self xn
             | _ -> ()
           end
@@ -776,42 +853,41 @@ module Make (H : Hashing.HASHABLE) = struct
   let rec remove_at t k h lev (cur : 'v anode) (prev : 'v anode option) rmode :
       'v outcome =
     let pos = apos cur h lev in
-    let slot = cur.(pos) in
-    match Atomic.get slot with
-    | Null -> Done None
+    match Slots.get cur pos with
+    | Null -> Done_none
     | ANode an ->
         let res = remove_at t k h (lev + 4) an (Some cur) rmode in
         (* Cascade compaction up the removal path: the child may have
            contracted into [cur], leaving [cur] itself with at most one
            leaf. *)
         (match res with
-        | Done (Some _) -> try_compress t cur lev h prev
-        | Done None | Restart -> ());
+        | Done_some _ -> try_compress t cur lev h prev
+        | Done_none | Restart -> ());
         res
     | SNode old as old_node -> begin
         match Atomic.get old.txn with
         | No_txn ->
-            if not (H.equal old.key k) then Done None
-            else if not (rmode_allows rmode old.value) then Done (Some old.value)
-            else if announce_and_commit slot old old_node Removed Null then begin
+            if not (H.equal old.key k) then Done_none
+            else if not (rmode_allows rmode old.value) then Done_some old.value
+            else if announce_and_commit cur pos old old_node Removed Null then begin
               try_compress t cur lev h prev;
-              Done (Some old.value)
+              Done_some old.value
             end
             else remove_at t k h lev cur prev rmode
         | Frozen_snode -> Restart
         | Replace repl ->
-            ignore (yp_cas yp_txn_help slot old_node repl);
+            ignore (yp_cas_slot yp_txn_help cur pos old_node repl);
             remove_at t k h lev cur prev rmode
         | Removed ->
-            ignore (yp_cas yp_txn_help slot old_node Null);
+            ignore (yp_cas_slot yp_txn_help cur pos old_node Null);
             remove_at t k h lev cur prev rmode
       end
     | LNode ln as old_node ->
-        if ln.lhash <> h then Done None
+        if ln.lhash <> h then Done_none
         else begin
           match List.assoc_opt k ln.entries with
-          | None -> Done None
-          | Some prev_v when not (rmode_allows rmode prev_v) -> Done (Some prev_v)
+          | None -> Done_none
+          | Some prev_v when not (rmode_allows rmode prev_v) -> Done_some prev_v
           | Some prev_v ->
               let entries = List.remove_assoc k ln.entries in
               let fresh =
@@ -819,7 +895,8 @@ module Make (H : Hashing.HASHABLE) = struct
                 | [ (k1, v1) ] -> fresh_snode h k1 v1
                 | _ -> LNode { ln with entries }
               in
-              if yp_cas yp_remove_lnode slot old_node fresh then Done (Some prev_v)
+              if yp_cas_slot yp_remove_lnode cur pos old_node fresh then
+                Done_some prev_v
               else remove_at t k h lev cur prev rmode
         end
     | ENode en as self ->
@@ -830,74 +907,105 @@ module Make (H : Hashing.HASHABLE) = struct
         remove_at t k h lev cur prev rmode
     | FVNode | FNode _ -> Restart
 
-  (* Probe the cache for a wide ANode to start an update from; validate
-     that the relevant entry is not frozen (paper Figure 6 applied to
-     updates).  Returns the node and its level. *)
-  let probe_cache_for_update t h : ('v anode * int) option =
-    match Atomic.get t.cache_head with
-    | None -> None
-    | Some head ->
-        let rec probe = function
-          | None -> None
-          | Some cl -> (
-              let pos = h land (Array.length cl.c_entries - 1) in
-              match cl.c_entries.(pos) with
-              | ANode an -> (
-                  let cpos = (h lsr cl.c_level) land (Array.length an - 1) in
-                  match Atomic.get an.(cpos) with
-                  | FVNode | FNode _ -> probe cl.c_parent
-                  | SNode s2 when Atomic.get s2.txn = Frozen_snode -> probe cl.c_parent
-                  | Null | SNode _ | ANode _ | LNode _ | ENode _ | XNode _ ->
-                      Some (an, cl.c_level))
-              | Null | FVNode | SNode _ | LNode _ | FNode _ | ENode _ | XNode _ ->
-                  probe cl.c_parent)
-        in
-        probe (Some head)
+  (* Cache-probed fast paths for updates (paper Figure 6 applied to
+     updates): walk the cache chain for a wide ANode whose relevant
+     slot is not frozen and start the operation there.  Fused with the
+     operation drivers so the probe allocates nothing (the previous
+     shape returned [('v anode * int) option] — a tuple and an option
+     per update). *)
+  let rec probe_insert t k v h mode = function
+    | None -> insert_at t k v h 0 t.root None mode
+    | Some cl -> (
+        let pos = h land (Array.length cl.c_entries - 1) in
+        match cl.c_entries.(pos) with
+        | ANode an -> (
+            let cpos = (h lsr cl.c_level) land (Slots.length an - 1) in
+            match Slots.get an cpos with
+            | FVNode | FNode _ -> probe_insert t k v h mode cl.c_parent
+            | SNode s2
+              when (match Atomic.get s2.txn with
+                   | Frozen_snode -> true
+                   | No_txn | Replace _ | Removed -> false) ->
+                probe_insert t k v h mode cl.c_parent
+            | Null | SNode _ | ANode _ | LNode _ | ENode _ | XNode _ ->
+                insert_at t k v h cl.c_level an None mode)
+        | Null | FVNode | SNode _ | LNode _ | FNode _ | ENode _ | XNode _ ->
+            probe_insert t k v h mode cl.c_parent)
+
+  let rec insert_slow t k v h mode =
+    match insert_at t k v h 0 t.root None mode with
+    | Restart -> insert_slow t k v h mode
+    | res -> res
+
+  (* Never returns [Restart]. *)
+  let update_outcome t k v mode : 'v outcome =
+    let h = hash_of k in
+    let first =
+      match Atomic.get t.cache_head with
+      | None -> insert_at t k v h 0 t.root None mode
+      | Some _ as head -> probe_insert t k v h mode head
+    in
+    match first with Restart -> insert_slow t k v h mode | res -> res
 
   let update t k v mode : 'v option =
-    let h = hash_of k in
-    let rec fast_then_slow first =
-      let attempt =
-        if first then
-          match probe_cache_for_update t h with
-          | Some (an, lev) -> insert_at t k v h lev an None mode
-          | None -> insert_at t k v h 0 t.root None mode
-        else insert_at t k v h 0 t.root None mode
-      in
-      match attempt with Done prev -> prev | Restart -> fast_then_slow false
-    in
-    fast_then_slow true
+    match update_outcome t k v mode with
+    | Done_none -> None
+    | Done_some p -> Some p
+    | Restart -> assert false
 
-  let insert t k v = ignore (update t k v Always)
+  let insert t k v = ignore (update_outcome t k v Always)
   let add t k v = update t k v Always
   let put_if_absent t k v = update t k v If_absent
   let replace t k v = update t k v If_present
 
   let replace_if t k ~expected v =
-    match update t k v (If_value expected) with
-    | Some p -> p == expected
-    | None -> false
+    match update_outcome t k v (If_value expected) with
+    | Done_some p -> p == expected
+    | Done_none | Restart -> false
 
-  let remove_with t k rmode =
+  let rec probe_remove t k h rmode = function
+    | None -> remove_at t k h 0 t.root None rmode
+    | Some cl -> (
+        let pos = h land (Array.length cl.c_entries - 1) in
+        match cl.c_entries.(pos) with
+        | ANode an -> (
+            let cpos = (h lsr cl.c_level) land (Slots.length an - 1) in
+            match Slots.get an cpos with
+            | FVNode | FNode _ -> probe_remove t k h rmode cl.c_parent
+            | SNode s2
+              when (match Atomic.get s2.txn with
+                   | Frozen_snode -> true
+                   | No_txn | Replace _ | Removed -> false) ->
+                probe_remove t k h rmode cl.c_parent
+            | Null | SNode _ | ANode _ | LNode _ | ENode _ | XNode _ ->
+                remove_at t k h cl.c_level an None rmode)
+        | Null | FVNode | SNode _ | LNode _ | FNode _ | ENode _ | XNode _ ->
+            probe_remove t k h rmode cl.c_parent)
+
+  let rec remove_slow t k h rmode =
+    match remove_at t k h 0 t.root None rmode with
+    | Restart -> remove_slow t k h rmode
+    | res -> res
+
+  let remove_outcome t k rmode : 'v outcome =
     let h = hash_of k in
-    let rec fast_then_slow first =
-      let attempt =
-        if first then
-          match probe_cache_for_update t h with
-          | Some (an, lev) -> remove_at t k h lev an None rmode
-          | None -> remove_at t k h 0 t.root None rmode
-        else remove_at t k h 0 t.root None rmode
-      in
-      match attempt with Done prev -> prev | Restart -> fast_then_slow false
+    let first =
+      match Atomic.get t.cache_head with
+      | None -> remove_at t k h 0 t.root None rmode
+      | Some _ as head -> probe_remove t k h rmode head
     in
-    fast_then_slow true
+    match first with Restart -> remove_slow t k h rmode | res -> res
 
-  let remove t k = remove_with t k `Always
+  let remove t k =
+    match remove_outcome t k `Always with
+    | Done_none -> None
+    | Done_some p -> Some p
+    | Restart -> assert false
 
   let remove_if t k ~expected =
-    match remove_with t k (`If_value expected) with
-    | Some p -> p == expected
-    | None -> false
+    match remove_outcome t k (`If_value expected) with
+    | Done_some p -> p == expected
+    | Done_none | Restart -> false
 
   (* ---------------------------------------------------------------- *)
   (* Aggregate queries (weakly consistent).                             *)
@@ -914,8 +1022,7 @@ module Make (H : Hashing.HASHABLE) = struct
           | No_txn | Frozen_snode -> f acc sn.key sn.value)
       | LNode ln -> List.fold_left (fun acc (k, v) -> f acc k v) acc ln.entries
       | FNode inner -> go_node acc inner
-      | ANode an ->
-          Array.fold_left (fun acc slot -> go_node acc (Atomic.get slot)) acc an
+      | ANode an -> Slots.fold go_node acc an
       | ENode en -> go_node acc (ANode en.e_narrow)
       | XNode xn -> go_node acc (ANode xn.x_stale)
     in
@@ -943,8 +1050,8 @@ module Make (H : Hashing.HASHABLE) = struct
       | ENode en -> seq_slots en.e_narrow 0 rest ()
       | XNode xn -> seq_slots xn.x_stale 0 rest ()
     and seq_slots (an : 'v anode) i rest () =
-      if i >= Array.length an then rest ()
-      else seq_node (Atomic.get an.(i)) (seq_slots an (i + 1) rest) ()
+      if i >= Slots.length an then rest ()
+      else seq_node (Slots.get an i) (seq_slots an (i + 1) rest) ()
     in
     seq_slots t.root 0 Seq.empty
 
@@ -978,15 +1085,17 @@ module Make (H : Hashing.HASHABLE) = struct
       | SNode _ -> bump depth 1
       | LNode ln -> bump depth (List.length ln.entries)
       | FNode inner -> go inner depth
-      | ANode an -> Array.iter (fun slot -> go (Atomic.get slot) (depth + 1)) an
+      | ANode an -> Slots.iter (fun child -> go child (depth + 1)) an
       | ENode en -> go (ANode en.e_narrow) depth
       | XNode xn -> go (ANode xn.x_stale) depth
     in
-    Array.iter (fun slot -> go (Atomic.get slot) 1) t.root;
+    Slots.iter (fun child -> go child 1) t.root;
     hist
 
-  (* Word-cost model (see DESIGN.md): array = 1 + length; Atomic box =
-     2; SNode block = 5 (+ its txn box); list cell = 3; LNode = 3. *)
+  (* Word-cost model (see DESIGN.md): array = 1 + length; per-slot
+     overhead = Slots.overhead_words_per_slot (2 for the boxed layout's
+     Atomic box, 0 flat); SNode block = 5 (+ its txn box); list cell =
+     3; LNode = 3. *)
   let footprint_words t =
     let rec node_words (node : 'v node) =
       match node with
@@ -995,9 +1104,9 @@ module Make (H : Hashing.HASHABLE) = struct
       | LNode ln -> 3 + (3 * List.length ln.entries)
       | FNode inner -> 2 + node_words inner
       | ANode an ->
-          Array.fold_left
-            (fun acc slot -> acc + 2 + node_words (Atomic.get slot))
-            (1 + Array.length an)
+          Slots.fold
+            (fun acc child -> acc + Slots.overhead_words_per_slot + node_words child)
+            (1 + Slots.length an)
             an
       | ENode en -> 6 + node_words (ANode en.e_narrow)
       | XNode xn -> 6 + node_words (ANode xn.x_stale)
@@ -1006,7 +1115,9 @@ module Make (H : Hashing.HASHABLE) = struct
       let rec go = function
         | None -> 0
         | Some cl ->
-            1 + Array.length cl.c_entries + 1 + Array.length cl.c_misses + 4
+            1 + Array.length cl.c_entries
+            + Stripe.footprint_words cl.c_misses
+            + 4
             + go cl.c_parent
       in
       go (Atomic.get t.cache_head)
@@ -1053,20 +1164,19 @@ module Make (H : Hashing.HASHABLE) = struct
       | ANode an ->
           if in_narrow then err "ANode stored inside a narrow ANode"
           else begin
-            let w = Array.length an in
+            let w = Slots.length an in
             if w <> narrow_width && w <> wide_width then
               err "ANode of width %d (must be 4 or 16)" w;
-            Array.iteri
-              (fun i slot ->
-                go (Atomic.get slot) (lev + 4)
-                  (prefix lor (i lsl lev))
-                  (pmask lor ((w - 1) lsl lev))
-                  (w = narrow_width))
-              an
+            for i = 0 to w - 1 do
+              go (Slots.get an i) (lev + 4)
+                (prefix lor (i lsl lev))
+                (pmask lor ((w - 1) lsl lev))
+                (w = narrow_width)
+            done
           end
     in
-    Array.iteri
-      (fun i slot -> go (Atomic.get slot) 4 i (wide_width - 1) false)
-      t.root;
+    for i = 0 to Slots.length t.root - 1 do
+      go (Slots.get t.root i) 4 i (wide_width - 1) false
+    done;
     match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))
 end

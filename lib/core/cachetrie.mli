@@ -26,7 +26,12 @@ type config = {
   min_cache_level : int;  (** level of the first cache installed (paper: 8) *)
   cache_trigger_level : int;  (** trie level whose nodes trigger cache creation (paper: 12) *)
   max_cache_level : int;  (** upper bound on the cache level (bounds cache memory) *)
-  miss_stripes : int;  (** miss-counter stripes; must be a power of two *)
+  miss_stripes : int;
+      (** upper bound on the number of miss-counter stripes; the actual
+          count is [min (Domain.recommended_domain_count ()) miss_stripes]
+          rounded up to a power of two, fixed when the cache is created.
+          Each stripe is padded to its own cache line
+          ([Ct_util.Stripe]). *)
   narrow_nodes : bool;  (** [false] always allocates 16-slot nodes (ablation) *)
   dual_level_cache : bool;
       (** keep the chain's fallback level inhabited too — the paper's

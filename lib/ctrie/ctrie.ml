@@ -136,28 +136,44 @@ module Make (H : Hashing.HASHABLE) = struct
 
   type 'v outcome = Done of 'v option | Restart
 
-  let rec ilookup (i : 'v inode) k h lev (parent : 'v inode option) : 'v outcome =
+  (* Association-list lookup with the structure's own key equality (the
+     [List.assoc_opt] it replaces used polymorphic [=]). *)
+  let rec lassoc k = function
+    | [] -> raise_notrace Not_found
+    | (k', v) :: rest -> if H.equal k' k then v else lassoc k rest
+
+  exception Restart_find
+
+  (* Allocation-free read: a miss raises (notrace) instead of boxing an
+     option, the bitmap position is computed inline instead of through
+     [flagpos]'s tuple, and the parent travels as a bare inode — the
+     root is its own parent, which is sound because [to_contracted]
+     never entombs at level 0, so the TNode branch implies [lev > 0]. *)
+  let rec ifind (i : 'v inode) k h lev (parent : 'v inode) : 'v =
     match Atomic.get i with
     | CNode { bmp; arr } -> (
-        let flag, pos = flagpos h lev bmp in
-        if bmp land flag = 0 then Done None
+        let idx = (h lsr lev) land (branching - 1) in
+        let flag = 1 lsl idx in
+        if bmp land flag = 0 then raise_notrace Not_found
         else
-          match arr.(pos) with
-          | IN child -> ilookup child k h (lev + w) (Some i)
-          | SN leaf -> if H.equal leaf.key k then Done (Some leaf.value) else Done None)
+          match arr.(Bits.popcount (bmp land (flag - 1))) with
+          | IN child -> ifind child k h (lev + w) i
+          | SN leaf ->
+              if H.equal leaf.key k then leaf.value else raise_notrace Not_found)
     | TNode _ ->
-        (match parent with Some p -> clean p (lev - w) | None -> ());
-        Restart
-    | LNode ln -> if ln.lhash = h then Done (List.assoc_opt k ln.entries) else Done None
+        if lev > 0 then clean parent (lev - w);
+        raise_notrace Restart_find
+    | LNode ln ->
+        if ln.lhash = h then lassoc k ln.entries else raise_notrace Not_found
 
-  let lookup t k =
-    let h = hash_of k in
-    let rec go () =
-      match ilookup t.root k h 0 None with Done v -> v | Restart -> go ()
-    in
-    go ()
+  let rec find_loop t k h =
+    match ifind t.root k h 0 t.root with
+    | v -> v
+    | exception Restart_find -> find_loop t k h
 
-  let mem t k = Option.is_some (lookup t k)
+  let find t k = find_loop t k (hash_of k)
+  let lookup t k = match find t k with v -> Some v | exception Not_found -> None
+  let mem t k = match find t k with _ -> true | exception Not_found -> false
 
   (* ------------------------------ insert ---------------------------- *)
 
@@ -226,12 +242,12 @@ module Make (H : Hashing.HASHABLE) = struct
           if yp_cas yp_insert_cas i main nln then Done previous else Restart
         end
 
-  let update t k v mode =
-    let h = hash_of k in
-    let rec go () =
-      match iinsert t.root k v h 0 None mode with Done prev -> prev | Restart -> go ()
-    in
-    go ()
+  let rec update_loop t k v h mode =
+    match iinsert t.root k v h 0 None mode with
+    | Done prev -> prev
+    | Restart -> update_loop t k v h mode
+
+  let update t k v mode = update_loop t k v (hash_of k) mode
 
   let insert t k v = ignore (update t k v Always)
   let add t k v = update t k v Always
@@ -297,12 +313,12 @@ module Make (H : Hashing.HASHABLE) = struct
               else Restart
         end
 
-  let remove_with t k rmode =
-    let h = hash_of k in
-    let rec go () =
-      match iremove t.root k h 0 None rmode with Done prev -> prev | Restart -> go ()
-    in
-    go ()
+  let rec remove_loop t k h rmode =
+    match iremove t.root k h 0 None rmode with
+    | Done prev -> prev
+    | Restart -> remove_loop t k h rmode
+
+  let remove_with t k rmode = remove_loop t k (hash_of k) rmode
 
   let remove t k = remove_with t k `Always
 

@@ -272,34 +272,51 @@ module Make (H : Hashing.HASHABLE) = struct
 
   type 'v outcome = Done of 'v option | Restart
 
-  let rec ilookup t (i : 'v inode) k h lev (parent : 'v inode option)
-      (startgen : gen) : 'v outcome =
+  (* Association-list lookup with the structure's own key equality (the
+     [List.assoc_opt] it replaces used polymorphic [=]). *)
+  let rec lassoc k = function
+    | [] -> raise_notrace Not_found
+    | (k', v) :: rest -> if H.equal k' k then v else lassoc k rest
+
+  exception Restart_find
+
+  (* Allocation-free read (on the no-renewal path): a miss raises
+     (notrace) instead of boxing an option, the bitmap position is
+     computed inline instead of through [flagpos]'s tuple, and the
+     parent travels as a bare inode — the root is its own parent, which
+     is sound because [to_contracted] never entombs at level 0, so the
+     TNode branch implies [lev > 0]. *)
+  let rec ifind t (i : 'v inode) k h lev (parent : 'v inode) (startgen : gen) : 'v =
     let mb = gcas_read_box t i in
     match mb.node with
     | CNode { bmp; arr } -> (
-        let flag, pos = flagpos h lev bmp in
-        if bmp land flag = 0 then Done None
+        let idx = (h lsr lev) land (branching - 1) in
+        let flag = 1 lsl idx in
+        if bmp land flag = 0 then raise_notrace Not_found
         else
-          match arr.(pos) with
+          match arr.(Bits.popcount (bmp land (flag - 1))) with
           | IN child ->
-              if child.gen == startgen then
-                ilookup t child k h (lev + w) (Some i) startgen
+              if child.gen == startgen then ifind t child k h (lev + w) i startgen
               else if gcas t i mb (renewed t bmp arr startgen) then
-                ilookup t i k h lev parent startgen
-              else Restart
+                ifind t i k h lev parent startgen
+              else raise_notrace Restart_find
           | SN leaf ->
-              if H.equal leaf.key k then Done (Some leaf.value) else Done None)
+              if H.equal leaf.key k then leaf.value else raise_notrace Not_found)
     | TNode _ ->
-        (match parent with Some p -> clean t p (lev - w) | None -> ());
-        Restart
-    | LNode ln -> if ln.lhash = h then Done (List.assoc_opt k ln.entries) else Done None
+        if lev > 0 then clean t parent (lev - w);
+        raise_notrace Restart_find
+    | LNode ln ->
+        if ln.lhash = h then lassoc k ln.entries else raise_notrace Not_found
 
-  let rec lookup t k =
-    let h = hash_of k in
+  let rec find_loop t k h =
     let r = rdcss_read_root t ~abort:false in
-    match ilookup t r k h 0 None r.gen with Done v -> v | Restart -> lookup t k
+    match ifind t r k h 0 r r.gen with
+    | v -> v
+    | exception Restart_find -> find_loop t k h
 
-  let mem t k = Option.is_some (lookup t k)
+  let find t k = find_loop t k (hash_of k)
+  let lookup t k = match find t k with v -> Some v | exception Not_found -> None
+  let mem t k = match find t k with _ -> true | exception Not_found -> false
 
   (* ------------------------------ updates ---------------------------- *)
 

@@ -14,8 +14,12 @@ module Make (H : Hashing.HASHABLE) = struct
   type 'v t = { root : 'v root Atomic.t }
 
   let create () = { root = Atomic.make { trie = P.empty; card = 0; version = 0 } }
-  let lookup t k = P.find (Atomic.get t.root).trie k
-  let mem t k = P.mem (Atomic.get t.root).trie k
+
+  (* [P.find_exn] boxes nothing on a hit, so these three allocate only
+     what the caller asks for (the [Some] in [lookup]). *)
+  let find t k = P.find_exn (Atomic.get t.root).trie k
+  let lookup t k = match find t k with v -> Some v | exception Not_found -> None
+  let mem t k = match find t k with _ -> true | exception Not_found -> false
 
   (* Retry loop: build the next version functionally, CAS the root. *)
   let rec update t k v mode : 'v option =

@@ -29,20 +29,33 @@ module Make (H : Hashing.HASHABLE) = struct
 
   (* ------------------------------ find ------------------------------ *)
 
-  let find t k =
-    let h = hash_of k in
-    let rec go t lev =
-      match t with
-      | Empty -> None
-      | Leaf l -> if H.equal l.key k then Some l.value else None
-      | Collision c -> if c.chash = h then List.assoc_opt k c.entries else None
-      | Branch { bmp; children } ->
-          let flag, pos = flagpos h lev bmp in
-          if bmp land flag = 0 then None else go children.(pos) (lev + w)
-    in
-    go t 0
+  (* [List.assoc_opt] compares with polymorphic [=]; this raising twin
+     uses [H.equal] and allocates nothing on a hit. *)
+  let rec lassoc k = function
+    | [] -> raise_notrace Not_found
+    | (k', v) :: rest -> if H.equal k' k then v else lassoc k rest
 
-  let mem t k = Option.is_some (find t k)
+  (* Allocation-free read primitive: no [Some] box, no closure. *)
+  let rec find_at t k h lev =
+    match t with
+    | Empty -> raise_notrace Not_found
+    | Leaf l -> if H.equal l.key k then l.value else raise_notrace Not_found
+    | Collision c ->
+        if c.chash = h then lassoc k c.entries else raise_notrace Not_found
+    | Branch { bmp; children } ->
+        (* [flagpos] inlined by hand: its tuple result would be the only
+           allocation on this path. *)
+        let flag = 1 lsl ((h lsr lev) land (branching - 1)) in
+        if bmp land flag = 0 then raise_notrace Not_found
+        else find_at children.(Bits.popcount (bmp land (flag - 1))) k h (lev + w)
+
+  let find_exn t k = find_at t k (hash_of k) 0
+
+  let find t k =
+    match find_exn t k with v -> Some v | exception Not_found -> None
+
+  let mem t k =
+    match find_exn t k with _ -> true | exception Not_found -> false
 
   (* ------------------------------- add ------------------------------ *)
 

@@ -22,6 +22,10 @@ module Make (H : Ct_util.Hashing.HASHABLE) : sig
 
   val find : 'v t -> key -> 'v option
 
+  val find_exn : 'v t -> key -> 'v
+  (** Raising twin of {!find}; a hit allocates nothing.
+      @raise Not_found if [k] is unbound. *)
+
   val mem : 'v t -> key -> bool
 
   val add : 'v t -> key -> 'v -> 'v t * 'v option

@@ -11,6 +11,25 @@ let run_collect ~domains body =
   in
   List.map Domain.join workers
 
+let run_counted ~domains body =
+  if domains <= 0 then invalid_arg "Parallel.run_counted";
+  (* Per-domain op counters live in one cache-line-padded stripe so
+     that domains bumping their own counter never invalidate each
+     other's lines (Ct_util.Stripe pads every slot). *)
+  let counters = Ct_util.Stripe.create ~stripes:domains () in
+  let barrier = Barrier.create (domains + 1) in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            Barrier.await barrier;
+            body d counters))
+  in
+  Barrier.await barrier;
+  let t0 = Unix.gettimeofday () in
+  List.iter Domain.join workers;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (elapsed, Ct_util.Stripe.sum counters)
+
 let run_timed ~domains body =
   if domains <= 0 then invalid_arg "Parallel.run_timed";
   (* The main thread participates in the barrier so the clock starts

@@ -10,6 +10,15 @@ val run_timed : domains:int -> (int -> unit) -> float
     returns the elapsed wall-clock seconds until every domain
     finished. *)
 
+val run_counted :
+  domains:int -> (int -> Ct_util.Stripe.t -> unit) -> float * int
+(** [run_counted ~domains body] is {!run_timed} plus per-domain
+    throughput counters: [body d counters] records the operations it
+    completed with [Ct_util.Stripe.add counters d n] (each domain's
+    slot is alone on its cache line, so counting never causes false
+    sharing between domains).  Returns [(elapsed_seconds, total_ops)]
+    with the counters summed after every domain has joined. *)
+
 val run_collect : domains:int -> (int -> 'a) -> 'a list
 (** [run_collect ~domains body] runs [body] on each domain after a
     common barrier and returns the per-domain results in index

@@ -23,3 +23,90 @@ let fmt_x x = Printf.sprintf "%.2fx" x
 let section title =
   let bar = String.make (String.length title + 8) '=' in
   Printf.printf "\n%s\n==  %s  ==\n%s\n" bar title bar
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  (* "%.6g" keeps the files diffable across runs of equal results; JSON
+     has no inf/nan, so non-finite floats degrade to null. *)
+  let float_repr f =
+    if Float.is_nan f || Float.abs f = Float.infinity then "null"
+    else
+      let s = Printf.sprintf "%.6g" f in
+      (* "1e+06" is valid JSON; "1." is not — normalize trailing dot. *)
+      if String.length s > 0 && s.[String.length s - 1] = '.' then s ^ "0" else s
+
+  let rec emit buf indent v =
+    let pad n = Buffer.add_string buf (String.make n ' ') in
+    match v with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_repr f)
+    | String s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (indent + 2);
+            emit buf (indent + 2) item)
+          items;
+        Buffer.add_char buf '\n';
+        pad indent;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, item) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (indent + 2);
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape k);
+            Buffer.add_string buf "\": ";
+            emit buf (indent + 2) item)
+          fields;
+        Buffer.add_char buf '\n';
+        pad indent;
+        Buffer.add_char buf '}'
+
+  let to_string v =
+    let buf = Buffer.create 4096 in
+    emit buf 0 v;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+
+  let write_file path v =
+    let oc = open_out path in
+    output_string oc (to_string v);
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+end

@@ -19,3 +19,26 @@ val fmt_x : float -> string
 
 val section : string -> unit
 (** Print a banner heading. *)
+
+(** Minimal JSON emitter for the persisted benchmark files
+    ([BENCH_micro.json], [BENCH_sweeps.json]).  Output is deterministic
+    for equal inputs: fields keep insertion order, floats render with
+    ["%.6g"] (non-finite values become [null]), and no timestamps are
+    ever inserted — so files regenerated from identical measurements
+    diff clean. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Pretty-printed (2-space indent), trailing newline. *)
+
+  val write_file : string -> t -> unit
+  (** Write to a path and log the path to stdout. *)
+end

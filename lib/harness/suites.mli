@@ -21,6 +21,10 @@ val structure_names : string list
 
 val find_structure : string -> (module IMAP) option
 
+val thread_counts : scale -> int list
+(** Domain counts exercised by the multi-threaded experiments at the
+    given scale. *)
+
 val fig9_footprint : scale -> unit
 (** Figure 9: memory footprint per structure and size, with the
     multiplier over the smallest (the paper normalizes to skip lists). *)

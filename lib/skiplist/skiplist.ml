@@ -60,7 +60,7 @@ module Make (H : Hashing.HASHABLE) = struct
   (* find returns [(preds, succs)] such that at every level
      [preds.(l).nhash < h <= succs.(l).nhash], unlinking marked nodes
      along the way (restarting on CAS interference). *)
-  let rec find t h : 'v node array * 'v node array =
+  let rec search_towers t h : 'v node array * 'v node array =
     let preds = Array.make max_height t.head in
     let succs = Array.make max_height t.tail in
     let restart = ref false in
@@ -100,7 +100,7 @@ module Make (H : Hashing.HASHABLE) = struct
       done;
       decr level
     done;
-    if !restart then find t h else (preds, succs)
+    if !restart then search_towers t h else (preds, succs)
 
   (* Mark every level of [node], then let [find] unlink it. *)
   let rec mark_node t (node : 'v node) =
@@ -119,32 +119,41 @@ module Make (H : Hashing.HASHABLE) = struct
     let link = Atomic.get node.next.(0) in
     if not link.marked then begin
       if Atomic.compare_and_set node.next.(0) link { succ = link.succ; marked = true }
-      then ignore (find t node.nhash) (* physically unlink *)
+      then ignore (search_towers t node.nhash) (* physically unlink *)
       else mark_node t node
     end
-    else ignore (find t node.nhash)
+    else ignore (search_towers t node.nhash)
 
-  (* Locate the live node for hash [h], if any (read-only path). *)
+  (* Locate the live node for hash [h] (read-only path); raises
+     (notrace) when absent.  Top-level recursion — the old local [go]
+     closure allocated on every lookup — and no option box on a hit. *)
+  let rec locate t h (pred : 'v node) level : 'v node =
+    let curr = (Atomic.get pred.next.(level)).succ in
+    if is_tail t curr || curr.nhash > h then
+      if level = 0 then raise_notrace Not_found else locate t h pred (level - 1)
+    else if curr.nhash < h then locate t h curr level
+    else begin
+      let clink = Atomic.get curr.next.(0) in
+      if clink.marked then raise_notrace Not_found else curr
+    end
+
   let find_node t h : 'v node option =
-    let rec go (pred : 'v node) level =
-      let curr = (Atomic.get pred.next.(level)).succ in
-      if is_tail t curr || curr.nhash > h then
-        if level = 0 then None else go pred (level - 1)
-      else if curr.nhash < h then go curr level
-      else begin
-        let clink = Atomic.get curr.next.(0) in
-        if clink.marked then None else Some curr
-      end
-    in
-    go t.head (max_height - 1)
+    match locate t h t.head (max_height - 1) with
+    | node -> Some node
+    | exception Not_found -> None
 
-  let lookup t k =
+  (* Association-list lookup with the structure's own key equality (the
+     [List.assoc_opt] it replaces used polymorphic [=]). *)
+  let rec lassoc k = function
+    | [] -> raise_notrace Not_found
+    | (k', v) :: rest -> if H.equal k' k then v else lassoc k rest
+
+  let find t k =
     let h = hash_of k in
-    match find_node t h with
-    | None -> None
-    | Some node -> List.assoc_opt k (Atomic.get node.bindings)
+    lassoc k (Atomic.get (locate t h t.head (max_height - 1)).bindings)
 
-  let mem t k = Option.is_some (lookup t k)
+  let lookup t k = match find t k with v -> Some v | exception Not_found -> None
+  let mem t k = match find t k with _ -> true | exception Not_found -> false
 
   (* ------------------------------ updates --------------------------- *)
 
@@ -152,7 +161,7 @@ module Make (H : Hashing.HASHABLE) = struct
 
   let rec update t k v mode : 'v option =
     let h = hash_of k in
-    let preds, succs = find t h in
+    let preds, succs = search_towers t h in
     let candidate = succs.(0) in
     if (not (is_tail t candidate)) && candidate.nhash = h then begin
       (* Hash already present: update its binding list. *)
@@ -224,7 +233,7 @@ module Make (H : Hashing.HASHABLE) = struct
                      { succ = node; marked = false }
               then link_level (level + 1) preds succs
               else begin
-                let preds', succs' = find t h in
+                let preds', succs' = search_towers t h in
                 if succs'.(0) == node then link_level level preds' succs'
                 (* else the node was removed concurrently; stop *)
               end

@@ -1,0 +1,84 @@
+module type S = sig
+  type 'a t
+
+  val repr : string
+  val overhead_words_per_slot : int
+  val make : int -> 'a -> 'a t
+  val length : 'a t -> int
+  val get : 'a t -> int -> 'a
+  val set : 'a t -> int -> 'a -> unit
+  val cas : 'a t -> int -> 'a -> 'a -> bool
+  val iter : ('a -> unit) -> 'a t -> unit
+  val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+end
+
+module Boxed : S = struct
+  type 'a t = 'a Atomic.t array
+
+  let repr = "boxed"
+
+  (* Each slot points at a separate [Atomic.t]: 1 header + 1 field. *)
+  let overhead_words_per_slot = 2
+
+  let make n v = Array.init n (fun _ -> Atomic.make v)
+  let length = Array.length
+
+  let[@inline] get a i = Atomic.get (Array.unsafe_get a i)
+  let[@inline] set a i v = Atomic.set (Array.unsafe_get a i) v
+
+  let[@inline] cas a i expected repl =
+    Atomic.compare_and_set (Array.unsafe_get a i) expected repl
+
+  let iter f a = Array.iter (fun b -> f (Atomic.get b)) a
+  let fold f acc a = Array.fold_left (fun acc b -> f acc (Atomic.get b)) acc a
+end
+
+module Flat : S = struct
+  (* A plain array whose fields are CASed in place.  [Obj.t array] and
+     not ['a array] so the compiler can never specialize an access into
+     the unboxed-float path; [make] additionally rejects arrays the
+     runtime would build with [Double_array_tag]. *)
+  type 'a t = Obj.t array
+
+  let repr = "flat"
+  let overhead_words_per_slot = 0
+
+  (* The runtime's field CAS: SC success ordering, GC write barrier
+     included (same primitive [Atomic.compare_and_set] compiles to,
+     with an explicit field index). *)
+  external unsafe_cas : Obj.t array -> int -> Obj.t -> Obj.t -> bool
+    = "ct_slots_cas_stub"
+  [@@noalloc]
+
+  let make n v =
+    let a = Array.make n (Obj.repr v) in
+    if Obj.tag (Obj.repr a) = Obj.double_array_tag then
+      invalid_arg "Atomic_slots.Flat.make: float slots are unsupported";
+    a
+
+  let length = Array.length
+
+  (* [Obj.field]/[Obj.set_field] rather than [Array.unsafe_get]/[set]:
+     the argument type is already [Obj.t array] so an array access
+     would be safe too, but going through [Obj] keeps the float-array
+     question out of the generated code entirely.  [Obj.set_field] is
+     [caml_modify]: a release store plus the GC write barrier, so a
+     reader that sees the new pointer sees the object behind it. *)
+  let[@inline] get a i : 'a = Obj.obj (Obj.field (Obj.repr a) i)
+  let[@inline] set a i (v : 'a) = Obj.set_field (Obj.repr a) i (Obj.repr v)
+
+  let[@inline] cas a i (expected : 'a) (repl : 'a) =
+    unsafe_cas a i (Obj.repr expected) (Obj.repr repl)
+
+  let iter f a =
+    for i = 0 to Array.length a - 1 do
+      f (get a i)
+    done
+
+  let fold f acc a =
+    let acc = ref acc in
+    for i = 0 to Array.length a - 1 do
+      acc := f !acc (get a i)
+    done;
+    !acc
+end

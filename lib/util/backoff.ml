@@ -1,8 +1,20 @@
+(* [sink] absorbs the spin loop's result so the compiler cannot delete
+   the loop.  It used to be one global [ref] shared by every controller
+   — a word written by all backing-off domains at once, i.e. false
+   sharing at the exact moment the structure is most contended.  It is
+   now a per-instance slot inside a padded array: [pad] empty words on
+   either side keep it alone on its cache line (and off its neighbour
+   line, for the adjacent-line prefetcher), so controllers on different
+   domains never write the same line. *)
+
+let pad = 16
+
 type t = {
   min_wait : int;
   max_wait : int;
   mutable wait : int;
   rng : Rng.t;
+  sink : int array; (* length 2*pad+1; slot [pad] is the live one *)
 }
 
 (* Distinct default seed per instance: with a shared constant seed all
@@ -20,10 +32,13 @@ let create ?(min_wait = 16) ?(max_wait = 4096) ?seed () =
     | None ->
         Rng.mix64 (0x2545F4914F6CDD1D lxor Atomic.fetch_and_add instances 1)
   in
-  { min_wait; max_wait; wait = min_wait; rng = Rng.create seed }
-
-(* A data dependency the compiler cannot remove, so the loop really spins. *)
-let consume = ref 0
+  {
+    min_wait;
+    max_wait;
+    wait = min_wait;
+    rng = Rng.create seed;
+    sink = Array.make ((2 * pad) + 1) 0;
+  }
 
 let next_wait t =
   let n = Rng.next_int t.rng t.wait in
@@ -36,6 +51,6 @@ let once t =
   for i = 1 to n do
     acc := !acc + i
   done;
-  consume := !acc
+  Array.unsafe_set t.sink pad !acc
 
 let reset t = t.wait <- t.min_wait

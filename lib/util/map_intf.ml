@@ -25,7 +25,14 @@ module type CONCURRENT_MAP = sig
   val lookup : 'v t -> key -> 'v option
   (** [lookup t k] is the current binding of [k], if any. *)
 
+  val find : 'v t -> key -> 'v
+  (** [find t k] is the current binding of [k].
+      @raise Not_found if [k] is unbound.  Unlike {!lookup}, a hit
+      allocates nothing (no [Some] box): this is the read every
+      benchmark measures and every hot caller should prefer. *)
+
   val mem : 'v t -> key -> bool
+  (** [mem t k] is [true] iff [k] is bound.  Allocation-free. *)
 
   val insert : 'v t -> key -> 'v -> unit
   (** [insert t k v] binds [k] to [v], replacing any previous

@@ -1,33 +1,43 @@
-(* SplitMix64 implemented over Int64 (native ints are 63-bit, the
-   constants need all 64). Results are exposed as non-negative OCaml
-   ints by dropping the sign bit. *)
+(* SplitMix64-style generator over native 63-bit ints.
 
-type t = { mutable state : int64 }
+   The original implementation kept its state in an [int64] and mixed
+   with [Int64] arithmetic; every [next] then allocated several boxed
+   int64s (the mutable field rebox on advance, the argument and result
+   of the finalizer).  That put minor-heap traffic on paths that must
+   stay allocation-free — the per-operation hash ([mix64]) and the
+   cache's sampling passes.  Native ints lose the top bit of the
+   64-bit constants (multiplication wraps mod 2^63), which only
+   perturbs the avalanche, not its quality, for hashing and workload
+   generation. *)
 
-let gamma = 0x9E3779B97F4A7C15L
+type t = { mutable state : int }
 
-let create seed = { state = Int64.of_int seed }
+(* 2^64 / phi, truncated to 63 bits and kept odd. *)
+let gamma = 0x1E3779B97F4A7C15
 
-let mix64_i64 z =
-  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
-  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
-  Int64.(logxor z (shift_right_logical z 31))
+let create seed = { state = seed }
 
-let next_i64 t =
-  t.state <- Int64.add t.state gamma;
-  mix64_i64 t.state
+(* SplitMix64 finalizer with the constants truncated to 63 bits. *)
+let[@inline] mix64 x =
+  let x = x lxor (x lsr 30) in
+  let x = x * 0x3F58476D1CE4E5B9 in
+  let x = x lxor (x lsr 27) in
+  let x = x * 0x14D049BB133111EB in
+  let x = x lxor (x lsr 31) in
+  x land max_int
 
-let next t = Int64.to_int (next_i64 t) land max_int
+let[@inline] next t =
+  t.state <- t.state + gamma;
+  mix64 t.state
 
-let split t = { state = next_i64 t }
+let split t = { state = next t }
 
 let next_int t bound =
   if bound <= 0 then invalid_arg "Rng.next_int";
   (* Rejection-free modulo is fine here: bound is tiny vs 2^62. *)
   next t mod bound
 
-let next_int32 t = Int64.to_int (Int64.logand (next_i64 t) 0xFFFFFFFFL)
-
+let next_int32 t = next t land 0xFFFFFFFF
 let next_float t = float_of_int (next t) *. (1.0 /. 4611686018427387904.0)
 
 let shuffle t a =
@@ -37,5 +47,3 @@ let shuffle t a =
     a.(i) <- a.(j);
     a.(j) <- tmp
   done
-
-let mix64 x = Int64.to_int (mix64_i64 (Int64.of_int x)) land max_int

@@ -1,0 +1,47 @@
+(* One stripe per 16-word (128-byte) stride: a 64-byte line for the
+   counter plus its neighbour line, so Intel's adjacent-line prefetcher
+   cannot couple two stripes either.  A leading pad keeps stripe 0 off
+   the line holding the array header (which every [length]/bounds read
+   touches). *)
+
+let stride = 16
+let lead = stride
+
+type t = {
+  data : int array;
+  mask : int;
+}
+
+let create ?stripes () =
+  let requested =
+    match stripes with
+    | Some n -> if n < 1 then invalid_arg "Stripe.create" else n
+    | None -> Domain.recommended_domain_count ()
+  in
+  let n = Bits.next_power_of_two requested in
+  { data = Array.make (lead + (n * stride)) 0; mask = n - 1 }
+
+let stripes t = t.mask + 1
+let mask t = t.mask
+
+let[@inline] slot t i = lead + ((i land t.mask) * stride)
+let[@inline] get t i = Array.unsafe_get t.data (slot t i)
+let[@inline] set t i v = Array.unsafe_set t.data (slot t i) v
+
+let[@inline] add t i d =
+  let s = slot t i in
+  Array.unsafe_set t.data s (Array.unsafe_get t.data s + d)
+
+let sum t =
+  let acc = ref 0 in
+  for i = 0 to t.mask do
+    acc := !acc + get t i
+  done;
+  !acc
+
+let fill t v =
+  for i = 0 to t.mask do
+    set t i v
+  done
+
+let footprint_words t = 1 + Array.length t.data

@@ -1,0 +1,46 @@
+(** Cache-line-padded striped integer counters.
+
+    A contended statistic (the cache's miss counters, the harness's
+    per-domain throughput counters) is split into [stripes] independent
+    slots, each alone on its cache line, so domains incrementing
+    different stripes never invalidate each other's lines.  Without the
+    padding a plain [int array] packs 8 counters per 64-byte line and
+    every increment ping-pongs the line between cores — the false
+    sharing this module exists to kill.
+
+    Counters are plain (non-atomic) loads/stores: all users tolerate
+    lost updates (the miss counters are a heuristic, the throughput
+    counters are read only after the writers join). *)
+
+type t
+
+val create : ?stripes:int -> unit -> t
+(** [create ()] sizes the stripe count from
+    [Domain.recommended_domain_count ()], rounded up to a power of two.
+    [?stripes] overrides (also rounded up to a power of two); values
+    [< 1] raise [Invalid_argument]. *)
+
+val stripes : t -> int
+(** Number of stripes; always a power of two. *)
+
+val mask : t -> int
+(** [stripes t - 1], for deriving a stripe index from a hash. *)
+
+val get : t -> int -> int
+(** [get t i] reads stripe [i land mask t]. *)
+
+val set : t -> int -> int -> unit
+(** [set t i v] writes stripe [i land mask t]. *)
+
+val add : t -> int -> int -> unit
+(** [add t i d] adds [d] to stripe [i land mask t] (plain read-add-write;
+    racy updates may be lost, by design). *)
+
+val sum : t -> int
+(** Sum of all stripes. *)
+
+val fill : t -> int -> unit
+(** Set every stripe to the given value. *)
+
+val footprint_words : t -> int
+(** Heap words of the backing array, header included. *)

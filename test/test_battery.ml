@@ -171,6 +171,37 @@ module Battery (Maker : Map_intf.MAKER) = struct
     check_int "one left" 1 (C.size t);
     check_opt "survivor" (Some 115) (C.lookup t 15)
 
+  (* --------------------- read-path agreement ----------------------- *)
+
+  (* [find], [mem] and [lookup] are three renderings of one read: on a
+     random history they must agree at every step, both on the
+     well-hashed map and on the all-collisions map (LNode path). *)
+  let test_read_agreement () =
+    let rng = Rng.create 0xA9EE in
+    let t = M.create () in
+    let c = C.create () in
+    for _ = 1 to 2_000 do
+      let k = Rng.next_int rng 64 in
+      (match Rng.next_int rng 3 with
+      | 0 ->
+          M.insert t k (k * 3);
+          C.insert c k (k * 3)
+      | 1 ->
+          ignore (M.remove t k);
+          ignore (C.remove c k)
+      | _ -> ());
+      let l = M.lookup t k in
+      check_bool "mem agrees with lookup" (l <> None) (M.mem t k);
+      (match M.find t k with
+      | v -> check_opt "find agrees with lookup" (Some v) l
+      | exception Not_found -> check_opt "find agrees with lookup" None l);
+      let lc = C.lookup c k in
+      check_bool "collision mem agrees" (lc <> None) (C.mem c k);
+      match C.find c k with
+      | v -> check_opt "collision find agrees" (Some v) lc
+      | exception Not_found -> check_opt "collision find agrees" None lc
+    done
+
   (* ----------------------- model agreement ------------------------- *)
 
   let prop_model ops =
@@ -397,6 +428,7 @@ module Battery (Maker : Map_intf.MAKER) = struct
       ("aggregates", `Quick, test_aggregates);
       ("footprint", `Quick, test_footprint);
       ("full_collisions", `Quick, test_full_collisions);
+      ("read_agreement", `Quick, test_read_agreement);
       model_test;
       ("conc_disjoint", `Slow, test_conc_disjoint);
       ("conc_overlapping", `Slow, test_conc_overlapping);
@@ -410,6 +442,10 @@ module Battery (Maker : Map_intf.MAKER) = struct
 end
 
 module Cachetrie_battery = Battery (Cachetrie.Make)
+
+(* The boxed-slot twin runs the identical battery: the layout swap must
+   be behaviourally invisible. *)
+module Cachetrie_boxed_battery = Battery (Cachetrie_boxed.Make)
 module Ctrie_battery = Battery (Ctrie.Make)
 module Ctrie_snap_battery = Battery (Ctrie_snap.Make)
 module Chm_battery = Battery (Chm.Split_ordered.Make)

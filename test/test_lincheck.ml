@@ -153,6 +153,7 @@ let test_accepts_replace_if_then_remove_if () =
 (* ------------------- real structures, random runs ------------------ *)
 
 module CT = Cachetrie.Make (Ct_util.Hashing.Int_key)
+module CTB = Cachetrie_boxed.Make (Ct_util.Hashing.Int_key)
 module CTR = Ctrie.Make (Ct_util.Hashing.Int_key)
 module SO = Chm.Split_ordered.Make (Ct_util.Hashing.Int_key)
 module ST = Chm.Striped.Make (Ct_util.Hashing.Int_key)
@@ -194,6 +195,7 @@ let suite =
       `Quick,
       test_accepts_replace_if_then_remove_if );
     random_battery "cachetrie" (module CT);
+    random_battery "cachetrie-boxed" (module CTB);
     random_battery "ctrie" (module CTR);
     random_battery "chm" (module SO);
     random_battery "chm-striped" (module ST);

@@ -8,6 +8,7 @@ let () =
       ("cachetrie-concurrent", Test_cachetrie_concurrent.suite);
       ("cachetrie-props", Test_cachetrie_props.suite);
       ("battery-cachetrie", Test_battery.Cachetrie_battery.suite);
+      ("battery-cachetrie-boxed", Test_battery.Cachetrie_boxed_battery.suite);
       ("battery-ctrie", Test_battery.Ctrie_battery.suite);
       ("battery-ctrie-snap", Test_battery.Ctrie_snap_battery.suite);
       ("battery-chm", Test_battery.Chm_battery.suite);

@@ -230,6 +230,137 @@ let test_backoff_seeding () =
   check_bool "waits bounded" true
     (List.for_all (fun n -> n >= 0 && n < 8) (draws b))
 
+(* -------------------------- Atomic_slots --------------------------- *)
+
+(* The same battery runs against both slot representations: whatever
+   [Ct_util.Slots] resolves to at build time, the other layout must
+   behave identically. *)
+module Slots_battery (S : Atomic_slots.S) = struct
+  let label name = Printf.sprintf "slots[%s].%s" S.repr name
+
+  let test_basic () =
+    let a = S.make 8 0 in
+    check_int "length" 8 (S.length a);
+    for i = 0 to 7 do
+      check_int "init" 0 (S.get a i)
+    done;
+    S.set a 3 42;
+    check_int "set/get" 42 (S.get a 3);
+    check_int "neighbours untouched" 0 (S.get a 2);
+    check_int "fold" 42 (S.fold ( + ) 0 a);
+    let seen = ref 0 in
+    S.iter (fun v -> seen := !seen + v) a;
+    check_int "iter" 42 !seen
+
+  let test_cas () =
+    let a = S.make 4 "init" in
+    check_bool "cas hits on phys-eq" true (S.cas a 1 "init" "next");
+    check_bool "cas updated" true (S.get a 1 == "next");
+    check_bool "cas misses on stale" false (S.cas a 1 "init" "other");
+    check_bool "still next" true (S.get a 1 == "next");
+    (* Physical, not structural, comparison: a fresh equal string is
+       a different block and must not match. *)
+    let twin = String.init 4 (String.get "next") in
+    check_bool "cas is physical" false (S.cas a 1 twin "other")
+
+  let test_boxed_values () =
+    (* Pointers (variant blocks) survive a set/cas round-trip — the
+       GC write barrier path. *)
+    let a = S.make 4 None in
+    S.set a 0 (Some 7);
+    check_bool "boxed set" true (S.get a 0 = Some 7);
+    let cur = S.get a 0 in
+    check_bool "boxed cas" true (S.cas a 0 cur (Some 8));
+    check_bool "boxed cas value" true (S.get a 0 = Some 8)
+
+  let test_float_guard () =
+    if S.repr = "flat" then
+      Alcotest.check_raises "flat rejects float slots"
+        (Invalid_argument "Atomic_slots.Flat.make: float slots are unsupported")
+        (fun () -> ignore (S.make 4 1.0))
+
+  let test_concurrent_cas () =
+    (* [domains] workers CAS-push onto every slot of a shared array;
+       every push must land exactly once. *)
+    let slots = 8 and domains = 4 and per = 500 in
+    let a = S.make slots ([] : int list) in
+    let workers =
+      List.init domains (fun d ->
+          Domain.spawn (fun () ->
+              for i = 0 to per - 1 do
+                let idx = i land (slots - 1) in
+                let rec push () =
+                  let cur = S.get a idx in
+                  if not (S.cas a idx cur ((d * per) + i :: cur)) then push ()
+                in
+                push ()
+              done))
+    in
+    List.iter Domain.join workers;
+    let total = S.fold (fun acc l -> acc + List.length l) 0 a in
+    check_int "no lost pushes" (domains * per) total;
+    let all = S.fold (fun acc l -> List.rev_append l acc) [] a in
+    check_int "all values distinct" (domains * per)
+      (List.length (List.sort_uniq compare all))
+
+  let tests =
+    [
+      (label "basic", `Quick, test_basic);
+      (label "cas", `Quick, test_cas);
+      (label "boxed_values", `Quick, test_boxed_values);
+      (label "float_guard", `Quick, test_float_guard);
+      (label "concurrent_cas", `Slow, test_concurrent_cas);
+    ]
+end
+
+module Slots_flat_tests = Slots_battery (Atomic_slots.Flat)
+module Slots_boxed_tests = Slots_battery (Atomic_slots.Boxed)
+
+let test_slots_metadata () =
+  check_int "flat overhead" 0 Atomic_slots.Flat.overhead_words_per_slot;
+  check_int "boxed overhead" 2 Atomic_slots.Boxed.overhead_words_per_slot;
+  check_bool "reprs differ" true
+    (Atomic_slots.Flat.repr <> Atomic_slots.Boxed.repr);
+  (* The build-selected alias is one of the two. *)
+  check_bool "Slots is flat or boxed" true
+    (Slots.repr = "flat" || Slots.repr = "boxed")
+
+(* ----------------------------- Stripe ------------------------------ *)
+
+let test_stripe_shape () =
+  let s = Stripe.create ~stripes:4 () in
+  check_int "stripes" 4 (Stripe.stripes s);
+  check_int "mask" 3 (Stripe.mask s);
+  (* Stripe counts round up to a power of two. *)
+  check_int "rounded up" 8 (Stripe.stripes (Stripe.create ~stripes:5 ()));
+  let d = Stripe.create () in
+  check_bool "default is a power of two" true
+    (Bits.is_power_of_two (Stripe.stripes d));
+  Alcotest.check_raises "stripes < 1 rejected"
+    (Invalid_argument "Stripe.create") (fun () ->
+      ignore (Stripe.create ~stripes:0 ()))
+
+let test_stripe_ops () =
+  let s = Stripe.create ~stripes:4 () in
+  Stripe.set s 0 5;
+  Stripe.add s 1 7;
+  Stripe.add s 1 1;
+  check_int "get 0" 5 (Stripe.get s 0);
+  check_int "get 1" 8 (Stripe.get s 1);
+  (* Indexes are masked, so any int is a valid stripe id. *)
+  check_int "masked index" 5 (Stripe.get s 4);
+  Stripe.add s (-4) 2;
+  check_int "negative index masked" 7 (Stripe.get s 0);
+  check_int "sum" 15 (Stripe.sum s);
+  Stripe.fill s 0;
+  check_int "fill" 0 (Stripe.sum s)
+
+let test_stripe_padding () =
+  (* Each counter must sit on its own cache line: the backing array
+     spans at least [stripes * 16] words plus the leading pad. *)
+  let s = Stripe.create ~stripes:8 () in
+  check_bool "padded footprint" true (Stripe.footprint_words s >= 8 * 16)
+
 (* --------------------------- Yieldpoint ---------------------------- *)
 
 let test_yieldpoint_registry () =
@@ -295,4 +426,9 @@ let suite =
     ("backoff.seeding", `Quick, test_backoff_seeding);
     ("yieldpoint.registry", `Quick, test_yieldpoint_registry);
     ("yieldpoint.hook", `Quick, test_yieldpoint_hook);
+    ("slots.metadata", `Quick, test_slots_metadata);
+    ("stripe.shape", `Quick, test_stripe_shape);
+    ("stripe.ops", `Quick, test_stripe_ops);
+    ("stripe.padding", `Quick, test_stripe_padding);
   ]
+  @ Slots_flat_tests.tests @ Slots_boxed_tests.tests
