@@ -19,12 +19,43 @@ let scale_term =
   let full = Arg.(value & flag & info [ "full" ] ~doc) in
   Term.(const (fun f -> if f then Harness.Suites.Full else Harness.Suites.Quick) $ full)
 
-let experiment name doc f =
-  let run scale =
-    f scale;
-    0
+let timeout_term =
+  let doc =
+    "Kill the run after $(docv) seconds with exit status 124 — the hard \
+     deadline CI relies on when an experiment wedges instead of failing."
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ scale_term)
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+(* A detached watchdog thread, not an alarm: bechamel and the domains
+   it spawns must keep their signal dispositions untouched. *)
+let arm_timeout = function
+  | None -> ()
+  | Some seconds ->
+      if seconds <= 0.0 then begin
+        prerr_endline "repro: --timeout must be positive";
+        exit 2
+      end;
+      ignore
+        (Thread.create
+           (fun () ->
+             Unix.sleepf seconds;
+             Printf.eprintf "repro: timeout of %gs exceeded\n%!" seconds;
+             exit 124)
+           ())
+
+(* Nonzero exit on any experiment failure, so CI and scripts can trust
+   the status code instead of scraping output. *)
+let guarded timeout f scale =
+  arm_timeout timeout;
+  match f scale with
+  | () -> 0
+  | exception e ->
+      Printf.eprintf "repro: experiment failed: %s\n%!" (Printexc.to_string e);
+      1
+
+let experiment name doc f =
+  let run timeout scale = guarded timeout f scale in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ timeout_term $ scale_term)
 
 let all_experiments =
   [
@@ -57,13 +88,14 @@ let all_experiments =
   ]
 
 let all_cmd =
-  let run scale =
-    List.iter (fun (_, _, f) -> f scale) all_experiments;
-    0
+  let run timeout scale =
+    guarded timeout (fun scale ->
+        List.iter (fun (_, _, f) -> f scale) all_experiments)
+      scale
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment in sequence.")
-    Term.(const run $ scale_term)
+    Term.(const run $ timeout_term $ scale_term)
 
 let () =
   let info =

@@ -15,6 +15,33 @@
 module Hashing = Ct_util.Hashing
 module Bits = Ct_util.Bits
 module Slots = Ct_util.Slots
+module Yp = Ct_util.Yieldpoint
+
+(* Yield points (DESIGN.md "Fault injection & robustness"): one site
+   per distinct CAS, so the chaos layer can crash a victim between the
+   logical and physical steps of an operation — a binding killed but
+   not buried, a node marked but not unlinked, a sentinel spliced into
+   the list but never published in the bucket table. *)
+let yp_insert_splice = Yp.register "chm.insert.splice"
+let yp_update_value = Yp.register "chm.update.value"
+let yp_remove_kill = Yp.register "chm.remove.kill"
+let yp_bury_mark = Yp.register "chm.bury.mark"
+let yp_unlink = Yp.register "chm.unlink"
+let yp_bucket_splice = Yp.register "chm.bucket.splice"
+let yp_bucket_publish = Yp.register "chm.bucket.publish"
+let yp_grow = Yp.register "chm.grow"
+
+let yp_cas site slot expected repl =
+  Yp.here Yp.Before site;
+  let ok = Atomic.compare_and_set slot expected repl in
+  if ok then Yp.here Yp.After site;
+  ok
+
+let yp_cas_slot site slots pos expected repl =
+  Yp.here Yp.Before site;
+  let ok = Slots.cas slots pos expected repl in
+  if ok then Yp.here Yp.After site;
+  ok
 
 let initial_buckets = 16
 let max_buckets = 1 lsl 22
@@ -71,7 +98,7 @@ module Make (H : Hashing.HASHABLE) = struct
   let rec bury (node : 'v node) =
     let link = Atomic.get node.next in
     if not link.marked then
-      if not (Atomic.compare_and_set node.next link { succ = link.succ; marked = true })
+      if not (yp_cas yp_bury_mark node.next link { succ = link.succ; marked = true })
       then bury node
 
   (* Position in the list after [start] for ([sokey], [key]):
@@ -89,7 +116,7 @@ module Make (H : Hashing.HASHABLE) = struct
                be the exact record we keep using (CAS compares
                identities). *)
             let repl = { succ = clink.succ; marked = false } in
-            if Atomic.compare_and_set pred.next plink repl then advance pred repl
+            if yp_cas yp_unlink pred.next plink repl then advance pred repl
             else list_find start sokey key
           end
           else if curr.sokey < sokey then advance curr clink
@@ -127,7 +154,7 @@ module Make (H : Hashing.HASHABLE) = struct
                 let clink = Atomic.get curr.next in
                 if clink.marked then begin
                   let repl = { succ = clink.succ; marked = false } in
-                  if Atomic.compare_and_set pred.next plink repl then
+                  if yp_cas yp_unlink pred.next plink repl then
                     splice_point pred
                   else splice_point parent
                 end
@@ -143,14 +170,14 @@ module Make (H : Hashing.HASHABLE) = struct
               else begin
                 let sentinel = { sokey; kind = Sentinel; next = Atomic.make plink } in
                 if
-                  Atomic.compare_and_set pred.next plink
+                  yp_cas yp_bucket_splice pred.next plink
                     { succ = Some sentinel; marked = false }
                 then sentinel
                 else install ()
               end
         in
         let sentinel = install () in
-        ignore (Slots.cas table b None (Some sentinel));
+        ignore (yp_cas_slot yp_bucket_publish table b None (Some sentinel));
         (* Another thread may have installed a different-but-equivalent
            sentinel pointer first; always use the published one. *)
         (match Slots.get table b with Some s -> s | None -> sentinel)
@@ -173,7 +200,7 @@ module Make (H : Hashing.HASHABLE) = struct
       for b = 0 to buckets - 1 do
         Slots.set bigger b (Slots.get table b)
       done;
-      ignore (Atomic.compare_and_set t.table table bigger)
+      ignore (yp_cas yp_grow t.table table bigger)
     end
 
   (* ------------------------------ lookup ---------------------------- *)
@@ -229,7 +256,7 @@ module Make (H : Hashing.HASHABLE) = struct
                 | If_absent -> Some existing
                 | If_value expected when existing != expected -> Some existing
                 | Always | If_present | If_value _ ->
-                    if Atomic.compare_and_set b.state live (Live v) then
+                    if yp_cas yp_update_value b.state live (Live v) then
                       Some existing
                     else update t k v mode))
         | Sentinel -> assert false)
@@ -253,7 +280,7 @@ module Make (H : Hashing.HASHABLE) = struct
           in
           if plink.marked || not same_succ then update t k v mode
           else if
-            Atomic.compare_and_set pred.next plink
+            yp_cas yp_insert_splice pred.next plink
               { succ = Some node; marked = false }
           then begin
             Atomic.incr t.count;
@@ -289,7 +316,7 @@ module Make (H : Hashing.HASHABLE) = struct
                 None
             | Live v as live ->
                 if not (cond v) then Some v
-                else if Atomic.compare_and_set b.state live Dead then begin
+                else if yp_cas yp_remove_kill b.state live Dead then begin
                   (* Removal linearized; clean up physically. *)
                   Atomic.decr t.count;
                   bury n;
@@ -367,6 +394,64 @@ module Make (H : Hashing.HASHABLE) = struct
             err "bucket %d sentinel has wrong sokey" b
     done;
     match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))
+
+  (* Scrub: active residue sweep (DESIGN.md §9).  One pred-based pass
+     over the whole list finishes every abandoned removal (Dead
+     bindings get their link marked, marked nodes get unlinked) and
+     every abandoned bucket initialisation (a sentinel spliced into the
+     list whose table slot is still empty gets published).  Each step
+     is the same helping/cleanup a regular operation performs, so
+     scrubbing is safe under live traffic.  Lazily uninitialized
+     buckets whose sentinel was never created are NOT residue — they
+     are the normal resting state — so a quiescent clean map yields
+     0 repairs. *)
+  let scrub t =
+    let repairs = ref 0 in
+    let publish_orphan (sentinel : 'v node) =
+      let table = Atomic.get t.table in
+      (* sokey = reverse_bits32 b lsl 1, and reversal is an involution. *)
+      let b = Bits.reverse_bits32 (sentinel.sokey lsr 1) in
+      if b >= 0 && b < Slots.length table then
+        match Slots.get table b with
+        | None ->
+            if yp_cas_slot yp_bucket_publish table b None (Some sentinel) then
+              incr repairs
+        | Some _ -> ()
+    in
+    let rec sweep (pred : 'v node) budget =
+      if budget > 0 then
+        let plink = Atomic.get pred.next in
+        match plink.succ with
+        | None -> ()
+        | Some curr ->
+            let clink = Atomic.get curr.next in
+            if clink.marked then begin
+              let repl = { succ = clink.succ; marked = false } in
+              if yp_cas yp_unlink pred.next plink repl then incr repairs;
+              (* Either way re-examine [pred]: the link changed. *)
+              sweep pred (budget - 1)
+            end
+            else begin
+              (match curr.kind with
+              | Binding b -> (
+                  match Atomic.get b.state with
+                  | Dead ->
+                      (* Killed but never buried: finish the removal. *)
+                      bury curr;
+                      incr repairs
+                  | Live _ -> ())
+              | Sentinel -> publish_orphan curr);
+              if (Atomic.get curr.next).marked then
+                (* Just buried (or marked concurrently): unlink it
+                   before moving on. *)
+                sweep pred (budget - 1)
+              else sweep curr budget
+            end
+    in
+    (* The budget bounds re-examination under concurrent writers; a
+       quiescent list needs exactly one pass. *)
+    sweep t.list_head (1 lsl 22);
+    !repairs
 
   (* Word-cost model (DESIGN.md): node = 4 + link box 2 + link record 3;
      binding payload = 4 + state box 2 + Live box 2; table = array +

@@ -19,9 +19,12 @@ module Make (H : Ct_util.Hashing.HASHABLE) : sig
   val bucket_count : 'v t -> int
   (** Current size of the bucket table (doubles as the map grows). *)
 
-  val validate : 'v t -> (unit, string) result
-  (** Structural invariants of a quiescent map: the list is strictly
-      sorted by split-order key (sentinels even, bindings odd), no
-      marked or dead nodes remain reachable, and every initialized
-      bucket points at a sentinel with the right split-order key. *)
+  (** [validate] (from {!Ct_util.Map_intf.CONCURRENT_MAP}) checks, for
+      a quiescent map: the list is strictly sorted by split-order key
+      (sentinels even, bindings odd), no marked or dead nodes remain
+      reachable, and every initialized bucket points at a sentinel
+      with the right split-order key.  [scrub] buries dead bindings,
+      unlinks marked nodes, and publishes any sentinel present in the
+      list but missing from the bucket table (abandoned bucket
+      initialisation). *)
 end

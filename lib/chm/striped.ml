@@ -176,6 +176,40 @@ module Make (H : Hashing.HASHABLE) = struct
   let is_empty t = size t = 0
   let to_list t = fold (fun acc k v -> (k, v) :: acc) [] t
 
+  (* Structural invariants, checked during quiescence: every entry
+     hangs in the bucket its hash selects, stored hashes agree with the
+     key hash, no bucket holds a duplicate key, and the count matches
+     the entries. *)
+  let validate t =
+    let errors = ref [] in
+    let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+    let table = t.table in
+    let nbuckets = Slots.length table in
+    if nbuckets land (nbuckets - 1) <> 0 then
+      err "bucket count %d is not a power of two" nbuckets;
+    let entries = ref 0 in
+    for idx = 0 to nbuckets - 1 do
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (h, k, _) ->
+          incr entries;
+          if h <> hash_of k then
+            err "bucket %d: stored hash %#x differs from key hash %#x" idx h
+              (hash_of k);
+          if h land (nbuckets - 1) <> idx then
+            err "entry with hash %#x misplaced in bucket %d" h idx;
+          if Hashtbl.mem seen (h, k) then err "bucket %d holds a duplicate key" idx
+          else Hashtbl.add seen (h, k) ())
+        (Slots.get table idx)
+    done;
+    if !entries <> Atomic.get t.count then
+      err "count %d does not match %d stored entries" (Atomic.get t.count) !entries;
+    match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))
+
+  (* Lock-based writers leave no lock-free residue: an operation either
+     holds the stripe lock or has fully published.  Nothing to repair. *)
+  let scrub _t = 0
+
   (* Word-cost model: table array + per-slot overhead + 7-word cells
      (cons 3 + tuple of 3 = 4 words). *)
   let footprint_words t =

@@ -1124,6 +1124,69 @@ module Make (H : Hashing.HASHABLE) = struct
     in
     node_words (ANode t.root) + cache_words + 8
 
+  (* ---------------------------------------------------------------- *)
+  (* Cache coherence helpers, shared by [validate] and [scrub].        *)
+  (* ---------------------------------------------------------------- *)
+
+  (* The node the root walk stands on at pointer level [target] when
+     following the index bits of [pos] — i.e. what a slow-path read of
+     any hash whose low [target] bits equal [pos] would reach.
+     Descriptors and freeze wrappers are looked through, like the read
+     path does. *)
+  let node_at t pos target =
+    let rec go (node : 'v node) lev =
+      match node with
+      | ENode en -> go (ANode en.e_narrow) lev
+      | XNode xn -> go (ANode xn.x_stale) lev
+      | FNode inner -> go inner lev
+      | ANode an when lev < target ->
+          go (Slots.get an ((pos lsr lev) land (Slots.length an - 1))) (lev + 4)
+      | node -> if lev = target then Some node else None
+    in
+    go (ANode t.root) 0
+
+  (* A detached ANode is benign in the cache only if it is fully
+     frozen: the probe fast path then rejects every slot on its own
+     (FVNode/FNode/frozen-SNode all fall through to the parent level).
+     Any live-looking slot in a detached node could serve stale data. *)
+  let frozen_anode (an : 'v anode) =
+    let ok = ref true in
+    Slots.iter
+      (fun child ->
+        match child with
+        | FVNode | FNode _ -> ()
+        | SNode sn -> (
+            match Atomic.get sn.txn with
+            | Frozen_snode -> ()
+            | No_txn | Replace _ | Removed -> ok := false)
+        | Null | ANode _ | LNode _ | ENode _ | XNode _ -> ok := false)
+      an;
+    !ok
+
+  (* Coherence of one cache entry, shared by [validate] (report) and
+     [scrub] (clear).  [Ok] = still reachable at the recorded level;
+     [Stale] = detached but self-invalidating (the probe rejects it);
+     [Broken] = live-looking yet detached — would serve stale data. *)
+  type coherence = Co_ok | Co_stale | Co_broken of string
+
+  let entry_coherence t level pos (entry : 'v node) =
+    match entry with
+    | Null -> Co_ok
+    | SNode sn -> (
+        match node_at t pos level with
+        | Some (SNode s) when s == sn -> Co_ok
+        | _ -> (
+            match Atomic.get sn.txn with
+            | No_txn -> Co_broken "live SNode detached from the trie"
+            | Frozen_snode | Replace _ | Removed -> Co_stale))
+    | ANode an -> (
+        match node_at t pos level with
+        | Some (ANode a) when a == an -> Co_ok
+        | _ -> if frozen_anode an then Co_stale else Co_broken "live ANode detached from the trie")
+    | LNode _ -> Co_stale (* dead weight: the probe never uses LNode entries *)
+    | FVNode | FNode _ | ENode _ | XNode _ ->
+        Co_broken "cache entry holds a freeze marker or descriptor"
+
   (* Structural invariant checker used by the property tests.  Only
      meaningful during quiescence. *)
   let validate t =
@@ -1178,5 +1241,92 @@ module Make (H : Hashing.HASHABLE) = struct
     for i = 0 to Slots.length t.root - 1 do
       go (Slots.get t.root i) 4 i (wide_width - 1) false
     done;
+    (* Cache coherence: every entry still reaches the recorded level
+       from the root, or is self-invalidating stale (see
+       [entry_coherence]).  A live-looking detached entry would serve
+       stale data forever, so it is an error even though the trie
+       itself is consistent. *)
+    let rec check_cache = function
+      | None -> ()
+      | Some cl ->
+          if Array.length cl.c_entries <> 1 lsl cl.c_level then
+            err "cache level %d has %d entries (expected %d)" cl.c_level
+              (Array.length cl.c_entries) (1 lsl cl.c_level);
+          Array.iteri
+            (fun pos entry ->
+              match entry_coherence t cl.c_level pos entry with
+              | Co_ok | Co_stale -> ()
+              | Co_broken what ->
+                  err "cache level %d entry %#x: %s" cl.c_level pos what)
+            cl.c_entries;
+          check_cache cl.c_parent
+    in
+    check_cache (Atomic.get t.cache_head);
     match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))
+
+  (* ---------------------------------------------------------------- *)
+  (* Scrub: active residue sweep (DESIGN.md §9).                        *)
+  (* ---------------------------------------------------------------- *)
+
+  (* Walk the whole trie and help-complete every descriptor and pending
+     transaction a crashed/abandoned operation left behind, then drop
+     stale cache entries.  Each repair is exactly a helping step a
+     regular operation would perform on encounter, so scrubbing is safe
+     under live traffic; the return value counts repairs, and a second
+     scrub of a quiescent trie finds nothing left and returns 0. *)
+  let scrub t =
+    let repairs = ref 0 in
+    (* [budget] bounds re-examination of one slot: every repair removes
+       the residue it found, but concurrent writers can keep a slot
+       busy forever — scrub only promises to clear pre-existing
+       residue. *)
+    let rec scrub_slot (an : 'v anode) i budget =
+      if budget > 0 then
+        match Slots.get an i with
+        | Null | FVNode | FNode _ | LNode _ -> ()
+        | SNode sn as old -> (
+            match Atomic.get sn.txn with
+            | No_txn | Frozen_snode -> ()
+            | Replace repl ->
+                ignore (yp_cas_slot yp_txn_help an i old repl);
+                incr repairs;
+                scrub_slot an i (budget - 1)
+            | Removed ->
+                ignore (yp_cas_slot yp_txn_help an i old Null);
+                incr repairs;
+                scrub_slot an i (budget - 1))
+        | ANode child -> scrub_anode child
+        | ENode en as self ->
+            complete_expansion t self en;
+            incr repairs;
+            scrub_slot an i (budget - 1)
+        | XNode xn as self ->
+            complete_compression t self xn;
+            incr repairs;
+            scrub_slot an i (budget - 1)
+    and scrub_anode (an : 'v anode) =
+      for i = 0 to Slots.length an - 1 do
+        scrub_slot an i 8
+      done
+    in
+    scrub_anode t.root;
+    (* Cache pass: clear every entry that no longer reaches its
+       recorded level — both broken ones and benign self-invalidating
+       stale ones (the latter cost a probe fallback per read until
+       overwritten).  Entries are plain writes, like every cache
+       install. *)
+    let rec scrub_cache = function
+      | None -> ()
+      | Some cl ->
+          for pos = 0 to Array.length cl.c_entries - 1 do
+            match entry_coherence t cl.c_level pos cl.c_entries.(pos) with
+            | Co_ok -> ()
+            | Co_stale | Co_broken _ ->
+                cl.c_entries.(pos) <- Null;
+                incr repairs
+          done;
+          scrub_cache cl.c_parent
+    in
+    scrub_cache (Atomic.get t.cache_head);
+    !repairs
 end

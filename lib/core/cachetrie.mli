@@ -75,9 +75,13 @@ module Make (H : Ct_util.Hashing.HASHABLE) : sig
       an ANode); the last slot aggregates any deeper keys.  This is the
       artifact's "BirthdaySimulations" histogram. *)
 
-  val validate : 'v t -> (unit, string) result
-  (** Structural invariant check for a quiescent trie: hash-prefix
-      consistency, node widths, absence of freeze markers and
-      descriptors, narrow-node content restrictions, LNode sanity.
-      Used by the property-based tests. *)
+  (** [validate] (from {!Ct_util.Map_intf.CONCURRENT_MAP}) checks, for
+      a quiescent trie: hash-prefix consistency, node widths, absence
+      of freeze markers and descriptors, narrow-node content
+      restrictions, LNode sanity, and cache coherence — every cache
+      entry either reaches the recorded level from the root or is
+      self-invalidating stale (frozen/dead), never a live-looking
+      detached node.  [scrub] walks the trie help-completing expansion
+      and compression descriptors and pending [txn]s, then drops
+      incoherent cache entries. *)
 end

@@ -410,6 +410,61 @@ module Make (H : Hashing.HASHABLE) = struct
     go_main (Atomic.get t.root) 0 0 0;
     match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))
 
+  (* Scrub: compact every reachable entombed branch (DESIGN.md §9).
+     The only residue a crashed Ctrie operation can leave is a TNode
+     whose [clean_parent] never ran — the remove itself committed with
+     one CAS.  Each repair is exactly the helping step a traversal
+     tripping over the TNode would perform, so scrubbing is safe under
+     live traffic. *)
+  let scrub t =
+    let repairs = ref 0 in
+    let pass () =
+      let fixed = ref 0 in
+      let rec go (i : 'v inode) lev prefix =
+        match Atomic.get i with
+        | TNode _ | LNode _ -> ()
+        | CNode { bmp; arr } ->
+            let pos = ref 0 in
+            for idx = 0 to branching - 1 do
+              if bmp land (1 lsl idx) <> 0 then begin
+                (match arr.(!pos) with
+                | SN _ -> ()
+                | IN child -> (
+                    let prefix' = prefix lor (idx lsl lev) in
+                    (match Atomic.get child with
+                    | TNode _ ->
+                        (* [prefix'] replays the hash bits of the path, which
+                           is all [clean_parent] reads of the hash. *)
+                        clean_parent i child prefix' lev;
+                        incr fixed
+                    | CNode _ | LNode _ -> ());
+                    match Atomic.get child with
+                    | CNode _ | LNode _ -> go child (lev + w) prefix'
+                    | TNode _ -> ()));
+                incr pos
+              end
+            done
+      in
+      go t.root 0 0;
+      !fixed
+    in
+    (* Cleaning cascades: contracting a now-single-leaf CNode entombs
+       it into a fresh TNode one level up, behind the walk's back.
+       Sweep to fixpoint — each pass strictly shrinks pre-existing
+       residue, and the cascade length is bounded by the trie depth
+       (the pass bound only guards against concurrent writers
+       manufacturing new tombs forever). *)
+    let max_passes = (Hashing.hash_bits / w) + 2 in
+    let passes = ref 0 in
+    let continue = ref true in
+    while !continue && !passes < max_passes do
+      incr passes;
+      let n = pass () in
+      repairs := !repairs + n;
+      continue := n > 0
+    done;
+    !repairs
+
   (* Word-cost model (DESIGN.md): leaf = 4 (header + hash + key + value);
      CNode = 3 + array (1 + n) + n branch wrappers (2 each);
      INode = atomic box 2. *)

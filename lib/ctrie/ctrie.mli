@@ -20,9 +20,9 @@ module Make (H : Ct_util.Hashing.HASHABLE) : sig
   (** [depth_histogram t].(d) counts keys whose leaf hangs off a CNode
       chain of length [d] (root CNode children are depth 1). *)
 
-  val validate : 'v t -> (unit, string) result
-  (** Structural invariant check for a quiescent trie: bitmap
-      cardinality matches the child array, hash prefixes match paths,
-      no entombed nodes remain reachable, collision lists are sane.
-      Used by the property-based tests. *)
+  (** [validate] (from {!Ct_util.Map_intf.CONCURRENT_MAP}) checks, for
+      a quiescent trie: bitmap cardinality matches the child array,
+      hash prefixes match paths, no entombed nodes remain reachable,
+      collision lists are sane.  [scrub] compacts every reachable
+      entombed ([TNode]) branch. *)
 end

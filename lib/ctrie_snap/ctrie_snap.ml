@@ -539,6 +539,73 @@ module Make (H : Hashing.HASHABLE) = struct
     let r = rdcss_read_root t ~abort:false in
     2 + 3 + 4 + go_main (gcas_read_box t r).node
 
+  (* Scrub: active residue sweep (DESIGN.md §9).  Completes a pending
+     RDCSS root swap, commits or rolls back every reachable GCAS box,
+     and compacts entombed branches — the exact helping steps the read
+     and update paths perform on encounter, so scrubbing is safe under
+     live traffic.  Returns the number of repairs: 0 means the trie
+     was already residue-free. *)
+  let scrub t =
+    let repairs = ref 0 in
+    (match Atomic.get t.root with
+    | Desc _ ->
+        rdcss_complete t ~abort:false;
+        incr repairs
+    | Root _ -> ());
+    let pass () =
+      let fixed = ref 0 in
+      let r = rdcss_read_root t ~abort:false in
+      let startgen = r.gen in
+      let rec go (i : 'v inode) lev prefix (parent : 'v inode option) =
+        let m = Atomic.get i.main in
+        let mb =
+          match Atomic.get m.prev with
+          | No_prev -> m
+          | Prev _ | Failed _ ->
+              (* Pending or failed update abandoned mid-GCAS: decide it. *)
+              incr fixed;
+              gcas_commit t i m
+        in
+        match mb.node with
+        | TNode _ -> (
+            match parent with
+            | Some p ->
+                (* [prefix] replays the hash bits of the path down to [i],
+                   which is all [clean_parent] reads of the hash. *)
+                clean_parent t p i prefix (lev - w) startgen;
+                incr fixed
+            | None -> ())
+        | LNode _ -> ()
+        | CNode { bmp; arr } ->
+            let pos = ref 0 in
+            for idx = 0 to branching - 1 do
+              if bmp land (1 lsl idx) <> 0 then begin
+                (match arr.(!pos) with
+                | SN _ -> ()
+                | IN child ->
+                    go child (lev + w) (prefix lor (idx lsl lev)) (Some i));
+                incr pos
+              end
+            done
+      in
+      go r 0 0 None;
+      !fixed
+    in
+    (* Cleaning cascades exactly as in the plain Ctrie: contracting a
+       single-leaf CNode entombs its I-node one level up behind the
+       walk's back, so sweep to fixpoint (depth-bounded at
+       quiescence). *)
+    let max_passes = (Hashing.hash_bits / w) + 2 in
+    let passes = ref 0 in
+    let continue = ref true in
+    while !continue && !passes < max_passes do
+      incr passes;
+      let n = pass () in
+      repairs := !repairs + n;
+      continue := n > 0
+    done;
+    !repairs
+
   (* Structural invariants, checked during quiescence.  Read-only: a
      pending GCAS box or RDCSS descriptor is reported as an error, not
      helped to completion, so the chaos tests can observe the residue a

@@ -31,11 +31,13 @@ module Make (H : Ct_util.Hashing.HASHABLE) : sig
   (** [fold_snapshot f acc t] folds over a linearizable snapshot of
       [t] (unlike {!fold}, which is weakly consistent). *)
 
-  val validate : 'v t -> (unit, string) result
-  (** Structural invariant check for a quiescent trie: bitmap/array
-      agreement, hash-prefix consistency, LNode sanity, no reachable
-      TNode, every GCAS box committed and no pending RDCSS root
-      descriptor.  Read-only — residue left by a crashed domain is
-      reported, not repaired — which is what the chaos/crash-recovery
-      tests rely on.  Only meaningful during quiescence. *)
+  (** [validate] (from {!Ct_util.Map_intf.CONCURRENT_MAP}) checks, for
+      a quiescent trie: bitmap/array agreement, hash-prefix
+      consistency, LNode sanity, no reachable TNode, every GCAS box
+      committed and no pending RDCSS root descriptor.  Read-only —
+      residue left by a crashed domain is reported, not repaired —
+      which is what the chaos/crash-recovery tests rely on.  [scrub]
+      performs the repairs: it completes any pending RDCSS root
+      descriptor, commits every reachable GCAS box, and compacts
+      entombed branches. *)
 end

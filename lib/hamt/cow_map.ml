@@ -79,4 +79,20 @@ module Make (H : Hashing.HASHABLE) = struct
   let snapshot t = { root = Atomic.make (Atomic.get t.root) }
   let version t = (Atomic.get t.root).version
   let footprint_words t = 4 + 2 + P.footprint_words (Atomic.get t.root).trie
+
+  (* The persistent trie checks its own structure; on top of it only
+     the cached cardinality can drift. *)
+  let validate t =
+    let cur = Atomic.get t.root in
+    match P.validate cur.trie with
+    | Error _ as e -> e
+    | Ok () ->
+        let n = P.fold (fun n _ _ -> n + 1) 0 cur.trie in
+        if n <> cur.card then
+          Error (Printf.sprintf "cached cardinality %d, trie holds %d" cur.card n)
+        else Ok ()
+
+  (* Copy-on-write leaves no residue: a writer either swapped the root
+     or left no trace.  Nothing to repair. *)
+  let scrub _t = 0
 end

@@ -6,6 +6,25 @@
 
 module Hashing = Ct_util.Hashing
 module Rng = Ct_util.Rng
+module Yp = Ct_util.Yieldpoint
+
+(* Yield points (DESIGN.md "Fault injection & robustness"): one site
+   per distinct CAS, so the chaos layer can crash a victim between the
+   logical and physical steps of a removal (bindings emptied / upper
+   levels marked / level 0 marked / physical unlink) or mid-insert. *)
+let yp_insert_splice = Yp.register "skiplist.insert.splice"
+let yp_insert_link = Yp.register "skiplist.insert.link"
+let yp_update_bindings = Yp.register "skiplist.update.bindings"
+let yp_remove_bindings = Yp.register "skiplist.remove.bindings"
+let yp_mark_upper = Yp.register "skiplist.mark.upper"
+let yp_mark_level0 = Yp.register "skiplist.mark.level0"
+let yp_unlink = Yp.register "skiplist.unlink"
+
+let yp_cas site slot expected repl =
+  Yp.here Yp.Before site;
+  let ok = Atomic.compare_and_set slot expected repl in
+  if ok then Yp.here Yp.After site;
+  ok
 
 let max_height = 24
 
@@ -82,7 +101,7 @@ module Make (H : Hashing.HASHABLE) = struct
             let plink = Atomic.get !pred.next.(!level) in
             if plink.marked || plink.succ != !curr then restart := true
             else if
-              Atomic.compare_and_set !pred.next.(!level) plink
+              yp_cas yp_unlink !pred.next.(!level) plink
                 { succ = clink.succ; marked = false }
             then curr := clink.succ
             else restart := true
@@ -109,7 +128,7 @@ module Make (H : Hashing.HASHABLE) = struct
       let rec mark () =
         let link = Atomic.get node.next.(level) in
         if not link.marked then
-          if not (Atomic.compare_and_set node.next.(level) link
+          if not (yp_cas yp_mark_upper node.next.(level) link
                     { succ = link.succ; marked = true })
           then mark ()
       in
@@ -118,7 +137,7 @@ module Make (H : Hashing.HASHABLE) = struct
     (* Level 0 is the linearization point of the tower's death. *)
     let link = Atomic.get node.next.(0) in
     if not link.marked then begin
-      if Atomic.compare_and_set node.next.(0) link { succ = link.succ; marked = true }
+      if yp_cas yp_mark_level0 node.next.(0) link { succ = link.succ; marked = true }
       then ignore (search_towers t node.nhash) (* physically unlink *)
       else mark_node t node
     end
@@ -188,7 +207,7 @@ module Make (H : Hashing.HASHABLE) = struct
              the node die) by first CASing away the list we swapped,
              so no post-hoc mark check is needed — and retrying here
              would wrongly apply the operation twice. *)
-          if Atomic.compare_and_set candidate.bindings bindings nb then previous
+          if yp_cas yp_update_bindings candidate.bindings bindings nb then previous
           else update t k v mode
         end
       end
@@ -210,7 +229,7 @@ module Make (H : Hashing.HASHABLE) = struct
       in
       let plink = Atomic.get preds.(0).next.(0) in
       if plink.marked || plink.succ != succs.(0) then update t k v mode
-      else if not (Atomic.compare_and_set preds.(0).next.(0) plink
+      else if not (yp_cas yp_insert_splice preds.(0).next.(0) plink
                      { succ = node; marked = false })
       then update t k v mode
       else begin
@@ -229,7 +248,7 @@ module Make (H : Hashing.HASHABLE) = struct
               if
                 (not plink.marked)
                 && plink.succ == succs.(level)
-                && Atomic.compare_and_set preds.(level).next.(level) plink
+                && yp_cas yp_insert_link preds.(level).next.(level) plink
                      { succ = node; marked = false }
               then link_level (level + 1) preds succs
               else begin
@@ -271,7 +290,7 @@ module Make (H : Hashing.HASHABLE) = struct
         | Some prev when not (cond prev) -> Some prev
         | Some prev ->
             let nb = List.remove_assoc k bindings in
-            if Atomic.compare_and_set node.bindings bindings nb then begin
+            if yp_cas yp_remove_bindings node.bindings bindings nb then begin
               if nb = [] then mark_node t node;
               Some prev
             end
@@ -361,6 +380,55 @@ module Make (H : Hashing.HASHABLE) = struct
       walk (Atomic.get t.head.next.(level)).succ (-1)
     done;
     match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))
+
+  (* Scrub: active residue sweep (DESIGN.md §9).  An abandoned removal
+     can strand a tower in three states: bindings emptied but the tower
+     never marked, upper levels marked but not level 0, or fully marked
+     but still physically linked.  Pass 1 walks level 0 and finishes
+     each of them ([mark_node] is idempotent and [search_towers]
+     physically unlinks at every level); pass 2 sweeps the upper levels
+     for any remaining marked links.  Every step is the helping a
+     regular operation performs on encounter, so scrubbing is safe
+     under live traffic; a residue-free structure yields 0. *)
+  let scrub t =
+    let repairs = ref 0 in
+    let rec sweep0 (node : 'v node) =
+      if not (is_tail t node) then begin
+        let link = Atomic.get node.next.(0) in
+        if link.marked then begin
+          (* Dead tower still reachable: physically unlink it. *)
+          ignore (search_towers t node.nhash);
+          incr repairs
+        end
+        else if Atomic.get node.bindings = [] then begin
+          (* Logically dead (last binding removed) but never buried. *)
+          mark_node t node;
+          incr repairs
+        end;
+        sweep0 link.succ
+      end
+    in
+    sweep0 (Atomic.get t.head.next.(0)).succ;
+    for level = max_height - 1 downto 1 do
+      let rec sweepl (pred : 'v node) =
+        let plink = Atomic.get pred.next.(level) in
+        if not (is_tail t plink.succ) then begin
+          let curr = plink.succ in
+          let clink = Atomic.get curr.next.(level) in
+          if clink.marked && not plink.marked then begin
+            if
+              yp_cas yp_unlink pred.next.(level) plink
+                { succ = clink.succ; marked = false }
+            then incr repairs;
+            (* Re-examine [pred] whether we or a helper unlinked. *)
+            sweepl pred
+          end
+          else sweepl curr
+        end
+      in
+      sweepl t.head
+    done;
+    !repairs
 
   (* Word-cost model (DESIGN.md): node = 4 + tower (1 + h link boxes of
      2 + link records of 3) + bindings atomic 2 + list cells 3 each. *)

@@ -20,9 +20,11 @@ module Make (H : Ct_util.Hashing.HASHABLE) : sig
   (** [height_histogram t].(l) counts towers of height [l+1]; the
       geometric decay of tower heights is checked by the tests. *)
 
-  val validate : 'v t -> (unit, string) result
-  (** Structural invariants of a quiescent list: level-0 strictly
-      sorted by hash with no marked links, every upper-level list a
-      sublist of level 0, tower heights within bounds, binding lists
-      non-empty and hash-consistent. *)
+  (** [validate] (from {!Ct_util.Map_intf.CONCURRENT_MAP}) checks, for
+      a quiescent list: level-0 strictly sorted by hash with no marked
+      links, every upper-level list a sublist of level 0, tower
+      heights within bounds, binding lists non-empty and
+      hash-consistent.  [scrub] finishes abandoned removals: towers
+      whose binding list emptied are fully marked, and marked links
+      are physically unlinked at every level. *)
 end

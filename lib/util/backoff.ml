@@ -13,6 +13,9 @@ type t = {
   min_wait : int;
   max_wait : int;
   mutable wait : int;
+  budget : int; (* 0 = unlimited *)
+  mutable retries : int; (* draws since last [reset] *)
+  mutable total_retries : int; (* draws over the controller's lifetime *)
   rng : Rng.t;
   sink : int array; (* length 2*pad+1; slot [pad] is the live one *)
 }
@@ -24,8 +27,9 @@ type t = {
    while decorrelating concurrent instances. *)
 let instances = Atomic.make 0
 
-let create ?(min_wait = 16) ?(max_wait = 4096) ?seed () =
-  if min_wait <= 0 || max_wait < min_wait then invalid_arg "Backoff.create";
+let create ?(min_wait = 16) ?(max_wait = 4096) ?(budget = 0) ?seed () =
+  if min_wait <= 0 || max_wait < min_wait || budget < 0 then
+    invalid_arg "Backoff.create";
   let seed =
     match seed with
     | Some s -> s
@@ -36,11 +40,16 @@ let create ?(min_wait = 16) ?(max_wait = 4096) ?seed () =
     min_wait;
     max_wait;
     wait = min_wait;
+    budget;
+    retries = 0;
+    total_retries = 0;
     rng = Rng.create seed;
     sink = Array.make ((2 * pad) + 1) 0;
   }
 
 let next_wait t =
+  t.retries <- t.retries + 1;
+  t.total_retries <- t.total_retries + 1;
   let n = Rng.next_int t.rng t.wait in
   if t.wait < t.max_wait then t.wait <- t.wait * 2;
   n
@@ -53,4 +62,10 @@ let once t =
   done;
   Array.unsafe_set t.sink pad !acc
 
-let reset t = t.wait <- t.min_wait
+let reset t =
+  t.wait <- t.min_wait;
+  t.retries <- 0
+
+let retries t = t.retries
+let total_retries t = t.total_retries
+let over_budget t = t.budget > 0 && t.retries > t.budget

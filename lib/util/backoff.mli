@@ -9,10 +9,15 @@
 
 type t
 
-val create : ?min_wait:int -> ?max_wait:int -> ?seed:int -> unit -> t
+val create :
+  ?min_wait:int -> ?max_wait:int -> ?budget:int -> ?seed:int -> unit -> t
 (** [create ()] makes a backoff controller; [min_wait]/[max_wait] are
-    spin iteration counts (defaults 16 and 4096).  [seed] fixes the
-    PRNG drawing the spin lengths; by default each instance gets a
+    spin iteration counts (defaults 16 and 4096).  [budget] is a soft
+    CAS-retry budget: once more than [budget] draws happen without a
+    {!reset}, {!over_budget} turns true so the caller can report the
+    contention (the watchdog's stuck-site escalation) — it never blocks
+    progress.  [budget = 0] (default) disables the check.  [seed] fixes
+    the PRNG drawing the spin lengths; by default each instance gets a
     distinct deterministic seed, so concurrently contending domains do
     not back off in lockstep. *)
 
@@ -25,4 +30,17 @@ val next_wait : t -> int
     injector) and for testing seed behaviour. *)
 
 val reset : t -> unit
-(** [reset t] shrinks the window back to [min_wait]. *)
+(** [reset t] shrinks the window back to [min_wait] and zeroes the
+    per-attempt retry counter (call it when the contended operation
+    finally succeeds). *)
+
+val retries : t -> int
+(** Draws ({!once}/{!next_wait} calls) since the last {!reset} — the
+    CAS-retry count of the current attempt. *)
+
+val total_retries : t -> int
+(** Draws over the controller's lifetime (never reset). *)
+
+val over_budget : t -> bool
+(** [true] iff a budget was set at {!create} time and the current
+    attempt has exceeded it.  Purely advisory. *)

@@ -83,6 +83,27 @@ module type CONCURRENT_MAP = sig
       word-cost model documented in DESIGN.md (headers included, keys
       and values counted as one pointer word each).  Single-threaded
       use only. *)
+
+  val validate : 'v t -> (unit, string) result
+  (** Structural invariant check.  [Ok ()] on a quiescent,
+      residue-free structure; [Error msg] names the first violated
+      invariant (including residue a crashed domain left behind:
+      frozen subtrees, descriptors, entombed or marked nodes,
+      uncommitted transaction boxes).  Read-only — it reports, never
+      repairs — and only meaningful during quiescence. *)
+
+  val scrub : 'v t -> int
+  (** [scrub t] actively help-completes every piece of residue an
+      abandoned operation may have left behind — the self-healing
+      sweep of DESIGN.md §9.  Safe to run concurrently with live
+      traffic (it only performs the same helping steps any operation
+      would).  Returns the number of repairs performed, so
+      [scrub t = 0] witnesses that the structure was already clean:
+      on a quiescent structure, [scrub] is idempotent and a second
+      call always returns 0.  After a scrub with no concurrent
+      writers, {!validate} holds.  Structures with no lock-free
+      residue (the lock-striped table, the copy-on-write map) always
+      return 0. *)
 end
 
 (** A concurrent map construction parameterized by the key type. *)

@@ -1,0 +1,53 @@
+(* Per-domain publication heartbeats, fed by the yield-point observer
+   slot.  [beats] counts only [After]-phase yield points — i.e. CASes
+   that actually succeeded — so a domain spinning in a retry loop
+   (firing Before forever) looks just as stalled as one parked inside
+   an injector.  [last] records every observed (site, phase), so when
+   the watchdog flags a slot it can report exactly where the domain
+   stopped. *)
+
+type t = {
+  beats : Stripe.t;
+  last : (Yieldpoint.site * Yieldpoint.phase) option array;
+  slot_key : int option Domain.DLS.key;
+}
+
+let create ?slots () =
+  let beats = Stripe.create ?stripes:slots () in
+  {
+    beats;
+    last = Array.make (Stripe.stripes beats) None;
+    slot_key = Domain.DLS.new_key (fun () -> None);
+  }
+
+let slots t = Stripe.stripes t.beats
+let attach t slot =
+  if slot < 0 || slot >= slots t then invalid_arg "Progress.attach";
+  Domain.DLS.set t.slot_key (Some slot)
+
+(* Clearing the site record marks the slot as vacated: a worker that
+   left the pool cleanly must not read as stalled forever after. *)
+let detach t =
+  (match Domain.DLS.get t.slot_key with
+  | Some s -> t.last.(s) <- None
+  | None -> ());
+  Domain.DLS.set t.slot_key None
+let attached t = Domain.DLS.get t.slot_key
+
+let beat t =
+  match Domain.DLS.get t.slot_key with
+  | None -> ()
+  | Some s -> Stripe.add t.beats s 1
+
+let observe t phase site =
+  match Domain.DLS.get t.slot_key with
+  | None -> ()
+  | Some s ->
+      t.last.(s) <- Some (site, phase);
+      if phase = Yieldpoint.After then Stripe.add t.beats s 1
+
+let install t = Yieldpoint.install_observer (observe t)
+let uninstall () = Yieldpoint.clear_observer ()
+let beats t slot = Stripe.get t.beats slot
+let last t slot = t.last.(slot)
+let snapshot t = Array.init (slots t) (fun i -> Stripe.get t.beats i)

@@ -1,0 +1,59 @@
+(** Per-domain publication heartbeats for the progress watchdog.
+
+    A [Progress.t] owns a {!Stripe} of heartbeat cells plus, per slot,
+    the last yield point the attached domain was seen at.  Worker
+    domains call {!attach} once with their slot index; {!install} then
+    plugs a listener into the yield-point {e observer} slot (see
+    {!Yieldpoint.install_observer}), so heartbeats keep flowing even
+    while a chaos injector owns the main hook — that composition is
+    what lets the watchdog pinpoint a victim parked by the stall
+    injector.
+
+    Only [After]-phase yield points bump the heartbeat: [After] fires
+    on successful publication only, so a domain spinning in a CAS
+    retry loop (endless [Before]s) registers as stalled, not as alive.
+    The [last]-site record is updated at every phase, so a stalled
+    domain's report still names the exact site it is parked at. *)
+
+type t
+
+val create : ?slots:int -> unit -> t
+(** [create ()] sizes the slot count like {!Stripe.create} (from
+    [Domain.recommended_domain_count], rounded to a power of two). *)
+
+val slots : t -> int
+
+val attach : t -> int -> unit
+(** [attach t slot] binds the calling domain to [slot] (domain-local;
+    raises [Invalid_argument] if out of range). *)
+
+val detach : t -> unit
+(** [detach t] vacates the calling domain's slot and clears its
+    last-site record, so a worker that left the pool cleanly stops
+    reading as stalled. *)
+
+val attached : t -> int option
+(** The calling domain's slot, if attached. *)
+
+val beat : t -> unit
+(** Manual heartbeat for the calling domain's slot — for progress loops
+    that are not yield-point-instrumented (e.g. pure readers). *)
+
+val observe : t -> Yieldpoint.phase -> Yieldpoint.site -> unit
+(** The raw listener: records (site, phase) for the calling domain's
+    slot and bumps its heartbeat on [After].  Exposed so callers can
+    compose it into a larger observer; most use {!install}. *)
+
+val install : t -> unit
+(** Install {!observe} as the global yield-point observer. *)
+
+val uninstall : unit -> unit
+
+val beats : t -> int -> int
+(** Publication count of one slot. *)
+
+val last : t -> int -> (Yieldpoint.site * Yieldpoint.phase) option
+(** Last yield point the slot's domain reached, if any. *)
+
+val snapshot : t -> int array
+(** All heartbeat counters at once (racy reads, by design). *)

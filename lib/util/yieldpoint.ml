@@ -28,10 +28,22 @@ let with_prefix prefix =
 
 let hook : (phase -> site -> unit) option Atomic.t = Atomic.make None
 
+(* A second, independent slot for passive listeners (the progress
+   watchdog).  Keeping it separate from [hook] lets a monitor observe
+   every yield point while a chaos injector owns the main slot — the
+   two concerns compose instead of clobbering each other. *)
+let observer : (phase -> site -> unit) option Atomic.t = Atomic.make None
+
 let[@inline] here phase site =
+  (match Atomic.get observer with None -> () | Some f -> f phase site);
   match Atomic.get hook with None -> () | Some f -> f phase site
 
 let install f = Atomic.set hook (Some f)
 let clear () = Atomic.set hook None
 let active () =
   match Atomic.get hook with None -> false | Some _ -> true
+
+let install_observer f = Atomic.set observer (Some f)
+let clear_observer () = Atomic.set observer None
+let observer_active () =
+  match Atomic.get observer with None -> false | Some _ -> true

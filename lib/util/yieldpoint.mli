@@ -60,3 +60,16 @@ val clear : unit -> unit
 (** Remove the hook (back to the production fast path). *)
 
 val active : unit -> bool
+
+val install_observer : (phase -> site -> unit) -> unit
+(** [install_observer f] installs a passive listener in a slot
+    independent of {!install}: every [here] call runs the observer
+    {e before} the main hook, so the observer records the site even
+    when the hook parks the domain or raises (the chaos stall/crash
+    injectors).  Used by the progress watchdog to note the last yield
+    point each domain reached.  The observer must not raise and must
+    not re-enter the structure under test. *)
+
+val clear_observer : unit -> unit
+
+val observer_active : unit -> bool

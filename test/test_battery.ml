@@ -393,6 +393,81 @@ module Battery (Maker : Map_intf.MAKER) = struct
     Atomic.set stop true;
     Domain.join writer
 
+  (* ----------------------- validate & scrub ------------------------ *)
+
+  let check_valid what = function
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "%s: validate failed: %s" what e
+
+  let test_validate_quiescent () =
+    let t = M.create () in
+    check_valid "empty" (M.validate t);
+    for i = 0 to 499 do
+      M.insert t i (i * 7)
+    done;
+    for i = 0 to 499 do
+      if i land 3 = 0 then ignore (M.remove t i)
+    done;
+    check_valid "after churn" (M.validate t);
+    let c = C.create () in
+    for i = 0 to 15 do
+      C.insert c i i
+    done;
+    for i = 0 to 7 do
+      ignore (C.remove c i)
+    done;
+    check_valid "collision map" (C.validate c)
+
+  (* No domain crashed, so quiescence implies residue-freedom: every
+     completed operation cleaned up after itself. *)
+  let test_validate_after_contention () =
+    let t = M.create () in
+    ignore
+      (spawn_all n_domains (fun d ->
+           let rng = Ct_util.Rng.create (0x5C4B + d) in
+           for _ = 1 to 3_000 do
+             let k = Ct_util.Rng.next_int rng 256 in
+             match Ct_util.Rng.next_int rng 3 with
+             | 0 -> M.insert t k (k + d)
+             | 1 -> ignore (M.remove t k)
+             | _ -> ignore (M.lookup t k)
+           done));
+    check_valid "quiescent after contention" (M.validate t)
+
+  (* Scrub on a quiescent structure: preserves the contents exactly,
+     leaves it valid, and a second pass finds nothing left to repair
+     (idempotence).  The first pass may legitimately count repairs —
+     e.g. clearing benignly-stale cache entries — but never a second
+     time. *)
+  let prop_scrub ops =
+    let t = M.create () in
+    List.iter
+      (fun (tag, k, v) ->
+        match tag mod 3 with
+        | 0 -> M.insert t k v
+        | 1 -> ignore (M.remove t k)
+        | _ -> ignore (M.put_if_absent t k v))
+      ops;
+    let sorted l = List.sort compare l in
+    let before = sorted (M.to_list t) in
+    let _first_pass : int = M.scrub t in
+    (match M.validate t with
+    | Ok () -> ()
+    | Error e -> QCheck.Test.fail_reportf "validate after scrub: %s" e);
+    if sorted (M.to_list t) <> before then
+      QCheck.Test.fail_reportf "scrub changed the contents";
+    let second = M.scrub t in
+    if second <> 0 then
+      QCheck.Test.fail_reportf "second scrub repaired %d things" second;
+    true
+
+  let scrub_test =
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:60
+         ~name:"scrub is idempotent and content-preserving"
+         QCheck.(list (triple small_nat (int_bound 47) (int_bound 999)))
+         prop_scrub)
+
   let test_conc_collisions () =
     let t = C.create () in
     ignore
@@ -429,7 +504,9 @@ module Battery (Maker : Map_intf.MAKER) = struct
       ("footprint", `Quick, test_footprint);
       ("full_collisions", `Quick, test_full_collisions);
       ("read_agreement", `Quick, test_read_agreement);
+      ("validate_quiescent", `Quick, test_validate_quiescent);
       model_test;
+      scrub_test;
       ("conc_disjoint", `Slow, test_conc_disjoint);
       ("conc_overlapping", `Slow, test_conc_overlapping);
       ("conc_pia_winners", `Slow, test_conc_pia_winners);
@@ -438,6 +515,7 @@ module Battery (Maker : Map_intf.MAKER) = struct
       ("conc_counter_exact", `Slow, test_conc_counter_exact);
       ("weak_aggregates_under_churn", `Slow, test_weak_aggregates_under_churn);
       ("conc_collisions", `Slow, test_conc_collisions);
+      ("validate_after_contention", `Slow, test_validate_after_contention);
     ]
 end
 

@@ -23,5 +23,6 @@ let () =
       ("analysis", Test_analysis.suite);
       ("lincheck", Test_lincheck.suite);
       ("chaos", Test_chaos.suite);
+      ("soak", Test_soak.suite);
       ("harness", Test_harness.suite);
     ]

@@ -230,6 +230,79 @@ let test_backoff_seeding () =
   check_bool "waits bounded" true
     (List.for_all (fun n -> n >= 0 && n < 8) (draws b))
 
+let test_backoff_budget () =
+  (* Unbudgeted: never over budget no matter how many retries. *)
+  let b = Backoff.create ~min_wait:2 ~max_wait:8 () in
+  for _ = 1 to 100 do
+    ignore (Backoff.next_wait b)
+  done;
+  check_bool "unlimited never over" false (Backoff.over_budget b);
+  check_int "retries counted" 100 (Backoff.retries b);
+  (* Budgeted: over after budget+1 draws, reset clears the episode but
+     not the lifetime total. *)
+  let b = Backoff.create ~min_wait:2 ~max_wait:8 ~budget:3 () in
+  for _ = 1 to 3 do
+    ignore (Backoff.next_wait b)
+  done;
+  check_bool "at budget, not over" false (Backoff.over_budget b);
+  ignore (Backoff.next_wait b);
+  check_bool "over budget" true (Backoff.over_budget b);
+  Backoff.reset b;
+  check_bool "reset re-arms" false (Backoff.over_budget b);
+  check_int "episode cleared" 0 (Backoff.retries b);
+  check_int "lifetime total survives reset" 4 (Backoff.total_retries b);
+  Alcotest.check_raises "negative budget" (Invalid_argument "Backoff.create")
+    (fun () -> ignore (Backoff.create ~budget:(-1) ()))
+
+(* ----------------------------- Progress ---------------------------- *)
+
+let test_progress () =
+  let p = Progress.create ~slots:4 () in
+  check_int "slots" 4 (Progress.slots p);
+  check_bool "not attached" true (Progress.attached p = None);
+  Progress.beat p;
+  check_int "beat without slot ignored" 0 (Progress.beats p 0);
+  Progress.attach p 2;
+  check_bool "attached" true (Progress.attached p = Some 2);
+  Progress.beat p;
+  Progress.beat p;
+  check_int "manual beats" 2 (Progress.beats p 2);
+  (* Observed yield points: every phase updates [last], only [After]
+     beats — a spinning retry loop must read as stalled. *)
+  let s = Yieldpoint.register "test.progress.site" in
+  Progress.observe p Yieldpoint.Before s;
+  check_int "Before does not beat" 2 (Progress.beats p 2);
+  check_bool "Before recorded" true
+    (Progress.last p 2 = Some (s, Yieldpoint.Before));
+  Progress.observe p Yieldpoint.After s;
+  check_int "After beats" 3 (Progress.beats p 2);
+  check_bool "snapshot" true (Progress.snapshot p = [| 0; 0; 3; 0 |]);
+  Progress.detach p;
+  check_bool "detach vacates" true
+    (Progress.attached p = None && Progress.last p 2 = None);
+  Alcotest.check_raises "attach out of range"
+    (Invalid_argument "Progress.attach") (fun () -> Progress.attach p 4)
+
+let test_progress_observer_install () =
+  let p = Progress.create ~slots:4 () in
+  let s = Yieldpoint.register "test.progress.hooked" in
+  Progress.attach p 0;
+  Progress.install p;
+  Fun.protect ~finally:(fun () ->
+      Progress.uninstall ();
+      Progress.detach p)
+  @@ fun () ->
+  check_bool "observer active" true (Yieldpoint.observer_active ());
+  Yieldpoint.here Yieldpoint.After s;
+  check_int "here feeds the heartbeat" 1 (Progress.beats p 0);
+  (* The observer coexists with a main hook and runs first. *)
+  let hook_saw = ref false in
+  Yieldpoint.install (fun _ _ -> hook_saw := true);
+  Fun.protect ~finally:Yieldpoint.clear @@ fun () ->
+  Yieldpoint.here Yieldpoint.After s;
+  check_bool "main hook still runs" true !hook_saw;
+  check_int "observer ran too" 2 (Progress.beats p 0)
+
 (* -------------------------- Atomic_slots --------------------------- *)
 
 (* The same battery runs against both slot representations: whatever
@@ -424,6 +497,9 @@ let suite =
     ("stats.speedup", `Quick, test_speedup);
     ("backoff.basic", `Quick, test_backoff);
     ("backoff.seeding", `Quick, test_backoff_seeding);
+    ("backoff.budget", `Quick, test_backoff_budget);
+    ("progress.heartbeats", `Quick, test_progress);
+    ("progress.observer", `Quick, test_progress_observer_install);
     ("yieldpoint.registry", `Quick, test_yieldpoint_registry);
     ("yieldpoint.hook", `Quick, test_yieldpoint_hook);
     ("slots.metadata", `Quick, test_slots_metadata);
