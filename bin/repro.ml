@@ -87,6 +87,97 @@ let all_experiments =
      Harness.Suites.trace_replay);
   ]
 
+(* --------------------------- mc subcommand -------------------------- *)
+
+(* repro mc                          explore the whole catalogue
+   repro mc --scenario NAME          explore one scenario
+   repro mc --trace FILE             replay a recorded counterexample
+
+   Replay exits 0 only when the trace reproduces its failure exactly;
+   a schedule that diverges (the structure's yield sequence changed) or
+   no longer fails (the bug is gone — update the pinned trace) exits
+   nonzero, so CI can keep minimized counterexamples honest. *)
+
+let mc_explore_one sc =
+  match Mc.explore ~preemption_bound:3 ~max_schedules:60_000 sc with
+  | Mc.Pass { executions; complete } ->
+      Printf.printf "%-40s pass (%d schedules%s)\n%!" sc.Mc.sname executions
+        (if complete then ", complete" else ", budget exhausted");
+      true
+  | Mc.Fail c ->
+      Printf.printf "%-40s FAIL: %s\n%s%!" sc.Mc.sname
+        (Mc.pp_failure c.Mc.c_failure)
+        (Mc.trace_to_string c);
+      false
+
+let mc_run timeout scenario trace =
+  arm_timeout timeout;
+  match trace with
+  | Some file -> (
+      let contents =
+        let ic = open_in file in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      in
+      match Mc.trace_of_string contents with
+      | Error e ->
+          Printf.eprintf "repro mc: cannot parse %s: %s\n%!" file e;
+          2
+      | Ok t -> (
+          match Mc.Scenarios.find t.Mc.t_scenario with
+          | None ->
+              Printf.eprintf "repro mc: unknown scenario %s\n%!" t.Mc.t_scenario;
+              2
+          | Some sc -> (
+              match Mc.replay sc t with
+              | Mc.Reproduced f ->
+                  Printf.printf "reproduced: %s\n%!" (Mc.pp_failure f);
+                  0
+              | Mc.Vanished ->
+                  Printf.eprintf
+                    "repro mc: schedule replays cleanly — failure vanished\n%!";
+                  1
+              | Mc.Diverged m ->
+                  Printf.eprintf "repro mc: replay diverged: %s\n%!" m;
+                  1)))
+  | None -> (
+      let scenarios =
+        match scenario with
+        | None -> Mc.Scenarios.all
+        | Some name -> (
+            match Mc.Scenarios.find name with
+            | Some sc -> [ sc ]
+            | None ->
+                Printf.eprintf "repro mc: unknown scenario %s\n%!" name;
+                exit 2)
+      in
+      let ok = List.for_all mc_explore_one scenarios in
+      if ok then 0 else 1)
+
+let mc_cmd =
+  let scenario_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"NAME" ~doc:"Explore a single scenario.")
+  in
+  let trace_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Replay a recorded counterexample trace instead of exploring.")
+  in
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:
+         "Deterministic schedule exploration: enumerate fiber interleavings \
+          over the structures' yield points, or replay a minimized \
+          counterexample trace.")
+    Term.(const mc_run $ timeout_term $ scenario_term $ trace_term)
+
 let all_cmd =
   let run timeout scale =
     guarded timeout (fun scale ->
@@ -103,6 +194,7 @@ let () =
       ~doc:"Reproduce the evaluation of the Cache-Tries paper (PPoPP 2018)."
   in
   let cmds =
-    all_cmd :: List.map (fun (n, d, f) -> experiment n d f) all_experiments
+    (all_cmd :: List.map (fun (n, d, f) -> experiment n d f) all_experiments)
+    @ [ mc_cmd ]
   in
   exit (Cmd.eval' (Cmd.group info cmds))

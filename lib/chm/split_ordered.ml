@@ -31,6 +31,11 @@ let yp_bucket_splice = Yp.register "chm.bucket.splice"
 let yp_bucket_publish = Yp.register "chm.bucket.publish"
 let yp_grow = Yp.register "chm.grow"
 
+(* Read-path yield point, fired once per node the wait-free lookup
+   traverses, so the deterministic scheduler (lib/mc) can park a read
+   mid-list between a writer's kill and bury steps. *)
+let yp_read_walk = Yp.register_read "chm.read.walk"
+
 let yp_cas site slot expected repl =
   Yp.here Yp.Before site;
   let ok = Atomic.compare_and_set slot expected repl in
@@ -210,6 +215,7 @@ module Make (H : Hashing.HASHABLE) = struct
      lookup) raising (notrace) on a miss, so a read allocates nothing
      once the bucket sentinel exists. *)
   let rec find_in_list (node : 'v node option) sokey k : 'v =
+    Yp.here Yp.Before yp_read_walk;
     match node with
     | None -> raise_notrace Not_found
     | Some n ->

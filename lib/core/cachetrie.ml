@@ -60,6 +60,15 @@ let yp_remove_lnode = Yp.register "cachetrie.remove.lnode"
 let yp_cache_install = Yp.register "cachetrie.cache.install"
 let yp_cache_adjust = Yp.register "cachetrie.cache.adjust"
 
+(* Read-path yield point, fired at every level step of the slow-path
+   walk.  Production cost with nothing installed is the atomic loads in
+   [Yp.here]; the deterministic scheduler (lib/mc) needs it so a read
+   can be parked mid-walk between two writers' CASes — without it reads
+   execute atomically under exploration and read/write races are
+   untestable.  Registered as a read site: two parked reads commute, so
+   the explorer prunes one of the two orders. *)
+let yp_read_walk = Yp.register_read "cachetrie.read.walk"
+
 let yp_cas site slot expected repl =
   Yp.here Yp.Before site;
   let ok = Atomic.compare_and_set slot expected repl in
@@ -209,13 +218,27 @@ module Make (H : Hashing.HASHABLE) = struct
 
   let fresh_snode h k v = SNode { hash = h; key = k; value = v; txn = Atomic.make No_txn }
 
-  (* Association-list lookup with the structure's own key equality
-     (the [List.assoc_opt] it replaces used polymorphic [=], which both
-     disagrees with the [H.equal] the SNode paths use and compiles to a
-     [caml_equal] C call). *)
+  (* Association-list operations with the structure's own key equality
+     (the [List.assoc_opt]/[List.remove_assoc] they replace used
+     polymorphic [=], which both disagrees with the [H.equal] the SNode
+     paths use and compiles to a [caml_equal] C call).  The mismatch
+     was a real bug, found by the lib/mc explorer's hostile-equality
+     scenarios: with a key type whose [H.equal] is coarser than [(=)],
+     the LNode insert path failed to replace the existing entry and
+     accumulated duplicates, and the LNode remove path left an
+     H.equal-matching entry behind after reporting a successful
+     removal. *)
   let rec lassoc k = function
     | [] -> raise_notrace Not_found
     | (k', v) :: rest -> if H.equal k' k then v else lassoc k rest
+
+  let lassoc_opt k entries =
+    match lassoc k entries with v -> Some v | exception Not_found -> None
+
+  let rec lremove_assoc k = function
+    | [] -> []
+    | ((k', _) as pair) :: rest ->
+        if H.equal k' k then rest else pair :: lremove_assoc k rest
 
   (* ---------------------------------------------------------------- *)
   (* Sequential construction on private nodes.                         *)
@@ -267,7 +290,7 @@ module Make (H : Hashing.HASHABLE) = struct
         else join_disjoint cfg sn.hash sn.key sn.value h k v lev
     | LNode ln ->
         if ln.lhash = h then
-          LNode { ln with entries = (k, v) :: List.remove_assoc k ln.entries }
+          LNode { ln with entries = (k, v) :: lremove_assoc k ln.entries }
         else begin
           (* Push the whole list one level down next to the new key. *)
           let an = new_anode wide_width in
@@ -588,6 +611,7 @@ module Make (H : Hashing.HASHABLE) = struct
   (* ---------------------------------------------------------------- *)
 
   let rec find_at t k h lev (cur : 'v anode) : 'v =
+    Yp.here Yp.Before yp_read_walk;
     if t.config.enable_cache && lev > 0 && Slots.length cur = wide_width then
       inhabit_anode t cur h lev;
     match Slots.get cur (apos cur h lev) with
@@ -766,7 +790,7 @@ module Make (H : Hashing.HASHABLE) = struct
       end
     | LNode ln as old_node ->
         if ln.lhash = h then begin
-          let previous = List.assoc_opt k ln.entries in
+          let previous = lassoc_opt k ln.entries in
           let proceed =
             match (mode, previous) with
             | If_absent, Some _ -> false
@@ -776,7 +800,7 @@ module Make (H : Hashing.HASHABLE) = struct
           in
           if not proceed then done_of_opt previous
           else begin
-            let entries = (k, v) :: List.remove_assoc k ln.entries in
+            let entries = (k, v) :: lremove_assoc k ln.entries in
             let fresh = LNode { ln with entries } in
             if yp_cas_slot yp_insert_lnode cur pos old_node fresh then
               done_of_opt previous
@@ -885,18 +909,28 @@ module Make (H : Hashing.HASHABLE) = struct
     | LNode ln as old_node ->
         if ln.lhash <> h then Done_none
         else begin
-          match List.assoc_opt k ln.entries with
+          match lassoc_opt k ln.entries with
           | None -> Done_none
           | Some prev_v when not (rmode_allows rmode prev_v) -> Done_some prev_v
           | Some prev_v ->
-              let entries = List.remove_assoc k ln.entries in
+              let entries = lremove_assoc k ln.entries in
+              (* Contract on the way down: a surviving singleton becomes
+                 a plain SNode and an emptied list becomes Null — an
+                 LNode with fewer than 2 entries must never be
+                 published ([validate] rejects it as residue). *)
               let fresh =
                 match entries with
-                | [ (k1, v1) ] -> fresh_snode h k1 v1
+                | [] -> Null
+                | [ (k1, v1) ] -> fresh_snode ln.lhash k1 v1
                 | _ -> LNode { ln with entries }
               in
-              if yp_cas_slot yp_remove_lnode cur pos old_node fresh then
+              if yp_cas_slot yp_remove_lnode cur pos old_node fresh then begin
+                (* The contraction may have left [cur] holding a single
+                   leaf (or nothing): cascade compaction exactly like
+                   the SNode removal path does. *)
+                try_compress t cur lev h prev;
                 Done_some prev_v
+              end
               else remove_at t k h lev cur prev rmode
         end
     | ENode en as self ->

@@ -15,6 +15,12 @@ let yp_remove_cas = Yp.register "ctrie.remove.cas"
 let yp_clean_cas = Yp.register "ctrie.clean.cas"
 let yp_cleanparent_cas = Yp.register "ctrie.cleanparent.cas"
 
+(* Read-path yield point at every INode the lookup walks through, so
+   the deterministic scheduler (lib/mc) can park a read between two
+   writers' CASes.  Read sites commute with each other under
+   exploration. *)
+let yp_read_walk = Yp.register_read "ctrie.read.walk"
+
 let yp_cas site slot expected repl =
   Yp.here Yp.Before site;
   let ok = Atomic.compare_and_set slot expected repl in
@@ -136,11 +142,22 @@ module Make (H : Hashing.HASHABLE) = struct
 
   type 'v outcome = Done of 'v option | Restart
 
-  (* Association-list lookup with the structure's own key equality (the
-     [List.assoc_opt] it replaces used polymorphic [=]). *)
+  (* Association-list operations with the structure's own key equality
+     (the [List.assoc_opt]/[List.remove_assoc] they replace used
+     polymorphic [=]; with an [H.equal] coarser than [(=)] the LNode
+     update paths accumulated duplicate entries — same bug family the
+     lib/mc hostile-equality scenarios flushed out of the cachetrie). *)
   let rec lassoc k = function
     | [] -> raise_notrace Not_found
     | (k', v) :: rest -> if H.equal k' k then v else lassoc k rest
+
+  let lassoc_opt k entries =
+    match lassoc k entries with v -> Some v | exception Not_found -> None
+
+  let rec lremove_assoc k = function
+    | [] -> []
+    | ((k', _) as pair) :: rest ->
+        if H.equal k' k then rest else pair :: lremove_assoc k rest
 
   exception Restart_find
 
@@ -150,6 +167,7 @@ module Make (H : Hashing.HASHABLE) = struct
      root is its own parent, which is sound because [to_contracted]
      never entombs at level 0, so the TNode branch implies [lev > 0]. *)
   let rec ifind (i : 'v inode) k h lev (parent : 'v inode) : 'v =
+    Yp.here Yp.Before yp_read_walk;
     match Atomic.get i with
     | CNode { bmp; arr } -> (
         let idx = (h lsr lev) land (branching - 1) in
@@ -226,7 +244,7 @@ module Make (H : Hashing.HASHABLE) = struct
         Restart
     | LNode ln as main ->
         assert (ln.lhash = h);
-        let previous = List.assoc_opt k ln.entries in
+        let previous = lassoc_opt k ln.entries in
         let proceed =
           match (mode, previous) with
           | If_absent, Some _ -> false
@@ -237,7 +255,7 @@ module Make (H : Hashing.HASHABLE) = struct
         if not proceed then Done previous
         else begin
           let nln =
-            LNode { ln with entries = (k, v) :: List.remove_assoc k ln.entries }
+            LNode { ln with entries = (k, v) :: lremove_assoc k ln.entries }
           in
           if yp_cas yp_insert_cas i main nln then Done previous else Restart
         end
@@ -299,11 +317,11 @@ module Make (H : Hashing.HASHABLE) = struct
     | LNode ln as main ->
         if ln.lhash <> h then Done None
         else begin
-          match List.assoc_opt k ln.entries with
+          match lassoc_opt k ln.entries with
           | None -> Done None
           | Some prev when not (rmode_allows rmode prev) -> Done (Some prev)
           | Some prev ->
-              let entries = List.remove_assoc k ln.entries in
+              let entries = lremove_assoc k ln.entries in
               let nmain =
                 match entries with
                 | [ (k1, v1) ] -> TNode { hash = h; key = k1; value = v1 }

@@ -35,6 +35,11 @@ let yp_rdcss_publish = Yp.register "ctrie_snap.rdcss.publish"
 let yp_rdcss_commit = Yp.register "ctrie_snap.rdcss.commit"
 let yp_rdcss_abort = Yp.register "ctrie_snap.rdcss.abort"
 
+(* Read-path yield point: the deterministic scheduler must be able to
+   park a reader between the writes it races, or read/write
+   interleavings collapse to read-at-the-end. *)
+let yp_read_walk = Yp.register_read "ctrie_snap.read.walk"
+
 let yp_cas site slot expected repl =
   Yp.here Yp.Before site;
   let ok = Atomic.compare_and_set slot expected repl in
@@ -278,6 +283,15 @@ module Make (H : Hashing.HASHABLE) = struct
     | [] -> raise_notrace Not_found
     | (k', v) :: rest -> if H.equal k' k then v else lassoc k rest
 
+  let rec lassoc_opt k = function
+    | [] -> None
+    | (k', v) :: rest -> if H.equal k' k then Some v else lassoc_opt k rest
+
+  let rec lremove_assoc k = function
+    | [] -> []
+    | ((k', _) as pair) :: rest ->
+        if H.equal k' k then rest else pair :: lremove_assoc k rest
+
   exception Restart_find
 
   (* Allocation-free read (on the no-renewal path): a miss raises
@@ -287,6 +301,7 @@ module Make (H : Hashing.HASHABLE) = struct
      is sound because [to_contracted] never entombs at level 0, so the
      TNode branch implies [lev > 0]. *)
   let rec ifind t (i : 'v inode) k h lev (parent : 'v inode) (startgen : gen) : 'v =
+    Yp.here Yp.Before yp_read_walk;
     let mb = gcas_read_box t i in
     match mb.node with
     | CNode { bmp; arr } -> (
@@ -383,7 +398,7 @@ module Make (H : Hashing.HASHABLE) = struct
         Restart
     | LNode ln ->
         assert (ln.lhash = h);
-        let previous = List.assoc_opt k ln.entries in
+        let previous = lassoc_opt k ln.entries in
         let proceed =
           match (mode, previous) with
           | If_absent, Some _ -> false
@@ -394,7 +409,7 @@ module Make (H : Hashing.HASHABLE) = struct
         if not proceed then Done previous
         else begin
           let nln =
-            LNode { ln with entries = (k, v) :: List.remove_assoc k ln.entries }
+            LNode { ln with entries = (k, v) :: lremove_assoc k ln.entries }
           in
           if gcas t i mb nln then Done previous else Restart
         end
@@ -461,11 +476,11 @@ module Make (H : Hashing.HASHABLE) = struct
     | LNode ln ->
         if ln.lhash <> h then Done None
         else begin
-          match List.assoc_opt k ln.entries with
+          match lassoc_opt k ln.entries with
           | None -> Done None
           | Some prev when not (rmode_allows rmode prev) -> Done (Some prev)
           | Some prev ->
-              let entries = List.remove_assoc k ln.entries in
+              let entries = lremove_assoc k ln.entries in
               let nmain =
                 match entries with
                 | [ (k1, v1) ] -> TNode { hash = h; key = k1; value = v1 }

@@ -97,7 +97,14 @@ let check (history : event list) : bool =
       history;
     Hashtbl.fold
       (fun _ evs acc ->
-        Array.of_list (List.sort (fun a b -> compare a.inv b.inv) evs) :: acc)
+        (* [evs] accumulated in reverse; [List.rev] restores the
+           history's per-thread order and the stable sort keeps it when
+           stamps tie.  A plain sort on [inv] alone could flip two
+           equal-stamp events of one thread, inventing a program order
+           the thread never executed. *)
+        let in_order = List.rev evs in
+        Array.of_list (List.stable_sort (fun a b -> compare a.inv b.inv) in_order)
+        :: acc)
       tbl []
     |> Array.of_list
   in

@@ -1,0 +1,6 @@
+(* Entry point of the model checker: [Mc] is the scheduler/explorer
+   (Mc_core) plus the per-structure scenario catalogue under
+   [Mc.Scenarios]. *)
+
+include Mc_core
+module Scenarios = Mc_scenarios

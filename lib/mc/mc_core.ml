@@ -1,0 +1,592 @@
+(* Deterministic schedule exploration over yield points (DESIGN.md
+   §10).
+
+   The structures in this repository bracket every CAS (and the entry
+   of every read walk) with [Ct_util.Yieldpoint.here].  This module
+   runs 2-3 "virtual domains" as cooperatively-scheduled fibers on one
+   real domain: a domain-local yield-point hook performs an effect at
+   every [here], the scheduler captures the fiber's continuation there,
+   and an explorer decides which fiber runs next.  Because a fiber only
+   loses control at a yield point, and every shared-memory write is
+   bracketed by one, enumerating the fiber interleavings enumerates the
+   memory interleavings the real concurrent execution could produce —
+   exhaustively, for bounded scripts.
+
+   OCaml's one-shot continuations cannot be forked, so the explorer is
+   stateless in the CHESS/dscheck style: a schedule is a list of fiber
+   choices, and exploring a branch means re-executing the scenario from
+   scratch with a different choice list.  Scenario [prepare] functions
+   must therefore be deterministic (the skiplist's height PRNG is
+   switched to a counter-driven sequence for exactly this reason). *)
+
+module Yp = Ct_util.Yieldpoint
+
+(* ----------------------------- scenarios --------------------------- *)
+
+type prepared = {
+  bodies : (unit -> unit) list;
+      (** one thunk per fiber, closed over this execution's fresh
+          structure instance *)
+  oracle : crashed:bool -> (unit, string) result;
+      (** checked once every fiber has finished (or crashed) *)
+}
+
+type scenario = {
+  sname : string;
+  prepare : unit -> prepared;  (** fresh state; called once per execution *)
+  crash_at : (int * int) option;
+      (** [Some (f, n)]: fiber [f] dies at its [n]-th yield point, as a
+          crashed domain would — mid-protocol, leaving residue *)
+  teardown : unit -> unit;
+      (** restore global switches the scenario flipped (deterministic
+          skiplist heights); runs even when execution raises *)
+}
+
+let scenario ?crash_at ?(teardown = fun () -> ()) sname prepare =
+  { sname; prepare; crash_at; teardown }
+
+(* ----------------------------- execution --------------------------- *)
+
+type stop =
+  | Yielded of Yp.phase * Yp.site  (** parked at a yield point *)
+  | Completed  (** body returned *)
+  | Crashed  (** injected crash consumed the fiber *)
+
+type step = {
+  fiber : int;
+  stop : stop;  (** where the fiber stopped after being scheduled *)
+  enabled : (int * Yp.site option) list;
+      (** runnable fibers at this decision point, with the site each is
+          parked at ([None] = not started yet) *)
+  from : int option;
+      (** fiber that ran the previous step, when it is still enabled
+          here: choosing anything else is a preemption *)
+}
+
+type failure =
+  | Oracle of string
+  | Fiber_raised of int * string
+  | Divergence of int
+      (** step bound exceeded: with bounded scripts every lock-free run
+          terminates, so this signals a livelock/lock-freedom bug *)
+
+let pp_failure = function
+  | Oracle m -> "oracle: " ^ m
+  | Fiber_raised (f, e) -> Printf.sprintf "fiber %d raised: %s" f e
+  | Divergence n ->
+      Printf.sprintf "no quiescence after %d steps (lock-freedom suspect)" n
+
+type run = { steps : step array; failure : failure option; crashed : bool }
+
+exception Crash
+(** injected at a fiber's [crash_at] yield; never escapes the scheduler *)
+
+type _ Effect.t += Yield : Yp.phase * Yp.site -> unit Effect.t
+
+type slot =
+  | Fresh of (unit -> unit)
+  | Parked of (unit, stop) Effect.Deep.continuation * Yp.phase * Yp.site
+  | Finished
+  | Dead
+
+exception Stuck of failure
+
+(* Execute one schedule.  [choose] is called at every scheduling point
+   with the current step index, the enabled fibers (ascending, with
+   their parked sites) and the previously-running fiber; it returns the
+   fiber to run next and may raise to abort (replay divergence). *)
+let execute ?(max_steps = 5000) sc
+    ~(choose :
+       step:int ->
+       enabled:(int * Yp.site option) list ->
+       last:int option ->
+       int) : run =
+  let prep = sc.prepare () in
+  let n = List.length prep.bodies in
+  let slots = Array.of_list (List.map (fun b -> Fresh b) prep.bodies) in
+  let yields = Array.make n 0 in
+  let current = ref (-1) in
+  let crashed = ref false in
+  (* The hook performs the Yield effect only while a fiber is running:
+     oracle code (final lookups, scrub, validate) and any other code on
+     this domain passes through untouched. *)
+  let hook phase site =
+    let f = !current in
+    if f >= 0 then begin
+      yields.(f) <- yields.(f) + 1;
+      (match sc.crash_at with
+      | Some (cf, cn) when cf = f && yields.(f) = cn -> raise Crash
+      | _ -> ());
+      Effect.perform (Yield (phase, site))
+    end
+  in
+  let handler f =
+    {
+      Effect.Deep.retc =
+        (fun () ->
+          slots.(f) <- Finished;
+          Completed);
+      exnc =
+        (fun e ->
+          match e with
+          | Crash ->
+              slots.(f) <- Dead;
+              crashed := true;
+              Crashed
+          | e ->
+              slots.(f) <- Dead;
+              raise (Stuck (Fiber_raised (f, Printexc.to_string e))));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield (phase, site) ->
+              Some
+                (fun (k : (a, stop) Effect.Deep.continuation) ->
+                  slots.(f) <- Parked (k, phase, site);
+                  Yielded (phase, site))
+          | _ -> None);
+    }
+  in
+  let run_fiber f =
+    current := f;
+    let stop =
+      match slots.(f) with
+      | Fresh body -> Effect.Deep.match_with body () (handler f)
+      | Parked (k, _, _) -> Effect.Deep.continue k ()
+      | Finished | Dead -> invalid_arg "Mc: scheduled a finished fiber"
+    in
+    current := -1;
+    stop
+  in
+  let pending i =
+    match slots.(i) with
+    | Fresh _ -> Some (i, None)
+    | Parked (_, _, s) -> Some (i, Some s)
+    | Finished | Dead -> None
+  in
+  let steps = ref [] in
+  let failure = ref None in
+  let last = ref None in
+  let count = ref 0 in
+  let body () =
+    try
+      let continue_ = ref true in
+      while !continue_ do
+        let enabled = List.filter_map pending (List.init n Fun.id) in
+        if enabled = [] then continue_ := false
+        else if !count >= max_steps then raise (Stuck (Divergence !count))
+        else begin
+          let from =
+            match !last with
+            | Some l when List.mem_assoc l enabled -> Some l
+            | _ -> None
+          in
+          let f = choose ~step:!count ~enabled ~last:!last in
+          if not (List.mem_assoc f enabled) then
+            invalid_arg
+              (Printf.sprintf "Mc: chose fiber %d which is not enabled" f);
+          let stop = run_fiber f in
+          steps := { fiber = f; stop; enabled; from } :: !steps;
+          last := Some f;
+          incr count
+        end
+      done;
+      match prep.oracle ~crashed:!crashed with
+      | Ok () -> ()
+      | Error m -> failure := Some (Oracle m)
+      | exception e ->
+          failure := Some (Oracle ("oracle raised " ^ Printexc.to_string e))
+    with Stuck f ->
+      current := -1;
+      failure := Some f
+  in
+  Yp.set_local hook;
+  Fun.protect
+    ~finally:(fun () ->
+      Yp.clear_local ();
+      sc.teardown ())
+    body;
+  {
+    steps = Array.of_list (List.rev !steps);
+    failure = !failure;
+    crashed = !crashed;
+  }
+
+(* Default continuation past a choice prefix: keep running the same
+   fiber while it stays enabled, else the lowest id.  Preemption-free,
+   so a counterexample's preemptions all live in its explicit prefix. *)
+let guided prefix =
+ fun ~step ~enabled ~last ->
+  if step < Array.length prefix then prefix.(step)
+  else
+    match last with
+    | Some l when List.mem_assoc l enabled -> l
+    | _ -> fst (List.hd enabled)
+
+(* Best-effort guide used by the minimizer: follow the choice list,
+   dropping entries that are not currently enabled; preemption-free
+   default when it runs out.  Candidate reductions perturb the run, so
+   the guide must tolerate choices that no longer apply. *)
+let lenient choices =
+  let q = ref choices in
+  fun ~step:_ ~enabled ~last ->
+    let rec pick () =
+      match !q with
+      | c :: rest ->
+          q := rest;
+          if List.mem_assoc c enabled then c else pick ()
+      | [] -> (
+          match last with
+          | Some l when List.mem_assoc l enabled -> l
+          | _ -> fst (List.hd enabled))
+    in
+    pick ()
+
+let choices_of (r : run) = Array.map (fun s -> s.fiber) r.steps
+
+(* --------------------------- minimization -------------------------- *)
+
+(* Delta-debug the schedule.  [best] is the *guide* — the explicit
+   choice list handed to the lenient scheduler, with the preemption-free
+   default finishing the run — so shrinking it shrinks the part of the
+   schedule that matters: the forced switches.  Candidates: replace the
+   guide by each of its prefixes (shortest first), then delete single
+   choices; keep any candidate whose re-execution still fails.
+   Schedules here are tens of steps, so the quadratic pass is cheap. *)
+let minimize ?max_steps sc (choices : int array) : run option * int array =
+  let try_run cs =
+    let r = execute ?max_steps sc ~choose:(lenient (Array.to_list cs)) in
+    match r.failure with Some _ -> Some r | None -> None
+  in
+  let best = ref choices in
+  let best_run = ref (try_run choices) in
+  if !best_run <> None then begin
+    let improved = ref true in
+    while !improved do
+      improved := false;
+      (* Shortest still-failing prefix of the guide. *)
+      (let len = Array.length !best in
+       let l = ref 0 in
+       let stop = ref false in
+       while (not !stop) && !l < len do
+         match try_run (Array.sub !best 0 !l) with
+         | Some r ->
+             best := Array.sub !best 0 !l;
+             best_run := Some r;
+             improved := true;
+             stop := true
+         | None -> incr l
+       done);
+      (* Single deletions. *)
+      let i = ref 0 in
+      while !i < Array.length !best do
+        let cand =
+          Array.append (Array.sub !best 0 !i)
+            (Array.sub !best (!i + 1) (Array.length !best - !i - 1))
+        in
+        match try_run cand with
+        | Some r ->
+            best := cand;
+            best_run := Some r;
+            improved := true
+            (* do not advance [i]: the deleted slot now holds a new
+               choice worth attacking again *)
+        | None -> incr i
+      done
+    done
+  end;
+  (!best_run, !best)
+
+(* --------------------------- exploration --------------------------- *)
+
+type counterexample = {
+  c_scenario : string;
+  c_choices : int array;  (** minimized schedule, replayable via {!replay} *)
+  c_steps : step array;
+  c_failure : failure;
+}
+
+type verdict =
+  | Pass of { executions : int; complete : bool }
+      (** [complete] is false when the [max_schedules] budget ran out
+          before the bounded space was exhausted *)
+  | Fail of counterexample
+
+let preempts step alt =
+  match step.from with Some l -> alt <> l | None -> false
+
+(* Exhaustive DFS over schedules, stateless re-execution.  Branching:
+   after running a schedule, every step at depth >= |prefix| spawns one
+   new prefix per enabled-but-not-chosen fiber (each schedule is
+   reached through exactly one prefix, so no deduplication is needed).
+   Pruning:
+   - preemption bound: a branch whose prefix already preempts
+     [preemption_bound] times is dropped (CHESS-style; most concurrency
+     bugs need very few preemptions, and the bound makes the space
+     polynomial);
+   - read-read sleep-set: if both the chosen fiber and the alternative
+     are parked at read-only sites, the two upcoming slices are pure
+     reads (a slice entered at a read site ends before the next CAS's
+     Before yield), so the two orders commute and the alternative's
+     subtree is a permutation of states the chosen subtree already
+     reaches. *)
+let explore ?(preemption_bound = 3) ?(max_schedules = 200_000) ?max_steps sc :
+    verdict =
+  let stack = ref [ [||] ] in
+  let execs = ref 0 in
+  let found = ref None in
+  let budget_hit = ref false in
+  while !stack <> [] && !found = None do
+    match !stack with
+    | [] -> ()
+    | prefix :: rest ->
+        stack := rest;
+        if !execs >= max_schedules then budget_hit := true
+        else begin
+          incr execs;
+          let r = execute ?max_steps sc ~choose:(guided prefix) in
+          match r.failure with
+          | Some f -> found := Some (choices_of r, r, f)
+          | None ->
+              (* Walk the run accumulating the preemption count up to
+                 each branch point; branch only past the prefix (each
+                 schedule is then generated exactly once). *)
+              let pre = ref 0 in
+              Array.iteri
+                (fun s st ->
+                  if s >= Array.length prefix then begin
+                    let chosen_site = List.assoc st.fiber st.enabled in
+                    List.iter
+                      (fun (alt, alt_site) ->
+                        if alt <> st.fiber then begin
+                          let p = !pre + if preempts st alt then 1 else 0 in
+                          let read_read =
+                            match (chosen_site, alt_site) with
+                            | Some a, Some b -> Yp.is_read a && Yp.is_read b
+                            | _ -> false
+                          in
+                          if p <= preemption_bound && not read_read then begin
+                            let branch =
+                              Array.append
+                                (Array.map (fun x -> x.fiber)
+                                   (Array.sub r.steps 0 s))
+                                [| alt |]
+                            in
+                            stack := branch :: !stack
+                          end
+                        end)
+                      st.enabled
+                  end;
+                  if preempts st st.fiber then incr pre)
+                r.steps
+        end
+  done;
+  match !found with
+  | None -> Pass { executions = !execs; complete = not !budget_hit }
+  | Some (choices, orig_run, orig_failure) -> (
+      match minimize ?max_steps sc choices with
+      | Some run, min_choices ->
+          Fail
+            {
+              c_scenario = sc.sname;
+              c_choices = min_choices;
+              c_steps = run.steps;
+              c_failure = Option.get run.failure;
+            }
+      | None, _ ->
+          (* Minimization could not even reproduce the original run — a
+             nondeterministic scenario; surface the unminimized one. *)
+          Fail
+            {
+              c_scenario = sc.sname;
+              c_choices = choices;
+              c_steps = orig_run.steps;
+              c_failure = orig_failure;
+            })
+
+(* Seeded random walk: cheap probabilistic coverage for scripts too
+   large to enumerate.  Same oracles, same minimizer. *)
+let random_walk ?(schedules = 500) ?max_steps ~seed sc : verdict =
+  let rng = Ct_util.Rng.create seed in
+  let found = ref None in
+  let i = ref 0 in
+  while !found = None && !i < schedules do
+    incr i;
+    let choose ~step:_ ~enabled ~last:_ =
+      fst (List.nth enabled (Ct_util.Rng.next_int rng (List.length enabled)))
+    in
+    let r = execute ?max_steps sc ~choose in
+    match r.failure with
+    | Some f -> found := Some (choices_of r, r, f)
+    | None -> ()
+  done;
+  match !found with
+  | None -> Pass { executions = !i; complete = false }
+  | Some (choices, orig_run, orig_failure) -> (
+      match minimize ?max_steps sc choices with
+      | Some run, min_choices ->
+          Fail
+            {
+              c_scenario = sc.sname;
+              c_choices = min_choices;
+              c_steps = run.steps;
+              c_failure = Option.get run.failure;
+            }
+      | None, _ ->
+          Fail
+            {
+              c_scenario = sc.sname;
+              c_choices = choices;
+              c_steps = orig_run.steps;
+              c_failure = orig_failure;
+            })
+
+(* ------------------------------ traces ----------------------------- *)
+
+(* Replayable trace: one line per step, [<fiber> yield <before|after>
+   <site>] / [<fiber> done] / [<fiber> crash], preceded by the scenario
+   name.  The trace pins both the schedule (fiber column) and what each
+   slice did (site/phase columns); replay re-executes the schedule and
+   fails loudly if the structure's behaviour has drifted. *)
+
+let phase_name = function Yp.Before -> "before" | Yp.After -> "after"
+
+let stop_to_string = function
+  | Yielded (ph, site) ->
+      Printf.sprintf "yield %s %s" (phase_name ph) (Yp.name site)
+  | Completed -> "done"
+  | Crashed -> "crash"
+
+let trace_to_string (c : counterexample) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "mc-trace v1\n";
+  Buffer.add_string b ("scenario " ^ c.c_scenario ^ "\n");
+  Buffer.add_string b ("failure " ^ pp_failure c.c_failure ^ "\n");
+  Array.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "%d %s\n" s.fiber (stop_to_string s.stop)))
+    c.c_steps;
+  Buffer.contents b
+
+type expected_stop =
+  | E_yield of Yp.phase * string  (** site matched by name *)
+  | E_done
+  | E_crash
+
+type trace_file = { t_scenario : string; t_steps : (int * expected_stop) list }
+
+let trace_of_string s : (trace_file, string) result =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | header :: rest when String.trim header = "mc-trace v1" -> (
+      let scenario_line, rest =
+        match rest with
+        | l :: r -> (l, r)
+        | [] -> ("", [])
+      in
+      match String.split_on_char ' ' (String.trim scenario_line) with
+      | [ "scenario"; name ] -> (
+          let parse_step l =
+            match String.split_on_char ' ' (String.trim l) with
+            | [ f; "done" ] -> Ok (int_of_string f, E_done)
+            | [ f; "crash" ] -> Ok (int_of_string f, E_crash)
+            | [ f; "yield"; ph; site ] ->
+                let phase =
+                  if ph = "before" then Ok Yp.Before
+                  else if ph = "after" then Ok Yp.After
+                  else Error ("bad phase: " ^ ph)
+                in
+                Result.map (fun p -> (int_of_string f, E_yield (p, site))) phase
+            | _ -> Error ("bad trace line: " ^ l)
+          in
+          let steps =
+            rest
+            |> List.filter (fun l ->
+                   not (String.length (String.trim l) >= 7
+                        && String.sub (String.trim l) 0 7 = "failure"))
+            |> List.map parse_step
+          in
+          match
+            List.fold_left
+              (fun acc s ->
+                match (acc, s) with
+                | Error e, _ -> Error e
+                | Ok l, Ok s -> Ok (s :: l)
+                | Ok _, Error e -> Error e)
+              (Ok []) steps
+          with
+          | Ok l -> Ok { t_scenario = name; t_steps = List.rev l }
+          | Error e -> Error e)
+      | _ -> Error "missing scenario line")
+  | _ -> Error "not an mc-trace v1 file"
+
+let stop_matches expected actual =
+  match (expected, actual) with
+  | E_done, Completed -> true
+  | E_crash, Crashed -> true
+  | E_yield (ph, site), Yielded (ph', site') ->
+      ph = ph' && site = Yp.name site'
+  | _ -> false
+
+type replay_outcome =
+  | Reproduced of failure  (** the schedule fails again, as recorded *)
+  | Vanished  (** schedule replays exactly but no longer fails *)
+  | Diverged of string  (** execution no longer follows the trace *)
+
+exception Replay_stop of string
+
+(* Re-execute a recorded schedule step by step, verifying after the run
+   that every slice stopped where the trace says it did. *)
+let replay sc (t : trace_file) : replay_outcome =
+  let expected = Array.of_list t.t_steps in
+  let choose ~step ~enabled ~last:_ =
+    if step >= Array.length expected then
+      raise
+        (Replay_stop
+           (Printf.sprintf "execution ran past the %d recorded steps"
+              (Array.length expected)))
+    else
+      let f, _ = expected.(step) in
+      if List.mem_assoc f enabled then f
+      else
+        raise
+          (Replay_stop
+             (Printf.sprintf "step %d: fiber %d is not runnable" step f))
+  in
+  match execute sc ~choose with
+  | exception Replay_stop m -> Diverged m
+  | r ->
+      let n = min (Array.length expected) (Array.length r.steps) in
+      let mismatch = ref None in
+      for i = 0 to n - 1 do
+        if !mismatch = None then begin
+          let ef, es = expected.(i) in
+          let a = r.steps.(i) in
+          if a.fiber <> ef || not (stop_matches es a.stop) then
+            mismatch :=
+              Some
+                (Printf.sprintf
+                   "step %d: trace has fiber %d stopping at %s, run has \
+                    fiber %d stopping at %s"
+                   i ef
+                   (match es with
+                   | E_done -> "done"
+                   | E_crash -> "crash"
+                   | E_yield (ph, s) ->
+                       Printf.sprintf "yield %s %s" (phase_name ph) s)
+                   a.fiber (stop_to_string a.stop))
+        end
+      done;
+      if !mismatch = None && Array.length r.steps < Array.length expected then
+        mismatch :=
+          Some
+            (Printf.sprintf "run quiesced after %d of %d recorded steps"
+               (Array.length r.steps) (Array.length expected));
+      (match (!mismatch, r.failure) with
+      | Some m, _ -> Diverged m
+      | None, Some f -> Reproduced f
+      | None, None -> Vanished)

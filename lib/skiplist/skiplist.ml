@@ -20,6 +20,13 @@ let yp_mark_upper = Yp.register "skiplist.mark.upper"
 let yp_mark_level0 = Yp.register "skiplist.mark.level0"
 let yp_unlink = Yp.register "skiplist.unlink"
 
+(* Read-path yield point at the head of every lookup, so the
+   deterministic scheduler (lib/mc) can interleave reads with writer
+   CASes.  One site per operation (not per level): a 24-level tower
+   walk would multiply the explorer's schedule depth for no extra
+   coverage at mc's script sizes. *)
+let yp_read_locate = Yp.register_read "skiplist.read.locate"
+
 let yp_cas site slot expected repl =
   Yp.here Yp.Before site;
   let ok = Atomic.compare_and_set slot expected repl in
@@ -27,6 +34,27 @@ let yp_cas site slot expected repl =
   ok
 
 let max_height = 24
+
+(* Tower heights are normally drawn from a domain-local PRNG whose
+   state survives across runs — which makes two executions of the same
+   operation sequence build different towers.  The deterministic
+   scheduler needs replayable structure, so it can switch heights to a
+   shared counter-driven ruler sequence (1,2,1,3,1,2,1,4,...): same
+   op order in, same skip list out.  Global across Make instances on
+   purpose: mc resets it at the start of every schedule execution. *)
+let det_heights : int Atomic.t option Atomic.t = Atomic.make None
+
+let set_deterministic_heights enabled =
+  Atomic.set det_heights (if enabled then Some (Atomic.make 0) else None)
+
+(* Height of the [n]-th deterministic tower: 1 + trailing zeros of
+   n+1, the ruler sequence — the same 1/2^h height distribution the
+   PRNG targets, with no state beyond the counter. *)
+let ruler_height n =
+  let rec go h m =
+    if h >= max_height || m land 1 = 1 then h else go (h + 1) (m lsr 1)
+  in
+  go 1 (n + 1)
 
 module Make (H : Hashing.HASHABLE) = struct
   type key = H.t
@@ -69,12 +97,15 @@ module Make (H : Hashing.HASHABLE) = struct
         Rng.create (0x5DEECE66D lxor (Domain.self () :> int)))
 
   let random_height () =
-    let rng = Domain.DLS.get rng_key in
-    let r = Rng.next rng in
-    let rec go h bits =
-      if h >= max_height || bits land 1 = 0 then h else go (h + 1) (bits lsr 1)
-    in
-    go 1 r
+    match Atomic.get det_heights with
+    | Some counter -> ruler_height (Atomic.fetch_and_add counter 1)
+    | None ->
+        let rng = Domain.DLS.get rng_key in
+        let r = Rng.next rng in
+        let rec go h bits =
+          if h >= max_height || bits land 1 = 0 then h else go (h + 1) (bits lsr 1)
+        in
+        go 1 r
 
   (* find returns [(preds, succs)] such that at every level
      [preds.(l).nhash < h <= succs.(l).nhash], unlinking marked nodes
@@ -161,14 +192,26 @@ module Make (H : Hashing.HASHABLE) = struct
     | node -> Some node
     | exception Not_found -> None
 
-  (* Association-list lookup with the structure's own key equality (the
-     [List.assoc_opt] it replaces used polymorphic [=]). *)
+  (* Association-list operations with the structure's own key equality
+     (the [List.assoc_opt]/[List.remove_assoc] they replace used
+     polymorphic [=]; with an [H.equal] coarser than [(=)] the binding
+     update paths accumulated duplicate entries — same bug family the
+     lib/mc hostile-equality scenarios flushed out of the cachetrie). *)
   let rec lassoc k = function
     | [] -> raise_notrace Not_found
     | (k', v) :: rest -> if H.equal k' k then v else lassoc k rest
 
+  let lassoc_opt k entries =
+    match lassoc k entries with v -> Some v | exception Not_found -> None
+
+  let rec lremove_assoc k = function
+    | [] -> []
+    | ((k', _) as pair) :: rest ->
+        if H.equal k' k then rest else pair :: lremove_assoc k rest
+
   let find t k =
     let h = hash_of k in
+    Yp.here Yp.Before yp_read_locate;
     lassoc k (Atomic.get (locate t h t.head (max_height - 1)).bindings)
 
   let lookup t k = match find t k with v -> Some v | exception Not_found -> None
@@ -191,7 +234,7 @@ module Make (H : Hashing.HASHABLE) = struct
         update t k v mode
       end
       else begin
-        let previous = List.assoc_opt k bindings in
+        let previous = lassoc_opt k bindings in
         let proceed =
           match (mode, previous) with
           | If_absent, Some _ -> false
@@ -201,7 +244,7 @@ module Make (H : Hashing.HASHABLE) = struct
         in
         if not proceed then previous
         else begin
-          let nb = (k, v) :: List.remove_assoc k bindings in
+          let nb = (k, v) :: lremove_assoc k bindings in
           (* A successful CAS from a non-empty list is the
              linearization point: the list can only become empty (and
              the node die) by first CASing away the list we swapped,
@@ -280,7 +323,7 @@ module Make (H : Hashing.HASHABLE) = struct
     | None -> None
     | Some node -> (
         let bindings = Atomic.get node.bindings in
-        match List.assoc_opt k bindings with
+        match lassoc_opt k bindings with
         | None ->
             if bindings = [] then begin
               mark_node t node;
@@ -289,7 +332,7 @@ module Make (H : Hashing.HASHABLE) = struct
             else None
         | Some prev when not (cond prev) -> Some prev
         | Some prev ->
-            let nb = List.remove_assoc k bindings in
+            let nb = lremove_assoc k bindings in
             if yp_cas yp_remove_bindings node.bindings bindings nb then begin
               if nb = [] then mark_node t node;
               Some prev

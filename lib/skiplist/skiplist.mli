@@ -13,6 +13,17 @@
     convention the tries use for full collisions), so only hash
     equality and key equality are required of keys. *)
 
+val set_deterministic_heights : bool -> unit
+(** [set_deterministic_heights true] replaces the domain-local PRNG
+    that draws tower heights with a shared counter-driven ruler
+    sequence (1,2,1,3,1,2,1,4,...) — the same 1/2^h distribution, but
+    a function of insertion order alone, so identical operation
+    sequences build identical lists.  The deterministic scheduler
+    ([lib/mc]) enables this (and re-enables it at every schedule
+    execution, resetting the counter) so schedules replay exactly;
+    production code should leave it off.  Affects every [Make]
+    instance in the program. *)
+
 module Make (H : Ct_util.Hashing.HASHABLE) : sig
   include Ct_util.Map_intf.CONCURRENT_MAP with type key = H.t
 

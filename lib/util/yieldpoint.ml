@@ -1,21 +1,24 @@
 type phase = Before | After
 
-type site = { name : string }
+type site = { name : string; read_only : bool }
 
 let registry : site list Atomic.t = Atomic.make []
 
-let register name =
+let register_with ~read_only name =
   let rec go () =
     let cur = Atomic.get registry in
     match List.find_opt (fun s -> s.name = name) cur with
     | Some s -> s
     | None ->
-        let s = { name } in
+        let s = { name; read_only } in
         if Atomic.compare_and_set registry cur (s :: cur) then s else go ()
   in
   go ()
 
+let register name = register_with ~read_only:false name
+let register_read name = register_with ~read_only:true name
 let name s = s.name
+let is_read s = s.read_only
 
 let all () =
   List.sort (fun a b -> compare a.name b.name) (Atomic.get registry)
@@ -34,8 +37,25 @@ let hook : (phase -> site -> unit) option Atomic.t = Atomic.make None
    two concerns compose instead of clobbering each other. *)
 let observer : (phase -> site -> unit) option Atomic.t = Atomic.make None
 
+(* Domain-local hook slot for cooperative schedulers (lib/mc): a hook
+   that must fire only for code running in the installing domain, with
+   no [Domain.self] filtering in the hook body.  The model checker runs
+   its virtual domains as fibers on one real domain and parks them here
+   by performing an effect; other domains (the test runner's own
+   helpers, concurrent suites) never see it.  [locals] counts domains
+   with a local hook installed so that the production fast path pays
+   one extra atomic load of a counter that is 0, and no DLS access. *)
+let locals : int Atomic.t = Atomic.make 0
+
+let local_key : (phase -> site -> unit) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
 let[@inline] here phase site =
   (match Atomic.get observer with None -> () | Some f -> f phase site);
+  (if Atomic.get locals > 0 then
+     match !(Domain.DLS.get local_key) with
+     | None -> ()
+     | Some f -> f phase site);
   match Atomic.get hook with None -> () | Some f -> f phase site
 
 let install f = Atomic.set hook (Some f)
@@ -47,3 +67,23 @@ let install_observer f = Atomic.set observer (Some f)
 let clear_observer () = Atomic.set observer None
 let observer_active () =
   match Atomic.get observer with None -> false | Some _ -> true
+
+let set_local f =
+  let slot = Domain.DLS.get local_key in
+  (match !slot with None -> Atomic.incr locals | Some _ -> ());
+  slot := Some f
+
+let clear_local () =
+  let slot = Domain.DLS.get local_key in
+  match !slot with
+  | None -> ()
+  | Some _ ->
+      slot := None;
+      Atomic.decr locals
+
+let local_active () =
+  match !(Domain.DLS.get local_key) with None -> false | Some _ -> true
+
+let with_local f body =
+  set_local f;
+  Fun.protect ~finally:clear_local body

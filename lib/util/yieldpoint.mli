@@ -38,7 +38,17 @@ val register : string -> site
     time by the instrumented libraries; names are dot-separated
     ["structure.operation.step"], e.g. ["cachetrie.expand.publish"]. *)
 
+val register_read : string -> site
+(** Like {!register}, but marks the site read-only: the step it
+    brackets performs no write that another operation's correctness can
+    observe (benign racy cache maintenance excepted).  The
+    deterministic scheduler uses this to prune commuting read/read
+    interleavings; everything else treats the site like any other. *)
+
 val name : site -> string
+
+val is_read : site -> bool
+(** Whether the site was registered with {!register_read}. *)
 
 val all : unit -> site list
 (** Every registered site, sorted by name.  Only sites of libraries
@@ -73,3 +83,33 @@ val install_observer : (phase -> site -> unit) -> unit
 val clear_observer : unit -> unit
 
 val observer_active : unit -> bool
+
+(** {2 Domain-local hooks}
+
+    A third slot, independent of {!install} and {!install_observer},
+    that fires only for code running in the domain that installed it.
+    This is the per-fiber hook context the deterministic scheduler
+    ([lib/mc]) needs: it runs several virtual domains as
+    cooperatively-scheduled fibers on one real domain and parks each
+    fiber at every yield point by performing an effect from the local
+    hook — without filtering on [Domain.self], and without perturbing
+    other domains that happen to cross yield points concurrently.
+
+    The local hook runs after the observer and before the global hook.
+    When no domain has a local hook installed, [here] pays one extra
+    atomic load of a zero counter and never touches domain-local
+    storage. *)
+
+val set_local : (phase -> site -> unit) -> unit
+(** Install a hook visible only to the calling domain (replacing any
+    previous local hook of this domain). *)
+
+val clear_local : unit -> unit
+(** Remove the calling domain's local hook, if any. *)
+
+val local_active : unit -> bool
+(** Whether the calling domain has a local hook installed. *)
+
+val with_local : (phase -> site -> unit) -> (unit -> 'a) -> 'a
+(** [with_local f body] runs [body] with [f] installed as the calling
+    domain's local hook, uninstalling it on exit (also on raise). *)

@@ -86,6 +86,55 @@ let test_respects_program_order () =
   in
   check_bool "final lookup must see 20" false (check h)
 
+(* ------------------------ equal-stamp histories --------------------- *)
+
+(* Histories produced by the deterministic scheduler (lib/mc) have
+   unique stamps, but hand-built and merged histories may not.  Two
+   contracts on ties:
+   1. equal stamps never order two events (no spurious real-time
+      edge): an op invoked exactly at another's response stamp counts
+      as concurrent;
+   2. within one thread, events with equal stamps keep the order they
+      appear in the history — the per-thread grouping used to reverse
+      them (reversed accumulation + a sort keyed only on [inv]),
+      inventing a program order the thread never executed. *)
+
+let test_equal_stamps_keep_program_order () =
+  (* Insert then Lookup in thread 0, all stamps equal.  In history
+     order this is trivially linearizable; with the tie flipped the
+     lookup would precede its own insert and be rejected. *)
+  let h =
+    [
+      ev 0 (Insert (1, 10)) None 0 0;
+      ev 0 (Lookup 1) (Some 10) 0 0;
+    ]
+  in
+  check_bool "program order preserved on ties" true (check h)
+
+let test_equal_stamps_respect_history_order () =
+  (* The mirrored history really is illegal: the thread looked up the
+     value before inserting it.  Guards against "fixing" ties by
+     accepting either order. *)
+  let h =
+    [
+      ev 0 (Lookup 1) (Some 10) 0 0;
+      ev 0 (Insert (1, 10)) None 0 0;
+    ]
+  in
+  check_bool "flipped program order still rejected" false (check h)
+
+let test_equal_stamps_are_concurrent () =
+  (* The lookup's invocation stamp equals the insert's response stamp:
+     no real-time edge, so the lookup may linearize first and miss the
+     insert. *)
+  let h =
+    [
+      ev 0 (Insert (1, 10)) None 0 1;
+      ev 1 (Lookup 1) None 1 2;
+    ]
+  in
+  check_bool "stamp tie means concurrent" true (check h)
+
 (* -------------- conditional ops (Replace_if / Remove_if) ------------ *)
 
 (* Result encoding for the conditional ops: Some 1 = succeeded,
@@ -181,6 +230,13 @@ let suite =
     ("rejects_lost_update", `Quick, test_rejects_lost_update);
     ("rejects_value_from_nowhere", `Quick, test_rejects_value_from_nowhere);
     ("respects_program_order", `Quick, test_respects_program_order);
+    ( "equal_stamps_keep_program_order",
+      `Quick,
+      test_equal_stamps_keep_program_order );
+    ( "equal_stamps_respect_history_order",
+      `Quick,
+      test_equal_stamps_respect_history_order );
+    ("equal_stamps_are_concurrent", `Quick, test_equal_stamps_are_concurrent);
     ( "rejects_replace_if_wrong_witness",
       `Quick,
       test_rejects_replace_if_wrong_witness );

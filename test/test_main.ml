@@ -24,5 +24,6 @@ let () =
       ("lincheck", Test_lincheck.suite);
       ("chaos", Test_chaos.suite);
       ("soak", Test_soak.suite);
+      ("mc", Test_mc.suite);
       ("harness", Test_harness.suite);
     ]
