@@ -10,6 +10,7 @@
      repro hist [--full]     level-occupancy histograms (Artifact A.5.1)
      repro theory [--full]   Theorems 4.1-4.4 vs a real trie
      repro ablation [--full] cache on/off and max_misses sweep
+     repro obs [--full|--demo] observability exports / flight-recorder demo
      repro all [--full]      everything above *)
 
 open Cmdliner
@@ -86,6 +87,223 @@ let all_experiments =
     ("trace", "Extension: production-style trace replay across structures.",
      Harness.Suites.trace_replay);
   ]
+
+(* --------------------------- obs subcommand ------------------------- *)
+
+(* repro obs [--full]        traced workload with metrics + latency +
+                             exports; exits nonzero if the counter
+                             invariants fail or an export is empty
+   repro obs --demo          chaos crash-storm with the flight recorder
+                             installed; prints the watchdog post-mortem
+                             and exits nonzero if the flight dump is
+                             empty or out of stamp order *)
+
+module Yp = Ct_util.Yieldpoint
+module Rng = Ct_util.Rng
+module Progress = Ct_util.Progress
+module Json = Harness.Report.Json
+module Obs_map = Cachetrie.Make (Ct_util.Hashing.Int_key)
+module Obs_replay = Harness.Trace.Replay (Obs_map)
+
+let obs_await what f =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while not (f ()) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 1e-4
+  done;
+  if not (f ()) then failwith ("repro obs: timed out waiting for " ^ what)
+
+(* Traced workload: a single-domain replay whose lookup count the
+   structure's own cache counters must reproduce exactly (every probe
+   classified once), then a multi-domain timed replay feeding the
+   latency histogram, then both exports. *)
+let obs_export scale =
+  let failures = ref [] in
+  let check what ok =
+    if not ok then failures := what :: !failures;
+    Printf.printf "%-52s %s\n" what (if ok then "ok" else "FAIL")
+  in
+  let n =
+    match scale with Harness.Suites.Quick -> 100_000 | Full -> 2_000_000
+  in
+  let trace = Harness.Trace.generate Harness.Trace.churn n in
+  (* Phase 1 — accounting, one domain so no retry can re-probe. *)
+  let t = Obs_map.create () in
+  let prefill = Harness.Trace.churn.Harness.Trace.universe / 2 in
+  let o1 =
+    Obs_replay.replay ~prefill t
+      (Array.sub trace 0 (min n 50_000))
+  in
+  let stats = Obs_map.stats t in
+  let stat l = match List.assoc_opt l stats with Some v -> v | None -> 0 in
+  check "cache_hits + cache_misses = lookups issued"
+    (stat "cache_hits" + stat "cache_misses" = o1.Harness.Trace.hits + o1.Harness.Trace.misses);
+  check "cas_retries <= cas_attempts (all families)"
+    (Harness.Obs_report.invariants () = []);
+  List.iter print_endline (Harness.Obs_report.invariants ());
+  (* Phase 2 — timed parallel replay into the histogram. *)
+  let t2 = Obs_map.create () in
+  let hist = Obs.Latency.create ~label:"trace-op" in
+  let domains = min 4 (Harness.Parallel.available_domains ()) in
+  let o2 = Obs_replay.replay_parallel ~prefill ~latency:hist t2 ~domains trace in
+  (match o2.Harness.Trace.latency with
+  | None -> check "timed replay produced a latency summary" false
+  | Some l ->
+      Printf.printf
+        "%d ops over %d domains: p50 %.0f ns, p99 %.0f ns, p99.9 %.0f ns\n"
+        l.Harness.Trace.timed_ops domains l.Harness.Trace.p50_ns
+        l.Harness.Trace.p99_ns l.Harness.Trace.p999_ns;
+      check "histogram count matches timed ops"
+        (Obs.Latency.total hist = l.Harness.Trace.timed_ops));
+  (* Exports: deterministic JSON and Prometheus text. *)
+  let json =
+    Json.Obj
+      [
+        ("metrics", Harness.Obs_report.metrics_json ());
+        ("latency", Harness.Obs_report.latency_json [ ("trace-op", hist) ]);
+      ]
+  in
+  Json.write_file "obs_metrics.json" json;
+  let prom = Obs.Export.prometheus ~histograms:[ ("trace-op", hist) ] () in
+  let oc = open_out "obs_metrics.prom" in
+  output_string oc prom;
+  close_out oc;
+  print_endline "wrote obs_metrics.prom";
+  check "prometheus export has counter samples"
+    (String.length prom > 0
+    && String.split_on_char '\n' prom
+       |> List.exists (fun l ->
+              String.length l > 0 && l.[0] <> '#'));
+  check "json export is non-trivial" (String.length (Json.to_string json) > 64);
+  !failures
+
+(* Crash-storm demo: flight recorder + progress share the observer
+   slot; a parked victim makes the watchdog stall report fire, and the
+   post-mortem embeds the stamp-ordered event dump. *)
+let obs_demo () =
+  let failures = ref [] in
+  let check what ok =
+    if not ok then failures := what :: !failures;
+    Printf.printf "%-52s %s\n" what (if ok then "ok" else "FAIL")
+  in
+  let progress = Progress.create ~slots:4 () in
+  let flight = Obs.Flight.create ~size:512 () in
+  Obs.Flight.install_with_progress flight progress;
+  let finally () =
+    Chaos.clear ();
+    Obs.Flight.uninstall ()
+  in
+  Fun.protect ~finally @@ fun () ->
+  let t = Obs_map.create () in
+  for k = 0 to 63 do
+    Obs_map.insert t (1_000_000 + k) k
+  done;
+  (* Storm: crash victims mid-operation at random yield points. *)
+  let sites = Array.of_list (Yp.with_prefix "cachetrie.") in
+  let rng = Rng.create 0xD00D in
+  let crashes = ref 0 in
+  for k = 1 to 100 do
+    let s = sites.(Rng.next_int rng (Array.length sites)) in
+    let phase = if Rng.next_int rng 2 = 0 then Yp.Before else Yp.After in
+    let inj = Chaos.crash ~phase ~skip:(Rng.next_int rng 2) s in
+    let crashed =
+      Domain.join
+        (Domain.spawn (fun () ->
+             Progress.attach progress 0;
+             let r =
+               Chaos.as_victim inj (fun () ->
+                   try
+                     (if Rng.next_int rng 2 = 0 then Obs_map.insert t k k
+                      else ignore (Obs_map.remove t k));
+                     false
+                   with Chaos.Injected_crash _ -> true)
+             in
+             Progress.detach progress;
+             r))
+    in
+    Chaos.clear ();
+    if crashed then incr crashes
+  done;
+  Printf.printf "storm: %d/100 operations crashed mid-flight\n" !crashes;
+  check "storm fired crashes" (!crashes > 0);
+  (* Park one victim so the watchdog has a live stall to report. *)
+  let announce =
+    List.find (fun s -> Yp.name s = "cachetrie.txn.announce") (Yp.all ())
+  in
+  let inj = Chaos.stall ~phase:Yp.After announce in
+  Obs_map.insert t 7 1;
+  let victim =
+    Domain.spawn (fun () ->
+        Progress.attach progress 0;
+        Chaos.as_victim inj (fun () -> Obs_map.insert t 7 2);
+        Progress.detach progress)
+  in
+  obs_await "victim parked mid-transaction" (fun () -> Chaos.stalled inj);
+  let wd = Harness.Watchdog.create ~stall_epochs:2 ~flight progress in
+  for _ = 1 to 3 do
+    ignore (Harness.Watchdog.step wd)
+  done;
+  let pm = Harness.Watchdog.post_mortem wd in
+  print_newline ();
+  print_string pm;
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check "watchdog reports the parked victim"
+    (Harness.Watchdog.stalled wd <> []);
+  check "post-mortem embeds the flight dump" (contains pm "flight recorder");
+  (* Honest flight-dump checks: nonempty and strictly stamp-ordered. *)
+  let dump = Obs.Flight.dump flight in
+  check "flight dump is non-empty" (dump <> []);
+  let rec ordered = function
+    | a :: (b :: _ as rest) ->
+        a.Obs.Flight.stamp < b.Obs.Flight.stamp && ordered rest
+    | _ -> true
+  in
+  check "flight dump is strictly stamp-ordered" (ordered dump);
+  check "recorder saw the storm's yield points"
+    (Obs.Flight.recorded flight > 0);
+  (* Heal and release. *)
+  let repairs = Obs_map.scrub t in
+  check "scrub committed the parked transaction"
+    (repairs >= 1 && Obs_map.lookup t 7 = Some 2);
+  Chaos.release inj;
+  Domain.join victim;
+  check "structure validates after the storm"
+    (Obs_map.validate t = Ok ());
+  !failures
+
+let obs_run timeout demo scale =
+  arm_timeout timeout;
+  match if demo then obs_demo () else obs_export scale with
+  | [] -> 0
+  | failures ->
+      List.iter
+        (fun f -> Printf.eprintf "repro obs: FAILED: %s\n%!" f)
+        (List.rev failures);
+      1
+  | exception e ->
+      Printf.eprintf "repro obs: failed: %s\n%!" (Printexc.to_string e);
+      1
+
+let obs_cmd =
+  let demo_term =
+    Arg.(
+      value & flag
+      & info [ "demo" ]
+          ~doc:
+            "Run the chaos crash-storm demo with the flight recorder and \
+             print the watchdog post-mortem, instead of the export flow.")
+  in
+  Cmd.v
+    (Cmd.info "obs"
+       ~doc:
+         "Observability: replay a traced workload with metrics and latency \
+          histograms, check the counter invariants, and export JSON + \
+          Prometheus text; or (--demo) run a crash storm with the flight \
+          recorder and print a stamp-ordered post-mortem.")
+    Term.(const obs_run $ timeout_term $ demo_term $ scale_term)
 
 (* --------------------------- mc subcommand -------------------------- *)
 
@@ -195,6 +413,6 @@ let () =
   in
   let cmds =
     (all_cmd :: List.map (fun (n, d, f) -> experiment n d f) all_experiments)
-    @ [ mc_cmd ]
+    @ [ mc_cmd; obs_cmd ]
   in
   exit (Cmd.eval' (Cmd.group info cmds))

@@ -52,7 +52,7 @@ let () =
   Printf.printf "explored %d vertices in %.0f ms (%d domains)\n" set_size
     (dt *. 1000.0) n_domains;
   Array.iteri (fun d c -> Printf.printf "  domain %d claimed %d\n" d c) claimed;
-  let stats = Visited.stats visited in
+  let stats = Visited.cache_stats visited in
   Printf.printf "cache level: %s, expansions: %d\n"
     (match stats.Cachetrie.cache_level with
     | None -> "-"

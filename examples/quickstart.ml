@@ -39,7 +39,7 @@ let () =
   Dict.iter (fun k v -> Printf.printf "  %-8s -> %d\n" k v) t;
 
   (* The trie exposes its paper-level internals for inspection. *)
-  let stats = Dict.stats t in
+  let stats = Dict.cache_stats t in
   Printf.printf "expansions so far: %d (cache level: %s)\n"
     stats.Cachetrie.expansions
     (match stats.Cachetrie.cache_level with

@@ -1,5 +1,11 @@
 let total hist = Array.fold_left ( + ) 0 hist
 
+let merge a b =
+  let n = max (Array.length a) (Array.length b) in
+  Array.init n (fun i ->
+      (if i < Array.length a then a.(i) else 0)
+      + if i < Array.length b then b.(i) else 0)
+
 let render ?label hist =
   let buf = Buffer.create 256 in
   let n = total hist in

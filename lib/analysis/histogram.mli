@@ -1,6 +1,12 @@
 (** Rendering and summarising level-occupancy histograms in the format
     used by the paper's artifact (Appendix A.5.1). *)
 
+val merge : int array -> int array -> int array
+(** [merge a b] is the bucket-wise sum of two histograms; the shorter
+    one is padded with zeros, so histograms of different lengths (e.g.
+    per-domain latency buckets trimmed at different depths) combine
+    losslessly.  Inputs are not mutated. *)
+
 val render : ?label:string -> int array -> string
 (** [render hist] formats a per-depth key histogram as the artifact
     prints it: one line per level (level = 4 * depth index), with the

@@ -16,6 +16,7 @@ module Hashing = Ct_util.Hashing
 module Bits = Ct_util.Bits
 module Slots = Ct_util.Slots
 module Yp = Ct_util.Yieldpoint
+module Metrics = Ct_util.Metrics
 
 (* Yield points (DESIGN.md "Fault injection & robustness"): one site
    per distinct CAS, so the chaos layer can crash a victim between the
@@ -36,16 +37,18 @@ let yp_grow = Yp.register "chm.grow"
    mid-list between a writer's kill and bury steps. *)
 let yp_read_walk = Yp.register_read "chm.read.walk"
 
-let yp_cas site slot expected repl =
+let yp_cas m site slot expected repl =
+  Metrics.incr m Metrics.Cas_attempts;
   Yp.here Yp.Before site;
   let ok = Atomic.compare_and_set slot expected repl in
-  if ok then Yp.here Yp.After site;
+  if ok then Yp.here Yp.After site else Metrics.incr m Metrics.Cas_retries;
   ok
 
-let yp_cas_slot site slots pos expected repl =
+let yp_cas_slot m site slots pos expected repl =
+  Metrics.incr m Metrics.Cas_attempts;
   Yp.here Yp.Before site;
   let ok = Slots.cas slots pos expected repl in
-  if ok then Yp.here Yp.After site;
+  if ok then Yp.here Yp.After site else Metrics.incr m Metrics.Cas_retries;
   ok
 
 let initial_buckets = 16
@@ -78,6 +81,7 @@ module Make (H : Hashing.HASHABLE) = struct
     table : 'v node option Slots.t Atomic.t;
     count : int Atomic.t;
     list_head : 'v node;  (* sentinel of bucket 0 *)
+    metrics : Metrics.t;
   }
 
   let regular_sokey h = (Bits.reverse_bits32 h lsl 1) lor 1
@@ -93,24 +97,31 @@ module Make (H : Hashing.HASHABLE) = struct
     in
     let table = Slots.make initial_buckets None in
     Slots.set table 0 (Some head);
-    { table = Atomic.make table; count = Atomic.make 0; list_head = head }
+    {
+      table = Atomic.make table;
+      count = Atomic.make 0;
+      list_head = head;
+      metrics = Metrics.create ~family:name;
+    }
 
   let hash_of k = H.hash k land Hashing.mask
 
   (* ----------------------- the underlying list ---------------------- *)
 
   (* Mark a dead node's link so traversals unlink it. *)
-  let rec bury (node : 'v node) =
+  let rec bury m (node : 'v node) =
     let link = Atomic.get node.next in
     if not link.marked then
-      if not (yp_cas yp_bury_mark node.next link { succ = link.succ; marked = true })
-      then bury node
+      if
+        not
+          (yp_cas m yp_bury_mark node.next link { succ = link.succ; marked = true })
+      then bury m node
 
   (* Position in the list after [start] for ([sokey], [key]):
      [pred, curr] with [pred.sokey <= sokey <= curr.sokey]; when the
      exact binding exists, [curr] is it.  Physically unlinks marked
      nodes on the way (Harris). *)
-  let rec list_find (start : 'v node) sokey key : 'v node * 'v node option =
+  let rec list_find m (start : 'v node) sokey key : 'v node * 'v node option =
     let rec advance (pred : 'v node) (plink : 'v link) =
       match plink.succ with
       | None -> (pred, None)
@@ -119,10 +130,14 @@ module Make (H : Hashing.HASHABLE) = struct
           if clink.marked then begin
             (* Unlink the dead node.  The stored replacement link must
                be the exact record we keep using (CAS compares
-               identities). *)
+               identities).  Unlinking someone else's marked node is a
+               helping step. *)
             let repl = { succ = clink.succ; marked = false } in
-            if yp_cas yp_unlink pred.next plink repl then advance pred repl
-            else list_find start sokey key
+            if yp_cas m yp_unlink pred.next plink repl then begin
+              Metrics.incr m Metrics.Helps;
+              advance pred repl
+            end
+            else list_find m start sokey key
           end
           else if curr.sokey < sokey then advance curr clink
           else if curr.sokey > sokey then (pred, Some curr)
@@ -159,7 +174,7 @@ module Make (H : Hashing.HASHABLE) = struct
                 let clink = Atomic.get curr.next in
                 if clink.marked then begin
                   let repl = { succ = clink.succ; marked = false } in
-                  if yp_cas yp_unlink pred.next plink repl then
+                  if yp_cas t.metrics yp_unlink pred.next plink repl then
                     splice_point pred
                   else splice_point parent
                 end
@@ -175,14 +190,14 @@ module Make (H : Hashing.HASHABLE) = struct
               else begin
                 let sentinel = { sokey; kind = Sentinel; next = Atomic.make plink } in
                 if
-                  yp_cas yp_bucket_splice pred.next plink
+                  yp_cas t.metrics yp_bucket_splice pred.next plink
                     { succ = Some sentinel; marked = false }
                 then sentinel
                 else install ()
               end
         in
         let sentinel = install () in
-        ignore (yp_cas_slot yp_bucket_publish table b None (Some sentinel));
+        ignore (yp_cas_slot t.metrics yp_bucket_publish table b None (Some sentinel));
         (* Another thread may have installed a different-but-equivalent
            sentinel pointer first; always use the published one. *)
         (match Slots.get table b with Some s -> s | None -> sentinel)
@@ -205,7 +220,8 @@ module Make (H : Hashing.HASHABLE) = struct
       for b = 0 to buckets - 1 do
         Slots.set bigger b (Slots.get table b)
       done;
-      ignore (yp_cas yp_grow t.table table bigger)
+      if yp_cas t.metrics yp_grow t.table table bigger then
+        Metrics.incr t.metrics Metrics.Expansions
     end
 
   (* ------------------------------ lookup ---------------------------- *)
@@ -246,7 +262,7 @@ module Make (H : Hashing.HASHABLE) = struct
     let h = hash_of k in
     let sokey = regular_sokey h in
     let start = bucket_for t h in
-    let pred, curr = list_find start sokey k in
+    let pred, curr = list_find t.metrics start sokey k in
     match curr with
     | Some n when n.sokey = sokey -> (
         match n.kind with
@@ -254,16 +270,17 @@ module Make (H : Hashing.HASHABLE) = struct
             match Atomic.get b.state with
             | Dead ->
                 (* Logically removed but not yet unlinked: help, retry. *)
-                bury n;
-                ignore (list_find start sokey k);
+                Metrics.incr t.metrics Metrics.Helps;
+                bury t.metrics n;
+                ignore (list_find t.metrics start sokey k);
                 update t k v mode
             | Live existing as live -> (
                 match mode with
                 | If_absent -> Some existing
                 | If_value expected when existing != expected -> Some existing
                 | Always | If_present | If_value _ ->
-                    if yp_cas yp_update_value b.state live (Live v) then
-                      Some existing
+                    if yp_cas t.metrics yp_update_value b.state live (Live v)
+                    then Some existing
                     else update t k v mode))
         | Sentinel -> assert false)
     | _ ->
@@ -286,7 +303,7 @@ module Make (H : Hashing.HASHABLE) = struct
           in
           if plink.marked || not same_succ then update t k v mode
           else if
-            yp_cas yp_insert_splice pred.next plink
+            yp_cas t.metrics yp_insert_splice pred.next plink
               { succ = Some node; marked = false }
           then begin
             Atomic.incr t.count;
@@ -310,23 +327,25 @@ module Make (H : Hashing.HASHABLE) = struct
     let h = hash_of k in
     let sokey = regular_sokey h in
     let start = bucket_for t h in
-    let _, curr = list_find start sokey k in
+    let _, curr = list_find t.metrics start sokey k in
     match curr with
     | Some n when n.sokey = sokey -> (
         match n.kind with
         | Binding b -> (
             match Atomic.get b.state with
             | Dead ->
-                bury n;
-                ignore (list_find start sokey k);
+                Metrics.incr t.metrics Metrics.Helps;
+                bury t.metrics n;
+                ignore (list_find t.metrics start sokey k);
                 None
             | Live v as live ->
                 if not (cond v) then Some v
-                else if yp_cas yp_remove_kill b.state live Dead then begin
+                else if yp_cas t.metrics yp_remove_kill b.state live Dead
+                then begin
                   (* Removal linearized; clean up physically. *)
                   Atomic.decr t.count;
-                  bury n;
-                  ignore (list_find start sokey k);
+                  bury t.metrics n;
+                  ignore (list_find t.metrics start sokey k);
                   Some v
                 end
                 else remove_with t k cond)
@@ -420,8 +439,8 @@ module Make (H : Hashing.HASHABLE) = struct
       if b >= 0 && b < Slots.length table then
         match Slots.get table b with
         | None ->
-            if yp_cas_slot yp_bucket_publish table b None (Some sentinel) then
-              incr repairs
+            if yp_cas_slot t.metrics yp_bucket_publish table b None (Some sentinel)
+            then incr repairs
         | Some _ -> ()
     in
     let rec sweep (pred : 'v node) budget =
@@ -433,7 +452,7 @@ module Make (H : Hashing.HASHABLE) = struct
             let clink = Atomic.get curr.next in
             if clink.marked then begin
               let repl = { succ = clink.succ; marked = false } in
-              if yp_cas yp_unlink pred.next plink repl then incr repairs;
+              if yp_cas t.metrics yp_unlink pred.next plink repl then incr repairs;
               (* Either way re-examine [pred]: the link changed. *)
               sweep pred (budget - 1)
             end
@@ -443,7 +462,7 @@ module Make (H : Hashing.HASHABLE) = struct
                   match Atomic.get b.state with
                   | Dead ->
                       (* Killed but never buried: finish the removal. *)
-                      bury curr;
+                      bury t.metrics curr;
                       incr repairs
                   | Live _ -> ())
               | Sentinel -> publish_orphan curr);
@@ -457,7 +476,12 @@ module Make (H : Hashing.HASHABLE) = struct
     (* The budget bounds re-examination under concurrent writers; a
        quiescent list needs exactly one pass. *)
     sweep t.list_head (1 lsl 22);
+    Metrics.add t.metrics Metrics.Scrub_repairs !repairs;
     !repairs
+
+  let metrics t = t.metrics
+  let stats t = Metrics.snapshot t.metrics
+  let reset_stats t = Metrics.reset t.metrics
 
   (* Word-cost model (DESIGN.md): node = 4 + link box 2 + link record 3;
      binding payload = 4 + state box 2 + Live box 2; table = array +

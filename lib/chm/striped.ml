@@ -7,6 +7,7 @@
 
 module Hashing = Ct_util.Hashing
 module Slots = Ct_util.Slots
+module Metrics = Ct_util.Metrics
 
 let n_stripes = 16
 let initial_buckets = 16
@@ -24,6 +25,7 @@ module Make (H : Hashing.HASHABLE) = struct
     mutable table : 'v bucket Slots.t;  (* replaced under all locks *)
     stripes : Mutex.t array;
     count : int Atomic.t;
+    metrics : Metrics.t;
   }
 
   let create () =
@@ -31,6 +33,7 @@ module Make (H : Hashing.HASHABLE) = struct
       table = Slots.make initial_buckets [];
       stripes = Array.init n_stripes (fun _ -> Mutex.create ());
       count = Atomic.make 0;
+      metrics = Metrics.create ~family:name;
     }
 
   let hash_of k = H.hash k land Hashing.mask
@@ -99,7 +102,8 @@ module Make (H : Hashing.HASHABLE) = struct
                     Slots.set fresh idx (e :: Slots.get fresh idx))
                   entries)
               old;
-            t.table <- fresh
+            t.table <- fresh;
+            Metrics.incr t.metrics Metrics.Expansions
           end)
 
   type 'v mode = Always | If_absent | If_present | If_value of 'v
@@ -209,6 +213,10 @@ module Make (H : Hashing.HASHABLE) = struct
   (* Lock-based writers leave no lock-free residue: an operation either
      holds the stripe lock or has fully published.  Nothing to repair. *)
   let scrub _t = 0
+
+  let metrics t = t.metrics
+  let stats t = Metrics.snapshot t.metrics
+  let reset_stats t = Metrics.reset t.metrics
 
   (* Word-cost model: table array + per-slot overhead + 7-word cells
      (cons 3 + tuple of 3 = 4 words). *)

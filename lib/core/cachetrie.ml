@@ -36,6 +36,7 @@ module Bits = Ct_util.Bits
 module Rng = Ct_util.Rng
 module Stripe = Ct_util.Stripe
 module Yp = Ct_util.Yieldpoint
+module Metrics = Ct_util.Metrics
 
 (* Yield points (DESIGN.md "Fault injection & robustness"): one site
    per distinct CAS/write, registered once per program.  [yp_cas]
@@ -69,16 +70,20 @@ let yp_cache_adjust = Yp.register "cachetrie.cache.adjust"
    the explorer prunes one of the two orders. *)
 let yp_read_walk = Yp.register_read "cachetrie.read.walk"
 
-let yp_cas site slot expected repl =
+(* Both wrappers also feed the metrics registry: every call is a CAS
+   attempt, every failure a retry the caller is about to re-drive. *)
+let yp_cas m site slot expected repl =
+  Metrics.incr m Metrics.Cas_attempts;
   Yp.here Yp.Before site;
   let ok = Atomic.compare_and_set slot expected repl in
-  if ok then Yp.here Yp.After site;
+  if ok then Yp.here Yp.After site else Metrics.incr m Metrics.Cas_retries;
   ok
 
-let yp_cas_slot site an pos expected repl =
+let yp_cas_slot m site an pos expected repl =
+  Metrics.incr m Metrics.Cas_attempts;
   Yp.here Yp.Before site;
   let ok = Slots.cas an pos expected repl in
-  if ok then Yp.here Yp.After site;
+  if ok then Yp.here Yp.After site else Metrics.incr m Metrics.Cas_retries;
   ok
 
 type config = {
@@ -185,11 +190,9 @@ module Make (H : Hashing.HASHABLE) = struct
     root : 'v anode;
     cache_head : 'v cache_level option Atomic.t;
     config : config;
-    n_expansions : int Atomic.t;
-    n_compressions : int Atomic.t;
-    n_samples : int Atomic.t;
-    n_cache_installs : int Atomic.t;
-    n_adjustments : int Atomic.t;
+    metrics : Metrics.t;
+        (* single source of truth for every maintenance counter; the
+           [cache_stats] record is a view over it *)
     seed : int Atomic.t;
   }
 
@@ -203,11 +206,7 @@ module Make (H : Hashing.HASHABLE) = struct
       root = new_anode wide_width;
       cache_head = Atomic.make None;
       config;
-      n_expansions = Atomic.make 0;
-      n_compressions = Atomic.make 0;
-      n_samples = Atomic.make 0;
-      n_cache_installs = Atomic.make 0;
-      n_adjustments = Atomic.make 0;
+      metrics = Metrics.create ~family:name;
       seed = Atomic.make 0x9E3779B9;
     }
 
@@ -355,22 +354,38 @@ module Make (H : Hashing.HASHABLE) = struct
   (* ---------------------------------------------------------------- *)
 
   let rec freeze t (cur : 'v anode) =
+    let m = t.metrics in
     let i = ref 0 in
     while !i < Slots.length cur do
       (match Slots.get cur !i with
-      | Null -> if yp_cas_slot yp_freeze_null cur !i Null FVNode then incr i
+      | Null ->
+          if yp_cas_slot m yp_freeze_null cur !i Null FVNode then begin
+            Metrics.incr m Metrics.Freezes;
+            incr i
+          end
       | FVNode -> incr i
       | SNode sn as old -> begin
           match Atomic.get sn.txn with
-          | No_txn -> if yp_cas yp_freeze_txn sn.txn No_txn Frozen_snode then incr i
+          | No_txn ->
+              if yp_cas m yp_freeze_txn sn.txn No_txn Frozen_snode then begin
+                Metrics.incr m Metrics.Freezes;
+                incr i
+              end
           | Frozen_snode -> incr i
           | Replace repl ->
               (* Commit the pending transaction first, then re-examine. *)
-              ignore (yp_cas_slot yp_txn_help cur !i old repl)
-          | Removed -> ignore (yp_cas_slot yp_txn_help cur !i old Null)
+              if yp_cas_slot m yp_txn_help cur !i old repl then
+                Metrics.incr m Metrics.Helps
+          | Removed ->
+              if yp_cas_slot m yp_txn_help cur !i old Null then
+                Metrics.incr m Metrics.Helps
         end
-      | ANode _ as old -> ignore (yp_cas_slot yp_freeze_wrap cur !i old (FNode old))
-      | LNode _ as old -> ignore (yp_cas_slot yp_freeze_wrap cur !i old (FNode old))
+      | ANode _ as old ->
+          if yp_cas_slot m yp_freeze_wrap cur !i old (FNode old) then
+            Metrics.incr m Metrics.Freezes
+      | LNode _ as old ->
+          if yp_cas_slot m yp_freeze_wrap cur !i old (FNode old) then
+            Metrics.incr m Metrics.Freezes
       | FNode (ANode an) ->
           freeze t an;
           incr i
@@ -389,11 +404,13 @@ module Make (H : Hashing.HASHABLE) = struct
     | None ->
         let wide = new_anode wide_width in
         transfer t.config en.e_narrow wide en.e_level;
-        if yp_cas yp_expand_wide en.e_wide None (Some wide) then
-          Atomic.incr t.n_expansions);
+        if yp_cas t.metrics yp_expand_wide en.e_wide None (Some wide) then
+          Metrics.incr t.metrics Metrics.Expansions);
     match Atomic.get en.e_wide with
     | Some wide ->
-        ignore (yp_cas_slot yp_expand_commit en.e_parent en.e_parentpos self (ANode wide))
+        ignore
+          (yp_cas_slot t.metrics yp_expand_commit en.e_parent en.e_parentpos
+             self (ANode wide))
     | None -> assert false
 
   and complete_compression t (self : 'v node) (xn : 'v xnode) =
@@ -411,11 +428,13 @@ module Make (H : Hashing.HASHABLE) = struct
               List.iter (fun (h, k, v) -> ignore (build_into_anode t.config an xn.x_level h k v)) many;
               ANode an
         in
-        if yp_cas yp_compress_repl xn.x_repl None (Some repl) then
-          Atomic.incr t.n_compressions);
+        if yp_cas t.metrics yp_compress_repl xn.x_repl None (Some repl) then
+          Metrics.incr t.metrics Metrics.Compressions);
     match Atomic.get xn.x_repl with
     | Some repl ->
-        ignore (yp_cas_slot yp_compress_commit xn.x_parent xn.x_parentpos self repl)
+        ignore
+          (yp_cas_slot t.metrics yp_compress_commit xn.x_parent xn.x_parentpos
+             self repl)
     | None -> assert false
 
   (* ---------------------------------------------------------------- *)
@@ -449,8 +468,8 @@ module Make (H : Hashing.HASHABLE) = struct
       | None ->
           if lev >= t.config.cache_trigger_level then begin
             let fresh = make_cache_level t t.config.min_cache_level None in
-            if yp_cas yp_cache_install t.cache_head None (Some fresh) then
-              Atomic.incr t.n_cache_installs
+            if yp_cas t.metrics yp_cache_install t.cache_head None (Some fresh)
+            then Metrics.incr t.metrics Metrics.Cache_installs
           end
       | Some head -> (
           if head.c_level = lev then write_entry head nv h
@@ -534,7 +553,7 @@ module Make (H : Hashing.HASHABLE) = struct
     go [] head
 
   let sample_and_adjust t =
-    Atomic.incr t.n_samples;
+    Metrics.incr t.metrics Metrics.Sampling_passes;
     let seed = Atomic.fetch_and_add t.seed 0x61C88647 in
     let rng = Rng.create (Rng.mix64 (seed lxor (Domain.self () :> int))) in
     let hist = Array.make 10 0 in
@@ -567,8 +586,8 @@ module Make (H : Hashing.HASHABLE) = struct
             | Some cl -> fallback cl.c_parent
           in
           let fresh = make_cache_level t target (fallback (Some head)) in
-          if yp_cas yp_cache_adjust t.cache_head old (Some fresh) then
-            Atomic.incr t.n_adjustments
+          if yp_cas t.metrics yp_cache_adjust t.cache_head old (Some fresh) then
+            Metrics.incr t.metrics Metrics.Cache_adjustments
         end
 
   (* Count a miss against the striped counters (paper Figure 8).  The
@@ -631,36 +650,51 @@ module Make (H : Hashing.HASHABLE) = struct
     | FNode _ -> raise_notrace Not_found
 
   (* Fast read through the cache (paper Figure 6): try each cache level
-     deepest-first, fall back to the root walk. *)
-  let rec probe_find t k h = function
-    | None -> find_at t k h 0 t.root
+     deepest-first, fall back to the root walk.  Each probed read is
+     classified exactly once for the metrics registry: a {e hit} is
+     served through a cache entry (directly from a cached SNode, or by
+     descending from a cached ANode), a {e miss} fell through the whole
+     level chain to the root walk.  This probe-level accounting is
+     independent of [record_miss], whose striped counters are the
+     sampling {e trigger} of paper Figure 8, reset on every pass. *)
+  (* [mcur] is a {!Metrics.cursor} captured once in [find]: the bump
+     itself must stay a pure array add, because a [Domain.self] C call
+     here clobbers the probe's live registers and shows up directly in
+     the find-overhead budget. *)
+  let rec probe_find t k h mcur = function
+    | None ->
+        Metrics.incr_at t.metrics mcur Metrics.Cache_misses;
+        find_at t k h 0 t.root
     | Some cl -> (
         let pos = h land (Array.length cl.c_entries - 1) in
         match cl.c_entries.(pos) with
         | SNode sn -> (
             match Atomic.get sn.txn with
             | No_txn ->
+                Metrics.incr_at t.metrics mcur Metrics.Cache_hits;
                 if H.equal sn.key k then sn.value else raise_notrace Not_found
-            | Frozen_snode | Replace _ | Removed -> probe_find t k h cl.c_parent)
+            | Frozen_snode | Replace _ | Removed ->
+                probe_find t k h mcur cl.c_parent)
         | ANode an -> (
             let cpos = (h lsr cl.c_level) land (Slots.length an - 1) in
             match Slots.get an cpos with
-            | FVNode | FNode _ -> probe_find t k h cl.c_parent
+            | FVNode | FNode _ -> probe_find t k h mcur cl.c_parent
             | SNode s2
               when (match Atomic.get s2.txn with
                    | Frozen_snode -> true
                    | No_txn | Replace _ | Removed -> false) ->
-                probe_find t k h cl.c_parent
+                probe_find t k h mcur cl.c_parent
             | Null | SNode _ | ANode _ | LNode _ | ENode _ | XNode _ ->
+                Metrics.incr_at t.metrics mcur Metrics.Cache_hits;
                 find_at t k h cl.c_level an)
         | Null | FVNode | LNode _ | FNode _ | ENode _ | XNode _ ->
-            probe_find t k h cl.c_parent)
+            probe_find t k h mcur cl.c_parent)
 
   let find t k =
     let h = hash_of k in
     match Atomic.get t.cache_head with
     | None -> find_at t k h 0 t.root
-    | Some _ as head -> probe_find t k h head
+    | Some _ as head -> probe_find t k h (Metrics.cursor t.metrics) head
 
   let lookup t k = match find t k with v -> Some v | exception Not_found -> None
   let mem t k = match find t k with _ -> true | exception Not_found -> false
@@ -689,10 +723,10 @@ module Make (H : Hashing.HASHABLE) = struct
      (CAS compares identities).  The first CAS invalidates cache
      entries pointing at [old]; the second publishes the change in the
      trie. *)
-  let announce_and_commit (cur : 'v anode) pos (old : 'v snode)
+  let announce_and_commit m (cur : 'v anode) pos (old : 'v snode)
       (old_node : 'v node) txn_value repl =
-    if yp_cas yp_txn_announce old.txn No_txn txn_value then begin
-      ignore (yp_cas_slot yp_txn_commit cur pos old_node repl);
+    if yp_cas m yp_txn_announce old.txn No_txn txn_value then begin
+      ignore (yp_cas_slot m yp_txn_commit cur pos old_node repl);
       true
     end
     else false
@@ -707,8 +741,10 @@ module Make (H : Hashing.HASHABLE) = struct
         match mode with
         | If_present | If_value _ -> Done_none
         | Always | If_absent ->
-            if yp_cas_slot yp_insert_null cur pos Null (fresh_snode h k v) then
-              Done_none
+            if
+              yp_cas_slot t.metrics yp_insert_null cur pos Null
+                (fresh_snode h k v)
+            then Done_none
             else insert_at t k v h lev cur prev mode)
     | ANode an -> insert_at t k v h (lev + 4) an (Some cur) mode
     | SNode old as old_node -> begin
@@ -721,7 +757,9 @@ module Make (H : Hashing.HASHABLE) = struct
               | If_value expected when old.value != expected -> Done_some old.value
               | Always | If_present | If_value _ ->
                   let repl = fresh_snode h k v in
-                  if announce_and_commit cur pos old old_node (Replace repl) repl
+                  if
+                    announce_and_commit t.metrics cur pos old old_node
+                      (Replace repl) repl
                   then Done_some old.value
                   else insert_at t k v h lev cur prev mode
             end
@@ -732,8 +770,8 @@ module Make (H : Hashing.HASHABLE) = struct
                  Narrow nodes expand first, so LNodes (and ANode
                  children) only ever live inside wide nodes. *)
               let ln = LNode { lhash = h; entries = [ (k, v); (old.key, old.value) ] } in
-              if announce_and_commit cur pos old old_node (Replace ln) ln then
-                Done_none
+              if announce_and_commit t.metrics cur pos old old_node (Replace ln) ln
+              then Done_none
               else insert_at t k v h lev cur prev mode
             end
             else if is_narrow cur then begin
@@ -757,7 +795,9 @@ module Make (H : Hashing.HASHABLE) = struct
                         }
                       in
                       let self = ENode en in
-                      if yp_cas_slot yp_expand_publish parent ppos pnode self
+                      if
+                        yp_cas_slot t.metrics yp_expand_publish parent ppos
+                          pnode self
                       then begin
                         complete_expansion t self en;
                         match Slots.get parent ppos with
@@ -766,9 +806,11 @@ module Make (H : Hashing.HASHABLE) = struct
                       end
                       else Restart
                   | ENode e as self ->
+                      Metrics.incr t.metrics Metrics.Helps;
                       complete_expansion t self e;
                       Restart
                   | XNode x as self ->
+                      Metrics.incr t.metrics Metrics.Helps;
                       complete_compression t self x;
                       Restart
                   | _ -> Restart)
@@ -776,16 +818,20 @@ module Make (H : Hashing.HASHABLE) = struct
             else begin
               (* Wide node: push both bindings one level down. *)
               let child = join_disjoint t.config old.hash old.key old.value h k v (lev + 4) in
-              if announce_and_commit cur pos old old_node (Replace child) child
+              if
+                announce_and_commit t.metrics cur pos old old_node
+                  (Replace child) child
               then Done_none
               else insert_at t k v h lev cur prev mode
             end
         | Frozen_snode -> Restart
         | Replace repl ->
-            ignore (yp_cas_slot yp_txn_help cur pos old_node repl);
+            if yp_cas_slot t.metrics yp_txn_help cur pos old_node repl then
+              Metrics.incr t.metrics Metrics.Helps;
             insert_at t k v h lev cur prev mode
         | Removed ->
-            ignore (yp_cas_slot yp_txn_help cur pos old_node Null);
+            if yp_cas_slot t.metrics yp_txn_help cur pos old_node Null then
+              Metrics.incr t.metrics Metrics.Helps;
             insert_at t k v h lev cur prev mode
       end
     | LNode ln as old_node ->
@@ -802,7 +848,7 @@ module Make (H : Hashing.HASHABLE) = struct
           else begin
             let entries = (k, v) :: lremove_assoc k ln.entries in
             let fresh = LNode { ln with entries } in
-            if yp_cas_slot yp_insert_lnode cur pos old_node fresh then
+            if yp_cas_slot t.metrics yp_insert_lnode cur pos old_node fresh then
               done_of_opt previous
             else insert_at t k v h lev cur prev mode
           end
@@ -815,13 +861,16 @@ module Make (H : Hashing.HASHABLE) = struct
           let lpos = (ln.lhash lsr (lev + 4)) land (wide_width - 1) in
           Slots.set child lpos old_node;
           let repl = build_into_anode t.config child (lev + 4) h k v in
-          if yp_cas_slot yp_insert_lnode cur pos old_node repl then Done_none
+          if yp_cas_slot t.metrics yp_insert_lnode cur pos old_node repl then
+            Done_none
           else insert_at t k v h lev cur prev mode
         end
     | ENode en as self ->
+        Metrics.incr t.metrics Metrics.Helps;
         complete_expansion t self en;
         insert_at t k v h lev cur prev mode
     | XNode xn as self ->
+        Metrics.incr t.metrics Metrics.Helps;
         complete_compression t self xn;
         insert_at t k v h lev cur prev mode
     | FVNode | FNode _ -> Restart
@@ -863,8 +912,8 @@ module Make (H : Hashing.HASHABLE) = struct
                   }
                 in
                 let self = XNode xn in
-                if yp_cas_slot yp_compress_publish parent ppos pnode self then
-                  complete_compression t self xn
+                if yp_cas_slot t.metrics yp_compress_publish parent ppos pnode self
+                then complete_compression t self xn
             | _ -> ()
           end
         end
@@ -893,17 +942,21 @@ module Make (H : Hashing.HASHABLE) = struct
         | No_txn ->
             if not (H.equal old.key k) then Done_none
             else if not (rmode_allows rmode old.value) then Done_some old.value
-            else if announce_and_commit cur pos old old_node Removed Null then begin
+            else if
+              announce_and_commit t.metrics cur pos old old_node Removed Null
+            then begin
               try_compress t cur lev h prev;
               Done_some old.value
             end
             else remove_at t k h lev cur prev rmode
         | Frozen_snode -> Restart
         | Replace repl ->
-            ignore (yp_cas_slot yp_txn_help cur pos old_node repl);
+            if yp_cas_slot t.metrics yp_txn_help cur pos old_node repl then
+              Metrics.incr t.metrics Metrics.Helps;
             remove_at t k h lev cur prev rmode
         | Removed ->
-            ignore (yp_cas_slot yp_txn_help cur pos old_node Null);
+            if yp_cas_slot t.metrics yp_txn_help cur pos old_node Null then
+              Metrics.incr t.metrics Metrics.Helps;
             remove_at t k h lev cur prev rmode
       end
     | LNode ln as old_node ->
@@ -924,7 +977,8 @@ module Make (H : Hashing.HASHABLE) = struct
                 | [ (k1, v1) ] -> fresh_snode ln.lhash k1 v1
                 | _ -> LNode { ln with entries }
               in
-              if yp_cas_slot yp_remove_lnode cur pos old_node fresh then begin
+              if yp_cas_slot t.metrics yp_remove_lnode cur pos old_node fresh
+              then begin
                 (* The contraction may have left [cur] holding a single
                    leaf (or nothing): cascade compaction exactly like
                    the SNode removal path does. *)
@@ -934,9 +988,11 @@ module Make (H : Hashing.HASHABLE) = struct
               else remove_at t k h lev cur prev rmode
         end
     | ENode en as self ->
+        Metrics.incr t.metrics Metrics.Helps;
         complete_expansion t self en;
         remove_at t k h lev cur prev rmode
     | XNode xn as self ->
+        Metrics.incr t.metrics Metrics.Helps;
         complete_compression t self xn;
         remove_at t k h lev cur prev rmode
     | FVNode | FNode _ -> Restart
@@ -1093,17 +1149,23 @@ module Make (H : Hashing.HASHABLE) = struct
   (* Introspection: statistics, histograms, footprint, validation.     *)
   (* ---------------------------------------------------------------- *)
 
-  let stats t =
+  (* Cache-trie-specific view over the metrics registry, plus the cache
+     chain shape (which no generic counter can express). *)
+  let cache_stats t =
     let head = Atomic.get t.cache_head in
     {
       cache_level = (match head with None -> None | Some cl -> Some cl.c_level);
       cache_chain = chain_levels head;
-      expansions = Atomic.get t.n_expansions;
-      compressions = Atomic.get t.n_compressions;
-      sampling_passes = Atomic.get t.n_samples;
-      cache_installs = Atomic.get t.n_cache_installs;
-      cache_adjustments = Atomic.get t.n_adjustments;
+      expansions = Metrics.get t.metrics Metrics.Expansions;
+      compressions = Metrics.get t.metrics Metrics.Compressions;
+      sampling_passes = Metrics.get t.metrics Metrics.Sampling_passes;
+      cache_installs = Metrics.get t.metrics Metrics.Cache_installs;
+      cache_adjustments = Metrics.get t.metrics Metrics.Cache_adjustments;
     }
+
+  let metrics t = t.metrics
+  let stats t = Metrics.snapshot t.metrics
+  let reset_stats t = Metrics.reset t.metrics
 
   (* Histogram of key depths: slot [d] counts keys whose SNode sits at
      pointer level [4d] (used by the artifact's BirthdaySimulations). *)
@@ -1322,11 +1384,13 @@ module Make (H : Hashing.HASHABLE) = struct
             match Atomic.get sn.txn with
             | No_txn | Frozen_snode -> ()
             | Replace repl ->
-                ignore (yp_cas_slot yp_txn_help an i old repl);
+                if yp_cas_slot t.metrics yp_txn_help an i old repl then
+                  Metrics.incr t.metrics Metrics.Helps;
                 incr repairs;
                 scrub_slot an i (budget - 1)
             | Removed ->
-                ignore (yp_cas_slot yp_txn_help an i old Null);
+                if yp_cas_slot t.metrics yp_txn_help an i old Null then
+                  Metrics.incr t.metrics Metrics.Helps;
                 incr repairs;
                 scrub_slot an i (budget - 1))
         | ANode child -> scrub_anode child
@@ -1357,10 +1421,12 @@ module Make (H : Hashing.HASHABLE) = struct
             | Co_ok -> ()
             | Co_stale | Co_broken _ ->
                 cl.c_entries.(pos) <- Null;
+                Metrics.incr t.metrics Metrics.Cache_invalidations;
                 incr repairs
           done;
           scrub_cache cl.c_parent
     in
     scrub_cache (Atomic.get t.cache_head);
+    Metrics.add t.metrics Metrics.Scrub_repairs !repairs;
     !repairs
 end

@@ -41,7 +41,7 @@ type config = {
 
 val default_config : config
 
-(** Counters describing cache behaviour; see {!Make.stats}. *)
+(** Counters describing cache behaviour; see {!Make.cache_stats}. *)
 type stats = {
   cache_level : int option;  (** current deepest cache level, if a cache exists *)
   cache_chain : int list;  (** levels in the cache chain, deepest first *)
@@ -66,8 +66,11 @@ module Make (H : Ct_util.Hashing.HASHABLE) : sig
       observes concurrent updates.  Each binding present for the whole
       traversal is produced exactly once. *)
 
-  val stats : 'v t -> stats
-  (** Snapshot of the cache/maintenance counters. *)
+  val cache_stats : 'v t -> stats
+  (** Cache-trie-specific view over the telemetry counters, plus the
+      cache chain shape.  The raw counters are the same ones [stats]
+      (the uniform {!Ct_util.Map_intf.CONCURRENT_MAP} snapshot)
+      reports under the registry labels. *)
 
   val depth_histogram : 'v t -> int array
   (** [depth_histogram t].(d) is the number of keys whose leaf sits at

@@ -8,6 +8,7 @@
 module Hashing = Ct_util.Hashing
 module Bits = Ct_util.Bits
 module Yp = Ct_util.Yieldpoint
+module Metrics = Ct_util.Metrics
 
 (* Yield points (DESIGN.md "Fault injection & robustness"). *)
 let yp_insert_cas = Yp.register "ctrie.insert.cas"
@@ -21,10 +22,11 @@ let yp_cleanparent_cas = Yp.register "ctrie.cleanparent.cas"
    exploration. *)
 let yp_read_walk = Yp.register_read "ctrie.read.walk"
 
-let yp_cas site slot expected repl =
+let yp_cas m site slot expected repl =
+  Metrics.incr m Metrics.Cas_attempts;
   Yp.here Yp.Before site;
   let ok = Atomic.compare_and_set slot expected repl in
-  if ok then Yp.here Yp.After site;
+  if ok then Yp.here Yp.After site else Metrics.incr m Metrics.Cas_retries;
   ok
 
 let w = 5 (* bits per level *)
@@ -45,10 +47,12 @@ module Make (H : Hashing.HASHABLE) = struct
   and 'v branch = IN of 'v inode | SN of 'v leaf
   and 'v inode = 'v main Atomic.t
 
-  type 'v t = { root : 'v inode }
+  type 'v t = { root : 'v inode; metrics : Metrics.t }
 
   let empty_cnode = CNode { bmp = 0; arr = [||] }
-  let create () = { root = Atomic.make empty_cnode }
+
+  let create () =
+    { root = Atomic.make empty_cnode; metrics = Metrics.create ~family:name }
   let hash_of k = H.hash k land Hashing.mask
 
   (* Position of hash [h] within a CNode at level [lev]: [flag] is the
@@ -116,13 +120,17 @@ module Make (H : Hashing.HASHABLE) = struct
     let narr = Array.map resurrect arr in
     to_contracted (CNode { bmp; arr = narr }) lev
 
-  let clean (i : 'v inode) lev =
+  (* Both cleaning entry points are helping steps: the thread tripping
+     over the tomb completes compaction on behalf of whoever entombed
+     it, so successful cleans count as [Helps]. *)
+  let clean m (i : 'v inode) lev =
     match Atomic.get i with
     | CNode { bmp; arr } as main ->
-        ignore (yp_cas yp_clean_cas i main (to_compressed bmp arr lev))
+        if yp_cas m yp_clean_cas i main (to_compressed bmp arr lev) then
+          Metrics.incr m Metrics.Helps
     | TNode _ | LNode _ -> ()
 
-  let rec clean_parent (p : 'v inode) (i : 'v inode) h plev =
+  let rec clean_parent m (p : 'v inode) (i : 'v inode) h plev =
     match Atomic.get p with
     | CNode { bmp; arr } as main -> (
         let flag, pos = flagpos h plev bmp in
@@ -132,8 +140,9 @@ module Make (H : Hashing.HASHABLE) = struct
               match Atomic.get i with
               | TNode leaf ->
                   let ncn = cnode_updated bmp arr pos (SN leaf) in
-                  if not (yp_cas yp_cleanparent_cas p main (to_contracted ncn plev))
-                  then clean_parent p i h plev
+                  if yp_cas m yp_cleanparent_cas p main (to_contracted ncn plev)
+                  then Metrics.incr m Metrics.Compressions
+                  else clean_parent m p i h plev
               | CNode _ | LNode _ -> ())
           | IN _ | SN _ -> ())
     | TNode _ | LNode _ -> ()
@@ -166,7 +175,7 @@ module Make (H : Hashing.HASHABLE) = struct
      [flagpos]'s tuple, and the parent travels as a bare inode — the
      root is its own parent, which is sound because [to_contracted]
      never entombs at level 0, so the TNode branch implies [lev > 0]. *)
-  let rec ifind (i : 'v inode) k h lev (parent : 'v inode) : 'v =
+  let rec ifind m (i : 'v inode) k h lev (parent : 'v inode) : 'v =
     Yp.here Yp.Before yp_read_walk;
     match Atomic.get i with
     | CNode { bmp; arr } -> (
@@ -175,17 +184,17 @@ module Make (H : Hashing.HASHABLE) = struct
         if bmp land flag = 0 then raise_notrace Not_found
         else
           match arr.(Bits.popcount (bmp land (flag - 1))) with
-          | IN child -> ifind child k h (lev + w) i
+          | IN child -> ifind m child k h (lev + w) i
           | SN leaf ->
               if H.equal leaf.key k then leaf.value else raise_notrace Not_found)
     | TNode _ ->
-        if lev > 0 then clean parent (lev - w);
+        if lev > 0 then clean m parent (lev - w);
         raise_notrace Restart_find
     | LNode ln ->
         if ln.lhash = h then lassoc k ln.entries else raise_notrace Not_found
 
   let rec find_loop t k h =
-    match ifind t.root k h 0 t.root with
+    match ifind t.metrics t.root k h 0 t.root with
     | v -> v
     | exception Restart_find -> find_loop t k h
 
@@ -197,7 +206,7 @@ module Make (H : Hashing.HASHABLE) = struct
 
   type 'v mode = Always | If_absent | If_present | If_value of 'v
 
-  let rec iinsert (i : 'v inode) k v h lev (parent : 'v inode option) mode :
+  let rec iinsert m (i : 'v inode) k v h lev (parent : 'v inode option) mode :
       'v outcome =
     match Atomic.get i with
     | CNode { bmp; arr } as main -> (
@@ -209,11 +218,11 @@ module Make (H : Hashing.HASHABLE) = struct
               let ncn =
                 cnode_inserted bmp arr pos flag (SN { hash = h; key = k; value = v })
               in
-              if yp_cas yp_insert_cas i main ncn then Done None else Restart
+              if yp_cas m yp_insert_cas i main ncn then Done None else Restart
         end
         else
           match arr.(pos) with
-          | IN child -> iinsert child k v h (lev + w) (Some i) mode
+          | IN child -> iinsert m child k v h (lev + w) (Some i) mode
           | SN leaf ->
               if H.equal leaf.key k then begin
                 match mode with
@@ -224,7 +233,8 @@ module Make (H : Hashing.HASHABLE) = struct
                     let ncn =
                       cnode_updated bmp arr pos (SN { hash = h; key = k; value = v })
                     in
-                    if yp_cas yp_insert_cas i main ncn then Done (Some leaf.value)
+                    if yp_cas m yp_insert_cas i main ncn then
+                      Done (Some leaf.value)
                     else Restart
               end
               else if
@@ -237,10 +247,14 @@ module Make (H : Hashing.HASHABLE) = struct
                   IN (Atomic.make (dual leaf { hash = h; key = k; value = v } (lev + w)))
                 in
                 let ncn = cnode_updated bmp arr pos child in
-                if yp_cas yp_insert_cas i main ncn then Done None else Restart
+                if yp_cas m yp_insert_cas i main ncn then begin
+                  Metrics.incr m Metrics.Expansions;
+                  Done None
+                end
+                else Restart
               end)
     | TNode _ ->
-        (match parent with Some p -> clean p (lev - w) | None -> ());
+        (match parent with Some p -> clean m p (lev - w) | None -> ());
         Restart
     | LNode ln as main ->
         assert (ln.lhash = h);
@@ -257,11 +271,11 @@ module Make (H : Hashing.HASHABLE) = struct
           let nln =
             LNode { ln with entries = (k, v) :: lremove_assoc k ln.entries }
           in
-          if yp_cas yp_insert_cas i main nln then Done previous else Restart
+          if yp_cas m yp_insert_cas i main nln then Done previous else Restart
         end
 
   let rec update_loop t k v h mode =
-    match iinsert t.root k v h 0 None mode with
+    match iinsert t.metrics t.root k v h 0 None mode with
     | Done prev -> prev
     | Restart -> update_loop t k v h mode
 
@@ -282,7 +296,13 @@ module Make (H : Hashing.HASHABLE) = struct
   let rmode_allows rmode v =
     match rmode with `Always -> true | `If_value expected -> v == expected
 
-  let rec iremove (i : 'v inode) k h lev (parent : 'v inode option) rmode :
+  (* A successful removal CAS that publishes a TNode is an entombment. *)
+  let entombed m (nmain : 'v main) =
+    match nmain with
+    | TNode _ -> Metrics.incr m Metrics.Entombments
+    | CNode _ | LNode _ -> ()
+
+  let rec iremove m (i : 'v inode) k h lev (parent : 'v inode option) rmode :
       'v outcome =
     match Atomic.get i with
     | CNode { bmp; arr } as main -> (
@@ -292,11 +312,11 @@ module Make (H : Hashing.HASHABLE) = struct
           let res =
             match arr.(pos) with
             | IN child -> (
-                match iremove child k h (lev + w) (Some i) rmode with
+                match iremove m child k h (lev + w) (Some i) rmode with
                 | Done (Some _) as r ->
                     (* The removal may have entombed [child]. *)
                     (match Atomic.get child with
-                    | TNode _ -> clean_parent i child h lev
+                    | TNode _ -> clean_parent m i child h lev
                     | CNode _ | LNode _ -> ());
                     r
                 | r -> r)
@@ -306,13 +326,16 @@ module Make (H : Hashing.HASHABLE) = struct
                 else begin
                   let ncn = cnode_removed bmp arr pos flag in
                   let nmain = to_contracted ncn lev in
-                  if yp_cas yp_remove_cas i main nmain then Done (Some leaf.value)
+                  if yp_cas m yp_remove_cas i main nmain then begin
+                    entombed m nmain;
+                    Done (Some leaf.value)
+                  end
                   else Restart
                 end
           in
           res)
     | TNode _ ->
-        (match parent with Some p -> clean p (lev - w) | None -> ());
+        (match parent with Some p -> clean m p (lev - w) | None -> ());
         Restart
     | LNode ln as main ->
         if ln.lhash <> h then Done None
@@ -327,12 +350,15 @@ module Make (H : Hashing.HASHABLE) = struct
                 | [ (k1, v1) ] -> TNode { hash = h; key = k1; value = v1 }
                 | _ -> LNode { ln with entries }
               in
-              if yp_cas yp_remove_cas i main nmain then Done (Some prev)
+              if yp_cas m yp_remove_cas i main nmain then begin
+                entombed m nmain;
+                Done (Some prev)
+              end
               else Restart
         end
 
   let rec remove_loop t k h rmode =
-    match iremove t.root k h 0 None rmode with
+    match iremove t.metrics t.root k h 0 None rmode with
     | Done prev -> prev
     | Restart -> remove_loop t k h rmode
 
@@ -453,7 +479,7 @@ module Make (H : Hashing.HASHABLE) = struct
                     | TNode _ ->
                         (* [prefix'] replays the hash bits of the path, which
                            is all [clean_parent] reads of the hash. *)
-                        clean_parent i child prefix' lev;
+                        clean_parent t.metrics i child prefix' lev;
                         incr fixed
                     | CNode _ | LNode _ -> ());
                     match Atomic.get child with
@@ -481,7 +507,12 @@ module Make (H : Hashing.HASHABLE) = struct
       repairs := !repairs + n;
       continue := n > 0
     done;
+    Metrics.add t.metrics Metrics.Scrub_repairs !repairs;
     !repairs
+
+  let metrics t = t.metrics
+  let stats t = Metrics.snapshot t.metrics
+  let reset_stats t = Metrics.reset t.metrics
 
   (* Word-cost model (DESIGN.md): leaf = 4 (header + hash + key + value);
      CNode = 3 + array (1 + n) + n branch wrappers (2 each);

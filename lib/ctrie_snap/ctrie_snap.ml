@@ -22,6 +22,7 @@
 module Hashing = Ct_util.Hashing
 module Bits = Ct_util.Bits
 module Yp = Ct_util.Yieldpoint
+module Metrics = Ct_util.Metrics
 
 (* Yield points (DESIGN.md "Fault injection & robustness").  GCAS and
    RDCSS are multi-CAS protocols, so every step is a distinct site: a
@@ -40,10 +41,11 @@ let yp_rdcss_abort = Yp.register "ctrie_snap.rdcss.abort"
    interleavings collapse to read-at-the-end. *)
 let yp_read_walk = Yp.register_read "ctrie_snap.read.walk"
 
-let yp_cas site slot expected repl =
+let yp_cas m site slot expected repl =
+  Metrics.incr m Metrics.Cas_attempts;
   Yp.here Yp.Before site;
   let ok = Atomic.compare_and_set slot expected repl in
-  if ok then Yp.here Yp.After site;
+  if ok then Yp.here Yp.After site else Metrics.incr m Metrics.Cas_retries;
   ok
 
 let w = 5
@@ -83,38 +85,49 @@ module Make (H : Hashing.HASHABLE) = struct
     committed : bool Atomic.t;
   }
 
-  type 'v t = { root : 'v root_state Atomic.t }
+  type 'v t = { root : 'v root_state Atomic.t; metrics : Metrics.t }
 
   let boxed node = { node; prev = Atomic.make No_prev }
   let empty_main () = boxed (CNode { bmp = 0; arr = [||] })
 
   let create () =
-    { root = Atomic.make (Root { gen = ref (); main = Atomic.make (empty_main ()) }) }
+    {
+      root = Atomic.make (Root { gen = ref (); main = Atomic.make (empty_main ()) });
+      metrics = Metrics.create ~family:name;
+    }
 
   let hash_of k = H.hash k land Hashing.mask
 
   (* ------------------------- GCAS and RDCSS -------------------------- *)
 
+  (* A reader tripping over another operation's pending GCAS box or
+     RDCSS descriptor completes it on its behalf — those entry points
+     count as [Helps]; the owner's own commit does not. *)
   let rec gcas_read_box t (i : 'v inode) : 'v main_box =
     let m = Atomic.get i.main in
-    match Atomic.get m.prev with No_prev -> m | _ -> gcas_commit t i m
+    match Atomic.get m.prev with
+    | No_prev -> m
+    | _ ->
+        Metrics.incr t.metrics Metrics.Helps;
+        gcas_commit t i m
 
   and gcas_commit t (i : 'v inode) (m : 'v main_box) : 'v main_box =
     match Atomic.get m.prev with
     | No_prev -> m
     | Failed fb ->
         (* Roll the failed update back to the previous main node. *)
-        if yp_cas yp_gcas_rollback i.main m fb then fb
+        if yp_cas t.metrics yp_gcas_rollback i.main m fb then fb
         else gcas_commit t i (Atomic.get i.main)
     | Prev pb as p ->
         let root = rdcss_read_root t ~abort:true in
         if root.gen == i.gen then begin
           (* Still the same generation: commit. *)
-          if yp_cas yp_gcas_commit m.prev p No_prev then m else gcas_commit t i m
+          if yp_cas t.metrics yp_gcas_commit m.prev p No_prev then m
+          else gcas_commit t i m
         end
         else begin
           (* A snapshot intervened: mark failed and retry (rolls back). *)
-          ignore (yp_cas yp_gcas_abort m.prev p (Failed pb));
+          ignore (yp_cas t.metrics yp_gcas_abort m.prev p (Failed pb));
           gcas_commit t i (Atomic.get i.main)
         end
 
@@ -122,6 +135,7 @@ module Make (H : Hashing.HASHABLE) = struct
     match Atomic.get t.root with
     | Root r -> r
     | Desc _ ->
+        Metrics.incr t.metrics Metrics.Helps;
         rdcss_complete t ~abort;
         rdcss_read_root t ~abort
 
@@ -129,21 +143,21 @@ module Make (H : Hashing.HASHABLE) = struct
     match Atomic.get t.root with
     | Root _ -> ()
     | Desc d as cur ->
-        if abort then ignore (yp_cas yp_rdcss_abort t.root cur (Root d.ov))
+        if abort then ignore (yp_cas t.metrics yp_rdcss_abort t.root cur (Root d.ov))
         else begin
           let oldmain = gcas_read_box t d.ov in
           if oldmain == d.exp then begin
-            if yp_cas yp_rdcss_commit t.root cur (Root d.nv) then
+            if yp_cas t.metrics yp_rdcss_commit t.root cur (Root d.nv) then
               Atomic.set d.committed true
           end
-          else ignore (yp_cas yp_rdcss_abort t.root cur (Root d.ov))
+          else ignore (yp_cas t.metrics yp_rdcss_abort t.root cur (Root d.ov))
         end
 
   (* Publish [new_main] into [i] expecting [old_box]; true iff the
      update committed under the current generation. *)
   let gcas t (i : 'v inode) (old_box : 'v main_box) (new_main : 'v main) : bool =
     let nb = { node = new_main; prev = Atomic.make (Prev old_box) } in
-    if yp_cas yp_gcas_publish i.main old_box nb then begin
+    if yp_cas t.metrics yp_gcas_publish i.main old_box nb then begin
       ignore (gcas_commit t i nb);
       match Atomic.get nb.prev with No_prev -> true | Prev _ | Failed _ -> false
     end
@@ -153,7 +167,7 @@ module Make (H : Hashing.HASHABLE) = struct
     let d = { ov; exp; nv; committed = Atomic.make false } in
     match Atomic.get t.root with
     | Root r as cur when r == ov ->
-        if yp_cas yp_rdcss_publish t.root cur (Desc d) then begin
+        if yp_cas t.metrics yp_rdcss_publish t.root cur (Desc d) then begin
           rdcss_complete t ~abort:false;
           Atomic.get d.committed
         end
@@ -242,7 +256,8 @@ module Make (H : Hashing.HASHABLE) = struct
     match mb.node with
     | CNode { bmp; arr } ->
         let narr = Array.map (resurrect t) arr in
-        ignore (gcas t i mb (to_contracted (CNode { bmp; arr = narr }) lev))
+        if gcas t i mb (to_contracted (CNode { bmp; arr = narr }) lev) then
+          Metrics.incr t.metrics Metrics.Helps
     | TNode _ | LNode _ -> ()
 
   let rec clean_parent t (p : 'v inode) (i : 'v inode) h plev (startgen : gen) =
@@ -257,7 +272,9 @@ module Make (H : Hashing.HASHABLE) = struct
               | TNode leaf ->
                   if p.gen == startgen then begin
                     let ncn = cnode_updated bmp arr pos (SN leaf) in
-                    if not (gcas t p mb (to_contracted ncn plev)) then
+                    if gcas t p mb (to_contracted ncn plev) then
+                      Metrics.incr t.metrics Metrics.Compressions
+                    else
                       (* Retry only while the root generation still
                          matches [startgen].  Once a snapshot commits,
                          this GCAS can never succeed — [gcas_commit]
@@ -466,7 +483,13 @@ module Make (H : Hashing.HASHABLE) = struct
                 else begin
                   let ncn = cnode_removed bmp arr pos flag in
                   let nmain = to_contracted ncn lev in
-                  if gcas t i mb nmain then Done (Some leaf.value) else Restart
+                  if gcas t i mb nmain then begin
+                    (match nmain with
+                    | TNode _ -> Metrics.incr t.metrics Metrics.Entombments
+                    | CNode _ | LNode _ -> ());
+                    Done (Some leaf.value)
+                  end
+                  else Restart
                 end
           in
           res)
@@ -486,7 +509,13 @@ module Make (H : Hashing.HASHABLE) = struct
                 | [ (k1, v1) ] -> TNode { hash = h; key = k1; value = v1 }
                 | _ -> LNode { ln with entries }
               in
-              if gcas t i mb nmain then Done (Some prev) else Restart
+              if gcas t i mb nmain then begin
+                (match nmain with
+                | TNode _ -> Metrics.incr t.metrics Metrics.Entombments
+                | CNode _ | LNode _ -> ());
+                Done (Some prev)
+              end
+              else Restart
         end
 
   let rec remove_with t k rmode =
@@ -511,7 +540,11 @@ module Make (H : Hashing.HASHABLE) = struct
     (* Swap our root to a fresh generation; hand the old structure to
        the snapshot under another fresh generation. *)
     if rdcss_root t r mb { gen = ref (); main = Atomic.make (boxed mb.node) } then
-      { root = Atomic.make (Root { gen = ref (); main = Atomic.make (boxed mb.node) }) }
+      {
+        root =
+          Atomic.make (Root { gen = ref (); main = Atomic.make (boxed mb.node) });
+        metrics = Metrics.create ~family:name;
+      }
     else snapshot t
 
   (* ------------------------- aggregate queries ----------------------- *)
@@ -619,7 +652,12 @@ module Make (H : Hashing.HASHABLE) = struct
       repairs := !repairs + n;
       continue := n > 0
     done;
+    Metrics.add t.metrics Metrics.Scrub_repairs !repairs;
     !repairs
+
+  let metrics t = t.metrics
+  let stats t = Metrics.snapshot t.metrics
+  let reset_stats t = Metrics.reset t.metrics
 
   (* Structural invariants, checked during quiescence.  Read-only: a
      pending GCAS box or RDCSS descriptor is reported as an error, not

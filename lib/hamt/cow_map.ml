@@ -1,4 +1,5 @@
 module Hashing = Ct_util.Hashing
+module Metrics = Ct_util.Metrics
 
 module Make (H : Hashing.HASHABLE) = struct
   module P = Hamt.Make (H)
@@ -11,9 +12,20 @@ module Make (H : Hashing.HASHABLE) = struct
      together so [size] is O(1) and snapshots carry it along). *)
   type 'v root = { trie : 'v P.t; card : int; version : int }
 
-  type 'v t = { root : 'v root Atomic.t }
+  type 'v t = { root : 'v root Atomic.t; metrics : Metrics.t }
 
-  let create () = { root = Atomic.make { trie = P.empty; card = 0; version = 0 } }
+  let create () =
+    {
+      root = Atomic.make { trie = P.empty; card = 0; version = 0 };
+      metrics = Metrics.create ~family:name;
+    }
+
+  (* The only CAS in the structure: the root swap. *)
+  let root_cas t cur next =
+    Metrics.incr t.metrics Metrics.Cas_attempts;
+    let ok = Atomic.compare_and_set t.root cur next in
+    if not ok then Metrics.incr t.metrics Metrics.Cas_retries;
+    ok
 
   (* [P.find_exn] boxes nothing on a hit, so these three allocate only
      what the caller asks for (the [Some] in [lookup]). *)
@@ -38,7 +50,7 @@ module Make (H : Hashing.HASHABLE) = struct
       assert (prev' = previous);
       let card = if previous = None then cur.card + 1 else cur.card in
       let next = { trie = trie'; card; version = cur.version + 1 } in
-      if Atomic.compare_and_set t.root cur next then previous else update t k v mode
+      if root_cas t cur next then previous else update t k v mode
     end
 
   let insert t k v = ignore (update t k v `Always)
@@ -59,7 +71,7 @@ module Make (H : Hashing.HASHABLE) = struct
     | Some _ ->
         let trie', prev = P.remove cur.trie k in
         let next = { trie = trie'; card = cur.card - 1; version = cur.version + 1 } in
-        if Atomic.compare_and_set t.root cur next then prev else remove_with t k cond
+        if root_cas t cur next then prev else remove_with t k cond
 
   let remove t k = remove_with t k (fun _ -> true)
 
@@ -76,7 +88,11 @@ module Make (H : Hashing.HASHABLE) = struct
   let is_empty t = size t = 0
   let to_list t = P.to_list (Atomic.get t.root).trie
 
-  let snapshot t = { root = Atomic.make (Atomic.get t.root) }
+  let snapshot t =
+    {
+      root = Atomic.make (Atomic.get t.root);
+      metrics = Metrics.create ~family:name;
+    }
   let version t = (Atomic.get t.root).version
   let footprint_words t = 4 + 2 + P.footprint_words (Atomic.get t.root).trie
 
@@ -95,4 +111,8 @@ module Make (H : Hashing.HASHABLE) = struct
   (* Copy-on-write leaves no residue: a writer either swapped the root
      or left no trace.  Nothing to repair. *)
   let scrub _t = 0
+
+  let metrics t = t.metrics
+  let stats t = Metrics.snapshot t.metrics
+  let reset_stats t = Metrics.reset t.metrics
 end

@@ -1,0 +1,71 @@
+module Metrics = Ct_util.Metrics
+module Json = Report.Json
+
+let counters_obj counters =
+  Json.Obj (List.map (fun (label, n) -> (label, Json.Int n)) counters)
+
+let family_json (family, live, counters) =
+  Json.Obj
+    [
+      ("family", Json.String family);
+      ("live_instances", Json.Int live);
+      ("counters", counters_obj counters);
+      ("derived", counters_obj (Obs.Export.derived counters));
+    ]
+
+let metrics_json () =
+  Json.Obj [ ("families", Json.List (List.map family_json (Metrics.aggregate ()))) ]
+
+let histogram_json (op, h) =
+  let counts = Obs.Latency.counts h in
+  let total = Array.fold_left ( + ) 0 counts in
+  let buckets = ref [] in
+  for b = Array.length counts - 1 downto 0 do
+    if counts.(b) > 0 then
+      buckets :=
+        Json.Obj
+          [
+            ("le_ns", Json.Float (Obs.Latency.bucket_upper_ns b));
+            ("count", Json.Int counts.(b));
+          ]
+        :: !buckets
+  done;
+  let pct p =
+    if total = 0 then Json.Null
+    else Json.Float (Obs.Latency.percentile_of_counts counts p)
+  in
+  Json.Obj
+    [
+      ("op", Json.String op);
+      ("count", Json.Int total);
+      ("sum_ns", Json.Int (Obs.Latency.sum_ns h));
+      ("p50_ns", pct 50.0);
+      ("p99_ns", pct 99.0);
+      ("p999_ns", pct 99.9);
+      ("buckets", Json.List !buckets);
+    ]
+
+let latency_json histograms =
+  Json.Obj [ ("histograms", Json.List (List.map histogram_json histograms)) ]
+
+let invariants () =
+  let violations = ref [] in
+  List.iter
+    (fun (family, _, counters) ->
+      let get l = match List.assoc_opt l counters with Some n -> n | None -> 0 in
+      let attempts = get "cas_attempts" and retries = get "cas_retries" in
+      if retries > attempts then
+        violations :=
+          Printf.sprintf "%s: cas_retries %d > cas_attempts %d" family retries
+            attempts
+          :: !violations;
+      let hits = get "cache_hits" and misses = get "cache_misses" in
+      (match List.assoc_opt "cache_lookups" (Obs.Export.derived counters) with
+      | Some lookups when hits + misses <> lookups ->
+          violations :=
+            Printf.sprintf "%s: cache_hits %d + cache_misses %d <> cache_lookups %d"
+              family hits misses lookups
+            :: !violations
+      | _ -> ()))
+    (Metrics.aggregate ());
+  List.rev !violations

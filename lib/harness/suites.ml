@@ -359,7 +359,7 @@ let ablation_narrow scale =
         in
         let t = CT.create_with ~config () in
         Array.iter (fun k -> CT.insert t k k) keys;
-        let s = CT.stats t in
+        let s = CT.cache_stats t in
         [
           label;
           Report.fmt_ns (Measure.ns_per_op res);
@@ -470,7 +470,7 @@ let remove_throughput scale =
   let t = CT.create () in
   Array.iter (fun k -> CT.insert t k k) keys;
   Array.iter (fun k -> ignore (CT.remove t k)) order;
-  let s = CT.stats t in
+  let s = CT.cache_stats t in
   Printf.printf "(cache-trie compressions during full removal: %d)\n\n"
     s.Cachetrie.compressions
 
@@ -538,7 +538,7 @@ let ablation_cache scale =
           Measure.run ~repetitions:reps ~ops:n (fun () ->
               Array.iter (fun k -> ignore (CT.lookup t k)) probes)
         in
-        let s = CT.stats t in
+        let s = CT.cache_stats t in
         [
           label;
           Report.fmt_ns (Measure.ns_per_op res);

@@ -33,6 +33,13 @@ let generate ?(seed = 0x7EACE) profile n =
       else if dice < profile.reads + profile.inserts then Insert (k, i)
       else Remove k)
 
+type latency_summary = {
+  timed_ops : int;
+  p50_ns : float;
+  p99_ns : float;
+  p999_ns : float;
+}
+
 type outcome = {
   hits : int;
   misses : int;
@@ -40,6 +47,7 @@ type outcome = {
   fresh : int;
   removed : int;
   elapsed : float;
+  latency : latency_summary option;
 }
 
 module Replay (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
@@ -59,6 +67,33 @@ module Replay (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
     done;
     (!hits, !misses, !updates, !fresh, !removed)
 
+  (* Timed twin of [run_slice]: brackets each operation with the
+     monotonic clock, feeds the shared histogram (striped, so domains
+     do not contend) and keeps the raw sample so the summary can use
+     exact [Stats.percentile] instead of bucket interpolation. *)
+  let run_slice_timed t trace lo hi step hist samples =
+    let hits = ref 0
+    and misses = ref 0
+    and updates = ref 0
+    and fresh = ref 0
+    and removed = ref 0 in
+    let i = ref lo and j = ref 0 in
+    while !i < hi do
+      let start = Ct_util.Clock.monotonic_ns () in
+      (match trace.(!i) with
+      | Lookup k -> if M.lookup t k = None then incr misses else incr hits
+      | Insert (k, v) -> if M.add t k v = None then incr fresh else incr updates
+      | Remove k -> if M.remove t k <> None then incr removed);
+      let ns = Ct_util.Clock.monotonic_ns () - start in
+      Obs.Latency.record_ns hist ns;
+      samples.(!j) <- float_of_int ns;
+      incr j;
+      i := !i + step
+    done;
+    (!hits, !misses, !updates, !fresh, !removed)
+
+  let slice_len lo hi step = if lo >= hi then 0 else ((hi - lo - 1) / step) + 1
+
   let prefill_keys t n =
     for k = 0 to n - 1 do
       M.insert t k k
@@ -70,16 +105,47 @@ module Replay (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
     let hits, misses, updates, fresh, removed =
       run_slice t trace 0 (Array.length trace) 1
     in
-    { hits; misses; updates; fresh; removed; elapsed = Unix.gettimeofday () -. t0 }
+    {
+      hits;
+      misses;
+      updates;
+      fresh;
+      removed;
+      elapsed = Unix.gettimeofday () -. t0;
+      latency = None;
+    }
 
-  let replay_parallel ?(prefill = 0) t ~domains trace =
+  let replay_parallel ?(prefill = 0) ?latency t ~domains trace =
     prefill_keys t prefill;
+    let n = Array.length trace in
     let t0 = Unix.gettimeofday () in
-    let results =
-      Parallel.run_collect ~domains (fun d ->
-          run_slice t trace d (Array.length trace) domains)
+    let results, samples =
+      match latency with
+      | None ->
+          ( Parallel.run_collect ~domains (fun d -> run_slice t trace d n domains),
+            [||] )
+      | Some hist ->
+          let buffers =
+            Array.init domains (fun d -> Array.make (slice_len d n domains) 0.0)
+          in
+          let r =
+            Parallel.run_collect ~domains (fun d ->
+                run_slice_timed t trace d n domains hist buffers.(d))
+          in
+          (r, Array.concat (Array.to_list buffers))
     in
     let elapsed = Unix.gettimeofday () -. t0 in
+    let latency =
+      if Array.length samples = 0 then None
+      else
+        Some
+          {
+            timed_ops = Array.length samples;
+            p50_ns = Ct_util.Stats.percentile samples 50.0;
+            p99_ns = Ct_util.Stats.percentile samples 99.0;
+            p999_ns = Ct_util.Stats.percentile samples 99.9;
+          }
+    in
     List.fold_left
       (fun acc (h, m, u, f, r) ->
         {
@@ -90,6 +156,14 @@ module Replay (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
           fresh = acc.fresh + f;
           removed = acc.removed + r;
         })
-      { hits = 0; misses = 0; updates = 0; fresh = 0; removed = 0; elapsed }
+      {
+        hits = 0;
+        misses = 0;
+        updates = 0;
+        fresh = 0;
+        removed = 0;
+        elapsed;
+        latency;
+      }
       results
 end

@@ -34,6 +34,15 @@ val generate : ?seed:int -> profile -> int -> op array
 (** [generate profile n] — a deterministic trace of [n] operations.
     @raise Invalid_argument if the percentages do not sum to 100. *)
 
+type latency_summary = {
+  timed_ops : int;  (** operations timed (= trace length) *)
+  p50_ns : float;
+  p99_ns : float;
+  p999_ns : float;
+      (** exact percentiles over the raw per-op samples
+          ({!Ct_util.Stats.percentile}, not bucket interpolation) *)
+}
+
 type outcome = {
   hits : int;  (** lookups that found a binding *)
   misses : int;
@@ -41,6 +50,8 @@ type outcome = {
   fresh : int;  (** inserts of a new key *)
   removed : int;  (** removes that found their key *)
   elapsed : float;  (** seconds *)
+  latency : latency_summary option;
+      (** present iff the replay was asked to time operations *)
 }
 
 module Replay (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) : sig
@@ -48,8 +59,18 @@ module Replay (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) : sig
   (** [replay t trace] runs the trace on one domain.  [prefill] inserts
       keys [0, prefill) first (outside the clock). *)
 
-  val replay_parallel : ?prefill:int -> int M.t -> domains:int -> op array -> outcome
+  val replay_parallel :
+    ?prefill:int ->
+    ?latency:Obs.Latency.t ->
+    int M.t ->
+    domains:int ->
+    op array ->
+    outcome
   (** Splits the trace across [domains] (interleaved round-robin so all
       domains see the same mix) and replays concurrently; counters are
-      summed. *)
+      summed.  With [latency], every operation is bracketed by the
+      monotonic clock and recorded into the (striped, shared)
+      histogram, and the outcome carries exact p50/p99/p999 over the
+      raw samples.  Timing costs two clock reads per op, so throughput
+      numbers from a timed replay are not comparable to untimed ones. *)
 end

@@ -31,6 +31,7 @@ type t = {
   progress : Progress.t;
   stall_epochs : int;
   on_stall : report -> unit;
+  flight : Obs.Flight.t option;  (* embedded in post-mortem dumps *)
   prev : int array;
   stalled_for : int array;
   escalated : bool array;  (* on_stall already ran for this episode *)
@@ -39,13 +40,14 @@ type t = {
   stop_requested : bool Atomic.t;
 }
 
-let create ?(stall_epochs = 3) ?(on_stall = fun _ -> ()) progress =
+let create ?(stall_epochs = 3) ?(on_stall = fun _ -> ()) ?flight progress =
   if stall_epochs < 1 then invalid_arg "Watchdog.create: stall_epochs < 1";
   let n = Progress.slots progress in
   {
     progress;
     stall_epochs;
     on_stall;
+    flight;
     prev = Progress.snapshot progress;
     stalled_for = Array.make n 0;
     escalated = Array.make n false;
@@ -116,6 +118,42 @@ let report_to_string r =
           (match p with Yieldpoint.Before -> "before" | After -> "after")
     | _ -> "<no yield point observed>")
     r.beats
+
+(* Post-mortem: everything the watchdog knows, in one string — the
+   per-slot heartbeat ages, the stall reports, and (when a flight
+   recorder was wired in at [create]) the stamp-ordered event dump.
+   Safe to call while workers are still running or parked: every input
+   is a racy-but-safe snapshot. *)
+let post_mortem ?(flight_limit = 64) t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "== watchdog post-mortem (epoch %d) ==\n" t.epoch);
+  let now = Progress.snapshot t.progress in
+  for slot = 0 to Array.length now - 1 do
+    match Progress.last t.progress slot with
+    | None -> ()  (* never attached: not a worker *)
+    | Some (site, phase) ->
+        Buffer.add_string buf
+          (Printf.sprintf "slot %d: %d beats, silent for %d epochs, last %s/%s\n"
+             slot now.(slot) t.stalled_for.(slot) (Yieldpoint.name site)
+             (match phase with Yieldpoint.Before -> "before" | After -> "after"))
+  done;
+  (match stalled t with
+  | [] -> Buffer.add_string buf "no slots currently stalled\n"
+  | rs ->
+      List.iter
+        (fun r -> Buffer.add_string buf (report_to_string r ^ "\n"))
+        rs);
+  (match t.flight with
+  | None -> ()
+  | Some f ->
+      Buffer.add_string buf
+        (Printf.sprintf "-- flight recorder (most recent %d of %d events) --\n"
+           (min flight_limit (Obs.Flight.recorded f))
+           (Obs.Flight.recorded f));
+      Buffer.add_string buf (Obs.Flight.dump_to_string ~limit:flight_limit f);
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
 
 (* The monitor runs on a Thread, not a Domain: it spends its life in
    [Unix.sleepf] and must not steal a core from the workers it is

@@ -25,12 +25,19 @@ type report = {
 type t
 
 val create :
-  ?stall_epochs:int -> ?on_stall:(report -> unit) -> Ct_util.Progress.t -> t
+  ?stall_epochs:int ->
+  ?on_stall:(report -> unit) ->
+  ?flight:Obs.Flight.t ->
+  Ct_util.Progress.t ->
+  t
 (** [create progress] watches [progress].  A slot is reported stalled
     after [stall_epochs] (default 3) consecutive epochs without a
     heartbeat; slots never attached are ignored.  [on_stall] runs once
     per slot per stall episode, from the stepping thread — it must not
-    block on the stalled domain. *)
+    block on the stalled domain.  [flight] wires in a flight recorder
+    whose stamp-ordered dump {!post_mortem} embeds (install it with
+    {!Obs.Flight.install_with_progress} so heartbeats and events come
+    from the same observer). *)
 
 val step : t -> report list
 (** Advance one epoch by hand and return every currently stalled slot
@@ -44,6 +51,13 @@ val epoch : t -> int
 
 val report_to_string : report -> string
 (** ["slot 2 stalled for 4 epochs at cachetrie.txn.help/before (17 beats)"] *)
+
+val post_mortem : ?flight_limit:int -> t -> string
+(** Full diagnostic dump: per-slot heartbeat ages (beats, epochs of
+    silence, last yield point) for every attached slot, the current
+    stall reports, and — when a flight recorder was passed to
+    {!create} — its most recent [flight_limit] (default 64) events in
+    stamp order.  Safe to call concurrently with running workers. *)
 
 val start : t -> interval:float -> unit
 (** Spawn a background monitor thread stepping every [interval]

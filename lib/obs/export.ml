@@ -1,0 +1,75 @@
+module Metrics = Ct_util.Metrics
+
+let derived counters =
+  let get l = match List.assoc_opt l counters with Some n -> n | None -> 0 in
+  [ ("cache_lookups", get "cache_hits" + get "cache_misses") ]
+
+(* [le] labels as integers ("2", "4", ... ) rather than %g floats, so
+   the exposition is stable across printf implementations. *)
+let le_label b =
+  let up = Latency.bucket_upper_ns b in
+  if up <= 1e18 then Printf.sprintf "%.0f" up else "+Inf"
+
+let add_histogram buf (op, h) =
+  let counts = Latency.counts h in
+  let last =
+    let i = ref (-1) in
+    Array.iteri (fun b c -> if c > 0 then i := b) counts;
+    !i
+  in
+  let cum = ref 0 in
+  for b = 0 to last do
+    cum := !cum + counts.(b);
+    Buffer.add_string buf
+      (Printf.sprintf "ct_latency_ns_bucket{op=\"%s\",le=\"%s\"} %d\n" op
+         (le_label b) !cum)
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "ct_latency_ns_bucket{op=\"%s\",le=\"+Inf\"} %d\n" op !cum);
+  Buffer.add_string buf
+    (Printf.sprintf "ct_latency_ns_sum{op=\"%s\"} %d\n" op (Latency.sum_ns h));
+  Buffer.add_string buf
+    (Printf.sprintf "ct_latency_ns_count{op=\"%s\"} %d\n" op !cum)
+
+let prometheus ?(histograms = []) () =
+  let buf = Buffer.create 4096 in
+  let families = Metrics.aggregate () in
+  Buffer.add_string buf
+    "# HELP ct_counter_total Structure counters summed per family.\n\
+     # TYPE ct_counter_total counter\n";
+  List.iter
+    (fun (family, _, counters) ->
+      List.iter
+        (fun (label, total) ->
+          Buffer.add_string buf
+            (Printf.sprintf "ct_counter_total{family=\"%s\",counter=\"%s\"} %d\n"
+               family label total))
+        counters)
+    families;
+  Buffer.add_string buf
+    "# HELP ct_derived_total Series derived from the raw counters.\n\
+     # TYPE ct_derived_total counter\n";
+  List.iter
+    (fun (family, _, counters) ->
+      List.iter
+        (fun (label, total) ->
+          Buffer.add_string buf
+            (Printf.sprintf "ct_derived_total{family=\"%s\",derived=\"%s\"} %d\n"
+               family label total))
+        (derived counters))
+    families;
+  Buffer.add_string buf
+    "# HELP ct_live_instances Live structure instances per family.\n\
+     # TYPE ct_live_instances gauge\n";
+  List.iter
+    (fun (family, live, _) ->
+      Buffer.add_string buf
+        (Printf.sprintf "ct_live_instances{family=\"%s\"} %d\n" family live))
+    families;
+  if histograms <> [] then begin
+    Buffer.add_string buf
+      "# HELP ct_latency_ns Operation latency in nanoseconds.\n\
+       # TYPE ct_latency_ns histogram\n";
+    List.iter (add_histogram buf) histograms
+  end;
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** Prometheus-style text exposition of the metrics registry and
+    latency histograms (DESIGN.md §11).
+
+    Output is deterministic for equal counter states: families come
+    from {!Ct_util.Metrics.aggregate} (sorted by name), counters keep
+    the fixed {!Ct_util.Metrics.all} order, and no timestamps are
+    emitted.  The JSON twin lives in {!Harness.Obs_report}, next to
+    the benchmark JSON emitter it reuses. *)
+
+val derived : (string * int) list -> (string * int) list
+(** Derived series computed from one family's counter snapshot —
+    currently [cache_lookups = cache_hits + cache_misses], the
+    denominator the hit-ratio invariant checks against. *)
+
+val prometheus : ?histograms:(string * Latency.t) list -> unit -> string
+(** Render every live metrics family as
+    [ct_counter_total{family=...,counter=...}] samples (plus
+    [ct_live_instances] gauges and [ct_derived_total] series), and
+    each labelled histogram as a Prometheus histogram —
+    [ct_latency_ns_bucket{op=...,le=...}] with cumulative counts, a
+    [+Inf] bucket, and exact [_sum]/[_count]. *)

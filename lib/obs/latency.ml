@@ -1,0 +1,107 @@
+module Clock = Ct_util.Clock
+module Histogram = Analysis.Histogram
+
+let n_buckets = 64
+
+(* Striping mirrors Ct_util.Metrics: one block per domain slot, with a
+   leading pad and a block tail pad so two domains' hot words never
+   share a cache line.  The raw-ns sum lives at [n_buckets] inside the
+   block. *)
+let lead = 16
+let block = n_buckets + 16
+let sum_off = n_buckets
+
+let ceil_pow2 n =
+  let r = ref 1 in
+  while !r < n do
+    r := !r * 2
+  done;
+  !r
+
+type t = { label : string; mask : int; data : int array }
+
+let create ~label =
+  let stripes = ceil_pow2 (Domain.recommended_domain_count ()) in
+  { label; mask = stripes - 1; data = Array.make (lead + (stripes * block)) 0 }
+
+let label t = t.label
+
+let[@inline] bucket_of_ns ns =
+  if ns <= 1 then 0
+  else begin
+    let b = ref 0 and v = ref ns in
+    if !v lsr 32 <> 0 then begin b := !b + 32; v := !v lsr 32 end;
+    if !v lsr 16 <> 0 then begin b := !b + 16; v := !v lsr 16 end;
+    if !v lsr 8 <> 0 then begin b := !b + 8; v := !v lsr 8 end;
+    if !v lsr 4 <> 0 then begin b := !b + 4; v := !v lsr 4 end;
+    if !v lsr 2 <> 0 then begin b := !b + 2; v := !v lsr 2 end;
+    if !v lsr 1 <> 0 then incr b;
+    if !b >= n_buckets then n_buckets - 1 else !b
+  end
+
+let bucket_lower_ns b = if b = 0 then 0.0 else ldexp 1.0 b
+let bucket_upper_ns b = ldexp 1.0 (b + 1)
+
+let record_ns t ns =
+  let ns = if ns < 0 then 0 else ns in
+  let base = lead + (((Domain.self () :> int) land t.mask) * block) in
+  let i = base + bucket_of_ns ns in
+  t.data.(i) <- t.data.(i) + 1;
+  t.data.(base + sum_off) <- t.data.(base + sum_off) + ns
+
+let record_span t ~start = record_ns t (Clock.monotonic_ns () - start)
+
+let counts t =
+  let out = Array.make n_buckets 0 in
+  for s = 0 to t.mask do
+    let base = lead + (s * block) in
+    for b = 0 to n_buckets - 1 do
+      out.(b) <- out.(b) + t.data.(base + b)
+    done
+  done;
+  out
+
+let merged_counts ts =
+  List.fold_left (fun acc t -> Histogram.merge acc (counts t)) [||] ts
+
+let total t = Array.fold_left ( + ) 0 (counts t)
+
+let sum_ns t =
+  let s = ref 0 in
+  for stripe = 0 to t.mask do
+    s := !s + t.data.(lead + (stripe * block) + sum_off)
+  done;
+  !s
+
+let percentile_of_counts counts p =
+  if p < 0.0 || p > 100.0 then
+    invalid_arg "Latency.percentile: p outside [0,100]";
+  let n = Array.fold_left ( + ) 0 counts in
+  if n = 0 then invalid_arg "Latency.percentile: empty histogram";
+  (* Nearest-rank over the bucketised distribution: the percentile is
+     the value at cumulative count p/100 * n, interpolated linearly
+     within its bucket's span.  p = 99 over 5 samples targets rank
+     4.95, which lands in the bucket holding the largest sample, as a
+     histogram consumer expects (Prometheus uses the same convention). *)
+  let target = p /. 100.0 *. float_of_int n in
+  let cum = ref 0.0 and b = ref 0 and result = ref 0.0 and found = ref false in
+  while not !found && !b < Array.length counts do
+    let c = float_of_int counts.(!b) in
+    if c > 0.0 && !cum +. c >= target then begin
+      let lo = bucket_lower_ns !b and hi = bucket_upper_ns !b in
+      let frac = (target -. !cum) /. c in
+      let frac = if frac < 0.0 then 0.0 else frac in
+      result := lo +. (frac *. (hi -. lo));
+      found := true
+    end
+    else begin
+      cum := !cum +. c;
+      incr b
+    end
+  done;
+  if !found then !result
+  else bucket_upper_ns (Array.length counts - 1)
+
+let percentile t p = percentile_of_counts (counts t) p
+
+let reset t = Array.fill t.data 0 (Array.length t.data) 0

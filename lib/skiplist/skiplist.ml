@@ -7,6 +7,7 @@
 module Hashing = Ct_util.Hashing
 module Rng = Ct_util.Rng
 module Yp = Ct_util.Yieldpoint
+module Metrics = Ct_util.Metrics
 
 (* Yield points (DESIGN.md "Fault injection & robustness"): one site
    per distinct CAS, so the chaos layer can crash a victim between the
@@ -27,10 +28,11 @@ let yp_unlink = Yp.register "skiplist.unlink"
    coverage at mc's script sizes. *)
 let yp_read_locate = Yp.register_read "skiplist.read.locate"
 
-let yp_cas site slot expected repl =
+let yp_cas m site slot expected repl =
+  Metrics.incr m Metrics.Cas_attempts;
   Yp.here Yp.Before site;
   let ok = Atomic.compare_and_set slot expected repl in
-  if ok then Yp.here Yp.After site;
+  if ok then Yp.here Yp.After site else Metrics.incr m Metrics.Cas_retries;
   ok
 
 let max_height = 24
@@ -70,7 +72,7 @@ module Make (H : Hashing.HASHABLE) = struct
   and 'v link = { succ : 'v node; marked : bool }
   (* [succ] of the tail node points to itself and is never followed. *)
 
-  type 'v t = { head : 'v node; tail : 'v node }
+  type 'v t = { head : 'v node; tail : 'v node; metrics : Metrics.t }
 
   let create () =
     (* The tail's own links are never followed (every traversal checks
@@ -86,7 +88,7 @@ module Make (H : Hashing.HASHABLE) = struct
           Array.init max_height (fun _ -> Atomic.make { succ = tail; marked = false });
       }
     in
-    { head; tail }
+    { head; tail; metrics = Metrics.create ~family:name }
 
   let hash_of k = H.hash k land Hashing.mask
   let is_tail t n = n == t.tail
@@ -132,9 +134,12 @@ module Make (H : Hashing.HASHABLE) = struct
             let plink = Atomic.get !pred.next.(!level) in
             if plink.marked || plink.succ != !curr then restart := true
             else if
-              yp_cas yp_unlink !pred.next.(!level) plink
+              yp_cas t.metrics yp_unlink !pred.next.(!level) plink
                 { succ = clink.succ; marked = false }
-            then curr := clink.succ
+            then begin
+              Metrics.incr t.metrics Metrics.Helps;
+              curr := clink.succ
+            end
             else restart := true
           end
           else if !curr.nhash < h then begin
@@ -152,14 +157,16 @@ module Make (H : Hashing.HASHABLE) = struct
     done;
     if !restart then search_towers t h else (preds, succs)
 
-  (* Mark every level of [node], then let [find] unlink it. *)
+  (* Mark every level of [node], then let [find] unlink it.  The level-0
+     mark is the tower's death — the skip list's analogue of an
+     entombment, awaiting physical unlink. *)
   let rec mark_node t (node : 'v node) =
     let height = Array.length node.next in
     for level = height - 1 downto 1 do
       let rec mark () =
         let link = Atomic.get node.next.(level) in
         if not link.marked then
-          if not (yp_cas yp_mark_upper node.next.(level) link
+          if not (yp_cas t.metrics yp_mark_upper node.next.(level) link
                     { succ = link.succ; marked = true })
           then mark ()
       in
@@ -168,8 +175,13 @@ module Make (H : Hashing.HASHABLE) = struct
     (* Level 0 is the linearization point of the tower's death. *)
     let link = Atomic.get node.next.(0) in
     if not link.marked then begin
-      if yp_cas yp_mark_level0 node.next.(0) link { succ = link.succ; marked = true }
-      then ignore (search_towers t node.nhash) (* physically unlink *)
+      if
+        yp_cas t.metrics yp_mark_level0 node.next.(0) link
+          { succ = link.succ; marked = true }
+      then begin
+        Metrics.incr t.metrics Metrics.Entombments;
+        ignore (search_towers t node.nhash) (* physically unlink *)
+      end
       else mark_node t node
     end
     else ignore (search_towers t node.nhash)
@@ -230,6 +242,7 @@ module Make (H : Hashing.HASHABLE) = struct
       let bindings = Atomic.get candidate.bindings in
       if bindings = [] then begin
         (* Node logically dead; help bury it and retry. *)
+        Metrics.incr t.metrics Metrics.Helps;
         mark_node t candidate;
         update t k v mode
       end
@@ -250,7 +263,8 @@ module Make (H : Hashing.HASHABLE) = struct
              the node die) by first CASing away the list we swapped,
              so no post-hoc mark check is needed — and retrying here
              would wrongly apply the operation twice. *)
-          if yp_cas yp_update_bindings candidate.bindings bindings nb then previous
+          if yp_cas t.metrics yp_update_bindings candidate.bindings bindings nb
+          then previous
           else update t k v mode
         end
       end
@@ -272,7 +286,7 @@ module Make (H : Hashing.HASHABLE) = struct
       in
       let plink = Atomic.get preds.(0).next.(0) in
       if plink.marked || plink.succ != succs.(0) then update t k v mode
-      else if not (yp_cas yp_insert_splice preds.(0).next.(0) plink
+      else if not (yp_cas t.metrics yp_insert_splice preds.(0).next.(0) plink
                      { succ = node; marked = false })
       then update t k v mode
       else begin
@@ -291,8 +305,8 @@ module Make (H : Hashing.HASHABLE) = struct
               if
                 (not plink.marked)
                 && plink.succ == succs.(level)
-                && yp_cas yp_insert_link preds.(level).next.(level) plink
-                     { succ = node; marked = false }
+                && yp_cas t.metrics yp_insert_link preds.(level).next.(level)
+                     plink { succ = node; marked = false }
               then link_level (level + 1) preds succs
               else begin
                 let preds', succs' = search_towers t h in
@@ -326,6 +340,7 @@ module Make (H : Hashing.HASHABLE) = struct
         match lassoc_opt k bindings with
         | None ->
             if bindings = [] then begin
+              Metrics.incr t.metrics Metrics.Helps;
               mark_node t node;
               remove_with t k cond
             end
@@ -333,7 +348,8 @@ module Make (H : Hashing.HASHABLE) = struct
         | Some prev when not (cond prev) -> Some prev
         | Some prev ->
             let nb = lremove_assoc k bindings in
-            if yp_cas yp_remove_bindings node.bindings bindings nb then begin
+            if yp_cas t.metrics yp_remove_bindings node.bindings bindings nb
+            then begin
               if nb = [] then mark_node t node;
               Some prev
             end
@@ -460,7 +476,7 @@ module Make (H : Hashing.HASHABLE) = struct
           let clink = Atomic.get curr.next.(level) in
           if clink.marked && not plink.marked then begin
             if
-              yp_cas yp_unlink pred.next.(level) plink
+              yp_cas t.metrics yp_unlink pred.next.(level) plink
                 { succ = clink.succ; marked = false }
             then incr repairs;
             (* Re-examine [pred] whether we or a helper unlinked. *)
@@ -471,7 +487,12 @@ module Make (H : Hashing.HASHABLE) = struct
       in
       sweepl t.head
     done;
+    Metrics.add t.metrics Metrics.Scrub_repairs !repairs;
     !repairs
+
+  let metrics t = t.metrics
+  let stats t = Metrics.snapshot t.metrics
+  let reset_stats t = Metrics.reset t.metrics
 
   (* Word-cost model (DESIGN.md): node = 4 + tower (1 + h link boxes of
      2 + link records of 3) + bindings atomic 2 + list cells 3 each. *)

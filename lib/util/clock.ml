@@ -1,0 +1,1 @@
+external monotonic_ns : unit -> int = "ct_clock_monotonic_ns" [@@noalloc]

@@ -1,0 +1,9 @@
+(** Monotonic nanosecond clock (CLOCK_MONOTONIC via a C stub).
+
+    [Unix.gettimeofday] is wall-clock (it can step backwards) and
+    float-valued (it allocates a boxed float); the latency histograms
+    need neither.  [monotonic_ns] returns a native int of nanoseconds
+    since an arbitrary origin, allocates nothing, and is globally
+    comparable across domains on one machine. *)
+
+val monotonic_ns : unit -> int

@@ -92,6 +92,19 @@ module type CONCURRENT_MAP = sig
       uncommitted transaction boxes).  Read-only — it reports, never
       repairs — and only meaningful during quiescence. *)
 
+  val metrics : 'v t -> Metrics.t
+  (** The structure's telemetry counter block (DESIGN.md §11).  Every
+      instance owns one, registered under the structure's family name;
+      the exporters aggregate them via {!Metrics.aggregate}. *)
+
+  val stats : 'v t -> (string * int) list
+  (** Uniform counter snapshot: [(label, total)] for every counter of
+      the {!Metrics.counter} vocabulary, in fixed order.  Counters a
+      structure never bumps read 0. *)
+
+  val reset_stats : 'v t -> unit
+  (** Zero this instance's counters (racy against concurrent bumps). *)
+
   val scrub : 'v t -> int
   (** [scrub t] actively help-completes every piece of residue an
       abandoned operation may have left behind — the self-healing

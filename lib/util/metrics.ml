@@ -1,0 +1,211 @@
+(* Per-structure telemetry counters (DESIGN.md §11).
+
+   One [Metrics.t] per map instance, holding every counter of the
+   fixed [counter] vocabulary in a single flat int array laid out as
+   per-domain blocks: domain [d] bumps word
+   [lead + (d land mask) * block + index c].  A block is one 128-byte
+   stride (same geometry as [Stripe]), so two domains bumping their own
+   counters never share a cache line, and a bump is a plain
+   read-add-write of one int — no CAS, no allocation.  Increments lost
+   to racy read-modify-write from a domain migrating between blocks are
+   tolerated, exactly like [Stripe]: these are statistics, not
+   synchronization.
+
+   Counters are always compiled in; [set_enabled false] turns every
+   bump into a single load-and-branch, which is what the obs-off side
+   of the BENCH_obs.json overhead measurement runs.
+
+   A global registry keeps a weak reference to every live instance so
+   exporters can aggregate per family ("cachetrie", "ctrie", ...)
+   without the structures registering anywhere explicitly.  Weak, so
+   the thousands of short-lived maps the property tests create are
+   collected normally. *)
+
+type counter =
+  | Cas_attempts
+  | Cas_retries
+  | Helps
+  | Freezes
+  | Expansions
+  | Compressions
+  | Entombments
+  | Cache_hits
+  | Cache_misses
+  | Cache_invalidations
+  | Scrub_repairs
+  | Sampling_passes
+  | Cache_installs
+  | Cache_adjustments
+
+(* [@inline] matters: without flambda this match is otherwise a real
+   call on every bump, and after inlining at a constant-constructor
+   call site it folds to the literal slot offset. *)
+let[@inline] index = function
+  | Cas_attempts -> 0
+  | Cas_retries -> 1
+  | Helps -> 2
+  | Freezes -> 3
+  | Expansions -> 4
+  | Compressions -> 5
+  | Entombments -> 6
+  | Cache_hits -> 7
+  | Cache_misses -> 8
+  | Cache_invalidations -> 9
+  | Scrub_repairs -> 10
+  | Sampling_passes -> 11
+  | Cache_installs -> 12
+  | Cache_adjustments -> 13
+
+let all =
+  [
+    Cas_attempts; Cas_retries; Helps; Freezes; Expansions; Compressions;
+    Entombments; Cache_hits; Cache_misses; Cache_invalidations; Scrub_repairs;
+    Sampling_passes; Cache_installs; Cache_adjustments;
+  ]
+
+let n_counters = List.length all
+
+let label = function
+  | Cas_attempts -> "cas_attempts"
+  | Cas_retries -> "cas_retries"
+  | Helps -> "helps"
+  | Freezes -> "freezes"
+  | Expansions -> "expansions"
+  | Compressions -> "compressions"
+  | Entombments -> "entombments"
+  | Cache_hits -> "cache_hits"
+  | Cache_misses -> "cache_misses"
+  | Cache_invalidations -> "cache_invalidations"
+  | Scrub_repairs -> "scrub_repairs"
+  | Sampling_passes -> "sampling_passes"
+  | Cache_installs -> "cache_installs"
+  | Cache_adjustments -> "cache_adjustments"
+
+(* 16 words = 128 bytes: a counter block owns its line plus the
+   neighbour the adjacent-line prefetcher couples to it (see Stripe).
+   All 14 counters of one domain share the block — they are bumped by
+   that domain only, so intra-block sharing is the point, not a
+   hazard. *)
+let block = 16
+let lead = block
+
+let () = assert (n_counters <= block)
+
+type t = {
+  family : string;
+  data : int array;
+  mask : int;
+}
+
+(* Global on/off gate for every bump in the program.  A plain bool ref:
+   toggling races only delay the effect by a few bumps. *)
+let enabled = ref true
+let set_enabled b = enabled := b
+let is_enabled () = !enabled
+
+(* ------------------------------ registry --------------------------- *)
+
+let registry : t Weak.t list Atomic.t = Atomic.make []
+
+let rec push cell =
+  let cur = Atomic.get registry in
+  if not (Atomic.compare_and_set registry cur (cell :: cur)) then push cell
+
+(* Drop collected entries once they dominate the list.  The CAS only
+   succeeds if nobody registered meanwhile; losing the race just skips
+   one pruning opportunity. *)
+let prune cur =
+  if List.length cur > 64 then begin
+    let alive = List.filter (fun w -> Weak.check w 0) cur in
+    if List.length alive * 2 < List.length cur then
+      ignore (Atomic.compare_and_set registry cur alive)
+  end
+
+let live () =
+  let cur = Atomic.get registry in
+  prune cur;
+  List.filter_map (fun w -> Weak.get w 0) cur
+
+let create ~family =
+  let stripes = Bits.next_power_of_two (Domain.recommended_domain_count ()) in
+  let t =
+    { family; data = Array.make (lead + (stripes * block)) 0; mask = stripes - 1 }
+  in
+  let cell = Weak.create 1 in
+  Weak.set cell 0 (Some t);
+  push cell;
+  t
+
+let family t = t.family
+let stripes t = t.mask + 1
+
+(* ------------------------------- bumps ----------------------------- *)
+
+let[@inline] slot t c =
+  lead + (((Domain.self () :> int) land t.mask) * block) + index c
+
+let[@inline] add t c n =
+  if !enabled then begin
+    let i = slot t c in
+    Array.unsafe_set t.data i (Array.unsafe_get t.data i + n)
+  end
+
+let[@inline] incr t c = add t c 1
+
+(* Hot-path variant: capture the domain's block base once per
+   operation (where the [Domain.self] C call clobbers nothing of
+   value), then bump through it with pure array arithmetic.  -1 while
+   disabled, so the per-bump gate is a register test, not a load. *)
+let[@inline] cursor t =
+  if !enabled then lead + (((Domain.self () :> int) land t.mask) * block)
+  else -1
+
+let[@inline] add_at t cur c n =
+  if cur >= 0 then begin
+    let i = cur + index c in
+    Array.unsafe_set t.data i (Array.unsafe_get t.data i + n)
+  end
+
+let[@inline] incr_at t cur c = add_at t cur c 1
+
+(* ------------------------------- reads ----------------------------- *)
+
+let get t c =
+  let i = index c in
+  let acc = ref 0 in
+  for s = 0 to t.mask do
+    acc := !acc + t.data.(lead + (s * block) + i)
+  done;
+  !acc
+
+let snapshot t = List.map (fun c -> (label c, get t c)) all
+
+let reset t = Array.fill t.data 0 (Array.length t.data) 0
+
+(* ---------------------------- aggregation -------------------------- *)
+
+(* Sum every live instance per family; families sorted by name so the
+   exporters are deterministic given the same set of live maps. *)
+let aggregate () =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun t ->
+      let count, totals =
+        match Hashtbl.find_opt tbl t.family with
+        | Some (c, a) -> (c, a)
+        | None ->
+            let a = Array.make n_counters 0 in
+            Hashtbl.add tbl t.family (ref 0, a);
+            (ref 0, a)
+      in
+      Stdlib.incr count;
+      List.iter (fun c -> totals.(index c) <- totals.(index c) + get t c) all)
+    (live ());
+  Hashtbl.fold
+    (fun family (count, totals) acc ->
+      ( family,
+        !count,
+        List.map (fun c -> (label c, totals.(index c))) all )
+      :: acc)
+    tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)

@@ -1,0 +1,104 @@
+(** Per-structure telemetry counters — the metrics registry of the
+    observability layer (DESIGN.md §11).
+
+    Every concurrent map owns a [Metrics.t] and bumps a fixed
+    vocabulary of counters from its hot paths.  A bump is a plain
+    read-add-write of one int in a per-domain 128-byte block — no CAS,
+    no allocation, no fence — so the counters are cheap enough to leave
+    always-on (the budget enforced by [BENCH_obs.json]: ≤5% on [find],
+    0 minor words/op).  Like {!Stripe}, lost updates from domains
+    racing on one block are tolerated: these are statistics.
+
+    Instances register themselves in a process-global weak registry, so
+    {!aggregate} can sum per structure family for the exporters without
+    keeping short-lived maps alive. *)
+
+(** The counter vocabulary shared by all structures.  A structure bumps
+    the subset that applies to it and reports 0 for the rest. *)
+type counter =
+  | Cas_attempts  (** CAS operations attempted (publication tries) *)
+  | Cas_retries  (** CAS operations that failed and will be retried *)
+  | Helps  (** helping steps completed on behalf of another operation *)
+  | Freezes  (** slots/nodes successfully frozen during expansion/compression *)
+  | Expansions  (** completed node expansions (ENode; CHM table growth) *)
+  | Compressions  (** completed remove-side compressions (XNode) *)
+  | Entombments  (** TNode entombments published (Ctrie family) *)
+  | Cache_hits  (** cache-trie probes served from a cache level *)
+  | Cache_misses  (** cache-trie probes that fell through to the root walk *)
+  | Cache_invalidations  (** cache entries cleared (scrub coherence pass) *)
+  | Scrub_repairs  (** repairs performed by [scrub] *)
+  | Sampling_passes  (** cache-trie depth-sampling passes *)
+  | Cache_installs  (** cache-trie cache creations *)
+  | Cache_adjustments  (** cache-trie cache level changes *)
+
+val all : counter list
+(** Every counter, in the fixed export order. *)
+
+val n_counters : int
+
+val label : counter -> string
+(** Stable snake_case name used by the exporters ("cas_attempts"). *)
+
+val index : counter -> int
+(** Position of the counter in {!all} / in a totals array. *)
+
+type t
+
+val create : family:string -> t
+(** [create ~family] makes a zeroed counter block sized from
+    [Domain.recommended_domain_count] and registers it (weakly) under
+    [family] — the structure name ("cachetrie", "ctrie", ...). *)
+
+val family : t -> string
+
+val stripes : t -> int
+(** Number of per-domain blocks (a power of two). *)
+
+val incr : t -> counter -> unit
+(** Bump by one on the calling domain's block.  Allocation-free; a
+    no-op while disabled. *)
+
+val add : t -> counter -> int -> unit
+
+val cursor : t -> int
+(** Precomputed bump target for a run of increments from one domain:
+    the calling domain's block base, or [-1] while disabled.  [incr]
+    pays a C call ([Domain.self]) on every bump, which clobbers
+    caller-saved registers — measurable inside a register-heavy read
+    loop.  Hot paths instead take a cursor once at operation entry,
+    where little is live, and bump through it with pure array
+    arithmetic.  A cursor is only as fresh as its capture: bumps after
+    a domain migration land in the old block (tolerated, as with any
+    stripe race), and an enable/disable flip is seen at the next
+    capture. *)
+
+val incr_at : t -> int -> counter -> unit
+(** [incr_at t cursor c]: bump by one through a {!cursor}.  No load,
+    no C call, no branch beyond the [cursor >= 0] disabled check. *)
+
+val add_at : t -> int -> counter -> int -> unit
+
+val get : t -> counter -> int
+(** Sum of one counter across all domain blocks (racy reads). *)
+
+val snapshot : t -> (string * int) list
+(** All counters as [(label, total)] pairs in {!all} order — the
+    uniform [stats] surface every map exposes. *)
+
+val reset : t -> unit
+(** Zero every counter (racy against concurrent bumps, by design). *)
+
+val set_enabled : bool -> unit
+(** Global gate over every bump in the program.  Default [true]; the
+    obs-off side of the overhead benchmark flips it off.  Reads and
+    exporters keep working either way. *)
+
+val is_enabled : unit -> bool
+
+val live : unit -> t list
+(** Every instance still alive (weak registry, pruned lazily). *)
+
+val aggregate : unit -> (string * int * (string * int) list) list
+(** Per-family totals over {!live}: [(family, live_instances,
+    counters)], sorted by family name.  This is what the Prometheus
+    and JSON exporters serialize. *)

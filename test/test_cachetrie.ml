@@ -221,7 +221,7 @@ let test_expansions_happen () =
   for i = 0 to 9_999 do
     CT.insert t i i
   done;
-  let s = CT.stats t in
+  let s = CT.cache_stats t in
   check_bool "narrow nodes expanded" true (s.Cachetrie.expansions > 0);
   assert_valid "expansions" t
 
@@ -236,7 +236,7 @@ let test_compression_reclaims () =
     ignore (CT_bad.remove t (i * 1024))
   done;
   Alcotest.(check int) "empty" 0 (CT_bad.size t);
-  let s = CT_bad.stats t in
+  let s = CT_bad.cache_stats t in
   Alcotest.(check bool) "compressions happened" true (s.Cachetrie.compressions > 0);
   (match CT_bad.validate t with
   | Ok () -> ()
@@ -260,7 +260,7 @@ let test_cache_gets_installed () =
       if CT.lookup t i <> Some i then Alcotest.failf "lookup lost %d" i
     done
   done;
-  let s = CT.stats t in
+  let s = CT.cache_stats t in
   check_bool "cache installed" true (s.Cachetrie.cache_level <> None);
   check_bool "sampling ran" true (s.Cachetrie.sampling_passes > 0);
   assert_valid "cache_installed" t
@@ -312,7 +312,7 @@ let test_no_cache_variant () =
   for i = 0 to n - 1 do
     if CT.lookup t i <> Some i then Alcotest.failf "no-cache lost %d" i
   done;
-  let s = CT.stats t in
+  let s = CT.cache_stats t in
   check_bool "no cache ever" true (s.Cachetrie.cache_level = None);
   check_int "no installs" 0 (s.Cachetrie.cache_installs)
 
@@ -325,7 +325,7 @@ let test_no_narrow_variant () =
   for i = 0 to 9_999 do
     if CT.lookup t i <> Some i then Alcotest.failf "wide-only lost %d" i
   done;
-  let s = CT.stats t in
+  let s = CT.cache_stats t in
   check_int "no expansions without narrow nodes" 0 s.Cachetrie.expansions;
   assert_valid "wide-only" t
 
@@ -350,7 +350,7 @@ let test_low_trigger_cache () =
       if CT.lookup t i <> Some i then Alcotest.failf "low-trigger lost %d" i
     done
   done;
-  let s = CT.stats t in
+  let s = CT.cache_stats t in
   check_bool "cache on" true (s.Cachetrie.cache_level <> None);
   (* Mutations through the fast path stay correct. *)
   for i = 0 to 4_999 do
@@ -382,7 +382,7 @@ let test_cache_level_tracks_theory () =
     CT.insert t i i
   done;
   drive_lookups t n 4;
-  let s = CT.stats t in
+  let s = CT.cache_stats t in
   (match s.Cachetrie.cache_level with
   | None -> Alcotest.fail "no cache installed"
   | Some lv ->
@@ -401,7 +401,7 @@ let test_cache_adjusts_up_on_growth () =
   done;
   drive_lookups t 30_000 3;
   let lv_small =
-    match (CT.stats t).Cachetrie.cache_level with
+    match (CT.cache_stats t).Cachetrie.cache_level with
     | Some lv -> lv
     | None -> Alcotest.fail "no cache after small phase"
   in
@@ -411,7 +411,7 @@ let test_cache_adjusts_up_on_growth () =
   done;
   drive_lookups t 500_000 3;
   let lv_big =
-    match (CT.stats t).Cachetrie.cache_level with
+    match (CT.cache_stats t).Cachetrie.cache_level with
     | Some lv -> lv
     | None -> Alcotest.fail "no cache after growth"
   in
@@ -443,7 +443,7 @@ let test_cache_aligned_after_shrink () =
   done;
   drive_lookups t 1_000 400;
   let lv =
-    match (CT.stats t).Cachetrie.cache_level with
+    match (CT.cache_stats t).Cachetrie.cache_level with
     | Some lv -> lv
     | None -> Alcotest.fail "cache vanished after shrink"
   in
@@ -454,7 +454,7 @@ let test_cache_aligned_after_shrink () =
     (lv = 4 * d || lv = 4 * (d + 1) || lv = 4 * (d - 1));
   check_bool "keys still concentrated" true (frac > 0.87);
   (* Compression did reclaim structure along removal paths. *)
-  check_bool "compressions happened" true ((CT.stats t).Cachetrie.compressions > 0);
+  check_bool "compressions happened" true ((CT.cache_stats t).Cachetrie.compressions > 0);
   for i = 0 to 999 do
     if CT.lookup t i <> Some i then Alcotest.failf "survivor %d lost" i
   done
@@ -496,7 +496,7 @@ let test_single_level_cache_variant () =
     CT.insert t i i
   done;
   drive_lookups t n 3;
-  check_bool "cache on" true ((CT.stats t).Cachetrie.cache_level <> None);
+  check_bool "cache on" true ((CT.cache_stats t).Cachetrie.cache_level <> None);
   for i = 0 to n - 1 do
     if CT.lookup t i <> Some i then Alcotest.failf "single-level lost %d" i
   done;
@@ -546,7 +546,7 @@ let test_footprint_grows () =
 
 let test_stats_shape () =
   let t = CT.create () in
-  let s = CT.stats t in
+  let s = CT.cache_stats t in
   check_bool "fresh trie has no cache" true (s.Cachetrie.cache_level = None);
   check_int "no expansions yet" 0 s.Cachetrie.expansions;
   check_int "no compressions yet" 0 s.Cachetrie.compressions;

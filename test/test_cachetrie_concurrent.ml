@@ -269,7 +269,7 @@ let test_deep_chain_churn () =
   (match CT_bad.validate t with
   | Ok () -> ()
   | Error e -> Alcotest.failf "deep churn invariant: %s" e);
-  let s = CT_bad.stats t in
+  let s = CT_bad.cache_stats t in
   Alcotest.(check bool) "expansions under churn" true (s.Cachetrie.expansions > 0);
   Alcotest.(check bool) "compressions under churn" true (s.Cachetrie.compressions > 0)
 

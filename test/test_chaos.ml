@@ -116,7 +116,7 @@ let test_crash_expansion_publish () =
   check_bool "a survives" true (CT.lookup t a = Some 100);
   check_bool "b survives" true (CT.lookup t b = Some 101);
   check_bool "c arrives" true (CT.lookup t c = Some 102);
-  check_bool "expansion completed by helper" true ((CT.stats t).expansions >= 1)
+  check_bool "expansion completed by helper" true ((CT.cache_stats t).expansions >= 1)
 
 (* Crash mid-freeze: the ENode is live and the narrow node is half
    frozen (one SNode txn already Frozen_snode). *)
@@ -205,7 +205,7 @@ let test_crash_compression_publish () =
   check_valid "after help" (CT.validate t);
   check_bool "survivor present" true (CT.lookup t a = Some 111);
   check_bool "compression completed by helper" true
-    ((CT.stats t).compressions >= 1)
+    ((CT.cache_stats t).compressions >= 1)
 
 (* Ctrie: crash after entombing a TNode, before clean_parent. *)
 let test_crash_ctrie_tnode () =

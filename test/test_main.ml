@@ -26,4 +26,5 @@ let () =
       ("soak", Test_soak.suite);
       ("mc", Test_mc.suite);
       ("harness", Test_harness.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -89,7 +89,21 @@ let prefill_base = 1_000_000
 let prefill_n = 64
 
 let storm (module M : MAP) sname prefix () =
-  Fun.protect ~finally:Chaos.clear @@ fun () ->
+  (* Flight recorder on the observer slot: the crash injectors live in
+     the main hook, so both run — and an oracle failure below can name
+     the exact yield-point event sequence that led up to it. *)
+  let flight = Obs.Flight.create ~size:1024 () in
+  Obs.Flight.install flight;
+  let finally () =
+    Chaos.clear ();
+    Obs.Flight.uninstall ()
+  in
+  Fun.protect ~finally @@ fun () ->
+  let dump_flight () =
+    let d = Obs.Flight.dump_to_string ~limit:64 flight in
+    report_line "%s: flight recorder:\n%s" sname d;
+    Printf.printf "-- flight recorder (last 64 events) --\n%s\n%!" d
+  in
   let sites = Array.of_list (Yp.with_prefix prefix) in
   check_bool (prefix ^ " has instrumented points") true
     (Array.length sites > 0);
@@ -151,10 +165,12 @@ let storm (module M : MAP) sname prefix () =
   | Ok () -> ()
   | Error e ->
       report_line "%s: FAILED validate after scrub: %s" sname e;
+      dump_flight ();
       Alcotest.failf "%s: invalid after scrub (%d repairs): %s" sname repairs e);
   let second = M.scrub t in
   if second <> 0 then begin
     report_line "%s: FAILED second scrub repaired %d" sname second;
+    dump_flight ();
     Alcotest.failf "%s: second scrub repaired %d things" sname second
   end;
   (* Resolve each abandoned operation and rebuild the sequential
@@ -166,13 +182,15 @@ let storm (module M : MAP) sname prefix () =
   List.iter
     (fun { key; allowed } ->
       let actual = M.lookup t key in
-      if not (List.mem actual allowed) then
+      if not (List.mem actual allowed) then begin
+        dump_flight ();
         Alcotest.failf "%s: key %d resolved to %s, allowed {%s}" sname key
           (match actual with None -> "absent" | Some v -> string_of_int v)
           (String.concat ", "
              (List.map
                 (function None -> "absent" | Some v -> string_of_int v)
-                allowed));
+                allowed))
+      end;
       match actual with
       | Some v -> Hashtbl.replace model key v
       | None -> Hashtbl.remove model key)
@@ -182,9 +200,11 @@ let storm (module M : MAP) sname prefix () =
   let expected =
     sorted (Hashtbl.fold (fun k v acc -> (k, v) :: acc) model [])
   in
-  if actual <> expected then
+  if actual <> expected then begin
+    dump_flight ();
     Alcotest.failf "%s: contents diverge from the sequential model (%d vs %d bindings)"
-      sname (List.length actual) (List.length expected);
+      sname (List.length actual) (List.length expected)
+  end;
   report_line "%s: %d crashes in %d iterations, %d repairs, validate ok" sname
     !crashes !iters repairs
 
