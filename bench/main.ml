@@ -15,7 +15,7 @@
      main.exe fig11 fig13     selected experiments (append "full")
    Experiments: fig9 fig10 fig11 fig12 fig13 hist theory ablation
                 ablation-narrow mixed zipf remove trace bechamel
-                micro-json sweeps obs all *)
+                micro-json sweeps obs serve all *)
 
 open Bechamel
 open Toolkit
@@ -608,6 +608,142 @@ let run_obs scale =
                 rows) );
        ])
 
+(* Serving-tier overload curves (BENCH_server.json): the sustained-
+   throughput and shed-rate curves for DESIGN.md §12.  One quiet
+   open-loop run past saturation measures the box's capacity (the
+   goodput ceiling); the sweep then re-offers multiples of that
+   capacity against a fresh server per point and records what the
+   overload layer did with the excess — goodput held, typed sheds,
+   deadline misses, accepted p99.  Faults stay off here: the curves
+   isolate the admission/backpressure policy, while the chaos-on soak
+   lives in `repro serve`. *)
+let run_serve scale =
+  Harness.Report.section "Serving overload curves (BENCH_server.json)";
+  let module S = Kv.Server.Make (CT) in
+  let duration = match scale with Suites.Quick -> 1.5 | Suites.Full -> 5.0 in
+  let point_cap = match scale with Suites.Quick -> 120_000 | Suites.Full -> 600_000 in
+  let workers = max 2 (min 4 (Harness.Parallel.available_domains () - 2)) in
+  let config =
+    {
+      (Kv.Server.default_config ()) with
+      Kv.Server.workers;
+      queue_capacity = 64;
+      enqueue_budget = 4;
+      p99_bound_ns = 150_000_000;
+      p99_window = 32;
+      tick_interval = 0.01;
+    }
+  in
+  let deadline_ns = 80_000_000 in
+  (* Run one open-loop plan against a fresh map + server; return the
+     client summary and the server-side facts the curve needs. *)
+  let run_point ~seed ~rate =
+    let n = max 1_000 (min point_cap (int_of_float (rate *. duration))) in
+    let plan =
+      {
+        Kv.Loadgen.default_plan with
+        Kv.Loadgen.seed;
+        n;
+        rate;
+        deadline_ns;
+        net = Chaos.Net.quiet;
+      }
+    in
+    let map = CT.create () in
+    let srv = S.start ~config map in
+    let s = Kv.Loadgen.run ~port:(S.port srv) plan in
+    let verified = Result.is_ok (Kv.Loadgen.verify s) in
+    let accepted_p99 = Obs.Latency.percentile (S.latency srv) 99.0 in
+    let executed = S.stat srv "executed" in
+    ignore (S.drain ~timeout:10.0 srv);
+    (s, verified, accepted_p99, executed)
+  in
+  let cal_rate = match scale with Suites.Quick -> 60_000.0 | Suites.Full -> 120_000.0 in
+  let cal, cal_ok, _, _ = run_point ~seed:bench_seed ~rate:cal_rate in
+  (* Floor the measured ceiling so a wedged calibration run cannot
+     collapse the sweep into a no-load regime. *)
+  let capacity = Float.max 2_000.0 cal.Kv.Loadgen.ok_rate in
+  Printf.printf
+    "capacity calibration: offered %.0f req/s -> goodput %.0f req/s (ledger %s)\n\n"
+    cal_rate capacity
+    (if cal_ok then "verified" else "UNVERIFIED");
+  let multiples = [ 0.5; 1.0; 1.5; 2.0; 3.0 ] in
+  let points =
+    List.mapi
+      (fun i m ->
+        let rate = capacity *. m in
+        let s, verified, accepted_p99, executed =
+          run_point ~seed:(bench_seed lxor (0x5E12 + i)) ~rate
+        in
+        (m, rate, s, verified, accepted_p99, executed))
+      multiples
+  in
+  Harness.Report.print_table
+    ~header:
+      [
+        "offered/capacity";
+        "offered req/s";
+        "goodput req/s";
+        "shed %";
+        "deadline %";
+        "accepted p99";
+        "client p99";
+        "ledger";
+      ]
+    (List.map
+       (fun (m, rate, s, verified, accepted_p99, _) ->
+         let n = float_of_int s.Kv.Loadgen.plan.Kv.Loadgen.n in
+         [
+           Printf.sprintf "%.1fx" m;
+           Printf.sprintf "%.0f" rate;
+           Printf.sprintf "%.0f" s.Kv.Loadgen.ok_rate;
+           Printf.sprintf "%.1f%%" (100.0 *. float_of_int (Kv.Loadgen.shed s) /. n);
+           Printf.sprintf "%.1f%%"
+             (100.0 *. float_of_int s.Kv.Loadgen.deadline_exceeded /. n);
+           Harness.Report.fmt_ns accepted_p99;
+           Harness.Report.fmt_ns s.Kv.Loadgen.client_p99_ns;
+           (if verified then "ok" else "FAIL");
+         ])
+       points);
+  print_newline ();
+  let point_json (m, rate, s, verified, accepted_p99, executed) =
+    Json.Obj
+      [
+        ("offered_over_capacity", Json.Float m);
+        ("offered_rate", Json.Float rate);
+        ("requests", Json.Int s.Kv.Loadgen.plan.Kv.Loadgen.n);
+        ("achieved_rate", Json.Float s.Kv.Loadgen.achieved_rate);
+        ("goodput", Json.Float s.Kv.Loadgen.ok_rate);
+        ("ok", Json.Int s.Kv.Loadgen.ok);
+        ("shed_queue_full", Json.Int s.Kv.Loadgen.shed_queue_full);
+        ("shed_latency_breach", Json.Int s.Kv.Loadgen.shed_latency_breach);
+        ("deadline_exceeded", Json.Int s.Kv.Loadgen.deadline_exceeded);
+        ("shutting_down", Json.Int s.Kv.Loadgen.shutting_down);
+        ("dropped", Json.Int s.Kv.Loadgen.dropped);
+        ("executed", Json.Int executed);
+        ("accepted_p99_ns", Json.Float accepted_p99);
+        ("client_p50_ns", Json.Float s.Kv.Loadgen.client_p50_ns);
+        ("client_p99_ns", Json.Float s.Kv.Loadgen.client_p99_ns);
+        ("ledger_verified", Json.Bool verified);
+      ]
+  in
+  Json.write_file "BENCH_server.json"
+    (Json.Obj
+       [
+         ( "meta",
+           json_meta ~scale
+             [
+               ("workers", Json.Int workers);
+               ("duration_s", Json.Float duration);
+               ("deadline_ns", Json.Int deadline_ns);
+               ("queue_capacity", Json.Int config.Kv.Server.queue_capacity);
+               ("p99_bound_ns", Json.Int config.Kv.Server.p99_bound_ns);
+               ("calibration_offered_rate", Json.Float cal_rate);
+               ("capacity_req_per_s", Json.Float capacity);
+             ] );
+         ("points", Json.List (List.map point_json points));
+       ])
+
 (* ----------------------------- driver ------------------------------ *)
 
 let experiments : (string * (Suites.scale -> unit)) list =
@@ -629,6 +765,7 @@ let experiments : (string * (Suites.scale -> unit)) list =
     ("micro-json", run_micro_json);
     ("sweeps", run_sweeps);
     ("obs", run_obs);
+    ("serve", run_serve);
   ]
 
 let () =

@@ -396,6 +396,296 @@ let mc_cmd =
           counterexample trace.")
     Term.(const mc_run $ timeout_term $ scenario_term $ trace_term)
 
+(* -------------------------- serve subcommand ------------------------ *)
+
+(* repro serve                  overload soak: calibrate capacity on a
+                                quiet run, then offer 2x with the
+                                traffic-path chaos plan and bounded
+                                worker stalls; verifies the load
+                                generator ledger (zero silent drops),
+                                the accepted-p99 bound, and that the
+                                watchdog emitted a post-mortem for any
+                                injected stall; ends with a drain
+                                under live traffic
+   repro serve --trace-out F    also save the soak's kvload trace
+   repro serve --replay F       replay a saved kvload trace against a
+                                fresh server and verify its ledger *)
+
+module Srv = Kv.Server.Make (Obs_map)
+module Loadgen = Kv.Loadgen
+
+let serve_config ~workers =
+  {
+    (Kv.Server.default_config ()) with
+    Kv.Server.workers;
+    queue_capacity = 64;
+    enqueue_budget = 4;
+    p99_bound_ns = 150_000_000;
+    p99_window = 32;
+    tick_interval = 0.01;
+    idle_timeout = 0.15;
+    write_timeout = 0.5;
+  }
+
+(* Mild ambient hostility for the soak: rare connection severs and
+   read pauses, plus an occasional slow-loris that the 0.15s idle
+   timeout is expected to cut off mid-frame. *)
+let serve_chaos_plan =
+  {
+    Chaos.Net.seed = 0xBAD5EED;
+    drop_one_in = 400;
+    loris_one_in = 2000;
+    loris_chunk = 8;
+    loris_delay = 0.2;
+    pause_reads_one_in = 300;
+    pause_reads_s = 0.05;
+  }
+
+let serve_deadline_ns = 80_000_000
+
+let serve_workers () = max 2 (min 4 (Domain.recommended_domain_count () - 2))
+
+let serve_soak scale trace_out =
+  let failures = ref [] in
+  let check what ok =
+    if not ok then failures := what :: !failures;
+    Printf.printf "%-56s %s\n%!" what (if ok then "ok" else "FAIL")
+  in
+  let duration, cal_n, soak_cap =
+    match scale with
+    | Harness.Suites.Quick -> (2.0, 20_000, 150_000)
+    | Full -> (8.0, 60_000, 600_000)
+  in
+  let workers = serve_workers () in
+  let progress = Progress.create ~slots:workers () in
+  let flight = Obs.Flight.create ~size:1024 () in
+  Obs.Flight.install_with_progress flight progress;
+  Fun.protect
+    ~finally:(fun () ->
+      Chaos.clear ();
+      Obs.Flight.uninstall ())
+  @@ fun () ->
+  let map = Obs_map.create () in
+  let srv = Srv.start ~config:(serve_config ~workers) ~progress map in
+  let port = Srv.port srv in
+  (* Watchdog over the worker heartbeats; any stall episode prints a
+     post-mortem with the flight dump. *)
+  let stall_reports = Atomic.make 0 in
+  let pm_emitted = ref "" in
+  let wd = ref None in
+  let on_stall r =
+    Atomic.incr stall_reports;
+    Printf.printf "watchdog: %s\n%!" (Harness.Watchdog.report_to_string r);
+    match !wd with
+    | Some w when !pm_emitted = "" ->
+        let pm = Harness.Watchdog.post_mortem w in
+        pm_emitted := pm;
+        print_string pm;
+        print_newline ()
+    | _ -> ()
+  in
+  let w = Harness.Watchdog.create ~stall_epochs:3 ~on_stall ~flight progress in
+  wd := Some w;
+  Harness.Watchdog.start w ~interval:0.05;
+  (* Phase 1 — calibrate: quiet network, saturating offered rate; the
+     measured goodput is the capacity the soak doubles. *)
+  let cal_plan =
+    {
+      Loadgen.default_plan with
+      Loadgen.n = cal_n;
+      conns = 8;
+      rate = 60_000.0;
+      deadline_ns = serve_deadline_ns;
+      net = Chaos.Net.quiet;
+    }
+  in
+  let cal = Loadgen.run ~port cal_plan in
+  Printf.printf "calibration: %!";
+  Format.printf "%a@." Loadgen.pp_summary cal;
+  check "calibration ledger verifies" (Loadgen.verify cal = Ok ());
+  let capacity = max 2_000.0 cal.Loadgen.ok_rate in
+  (* Phase 2 — the soak: 2x measured capacity, chaos on, bounded
+     worker stalls injected at the server's own yield points. *)
+  let offered = 2.0 *. capacity in
+  let n = min soak_cap (int_of_float (offered *. duration)) in
+  let soak_plan =
+    {
+      Loadgen.default_plan with
+      Loadgen.seed = 0x50AC;
+      n;
+      conns = 8;
+      rate = offered;
+      deadline_ns = serve_deadline_ns;
+      net = serve_chaos_plan;
+    }
+  in
+  (match trace_out with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Loadgen.to_string soak_plan);
+      close_out oc;
+      Printf.printf "wrote %s\n%!" file);
+  let stall =
+    Chaos.Net.stall_sites ~seed:41 ~one_in:5_000 ~max_stalls:3 ~duration:0.3
+      "server.worker."
+  in
+  Printf.printf "soak: offering %.0f req/s (2x measured capacity) for %d requests, chaos on\n%!"
+    offered n;
+  let s = Loadgen.run ~port soak_plan in
+  Chaos.clear ();
+  Format.printf "%a@." Loadgen.pp_summary s;
+  check "soak ledger verifies (zero silent drops)" (Loadgen.verify s = Ok ());
+  check "typed sheds observed under 2x overload" (Loadgen.shed s >= 1);
+  let p99 = Obs.Latency.percentile (Srv.latency srv) 99.0 in
+  Printf.printf "accepted-request p99 (server histogram): %.1f ms\n%!"
+    (p99 /. 1e6);
+  check "accepted p99 under the configured bound"
+    (p99 <= float_of_int (serve_config ~workers).Kv.Server.p99_bound_ns);
+  let server_sheds =
+    Srv.stat srv "shed_queue_full"
+    + Srv.stat srv "shed_latency_breach"
+    + Srv.stat srv "shed_shutdown"
+    + Srv.stat srv "deadline_expired"
+  in
+  (* The generator can only ever see a subset of the server's typed
+     sheds (replies on connections that died in flight are lost). *)
+  check "server accounted at least the client-observed sheds"
+    (server_sheds >= Loadgen.shed s);
+  Printf.printf "worker stalls injected: %d, watchdog stall reports: %d\n%!"
+    (Chaos.Net.stalls_fired stall)
+    (Atomic.get stall_reports);
+  check "watchdog caught every injected stall episode"
+    (Chaos.Net.stalls_fired stall = 0 || Atomic.get stall_reports >= 1);
+  check "stall post-mortem embeds the flight dump"
+    (Atomic.get stall_reports = 0
+    ||
+    let pm = !pm_emitted in
+    String.length pm > 0
+    &&
+    let nn = String.length "flight recorder" in
+    let rec go i =
+      i + nn <= String.length pm
+      && (String.sub pm i nn = "flight recorder" || go (i + 1))
+    in
+    go 0);
+  if Srv.stat srv "shed_queue_full" > 0 then
+    check "retry-budget exhaustion surfaced on the map's stats"
+      (match List.assoc_opt "retry_exhausted" (Obs_map.stats map) with
+      | Some v -> v >= 1
+      | None -> false);
+  (* Phase 3 — graceful drain under live traffic. *)
+  let drain_plan =
+    {
+      soak_plan with
+      Loadgen.seed = 0xD7A1;
+      n = min 40_000 (int_of_float capacity);
+      rate = capacity;
+      net = Chaos.Net.quiet;
+    }
+  in
+  let drain_result = ref None in
+  let gen =
+    Thread.create
+      (fun () -> drain_result := Some (Loadgen.run ~port drain_plan))
+      ()
+  in
+  Unix.sleepf 0.1;
+  check "drain flushed every queued request" (Srv.drain ~timeout:10.0 srv);
+  Thread.join gen;
+  (match !drain_result with
+  | None -> check "drain-phase load generator finished" false
+  | Some d ->
+      Format.printf "%a@." Loadgen.pp_summary d;
+      check "drain-phase ledger verifies" (Loadgen.verify d = Ok ());
+      check "drain produced typed shutdown replies or accounted drops"
+        (d.Loadgen.shutting_down >= 1 || d.Loadgen.dropped >= 1));
+  (* Workers detached on drain: a clean shutdown must not read as a
+     stall. *)
+  Harness.Watchdog.stop w;
+  let post_drain_stalls = ref 0 in
+  for _ = 1 to 3 do
+    post_drain_stalls :=
+      !post_drain_stalls + List.length (Harness.Watchdog.step w)
+  done;
+  check "clean drain leaves no stall reports" (!post_drain_stalls = 0);
+  print_endline "server stats:";
+  List.iter
+    (fun (l, v) -> if v > 0 then Printf.printf "  %-24s %d\n" l v)
+    (Srv.stats srv);
+  !failures
+
+let serve_replay file =
+  let failures = ref [] in
+  let check what ok =
+    if not ok then failures := what :: !failures;
+    Printf.printf "%-56s %s\n%!" what (if ok then "ok" else "FAIL")
+  in
+  let contents =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  match Loadgen.of_string contents with
+  | Error e ->
+      Printf.eprintf "repro serve: cannot parse %s: %s\n%!" file e;
+      [ "trace parses" ]
+  | Ok plan ->
+      let map = Obs_map.create () in
+      let srv = Srv.start ~config:(serve_config ~workers:(serve_workers ())) map in
+      Fun.protect ~finally:(fun () -> ignore (Srv.drain ~timeout:10.0 srv))
+      @@ fun () ->
+      let s = Loadgen.run ~port:(Srv.port srv) plan in
+      Format.printf "%a@." Loadgen.pp_summary s;
+      check "replayed ledger verifies (zero silent drops)"
+        (Loadgen.verify s = Ok ());
+      !failures
+
+let serve_run timeout replay trace_out scale =
+  arm_timeout timeout;
+  match
+    match replay with
+    | Some file -> serve_replay file
+    | None -> serve_soak scale trace_out
+  with
+  | [] -> 0
+  | failures ->
+      List.iter
+        (fun f -> Printf.eprintf "repro serve: FAILED: %s\n%!" f)
+        (List.rev failures);
+      1
+  | exception e ->
+      Printf.eprintf "repro serve: failed: %s\n%!" (Printexc.to_string e);
+      1
+
+let serve_cmd =
+  let replay_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a saved kvload trace against a fresh server and verify \
+             its ledger, instead of running the soak.")
+  in
+  let trace_out_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write the soak's kvload trace to $(docv) for later --replay.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Overload-hardened KV serving soak: calibrate capacity, offer 2x \
+          with traffic-path chaos and injected worker stalls, verify the \
+          zero-silent-drop ledger, the accepted-p99 bound and the watchdog \
+          post-mortem, then drain under live traffic.")
+    Term.(const serve_run $ timeout_term $ replay_term $ trace_out_term $ scale_term)
+
 let all_cmd =
   let run timeout scale =
     guarded timeout (fun scale ->
@@ -413,6 +703,6 @@ let () =
   in
   let cmds =
     (all_cmd :: List.map (fun (n, d, f) -> experiment n d f) all_experiments)
-    @ [ mc_cmd; obs_cmd ]
+    @ [ mc_cmd; obs_cmd; serve_cmd ]
   in
   exit (Cmd.eval' (Cmd.group info cmds))

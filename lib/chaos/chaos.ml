@@ -107,3 +107,7 @@ let crashed inj =
   | Stall _ | Jitter -> invalid_arg "Chaos.crashed"
 
 let clear = Yp.clear
+
+(* Traffic-path fault family (connection drops, slow-loris writes,
+   read pauses, bounded worker stalls) — see chaos_net.ml. *)
+module Net = Chaos_net

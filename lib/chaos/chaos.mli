@@ -75,3 +75,8 @@ val crashed : t -> bool
 val clear : unit -> unit
 (** Uninstall whatever hook is active; yield points return to the
     production no-op fast path. *)
+
+(** Traffic-path fault family: client-side connection faults
+    (drops, slow-loris, read pauses) and bounded worker stalls for
+    the serving layer.  See {!Chaos_net}. *)
+module Net : module type of Chaos_net

@@ -1,0 +1,174 @@
+(* Traffic-path fault family (DESIGN.md §12): adversarial client
+   behaviour for the serving layer, plus a bounded worker-stall
+   injector over the server's yield points.
+
+   The connection-level faults run on the CLIENT side of a socket —
+   they are what hostile or broken peers do to a server: vanish
+   mid-frame (connection drop), trickle a frame byte-by-byte
+   (slow-loris write), or stop reading replies so the peer's send
+   buffer backs up (read pause).  The load generator threads them
+   through every send/receive, so a chaos-on run attacks the server
+   with exactly the patterns its defences (receive/send timeouts,
+   typed sheds) exist for.  All decisions come from a seeded
+   [Ct_util.Rng], so a failing run replays. *)
+
+module Yp = Ct_util.Yieldpoint
+module Rng = Ct_util.Rng
+
+type plan = {
+  seed : int;
+  drop_one_in : int;  (* 0 = never *)
+  loris_one_in : int;  (* 0 = never *)
+  loris_chunk : int;
+  loris_delay : float;
+  pause_reads_one_in : int;  (* 0 = never *)
+  pause_reads_s : float;
+}
+
+let quiet =
+  {
+    seed = 0x7EA7;
+    drop_one_in = 0;
+    loris_one_in = 0;
+    loris_chunk = 5;
+    loris_delay = 0.06;
+    pause_reads_one_in = 0;
+    pause_reads_s = 0.15;
+  }
+
+let default =
+  {
+    quiet with
+    drop_one_in = 400;
+    loris_one_in = 500;
+    pause_reads_one_in = 300;
+  }
+
+type t = {
+  plan : plan;
+  rng : Rng.t;  (* owned by the connection's sender thread *)
+  read_rng : Rng.t;  (* owned by the receiver thread *)
+  mutable drops : int;
+  mutable lorises : int;
+  mutable pauses : int;
+}
+
+let create ?(salt = 0) plan =
+  {
+    plan;
+    rng = Rng.create (Rng.mix64 (plan.seed lxor (salt * 0x9E3779B9)));
+    read_rng = Rng.create (Rng.mix64 (plan.seed + (salt * 2) + 1));
+    drops = 0;
+    lorises = 0;
+    pauses = 0;
+  }
+
+let drops t = t.drops
+let lorises t = t.lorises
+let pauses t = t.pauses
+
+let hit rng one_in = one_in > 0 && Rng.next_int rng one_in = 0
+
+let write_all fd b off len =
+  let off = ref off and stop = off + len in
+  while !off < stop do
+    let n = Unix.write fd b !off (stop - !off) in
+    if n <= 0 then raise Exit;
+    off := !off + n
+  done
+
+(* Send one frame through the fault plan.  [false] means the fault (or
+   the server's defence reacting to it) killed the connection: the
+   caller must account every in-flight request as connection-dropped
+   and reconnect. *)
+let send t fd (b : Bytes.t) =
+  if hit t.rng t.plan.drop_one_in then begin
+    (* Vanish mid-frame: publish a torn prefix, then drop the line —
+       the server must discard the partial frame, not wedge on it. *)
+    t.drops <- t.drops + 1;
+    let torn = max 1 (Bytes.length b / 2) in
+    (try write_all fd b 0 torn with _ -> ());
+    (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
+    false
+  end
+  else if hit t.rng t.plan.loris_one_in then begin
+    (* Slow-loris: the whole frame, eventually — in tiny chunks with
+       long gaps.  When the gaps outlast the server's idle timeout it
+       cuts us off mid-frame; that surfaces here as a write error. *)
+    t.lorises <- t.lorises + 1;
+    let len = Bytes.length b in
+    let chunk = max 1 t.plan.loris_chunk in
+    match
+      let off = ref 0 in
+      while !off < len do
+        let n = min chunk (len - !off) in
+        write_all fd b !off n;
+        off := !off + n;
+        if !off < len then Unix.sleepf t.plan.loris_delay
+      done
+    with
+    | () -> true
+    | exception _ -> false
+  end
+  else match write_all fd b 0 (Bytes.length b) with
+    | () -> true
+    | exception _ -> false
+
+(* Receiver-side fault: nap before reading, so the peer's replies pile
+   up in the socket buffer (exercises the server's send timeout). *)
+let maybe_pause_read t =
+  if hit t.read_rng t.plan.pause_reads_one_in then begin
+    t.pauses <- t.pauses + 1;
+    Unix.sleepf t.plan.pause_reads_s
+  end
+
+(* ----------------------------- worker stalls ------------------------ *)
+
+type stall = {
+  st_remaining : int Atomic.t;
+  st_fired : int Atomic.t;
+  st_duration : float;
+  st_one_in : int;
+  st_seed : int;
+}
+
+(* Park any domain that crosses a [prefix] site, for [duration]
+   seconds, with probability [1/one_in], at most [max_stalls] times in
+   total.  Unlike {!Chaos.stall} this needs no victim registration and
+   no release call — the stall is bounded, which is what a soak wants:
+   the worker freezes long enough for queues to fill and the watchdog
+   to fire, then the run continues.  Installs the global yield-point
+   hook (replacing any other injector); [Chaos.clear] removes it. *)
+let stall_sites ?(seed = 0x57A11) ?(one_in = 1) ?(max_stalls = 1)
+    ~duration prefix =
+  if one_in <= 0 || max_stalls < 0 || duration < 0.0 then
+    invalid_arg "Chaos_net.stall_sites";
+  let st =
+    {
+      st_remaining = Atomic.make max_stalls;
+      st_fired = Atomic.make 0;
+      st_duration = duration;
+      st_one_in = one_in;
+      st_seed = seed;
+    }
+  in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        Rng.create (Rng.mix64 (seed + (Domain.self () :> int))))
+  in
+  Yp.install (fun ph site ->
+      if
+        ph = Yp.Before
+        && Atomic.get st.st_remaining > 0
+        && String.starts_with ~prefix (Yp.name site)
+        && Rng.next_int (Domain.DLS.get key) st.st_one_in = 0
+        && Atomic.fetch_and_add st.st_remaining (-1) > 0
+      then begin
+        Atomic.incr st.st_fired;
+        (* Sleep, not spin: a sleeping domain sits in a blocking
+           section and cannot wedge other domains' stop-the-world. *)
+        Unix.sleepf st.st_duration
+      end);
+  st
+
+let stalls_fired st = Atomic.get st.st_fired

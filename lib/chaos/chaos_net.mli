@@ -1,0 +1,80 @@
+(** Traffic-path fault family for the serving layer (DESIGN.md §12).
+
+    Connection-level faults run on the {e client} side of a socket and
+    model hostile or broken peers: vanishing mid-frame (connection
+    drop), trickling a frame byte-by-byte (slow-loris write), and
+    pausing reads so the server's replies back up against its send
+    timeout.  The load generator threads {!send} / {!maybe_pause_read}
+    through all its traffic, so a chaos-on run attacks the server with
+    exactly the patterns its defences exist for.  All decisions come
+    from seeded {!Ct_util.Rng} state: same plan, same salt — same
+    faults.
+
+    {!stall_sites} is the server-side member of the family: it parks
+    worker domains at their {!Ct_util.Yieldpoint} sites (the global
+    injector slot, so the flight/progress {e observer} still records
+    what the stalled worker was doing). *)
+
+type plan = {
+  seed : int;
+  drop_one_in : int;  (** sever the connection mid-frame, 1-in-N sends (0 = never) *)
+  loris_one_in : int;  (** slow-loris a frame, 1-in-N sends (0 = never) *)
+  loris_chunk : int;  (** bytes per loris trickle *)
+  loris_delay : float;  (** seconds between trickles *)
+  pause_reads_one_in : int;  (** nap before a read, 1-in-N reads (0 = never) *)
+  pause_reads_s : float;  (** nap length, seconds *)
+}
+
+val quiet : plan
+(** All faults off (rates zero); the chaos-off baseline. *)
+
+val default : plan
+(** Mild ambient hostility: drops 1-in-400 sends, lorises 1-in-500,
+    pauses reads 1-in-300. *)
+
+type t
+(** Per-connection fault state: two independent generators (sender and
+    receiver threads must not share RNG state) plus fired counters. *)
+
+val create : ?salt:int -> plan -> t
+(** [create ~salt plan] — give each connection a distinct [salt] so
+    the fault schedule is deterministic per (plan.seed, salt). *)
+
+val send : t -> Unix.file_descr -> Bytes.t -> bool
+(** Send one encoded frame through the fault plan.  [false] means the
+    fault (or the server's defence reacting to it — e.g. an idle
+    timeout cutting off a loris) killed the connection: the caller
+    must account every in-flight request as connection-dropped and
+    reconnect.  Never raises on I/O failure. *)
+
+val maybe_pause_read : t -> unit
+(** Receiver-side fault: sometimes nap before reading, letting replies
+    pile up in the socket buffer. *)
+
+val drops : t -> int
+val lorises : t -> int
+val pauses : t -> int
+
+(** {2 Worker stalls} *)
+
+type stall
+(** Handle for a bounded stall campaign over yield-point sites. *)
+
+val stall_sites :
+  ?seed:int ->
+  ?one_in:int ->
+  ?max_stalls:int ->
+  duration:float ->
+  string ->
+  stall
+(** [stall_sites ~duration prefix] installs a global yield-point hook
+    that parks any domain crossing a [Before]-phase site whose name
+    starts with [prefix] (e.g. ["server.worker."]) for [duration]
+    seconds, with probability [1/one_in] (default 1), at most
+    [max_stalls] times in total (default 1).  Unlike {!Chaos.stall}
+    the stall is bounded and needs no victim registration or release —
+    the worker freezes long enough for its queue to fill and the
+    watchdog to notice, then the run continues.  Replaces any other
+    injector in the global slot; {!Chaos.clear} uninstalls it. *)
+
+val stalls_fired : stall -> int

@@ -1,0 +1,87 @@
+type 'a t = {
+  buf : 'a option array;
+  mutable head : int;  (* next pop position *)
+  mutable len : int;
+  mutable is_closed : bool;
+  mutable tick_pending : bool;  (* one-shot empty wakeup requested *)
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bqueue.create";
+  {
+    buf = Array.make capacity None;
+    head = 0;
+    len = 0;
+    is_closed = false;
+    tick_pending = false;
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+  }
+
+let capacity t = Array.length t.buf
+
+let length t = t.len
+
+let try_push t x =
+  Mutex.lock t.mutex;
+  let cap = Array.length t.buf in
+  let ok = (not t.is_closed) && t.len < cap in
+  if ok then begin
+    t.buf.((t.head + t.len) mod cap) <- Some x;
+    t.len <- t.len + 1;
+    if t.len = 1 then Condition.signal t.nonempty
+  end;
+  Mutex.unlock t.mutex;
+  ok
+
+(* The wait loop admits three exits: items queued, closed, or a
+   pending tick — the one-shot empty wakeup the server's ticker uses
+   to let an idle worker heartbeat (stdlib [Condition] has no timed
+   wait).  A tick is consumed exactly once, by one consumer. *)
+let pop_batch t ~max ~into =
+  Mutex.lock t.mutex;
+  while t.len = 0 && (not t.is_closed) && not t.tick_pending do
+    Condition.wait t.nonempty t.mutex
+  done;
+  let result =
+    if t.len = 0 then
+      if t.tick_pending then begin
+        t.tick_pending <- false;
+        Some 0
+      end
+      else None (* closed and drained *)
+    else begin
+      let n = min max t.len in
+      let cap = Array.length t.buf in
+      for i = 0 to n - 1 do
+        let j = (t.head + i) mod cap in
+        into.(i) <- t.buf.(j);
+        t.buf.(j) <- None
+      done;
+      t.head <- (t.head + n) mod cap;
+      t.len <- t.len - n;
+      Some n
+    end
+  in
+  Mutex.unlock t.mutex;
+  result
+
+let tick t =
+  Mutex.lock t.mutex;
+  t.tick_pending <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex
+
+let close t =
+  Mutex.lock t.mutex;
+  t.is_closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex
+
+let closed t =
+  Mutex.lock t.mutex;
+  let c = t.is_closed in
+  Mutex.unlock t.mutex;
+  c

@@ -1,0 +1,40 @@
+(** Bounded multi-producer single-consumer queue with {e explicit}
+    backpressure: producers never block and never grow the buffer —
+    a full queue refuses the push and the caller decides (the server's
+    dispatch path retries on a budgeted {!Ct_util.Backoff}, then sheds
+    with a typed [Overloaded] reply).
+
+    A plain mutex + condition ring, not a lock-free structure: the
+    queue hand-off is two orders of magnitude cheaper than the socket
+    I/O around it, and a blocked consumer must sleep, not spin. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Racy snapshot of the current depth. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Nonblocking; [false] if the queue is full or closed. *)
+
+val pop_batch : 'a t -> max:int -> into:'a option array -> int option
+(** Consume up to [max] items into [into.(0 ..)], oldest first,
+    blocking while the queue is open and empty.  [Some 0] is a benign
+    wakeup with nothing queued ({!tick} or a spurious signal — the
+    server's idle-heartbeat path); [None] means closed {e and}
+    drained: no further item will ever arrive.  Items already queued
+    when {!close} runs are still delivered. *)
+
+val tick : 'a t -> unit
+(** Wake a blocked consumer without delivering anything — lets an idle
+    worker publish a heartbeat.  (Stdlib [Condition] has no timed
+    wait; the server's ticker thread calls this instead.) *)
+
+val close : 'a t -> unit
+(** Refuse future pushes and wake the consumer; idempotent. *)
+
+val closed : 'a t -> bool

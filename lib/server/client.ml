@@ -1,0 +1,69 @@
+type t = {
+  fd : Unix.file_descr;
+  reader : Protocol.Reader.t;
+  mutable next_id : int;
+  mutable open_ : bool;
+}
+
+exception Disconnected of string
+
+let connect ?(recv_timeout = 5.0) ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  try
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO recv_timeout;
+    { fd; reader = Protocol.Reader.create (); next_id = 1; open_ = true }
+  with e ->
+    (try Unix.close fd with _ -> ());
+    raise e
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    try Unix.close t.fd with _ -> ()
+  end
+
+let fail t msg =
+  close t;
+  raise (Disconnected msg)
+
+let write_all t b =
+  let len = Bytes.length b in
+  let off = ref 0 in
+  try
+    while !off < len do
+      let n = Unix.write t.fd b !off (len - !off) in
+      if n <= 0 then raise Exit;
+      off := !off + n
+    done
+  with _ -> fail t "write failed"
+
+let request t ?(deadline_ns = 0) op =
+  if not t.open_ then raise (Disconnected "closed");
+  let id = t.next_id in
+  t.next_id <- (t.next_id + 1) land 0xFFFF_FFFF;
+  write_all t (Protocol.encode_request { Protocol.id; deadline_ns; op });
+  (* Strictly one in flight, so the next reply is ours — but skip any
+     stale id defensively (e.g. a reply that raced a timeout). *)
+  let rec await () =
+    match Protocol.Reader.read_frame t.reader t.fd with
+    | None -> fail t "server closed the connection"
+    | Some payload -> (
+        match Protocol.decode_reply payload with
+        | Error msg -> fail t ("bad reply: " ^ msg)
+        | Ok (rid, reply) -> if rid = id then reply else await ())
+    | exception Protocol.Protocol_error msg -> fail t msg
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ETIMEDOUT), _, _) ->
+        fail t "timed out waiting for reply"
+    | exception Unix.Unix_error (e, _, _) -> fail t (Unix.error_message e)
+  in
+  await ()
+
+let ping t = match request t Protocol.Ping with Protocol.Pong -> true | _ -> false
+
+let get t ?deadline_ns k = request t ?deadline_ns (Protocol.Get k)
+
+let put t ?deadline_ns k v = request t ?deadline_ns (Protocol.Put (k, v))
+
+let remove t ?deadline_ns k = request t ?deadline_ns (Protocol.Remove k)

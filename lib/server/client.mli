@@ -1,0 +1,28 @@
+(** Minimal synchronous KV client: one connection, one request in
+    flight at a time.  The examples and the tests use it for the
+    request/reply corners (typed sheds, deadlines, drain); the
+    open-loop {!Loadgen} has its own pipelined machinery. *)
+
+type t
+
+exception Disconnected of string
+(** The server closed or reset the connection (also raised on a reply
+    that cannot be decoded). *)
+
+val connect : ?recv_timeout:float -> port:int -> unit -> t
+(** TCP to 127.0.0.1:[port].  [recv_timeout] (default 5s) bounds every
+    wait for a reply; expiry raises {!Disconnected}. *)
+
+val request : t -> ?deadline_ns:int -> Protocol.op -> Protocol.reply
+(** Send one operation and wait for its reply (matched by id). *)
+
+val ping : t -> bool
+
+val get : t -> ?deadline_ns:int -> int -> Protocol.reply
+
+val put : t -> ?deadline_ns:int -> int -> string -> Protocol.reply
+
+val remove : t -> ?deadline_ns:int -> int -> Protocol.reply
+
+val close : t -> unit
+(** Idempotent. *)

@@ -1,0 +1,88 @@
+(** Seeded open-loop load generator with a reply ledger.
+
+    Open loop means the schedule, not the server, sets the pace:
+    request [k] of [n] is sent at [t0 + k/rate] regardless of how many
+    replies have come back, so an overloaded server sees the true
+    offered rate instead of the closed-loop throttling that hides
+    overload (coordinated omission).  The operation mix comes from
+    {!Harness.Trace.generate}, so the serving tier is driven by the
+    same workload models as the in-process benchmarks.
+
+    Every request is tracked in a {e ledger} until it is accounted
+    for: a typed reply, or a connection-level drop (the fault plan or
+    the server's slow-peer defence killing the socket — visible to the
+    client, hence accounted).  A request sent on a connection that
+    stayed alive but never produced a reply is a {e silent drop};
+    {!verify} fails the run if any exist.  The whole run is
+    deterministic per plan: seeds feed the trace, the fault schedule
+    and nothing else ([rate] pacing follows the real clock, so
+    {e timings} vary — outcomes of the ledger kind do not depend on
+    wall-clock luck for accounting).
+
+    Plans serialize to a one-line-per-field text trace
+    (["kvload-trace v1"]) so a failing run's exact traffic can be
+    replayed from the command line. *)
+
+type plan = {
+  seed : int;  (** feeds the trace and, combined with salts, the fault plan *)
+  n : int;  (** total requests *)
+  conns : int;  (** concurrent connections; request [k] rides connection [k mod conns] *)
+  rate : float;  (** offered rate, requests/second, across all connections *)
+  profile : Harness.Trace.profile;  (** operation mix (reads/inserts/removes/universe/skew) *)
+  deadline_ns : int;  (** per-request budget stamped on every request; 0 = none *)
+  value_bytes : int;  (** payload size for puts *)
+  net : Chaos.Net.plan;  (** traffic-path fault plan ({!Chaos.Net.quiet} = faults off) *)
+}
+
+val default_plan : plan
+(** 20k requests over 8 connections at 20k req/s, [read_mostly] mix,
+    250ms deadlines, 32-byte values, faults off. *)
+
+val to_string : plan -> string
+(** Serialize as a ["kvload-trace v1"] text trace. *)
+
+val of_string : string -> (plan, string) result
+
+type summary = {
+  plan : plan;
+  elapsed : float;  (** seconds, first send to last accounting *)
+  sent : int;  (** frames fully or partially written (= [plan.n] unless connections failed) *)
+  ok : int;  (** successful replies: value/nil/stored/removed/pong *)
+  shed_queue_full : int;
+  shed_latency_breach : int;
+  deadline_exceeded : int;
+  shutting_down : int;
+  rejected : int;  (** [Bad_request] + [Server_error] replies *)
+  dropped : int;  (** requests accounted to a connection-level drop *)
+  pending : int;  (** silent drops: live connection, no reply — must be 0 *)
+  reconnects : int;
+  fault_drops : int;  (** fault-plan connection severs fired *)
+  fault_lorises : int;
+  fault_pauses : int;
+  offered_rate : float;  (** [plan.rate] *)
+  achieved_rate : float;  (** [sent / elapsed] *)
+  ok_rate : float;  (** [ok / elapsed] — the sustained goodput *)
+  client_p50_ns : float;  (** client-observed send-to-reply latency over ok replies *)
+  client_p99_ns : float;
+}
+
+val shed : summary -> int
+(** Typed sheds: [shed_queue_full + shed_latency_breach +
+    deadline_exceeded + shutting_down]. *)
+
+val accounted : summary -> int
+(** [ok + sheds + rejected + dropped] — equals [plan.n] iff nothing is
+    left pending (requests abandoned because the server became
+    unreachable count as dropped, not pending). *)
+
+val run : port:int -> plan -> summary
+(** Drive 127.0.0.1:[port] with the plan and account every request.
+    After the schedule completes, lingers briefly for in-flight
+    replies; anything still unanswered on a live connection stays
+    [pending]. *)
+
+val verify : summary -> (unit, string) result
+(** The zero-silent-drop check: every sent request has exactly one
+    accounting ([pending = 0] and the ledger adds up). *)
+
+val pp_summary : Format.formatter -> summary -> unit

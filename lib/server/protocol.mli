@@ -1,0 +1,106 @@
+(** Wire protocol of the KV serving layer (DESIGN.md §12).
+
+    Length-prefixed binary frames over a byte stream: every message is
+    a 4-byte big-endian payload length followed by the payload.  A
+    request payload is
+
+    {v
+      opcode      u8     0 ping, 1 get, 2 put, 3 remove
+      id          u32    client-chosen correlation id
+      deadline    u64    nanosecond budget, 0 = none (requests only)
+      key         i64    OCaml int, sign-extended
+      value       rest   put only
+    v}
+
+    and a reply payload is
+
+    {v
+      status      u8
+      id          u32    echoes the request id
+      detail      u8     status-specific (shed reason, replaced flag)
+      value       rest   get hits and server errors only
+    v}
+
+    The protocol is strictly request/reply but {e pipelined}: a client
+    may have any number of requests in flight on one connection, and
+    replies carry the request id precisely because overload shedding,
+    deadline expiry and per-key worker sharding all reorder them.
+    Every accepted frame gets exactly one reply — load shedding is a
+    typed {!reply} ([Overloaded], [Deadline_exceeded],
+    [Shutting_down]), never a silent drop. *)
+
+type op =
+  | Ping
+  | Get of int
+  | Put of int * string
+  | Remove of int
+
+type request = {
+  id : int;  (** correlation id, 32-bit unsigned *)
+  deadline_ns : int;
+      (** nanosecond budget measured from server-side arrival;
+          0 = no deadline *)
+  op : op;
+}
+
+(** Why an [Overloaded] reply was shed (the [detail] byte). *)
+type shed_reason =
+  | Queue_full  (** the target worker queue stayed full past the
+                    budgeted enqueue retries *)
+  | Latency_breach  (** admission control: served p99 over the bound *)
+
+type reply =
+  | Value of string  (** get hit *)
+  | Nil  (** get/remove miss *)
+  | Stored of bool  (** put done; [true] = replaced an existing binding *)
+  | Removed  (** remove hit *)
+  | Pong
+  | Overloaded of shed_reason  (** typed load shed; the request was
+                                   {e not} executed *)
+  | Deadline_exceeded  (** the deadline expired before execution;
+                           not executed *)
+  | Shutting_down  (** arrived after drain began; not executed *)
+  | Bad_request of string
+  | Server_error of string
+
+val max_frame : int
+(** Hard cap on accepted payload size (1 MiB); larger announced
+    lengths poison the connection ({!Reader.read_frame} raises
+    {!Protocol_error}). *)
+
+exception Protocol_error of string
+
+val encode_request : request -> Bytes.t
+(** Full frame, length prefix included. *)
+
+val decode_request : Bytes.t -> (request, string) result
+(** Decode one request payload (no length prefix). *)
+
+val encode_reply : id:int -> reply -> Bytes.t
+
+val decode_reply : Bytes.t -> (int * reply, string) result
+
+val reply_label : reply -> string
+(** Stable snake_case tag for ledgers and stats ("ok_value",
+    "overloaded_queue_full", ...). *)
+
+(** Buffered frame extraction from a file descriptor.  One [Reader.t]
+    per connection; not thread-safe (each connection has exactly one
+    reading thread). *)
+module Reader : sig
+  type t
+
+  val create : unit -> t
+
+  val read_frame : t -> Unix.file_descr -> Bytes.t option
+  (** Next payload, blocking on the fd as needed.  [None] on orderly
+      EOF at a frame boundary.  Raises {!Protocol_error} on a
+      truncated stream, an oversized frame, or EOF mid-frame, and
+      lets [Unix.Unix_error] (including [EAGAIN] from a receive
+      timeout) escape to the caller. *)
+
+  val pending : t -> bool
+  (** A partially received frame is buffered — used by the server's
+      slow-loris defence: a receive timeout with [pending] true means
+      the peer is trickling a frame, not idling between frames. *)
+end

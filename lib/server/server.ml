@@ -1,0 +1,490 @@
+(* KV server: accept thread + reader thread per connection (cheap,
+   I/O-bound, on the spawning domain) + worker domains each owning a
+   bounded queue (the CPU side).  Requests shard to workers by key, so
+   one key's operations stay FIFO and workers share nothing on the
+   dispatch path.
+
+   File-descriptor ownership protocol: ONLY a connection's reader
+   thread ever [Unix.close]s its fd (right before exiting); every
+   other party — a worker hitting a write error, the drain path — may
+   only [Unix.shutdown] it under the connection's write mutex while
+   [alive] still holds, which wakes the blocked reader with EOF.  This
+   keeps a closed fd number from being reused by an unrelated socket
+   while someone still pokes at it. *)
+
+module Yp = Ct_util.Yieldpoint
+module Clock = Ct_util.Clock
+module Backoff = Ct_util.Backoff
+module Metrics = Ct_util.Metrics
+module Progress = Ct_util.Progress
+
+type config = {
+  workers : int;
+  queue_capacity : int;
+  batch : int;
+  enqueue_budget : int;
+  p99_bound_ns : int;
+  p99_window : int;
+  tick_interval : float;
+  idle_timeout : float;
+  write_timeout : float;
+}
+
+let default_config () =
+  {
+    workers = max 1 (Domain.recommended_domain_count () - 1);
+    queue_capacity = 256;
+    batch = 32;
+    enqueue_budget = 4;
+    p99_bound_ns = 100_000_000;
+    p99_window = 64;
+    tick_interval = 0.02;
+    idle_timeout = 0.25;
+    write_timeout = 0.5;
+  }
+
+let exec_site = Yp.register "server.worker.exec"
+
+(* A peer closing mid-write must surface as EPIPE, not kill the
+   process.  Signal dispositions are process-global; set once. *)
+let ignore_sigpipe =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ())
+
+(* Serving counters.  Fixed label order so [stats] output is stable
+   for reports and CI checks. *)
+let stat_labels =
+  [|
+    "conns_opened";
+    "conns_closed";
+    "conns_dropped_slow";
+    "bad_requests";
+    "pings";
+    "dispatched";
+    "executed";
+    "shed_queue_full";
+    "shed_latency_breach";
+    "shed_shutdown";
+    "deadline_expired";
+    "retry_exhausted";
+    "server_errors";
+    "write_failures";
+  |]
+
+let c_conns_opened = 0
+let c_conns_closed = 1
+let c_conns_dropped_slow = 2
+let c_bad_requests = 3
+let c_pings = 4
+let c_dispatched = 5
+let c_executed = 6
+let c_shed_queue_full = 7
+let c_shed_latency_breach = 8
+let c_shed_shutdown = 9
+let c_deadline_expired = 10
+let c_retry_exhausted = 11
+let c_server_errors = 12
+let c_write_failures = 13
+
+module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
+  type conn = {
+    fd : Unix.file_descr;
+    wmutex : Mutex.t;
+    mutable alive : bool;  (* fd not yet closed by its reader *)
+    mutable broken : bool;  (* a write failed; stop writing replies *)
+  }
+
+  type item = { iconn : conn; req : Protocol.request; arrival : int }
+
+  (* 0 = running, 1 = draining, 2 = stopped *)
+  type t = {
+    cfg : config;
+    map : string M.t;
+    listen_fd : Unix.file_descr;
+    lport : int;
+    queues : item Bqueue.t array;
+    mutable worker_domains : unit Domain.t array;
+    mutable accept_thread : Thread.t option;
+    mutable ticker_thread : Thread.t option;
+    state : int Atomic.t;
+    inflight : int Atomic.t;
+    shed_p99 : bool Atomic.t;
+    lat : Obs.Latency.t;
+    counters : int Atomic.t array;
+    conns : conn list ref;
+    readers : Thread.t list ref;
+    conn_mutex : Mutex.t;
+    ticker_stop : bool Atomic.t;
+    progress : Progress.t option;
+    drain_mutex : Mutex.t;
+    mutable drain_done : bool;
+    mutable drain_flushed : bool;
+  }
+
+  let bump t c = Atomic.incr t.counters.(c)
+
+  let port t = t.lport
+  let latency t = t.lat
+  let shedding t = Atomic.get t.shed_p99
+  let draining t = Atomic.get t.state > 0
+
+  let stats t =
+    Array.to_list
+      (Array.mapi (fun i l -> (l, Atomic.get t.counters.(i))) stat_labels)
+
+  let stat t label =
+    match List.assoc_opt label (stats t) with Some v -> v | None -> 0
+
+  (* ---------------------------- writing ----------------------------- *)
+
+  let shutdown_conn conn =
+    Mutex.lock conn.wmutex;
+    if conn.alive then (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with _ -> ());
+    Mutex.unlock conn.wmutex
+
+  let write_reply t conn (b : Bytes.t) =
+    Mutex.lock conn.wmutex;
+    if conn.alive && not conn.broken then begin
+      let ok =
+        try
+          let len = Bytes.length b in
+          let off = ref 0 in
+          while !off < len do
+            let n = Unix.write conn.fd b !off (len - !off) in
+            if n <= 0 then raise Exit;
+            off := !off + n
+          done;
+          true
+        with _ -> false
+      in
+      if not ok then begin
+        (* Includes the send-timeout case: a peer that stopped reading
+           long enough for SO_SNDTIMEO to fire loses its connection —
+           a worker is never parked indefinitely on one bad client. *)
+        conn.broken <- true;
+        bump t c_write_failures;
+        try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with _ -> ()
+      end
+    end;
+    Mutex.unlock conn.wmutex
+
+  let send_reply t conn ~id reply =
+    write_reply t conn (Protocol.encode_reply ~id reply)
+
+  (* ---------------------------- workers ----------------------------- *)
+
+  let serve t it =
+    let now = Clock.monotonic_ns () in
+    let reply =
+      if it.req.deadline_ns > 0 && now - it.arrival > it.req.deadline_ns then begin
+        bump t c_deadline_expired;
+        Protocol.Deadline_exceeded
+      end
+      else
+        match
+          Yp.here Yp.Before exec_site;
+          let r =
+            match it.req.op with
+            | Protocol.Get k -> (
+                match M.lookup t.map k with
+                | Some v -> Protocol.Value v
+                | None -> Protocol.Nil)
+            | Protocol.Put (k, v) ->
+                Protocol.Stored (M.add t.map k v <> None)
+            | Protocol.Remove k -> (
+                match M.remove t.map k with
+                | Some _ -> Protocol.Removed
+                | None -> Protocol.Nil)
+            | Protocol.Ping -> Protocol.Pong
+          in
+          Yp.here Yp.After exec_site;
+          r
+        with
+        | r ->
+            bump t c_executed;
+            Obs.Latency.record_span t.lat ~start:it.arrival;
+            r
+        | exception e ->
+            (* An injected crash (or a real bug) abandoned the
+               operation mid-flight.  The residue is the scrubber's
+               problem; the client still gets a typed answer. *)
+            bump t c_server_errors;
+            Protocol.Server_error (Printexc.to_string e)
+    in
+    send_reply t it.iconn ~id:it.req.id reply;
+    Atomic.decr t.inflight
+
+  let worker t w_idx =
+    (match t.progress with
+    | Some p -> Progress.attach p (w_idx mod Progress.slots p)
+    | None -> ());
+    let q = t.queues.(w_idx) in
+    let batch : item option array = Array.make t.cfg.batch None in
+    let rec go () =
+      match Bqueue.pop_batch q ~max:t.cfg.batch ~into:batch with
+      | None -> ()
+      | Some 0 ->
+          (* Ticker wakeup on an empty queue: prove liveness so the
+             watchdog only ever flags genuinely stuck workers. *)
+          (match t.progress with Some p -> Progress.beat p | None -> ());
+          go ()
+      | Some n ->
+          for i = 0 to n - 1 do
+            (match batch.(i) with Some it -> serve t it | None -> ());
+            batch.(i) <- None
+          done;
+          go ()
+    in
+    go ();
+    match t.progress with Some p -> Progress.detach p | None -> ()
+
+  (* --------------------------- dispatching -------------------------- *)
+
+  let key_of = function
+    | Protocol.Get k | Protocol.Put (k, _) | Protocol.Remove k -> k
+    | Protocol.Ping -> 0
+
+  let dispatch t conn bo req =
+    let reply_now r = send_reply t conn ~id:req.Protocol.id r in
+    if Atomic.get t.state > 0 then begin
+      bump t c_shed_shutdown;
+      reply_now Protocol.Shutting_down
+    end
+    else if Atomic.get t.shed_p99 then begin
+      bump t c_shed_latency_breach;
+      reply_now (Protocol.Overloaded Protocol.Latency_breach)
+    end
+    else begin
+      let arrival = Clock.monotonic_ns () in
+      let w = key_of req.Protocol.op land max_int mod Array.length t.queues in
+      let q = t.queues.(w) in
+      Atomic.incr t.inflight;
+      let it = { iconn = conn; req; arrival } in
+      let rec attempt () =
+        if Bqueue.try_push q it then true
+        else if Backoff.over_budget bo then false
+        else begin
+          Backoff.once bo;
+          attempt ()
+        end
+      in
+      let pushed = attempt () in
+      Backoff.reset bo;
+      if pushed then bump t c_dispatched
+      else begin
+        Atomic.decr t.inflight;
+        bump t c_shed_queue_full;
+        bump t c_retry_exhausted;
+        reply_now (Protocol.Overloaded Protocol.Queue_full)
+      end
+    end
+
+  let handle_payload t conn bo payload =
+    match Protocol.decode_request payload with
+    | Error msg ->
+        bump t c_bad_requests;
+        send_reply t conn ~id:0 (Protocol.Bad_request msg)
+    | Ok req -> (
+        match req.Protocol.op with
+        | Protocol.Ping ->
+            bump t c_pings;
+            send_reply t conn ~id:req.Protocol.id Protocol.Pong
+        | _ -> dispatch t conn bo req)
+
+  (* ----------------------------- readers ---------------------------- *)
+
+  let retire t conn =
+    Mutex.lock conn.wmutex;
+    conn.alive <- false;
+    (try Unix.close conn.fd with _ -> ());
+    Mutex.unlock conn.wmutex;
+    bump t c_conns_closed;
+    Mutex.lock t.conn_mutex;
+    t.conns := List.filter (fun c -> c != conn) !(t.conns);
+    Mutex.unlock t.conn_mutex
+
+  let reader t conn =
+    let r = Protocol.Reader.create () in
+    (* One budgeted backoff per connection: its exhaustion hook charges
+       the served structure's [Retry_exhausted] counter, so queue-full
+       sheds show up in the same uniform stats surface as the maps'
+       own contention telemetry. *)
+    let bo =
+      Backoff.create ~min_wait:32 ~max_wait:2048
+        ~budget:(max 1 t.cfg.enqueue_budget)
+        ~on_exhaust:(fun () ->
+          Metrics.incr (M.metrics t.map) Metrics.Retry_exhausted)
+        ()
+    in
+    let rec loop () =
+      match Protocol.Reader.read_frame r conn.fd with
+      | None -> ()
+      | Some payload ->
+          handle_payload t conn bo payload;
+          loop ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ETIMEDOUT), _, _)
+        ->
+          if Protocol.Reader.pending r then
+            (* Receive timeout in the middle of a frame: slow-loris.
+               Cut the peer loose instead of holding the thread. *)
+            bump t c_conns_dropped_slow
+          else if not conn.broken then loop ()
+      | exception Protocol.Protocol_error _ -> bump t c_bad_requests
+      | exception _ -> ()
+    in
+    loop ();
+    retire t conn
+
+  let accept_loop t =
+    let rec go () =
+      if Atomic.get t.state = 0 then
+        match Unix.accept t.listen_fd with
+        | fd, _ ->
+            (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+            (try
+               Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.idle_timeout;
+               Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.write_timeout
+             with _ -> ());
+            let conn = { fd; wmutex = Mutex.create (); alive = true; broken = false } in
+            bump t c_conns_opened;
+            Mutex.lock t.conn_mutex;
+            t.conns := conn :: !(t.conns);
+            let th = Thread.create (fun () -> reader t conn) () in
+            t.readers := th :: !(t.readers);
+            Mutex.unlock t.conn_mutex;
+            go ()
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ETIMEDOUT), _, _)
+          ->
+            (* SO_RCVTIMEO on the listener: periodic wakeup to observe
+               a drain request without racing fd teardown. *)
+            go ()
+        | exception Unix.Unix_error (ECONNABORTED, _, _) -> go ()
+        | exception _ -> ()
+    in
+    go ()
+
+  (* ------------------------------ ticker ---------------------------- *)
+
+  (* Control loop: wake idle workers so they heartbeat, and run the
+     p99 admission check over the latest histogram window.  When the
+     window is too thin to judge (often because admission is already
+     shedding everything), shedding turns back off — the duty-cycle
+     probe that lets the server discover the episode is over. *)
+  let ticker t =
+    let prev = ref (Obs.Latency.counts t.lat) in
+    while not (Atomic.get t.ticker_stop) do
+      Unix.sleepf t.cfg.tick_interval;
+      Array.iter Bqueue.tick t.queues;
+      let now = Obs.Latency.counts t.lat in
+      let diff = Array.mapi (fun i c -> c - !prev.(i)) now in
+      let total = Array.fold_left ( + ) 0 diff in
+      if total >= t.cfg.p99_window then begin
+        let p99 = Obs.Latency.percentile_of_counts diff 99.0 in
+        Atomic.set t.shed_p99 (p99 > float_of_int t.cfg.p99_bound_ns);
+        prev := now
+      end
+      else begin
+        Atomic.set t.shed_p99 false;
+        if total > 0 then prev := now
+      end
+    done
+
+  (* ------------------------------ lifecycle ------------------------- *)
+
+  let start ?(config = default_config ()) ?progress ?(port = 0) map =
+    if
+      config.workers < 1 || config.queue_capacity < 1 || config.batch < 1
+      || config.p99_window < 1 || config.tick_interval <= 0.0
+    then invalid_arg "Server.start: bad config";
+    Lazy.force ignore_sigpipe;
+    let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    let t =
+      try
+        Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+        Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        Unix.listen listen_fd 128;
+        Unix.setsockopt_float listen_fd Unix.SO_RCVTIMEO 0.05;
+        let lport =
+          match Unix.getsockname listen_fd with
+          | Unix.ADDR_INET (_, p) -> p
+          | _ -> assert false
+        in
+        {
+          cfg = config;
+          map;
+          listen_fd;
+          lport;
+          queues =
+            Array.init config.workers (fun _ ->
+                Bqueue.create ~capacity:config.queue_capacity);
+          worker_domains = [||];
+          accept_thread = None;
+          ticker_thread = None;
+          state = Atomic.make 0;
+          inflight = Atomic.make 0;
+          shed_p99 = Atomic.make false;
+          lat = Obs.Latency.create ~label:"server-request";
+          counters =
+            Array.init (Array.length stat_labels) (fun _ -> Atomic.make 0);
+          conns = ref [];
+          readers = ref [];
+          conn_mutex = Mutex.create ();
+          ticker_stop = Atomic.make false;
+          progress;
+          drain_mutex = Mutex.create ();
+          drain_done = false;
+          drain_flushed = false;
+        }
+      with e ->
+        (try Unix.close listen_fd with _ -> ());
+        raise e
+    in
+    t.worker_domains <-
+      Array.init config.workers (fun i -> Domain.spawn (fun () -> worker t i));
+    t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+    t.ticker_thread <- Some (Thread.create (fun () -> ticker t) ());
+    t
+
+  let drain ?(timeout = 10.0) t =
+    Mutex.lock t.drain_mutex;
+    if t.drain_done then begin
+      let r = t.drain_flushed in
+      Mutex.unlock t.drain_mutex;
+      r
+    end
+    else begin
+      Atomic.set t.state 1;
+      (* Readers now answer every new request [Shutting_down]; the
+         accept loop notices on its next timeout tick and exits, after
+         which the listener can be closed without racing it. *)
+      (match t.accept_thread with Some th -> Thread.join th | None -> ());
+      (try Unix.close t.listen_fd with _ -> ());
+      let deadline = Unix.gettimeofday () +. timeout in
+      let flushed () =
+        Atomic.get t.inflight = 0
+        && Array.for_all (fun q -> Bqueue.length q = 0) t.queues
+      in
+      while (not (flushed ())) && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.002
+      done;
+      let ok = flushed () in
+      (* Closed queues still deliver what they hold: even on a flush
+         timeout every queued request is answered before its worker
+         exits — abandonment would be a silent drop. *)
+      Array.iter Bqueue.close t.queues;
+      Array.iter Domain.join t.worker_domains;
+      Atomic.set t.ticker_stop true;
+      (match t.ticker_thread with Some th -> Thread.join th | None -> ());
+      Mutex.lock t.conn_mutex;
+      let conns = !(t.conns) and readers = !(t.readers) in
+      Mutex.unlock t.conn_mutex;
+      List.iter shutdown_conn conns;
+      List.iter Thread.join readers;
+      Atomic.set t.state 2;
+      t.drain_done <- true;
+      t.drain_flushed <- ok;
+      Mutex.unlock t.drain_mutex;
+      ok
+    end
+end

@@ -1,0 +1,108 @@
+(** Overload-hardened KV server over any [CONCURRENT_MAP]
+    (DESIGN.md §12).
+
+    One TCP listener on loopback, one lightweight reader thread per
+    connection, and [workers] {e domains} each owning a bounded
+    request queue ({!Bqueue}) — requests are sharded to workers by
+    key, so per-key operations stay FIFO while domains never contend
+    on a shared dispatch point.
+
+    The overload-resilience layer, outside-in:
+
+    - {b admission control}: while the served p99 (over a sliding
+      window of the {!Obs.Latency} histogram) exceeds
+      [p99_bound_ns], new requests are shed immediately with
+      [Overloaded Latency_breach];
+    - {b backpressure}: a full worker queue refuses the push; the
+      dispatcher retries on a budgeted {!Ct_util.Backoff} (bumping the
+      map's [Retry_exhausted] counter when the budget burns out) and
+      then sheds with [Overloaded Queue_full].  Every shed is a typed
+      reply — nothing is silently dropped;
+    - {b deadlines}: a request whose [deadline_ns] budget expired
+      between arrival and execution is answered [Deadline_exceeded]
+      without touching the map;
+    - {b slow-peer defence}: a receive timeout in the middle of a
+      frame (slow-loris) or a send timeout against a non-reading peer
+      drops that connection, bounding how long one bad client can
+      hold a thread or a worker;
+    - {b graceful drain}: {!drain} stops accepting, answers new
+      requests with [Shutting_down], flushes every queued request to
+      a real reply, then joins workers and closes connections.
+
+    Workers cross {!Ct_util.Yieldpoint} sites ([server.worker.exec])
+    around every map operation and heartbeat an optional
+    {!Ct_util.Progress} when idle, so the existing chaos injectors,
+    flight recorder and {!Harness.Watchdog} see the serving path
+    exactly like they see the structures. *)
+
+type config = {
+  workers : int;  (** worker domains (default: available cores - 1, min 1) *)
+  queue_capacity : int;  (** per-worker queue bound (default 256) *)
+  batch : int;  (** max requests a worker dequeues at once (default 32) *)
+  enqueue_budget : int;
+      (** backoff retries before a full queue sheds (default 4, min 1) *)
+  p99_bound_ns : int;
+      (** admission bound on served p99 (default 100ms) *)
+  p99_window : int;
+      (** min samples per control interval before p99 acts (default 64) *)
+  tick_interval : float;
+      (** control-loop period, seconds (default 0.02) *)
+  idle_timeout : float;
+      (** receive timeout; mid-frame expiry drops the peer
+          (default 0.25s) *)
+  write_timeout : float;
+      (** send timeout against non-reading peers (default 0.5s) *)
+}
+
+val default_config : unit -> config
+
+(** The sites workers cross, for chaos targeting:
+    ["server.worker.exec"] brackets every map operation. *)
+val exec_site : Ct_util.Yieldpoint.site
+
+module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) : sig
+  type t
+
+  val start :
+    ?config:config ->
+    ?progress:Ct_util.Progress.t ->
+    ?port:int ->
+    string M.t ->
+    t
+  (** Bind 127.0.0.1 (ephemeral port unless [port] given), spawn the
+      accept thread, ticker thread and worker domains, and serve
+      [map].  With [progress], worker [i] attaches slot
+      [i mod slots] and heartbeats even when idle, so a watchdog over
+      the same [progress] flags genuinely stuck workers only. *)
+
+  val port : t -> int
+
+  val latency : t -> Obs.Latency.t
+  (** Served-request end-to-end latency (arrival to reply) — executed
+      requests only; sheds and deadline misses are excluded so the
+      histogram measures what accepted traffic experienced. *)
+
+  val shedding : t -> bool
+  (** Is admission control currently shedding on the p99 bound? *)
+
+  val stats : t -> (string * int) list
+  (** Serving counters, fixed order: connections, dispatches, typed
+      sheds by reason, deadline misses, executed replies, write
+      failures, ... *)
+
+  val stat : t -> string -> int
+  (** One counter by label; 0 if unknown. *)
+
+  val draining : t -> bool
+
+  val drain : ?timeout:float -> t -> bool
+  (** Graceful shutdown: stop accepting, answer new requests with
+      [Shutting_down], wait up to [timeout] (default 10s) for every
+      queued request to be answered, then close queues, join the
+      worker domains, close every connection and join its reader.
+      Returns [true] when the flush completed inside the timeout
+      ([false] means queued requests were abandoned — their
+      connections are closed, which a client observes as a dropped
+      connection, never as a silent non-reply on a live one).
+      Idempotent; concurrent calls share one shutdown. *)
+end

@@ -36,6 +36,7 @@ type counter =
   | Sampling_passes
   | Cache_installs
   | Cache_adjustments
+  | Retry_exhausted
 
 (* [@inline] matters: without flambda this match is otherwise a real
    call on every bump, and after inlining at a constant-constructor
@@ -55,12 +56,13 @@ let[@inline] index = function
   | Sampling_passes -> 11
   | Cache_installs -> 12
   | Cache_adjustments -> 13
+  | Retry_exhausted -> 14
 
 let all =
   [
     Cas_attempts; Cas_retries; Helps; Freezes; Expansions; Compressions;
     Entombments; Cache_hits; Cache_misses; Cache_invalidations; Scrub_repairs;
-    Sampling_passes; Cache_installs; Cache_adjustments;
+    Sampling_passes; Cache_installs; Cache_adjustments; Retry_exhausted;
   ]
 
 let n_counters = List.length all
@@ -80,10 +82,11 @@ let label = function
   | Sampling_passes -> "sampling_passes"
   | Cache_installs -> "cache_installs"
   | Cache_adjustments -> "cache_adjustments"
+  | Retry_exhausted -> "retry_exhausted"
 
 (* 16 words = 128 bytes: a counter block owns its line plus the
    neighbour the adjacent-line prefetcher couples to it (see Stripe).
-   All 14 counters of one domain share the block — they are bumped by
+   All 15 counters of one domain share the block — they are bumped by
    that domain only, so intra-block sharing is the point, not a
    hazard. *)
 let block = 16

@@ -163,8 +163,70 @@ let test_trace_replay_parallel_counts () =
   (* Round-robin slicing covers every op exactly once. *)
   check_int "parallel hits+misses = lookups" reads Harness.Trace.(o.hits + o.misses)
 
+(* A worker domain that detaches and exits cleanly mid-run must never
+   read as stalled — its slot is vacated (this is what the KV server's
+   workers do on drain) — while a slot that goes silent with the
+   domain still attached is caught as before. *)
+let test_watchdog_clean_worker_exit () =
+  let site = Ct_util.Yieldpoint.register "test.harness.worker" in
+  let progress = Ct_util.Progress.create ~slots:4 () in
+  let wd = Harness.Watchdog.create ~stall_epochs:2 progress in
+  let keep_beating = Atomic.make true in
+  (* Publish like an instrumented worker: [observe] records the site
+     (marking the slot attached for the watchdog) and bumps the beat. *)
+  let publish () =
+    Ct_util.Progress.observe progress Ct_util.Yieldpoint.After site
+  in
+  (* Slot 0: beats a little, then exits cleanly mid-run. *)
+  let d0 =
+    Domain.spawn (fun () ->
+        Ct_util.Progress.attach progress 0;
+        for _ = 1 to 3 do
+          publish ();
+          Unix.sleepf 0.002
+        done;
+        Ct_util.Progress.detach progress)
+  in
+  (* Slot 1: keeps beating for the whole run. *)
+  let d1 =
+    Domain.spawn (fun () ->
+        Ct_util.Progress.attach progress 1;
+        while Atomic.get keep_beating do
+          publish ();
+          Unix.sleepf 0.001
+        done;
+        Ct_util.Progress.detach progress)
+  in
+  Domain.join d0;
+  (* Many epochs after the clean exit: the vacated slot must not
+     surface as a stall while the live worker keeps beating. *)
+  for _ = 1 to 6 do
+    check_int "no stall after clean worker exit" 0
+      (List.length (Harness.Watchdog.step wd));
+    Unix.sleepf 0.002
+  done;
+  Atomic.set keep_beating false;
+  Domain.join d1;
+  (* Control: going silent while still attached IS a stall. *)
+  let d2 =
+    Domain.spawn (fun () ->
+        Ct_util.Progress.attach progress 2;
+        publish ())
+  in
+  Domain.join d2;
+  let caught = ref false in
+  for _ = 1 to 4 do
+    if
+      List.exists
+        (fun r -> r.Harness.Watchdog.slot = 2)
+        (Harness.Watchdog.step wd)
+    then caught := true
+  done;
+  check_bool "undetached silent slot is still caught" true !caught
+
 let suite =
   [
+    ("watchdog_clean_worker_exit", `Quick, test_watchdog_clean_worker_exit);
     ("trace_generate", `Quick, test_trace_generate);
     ("trace_replay_counts", `Quick, test_trace_replay_counts);
     ("trace_replay_parallel_counts", `Slow, test_trace_replay_parallel_counts);

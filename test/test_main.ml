@@ -27,4 +27,5 @@ let () =
       ("mc", Test_mc.suite);
       ("harness", Test_harness.suite);
       ("obs", Test_obs.suite);
+      ("server", Test_server.suite);
     ]

@@ -1,0 +1,522 @@
+(* KV serving layer (DESIGN.md §12): wire protocol, bounded queues,
+   end-to-end request/reply, the overload defences (deadlines,
+   queue-full backpressure, p99 admission control, slow-loris drops),
+   graceful drain under live traffic, and the load generator's
+   zero-silent-drop ledger. *)
+
+module Protocol = Kv.Protocol
+module Bqueue = Kv.Bqueue
+module Loadgen = Kv.Loadgen
+module Metrics = Ct_util.Metrics
+module M = Cachetrie.Make (Ct_util.Hashing.Int_key)
+module S = Kv.Server.Make (M)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let small_config ?(workers = 2) ?(queue = 64) () =
+  {
+    (Kv.Server.default_config ()) with
+    Kv.Server.workers;
+    queue_capacity = queue;
+    tick_interval = 0.005;
+  }
+
+let with_server ?config ?progress f =
+  let map = M.create () in
+  let srv = S.start ?config ?progress map in
+  Fun.protect
+    ~finally:(fun () -> ignore (S.drain ~timeout:5.0 srv))
+    (fun () -> f srv map)
+
+let with_client srv f =
+  let c = Kv.Client.connect ~port:(S.port srv) () in
+  Fun.protect ~finally:(fun () -> Kv.Client.close c) (fun () -> f c)
+
+(* ------------------------------ protocol --------------------------- *)
+
+let strip_prefix frame =
+  Bytes.sub frame 4 (Bytes.length frame - 4)
+
+let test_protocol_roundtrip () =
+  let ops =
+    [
+      Protocol.Ping;
+      Protocol.Get 42;
+      Protocol.Get (-7);
+      Protocol.Put (0, "");
+      Protocol.Put (max_int, String.make 100 'v');
+      Protocol.Remove min_int;
+    ]
+  in
+  List.iteri
+    (fun i op ->
+      let req = { Protocol.id = i + 1; deadline_ns = i * 1000; op } in
+      match Protocol.decode_request (strip_prefix (Protocol.encode_request req)) with
+      | Ok got ->
+          check_bool "request roundtrips" true (got = req)
+      | Error e -> Alcotest.failf "decode_request: %s" e)
+    ops;
+  let replies =
+    [
+      Protocol.Value "hello";
+      Protocol.Value "";
+      Protocol.Nil;
+      Protocol.Stored true;
+      Protocol.Stored false;
+      Protocol.Removed;
+      Protocol.Pong;
+      Protocol.Overloaded Protocol.Queue_full;
+      Protocol.Overloaded Protocol.Latency_breach;
+      Protocol.Deadline_exceeded;
+      Protocol.Shutting_down;
+      Protocol.Bad_request "nope";
+      Protocol.Server_error "boom";
+    ]
+  in
+  List.iteri
+    (fun i r ->
+      let id = (i * 7919) land 0xFFFF_FFFF in
+      match Protocol.decode_reply (strip_prefix (Protocol.encode_reply ~id r)) with
+      | Ok (gid, got) ->
+          check_int "reply id echoes" id gid;
+          check_bool "reply roundtrips" true (got = r)
+      | Error e -> Alcotest.failf "decode_reply: %s" e)
+    replies;
+  check_string "label" "overloaded_queue_full"
+    (Protocol.reply_label (Protocol.Overloaded Protocol.Queue_full));
+  (* Corrupt opcode decodes to an error, not an exception. *)
+  let bad = strip_prefix (Protocol.encode_request
+      { Protocol.id = 1; deadline_ns = 0; op = Protocol.Ping }) in
+  Bytes.set bad 0 '\xee';
+  check_bool "bad opcode is Error" true
+    (Result.is_error (Protocol.decode_request bad))
+
+(* Frames reassemble across arbitrarily chunked delivery, and an
+   oversized announced length poisons the connection. *)
+let test_reader_framing () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with _ -> ());
+      try Unix.close b with _ -> ())
+    (fun () ->
+      let f1 =
+        Protocol.encode_request
+          { Protocol.id = 1; deadline_ns = 0; op = Protocol.Put (7, "seven") }
+      and f2 =
+        Protocol.encode_request
+          { Protocol.id = 2; deadline_ns = 9; op = Protocol.Get 7 }
+      in
+      let all = Bytes.cat f1 f2 in
+      (* Trickle both frames 3 bytes at a time from a helper thread. *)
+      let th =
+        Thread.create
+          (fun () ->
+            let len = Bytes.length all in
+            let off = ref 0 in
+            while !off < len do
+              let n = min 3 (len - !off) in
+              ignore (Unix.write a all !off n);
+              off := !off + n
+            done)
+          ()
+      in
+      let r = Protocol.Reader.create () in
+      (match Protocol.Reader.read_frame r b with
+      | Some p ->
+          check_bool "frame 1" true
+            (Protocol.decode_request p
+            = Ok { Protocol.id = 1; deadline_ns = 0; op = Protocol.Put (7, "seven") })
+      | None -> Alcotest.fail "expected frame 1");
+      (match Protocol.Reader.read_frame r b with
+      | Some p ->
+          check_bool "frame 2" true
+            (Protocol.decode_request p
+            = Ok { Protocol.id = 2; deadline_ns = 9; op = Protocol.Get 7 })
+      | None -> Alcotest.fail "expected frame 2");
+      Thread.join th;
+      check_bool "no partial frame pending" false (Protocol.Reader.pending r);
+      (* Announce a frame bigger than max_frame: must raise, not
+         allocate or wait for a gigabyte. *)
+      let huge = Bytes.create 4 in
+      Bytes.set_int32_be huge 0 (Int32.of_int (Protocol.max_frame + 1));
+      ignore (Unix.write a huge 0 4);
+      (match Protocol.Reader.read_frame r b with
+      | exception Protocol.Protocol_error _ -> ()
+      | _ -> Alcotest.fail "oversized frame must poison the stream"))
+
+(* ------------------------------- bqueue ---------------------------- *)
+
+let test_bqueue_basics () =
+  let q = Bqueue.create ~capacity:2 in
+  check_bool "push 1" true (Bqueue.try_push q 1);
+  check_bool "push 2" true (Bqueue.try_push q 2);
+  check_bool "push to full queue refused" false (Bqueue.try_push q 3);
+  let into = Array.make 4 None in
+  (match Bqueue.pop_batch q ~max:4 ~into with
+  | Some 2 ->
+      check_bool "fifo" true (into.(0) = Some 1 && into.(1) = Some 2)
+  | other ->
+      Alcotest.failf "expected Some 2, got %s"
+        (match other with
+        | None -> "None"
+        | Some n -> "Some " ^ string_of_int n));
+  (* A tick on an empty open queue wakes the consumer with 0 items —
+     the idle-heartbeat path. *)
+  let popped = ref (-1) in
+  let th =
+    Thread.create
+      (fun () ->
+        match Bqueue.pop_batch q ~max:4 ~into with
+        | Some n -> popped := n
+        | None -> popped := -2)
+      ()
+  in
+  Unix.sleepf 0.02;
+  Bqueue.tick q;
+  Thread.join th;
+  check_int "tick wakes an idle consumer with an empty batch" 0 !popped;
+  (* close: refuses new work but still delivers what it holds. *)
+  check_bool "push before close" true (Bqueue.try_push q 9);
+  Bqueue.close q;
+  check_bool "push after close refused" false (Bqueue.try_push q 10);
+  (match Bqueue.pop_batch q ~max:4 ~into with
+  | Some 1 -> check_bool "queued item survives close" true (into.(0) = Some 9)
+  | _ -> Alcotest.fail "expected the queued item after close");
+  check_bool "closed and drained" true (Bqueue.pop_batch q ~max:4 ~into = None)
+
+(* ----------------------------- end to end -------------------------- *)
+
+let test_e2e_basic () =
+  with_server ~config:(small_config ()) (fun srv _map ->
+      with_client srv (fun c ->
+          check_bool "ping" true (Kv.Client.ping c);
+          check_bool "get miss" true (Kv.Client.get c 1 = Protocol.Nil);
+          check_bool "fresh put" true (Kv.Client.put c 1 "one" = Protocol.Stored false);
+          check_bool "get hit" true (Kv.Client.get c 1 = Protocol.Value "one");
+          check_bool "replacing put" true
+            (Kv.Client.put c 1 "uno" = Protocol.Stored true);
+          check_bool "remove hit" true (Kv.Client.remove c 1 = Protocol.Removed);
+          check_bool "remove miss" true (Kv.Client.remove c 1 = Protocol.Nil);
+          check_bool "executed counted" true (S.stat srv "executed" >= 5));
+      check_bool "drain flushes" true (S.drain srv);
+      check_bool "drain idempotent" true (S.drain srv))
+
+(* A request that waits out its deadline behind a stalled worker gets
+   the typed [Deadline_exceeded], and the late request never executes. *)
+let test_deadline_exceeded () =
+  let stall =
+    Chaos.Net.stall_sites ~one_in:1 ~max_stalls:1 ~duration:0.4
+      "server.worker."
+  in
+  Fun.protect ~finally:Chaos.clear (fun () ->
+      with_server ~config:(small_config ~workers:1 ()) (fun srv map ->
+          ignore (M.add map 5 "five");
+          (* Occupy the only worker: its first execution parks 0.4s. *)
+          let blocker =
+            Thread.create
+              (fun () ->
+                with_client srv (fun c -> ignore (Kv.Client.get c 5)))
+              ()
+          in
+          Unix.sleepf 0.1;
+          with_client srv (fun c ->
+              match Kv.Client.get c ~deadline_ns:50_000_000 5 with
+              | Protocol.Deadline_exceeded -> ()
+              | r ->
+                  Alcotest.failf "expected Deadline_exceeded, got %s"
+                    (Protocol.reply_label r));
+          Thread.join blocker;
+          check_bool "stall fired" true (Chaos.Net.stalls_fired stall >= 1);
+          check_bool "deadline miss counted" true
+            (S.stat srv "deadline_expired" >= 1)))
+
+(* Pipelined flood against a stalled single worker with a tiny queue:
+   the overflow comes back as typed [Overloaded Queue_full] replies —
+   every id answered exactly once, none silently dropped — and the
+   budget exhaustion surfaces on the served map's uniform stats. *)
+let test_queue_full_shed () =
+  ignore
+    (Chaos.Net.stall_sites ~one_in:1 ~max_stalls:1 ~duration:0.5
+       "server.worker.");
+  Fun.protect ~finally:Chaos.clear (fun () ->
+      let config =
+        { (small_config ~workers:1 ~queue:2 ()) with Kv.Server.enqueue_budget = 1 }
+      in
+      with_server ~config (fun srv map ->
+          let n = 16 in
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with _ -> ())
+            (fun () ->
+              Unix.connect fd
+                (Unix.ADDR_INET (Unix.inet_addr_loopback, S.port srv));
+              Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+              (* Same key → same worker queue: all behind the stall. *)
+              for id = 1 to n do
+                let f =
+                  Protocol.encode_request
+                    { Protocol.id; deadline_ns = 0; op = Protocol.Get 3 }
+                in
+                ignore (Unix.write fd f 0 (Bytes.length f))
+              done;
+              let seen = Array.make (n + 1) 0 in
+              let sheds = ref 0 in
+              let r = Protocol.Reader.create () in
+              for _ = 1 to n do
+                match Protocol.Reader.read_frame r fd with
+                | Some p -> (
+                    match Protocol.decode_reply p with
+                    | Ok (id, reply) ->
+                        seen.(id) <- seen.(id) + 1;
+                        if reply = Protocol.Overloaded Protocol.Queue_full then
+                          incr sheds
+                    | Error e -> Alcotest.failf "bad reply: %s" e)
+                | None -> Alcotest.fail "connection closed early"
+              done;
+              for id = 1 to n do
+                check_int
+                  (Printf.sprintf "id %d answered exactly once" id)
+                  1 seen.(id)
+              done;
+              check_bool "some requests were shed" true (!sheds >= 1);
+              check_bool "some requests were executed" true (!sheds < n);
+              check_int "server counted the sheds" !sheds
+                (S.stat srv "shed_queue_full");
+              check_bool "retry budget exhaustion on the map's stats" true
+                (match List.assoc_opt "retry_exhausted" (M.stats map) with
+                | Some v -> v >= 1
+                | None -> false))))
+
+(* Admission control: with the p99 bound set below the floor of real
+   request latency, the control loop starts shedding with typed
+   [Overloaded Latency_breach] replies, and recovers (duty-cycle
+   probing) rather than shedding forever. *)
+let test_latency_breach_shed () =
+  let config =
+    {
+      (small_config ~workers:2 ())
+      with Kv.Server.p99_bound_ns = 1; p99_window = 4; tick_interval = 0.005;
+    }
+  in
+  with_server ~config (fun srv _map ->
+      with_client srv (fun c ->
+          (* Feed the histogram window. *)
+          for i = 1 to 50 do
+            ignore (Kv.Client.put c i "v")
+          done;
+          let breached = ref false in
+          let attempts = ref 0 in
+          while (not !breached) && !attempts < 500 do
+            incr attempts;
+            (match Kv.Client.get c (!attempts mod 50) with
+            | Protocol.Overloaded Protocol.Latency_breach -> breached := true
+            | _ -> ());
+            if !attempts mod 20 = 0 then Unix.sleepf 0.01
+          done;
+          check_bool "latency-breach shed observed" true !breached;
+          check_bool "counted" true (S.stat srv "shed_latency_breach" >= 1);
+          (* Duty cycle: once traffic pauses, the thin window turns
+             shedding back off. *)
+          let recovered = ref false in
+          let tries = ref 0 in
+          while (not !recovered) && !tries < 100 do
+            incr tries;
+            Unix.sleepf 0.01;
+            if not (S.shedding srv) then recovered := true
+          done;
+          check_bool "shedding recovers when the episode ends" true !recovered))
+
+(* Slow-loris: a peer that trickles a frame slower than the receive
+   timeout loses its connection (typed counter, thread freed). *)
+let test_slow_loris_dropped () =
+  let config = { (small_config ()) with Kv.Server.idle_timeout = 0.1 } in
+  with_server ~config (fun srv _map ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, S.port srv));
+          let f =
+            Protocol.encode_request
+              { Protocol.id = 1; deadline_ns = 0; op = Protocol.Get 1 }
+          in
+          (* Half a frame, then silence past the idle timeout. *)
+          ignore (Unix.write fd f 0 (Bytes.length f / 2));
+          let deadline = Unix.gettimeofday () +. 5.0 in
+          let dropped () = S.stat srv "conns_dropped_slow" >= 1 in
+          while (not (dropped ())) && Unix.gettimeofday () < deadline do
+            Unix.sleepf 0.02
+          done;
+          check_bool "loris connection dropped" true (dropped ());
+          (* The server still serves healthy clients afterwards. *)
+          with_client srv (fun c -> check_bool "still alive" true (Kv.Client.ping c))))
+
+(* ------------------------------ loadgen ---------------------------- *)
+
+let test_loadgen_trace_roundtrip () =
+  let plan =
+    {
+      Loadgen.default_plan with
+      Loadgen.seed = 77;
+      n = 1234;
+      conns = 3;
+      rate = 4567.25;
+      deadline_ns = 9_000_000;
+      net =
+        { Chaos.Net.default with Chaos.Net.seed = 99; drop_one_in = 123 };
+    }
+  in
+  (match Loadgen.of_string (Loadgen.to_string plan) with
+  | Ok p -> check_bool "plan roundtrips" true (p = plan)
+  | Error e -> Alcotest.failf "of_string: %s" e);
+  check_bool "bad header rejected" true
+    (Result.is_error (Loadgen.of_string "bogus v9\nseed=1"));
+  check_bool "unknown key rejected" true
+    (Result.is_error (Loadgen.of_string "kvload-trace v1\nwat=1"));
+  check_bool "bad int rejected" true
+    (Result.is_error (Loadgen.of_string "kvload-trace v1\nseed=xyz"))
+
+(* Healthy server, fault-free plan: the ledger accounts every request
+   and nothing is pending. *)
+let test_loadgen_healthy_ledger () =
+  with_server ~config:(small_config ~queue:256 ()) (fun srv _map ->
+      let plan =
+        {
+          Loadgen.default_plan with
+          Loadgen.n = 3000;
+          conns = 4;
+          rate = 30_000.0;
+          deadline_ns = 2_000_000_000;
+        }
+      in
+      let s = Loadgen.run ~port:(S.port srv) plan in
+      (match Loadgen.verify s with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      check_int "everything accounted" plan.Loadgen.n (Loadgen.accounted s);
+      check_int "no silent drops" 0 s.Loadgen.pending;
+      check_int "no connection drops on a quiet plan" 0 s.Loadgen.dropped;
+      check_bool "most requests succeeded" true
+        (s.Loadgen.ok > (plan.Loadgen.n * 9 / 10)))
+
+(* Same plan, same seed → same trace text and same offered schedule;
+   the replay path the repro CLI uses. *)
+let test_loadgen_deterministic_trace () =
+  let p1 = { Loadgen.default_plan with Loadgen.seed = 5; n = 500 } in
+  let p2 = { Loadgen.default_plan with Loadgen.seed = 5; n = 500 } in
+  check_string "identical plans serialize identically"
+    (Loadgen.to_string p1) (Loadgen.to_string p2);
+  let t1 = Harness.Trace.generate ~seed:p1.Loadgen.seed p1.Loadgen.profile 500
+  and t2 = Harness.Trace.generate ~seed:p2.Loadgen.seed p2.Loadgen.profile 500 in
+  check_bool "identical op traces" true (t1 = t2)
+
+(* Traffic-path chaos on: connections are severed and reads paused by
+   the fault plan, yet the ledger still balances — drops are accounted
+   as drops, not silence — and the server survives to serve again. *)
+let test_loadgen_chaos_ledger () =
+  with_server ~config:(small_config ~queue:256 ()) (fun srv _map ->
+      let plan =
+        {
+          Loadgen.default_plan with
+          Loadgen.n = 2000;
+          conns = 4;
+          rate = 20_000.0;
+          deadline_ns = 2_000_000_000;
+          net =
+            {
+              Chaos.Net.quiet with
+              Chaos.Net.seed = 31;
+              drop_one_in = 120;
+              pause_reads_one_in = 60;
+              pause_reads_s = 0.005;
+            };
+        }
+      in
+      let s = Loadgen.run ~port:(S.port srv) plan in
+      (match Loadgen.verify s with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      check_bool "fault plan actually fired" true (s.Loadgen.fault_drops >= 1);
+      check_bool "drops were accounted" true (s.Loadgen.dropped >= 1);
+      check_bool "generator reconnected" true (s.Loadgen.reconnects >= 1);
+      with_client srv (fun c ->
+          check_bool "server survives the chaos run" true (Kv.Client.ping c)))
+
+(* Drain under live traffic: post-drain requests get typed
+   [Shutting_down] replies, queued work is flushed (drain returns
+   true), and the ledger still balances. *)
+let test_drain_under_traffic () =
+  let map = M.create () in
+  let srv = S.start ~config:(small_config ~queue:128 ()) map in
+  let plan =
+    {
+      Loadgen.default_plan with
+      Loadgen.n = 6000;
+      conns = 4;
+      rate = 30_000.0;
+      deadline_ns = 2_000_000_000;
+    }
+  in
+  let result = ref None in
+  let gen =
+    Thread.create
+      (fun () -> result := Some (Loadgen.run ~port:(S.port srv) plan))
+      ()
+  in
+  Unix.sleepf 0.05;
+  check_bool "drain flushed everything" true (S.drain ~timeout:5.0 srv);
+  Thread.join gen;
+  match !result with
+  | None -> Alcotest.fail "load generator never finished"
+  | Some s -> (
+      (match Loadgen.verify s with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      check_bool "some requests executed before the drain" true (s.Loadgen.ok >= 1);
+      check_bool "drain produced typed shutdown replies or drops" true
+        (s.Loadgen.shutting_down >= 1 || s.Loadgen.dropped >= 1))
+
+(* Workers attach progress slots, heartbeat while idle (ticker wakes
+   them), and detach on drain — so a watchdog over the same progress
+   sees no stall from a clean shutdown. *)
+let test_progress_clean_drain () =
+  let progress = Ct_util.Progress.create ~slots:4 () in
+  let wd = Harness.Watchdog.create ~stall_epochs:2 progress in
+  let map = M.create () in
+  let srv = S.start ~config:(small_config ~workers:2 ()) ~progress map in
+  with_client srv (fun c ->
+      for i = 1 to 20 do
+        ignore (Kv.Client.put c i "v")
+      done);
+  (* Idle interval: ticker-driven heartbeats keep beats moving. *)
+  let b0 = Array.fold_left ( + ) 0 (Ct_util.Progress.snapshot progress) in
+  Unix.sleepf 0.1;
+  let b1 = Array.fold_left ( + ) 0 (Ct_util.Progress.snapshot progress) in
+  check_bool "idle workers still heartbeat" true (b1 > b0);
+  check_bool "drain" true (S.drain srv);
+  (* After a clean drain every slot is vacated: no false stalls. *)
+  for _ = 1 to 5 do
+    check_int "no stall after clean drain" 0
+      (List.length (Harness.Watchdog.step wd))
+  done
+
+let suite =
+  [
+    ("protocol_roundtrip", `Quick, test_protocol_roundtrip);
+    ("reader_framing", `Quick, test_reader_framing);
+    ("bqueue_basics", `Quick, test_bqueue_basics);
+    ("e2e_basic", `Quick, test_e2e_basic);
+    ("deadline_exceeded", `Quick, test_deadline_exceeded);
+    ("queue_full_shed", `Quick, test_queue_full_shed);
+    ("latency_breach_shed", `Quick, test_latency_breach_shed);
+    ("slow_loris_dropped", `Quick, test_slow_loris_dropped);
+    ("loadgen_trace_roundtrip", `Quick, test_loadgen_trace_roundtrip);
+    ("loadgen_deterministic_trace", `Quick, test_loadgen_deterministic_trace);
+    ("loadgen_healthy_ledger", `Slow, test_loadgen_healthy_ledger);
+    ("loadgen_chaos_ledger", `Slow, test_loadgen_chaos_ledger);
+    ("drain_under_traffic", `Slow, test_drain_under_traffic);
+    ("progress_clean_drain", `Quick, test_progress_clean_drain);
+  ]
