@@ -445,6 +445,108 @@ let run_sweeps scale =
           record "lookup" M.name p (fst !best_lookup) (snd !best_lookup))
         threads)
     read_modules;
+  (* Batch-vs-scalar lookup curves: the staged [find_batch] path at
+     several chunk sizes over the same prefilled structures and probe
+     ranges as the scalar sweep above (which is the K=1-equivalent
+     baseline).  Chunks are pre-sliced and the out buffers reused, so
+     the timed region runs nothing but find_batch; Batch_fallback
+     structures chart the scalar loop at every K. *)
+  let batch_ks = [ 1; 8; 16; 32; 64 ] in
+  List.iter
+    (fun (module M : Suites.IMAP) ->
+      let t = M.create () in
+      Array.iter (fun k -> M.insert t k k) keys;
+      Array.iter (fun k -> ignore (M.lookup t k)) keys;
+      List.iter
+        (fun p ->
+          let ranges = Harness.Workload.disjoint_ranges ~domains:p ~total:n in
+          List.iter
+            (fun kk ->
+              let chunked =
+                Array.map (fun r -> Harness.Workload.batches ~batch:kk r) ranges
+              in
+              let outs = Array.init p (fun _ -> Array.make kk 0) in
+              let best = ref (infinity, 0) in
+              for _ = 1 to reps do
+                let elapsed, ops =
+                  Harness.Parallel.run_counted ~domains:p (fun d counters ->
+                      let out = outs.(d) in
+                      let hits = ref 0 in
+                      Array.iter
+                        (fun chunk ->
+                          hits := !hits + M.find_batch t chunk ~miss:(-1) out)
+                        chunked.(d);
+                      ignore (Sys.opaque_identity !hits);
+                      Ct_util.Stripe.add counters d (Array.length ranges.(d)))
+                in
+                if elapsed < fst !best then best := (elapsed, ops)
+              done;
+              record
+                (Printf.sprintf "find_batch_k%d" kk)
+                M.name p (fst !best) (snd !best))
+            batch_ks)
+        threads)
+    read_modules;
+  (* Word-count aggregation: each domain folds its slice of a Zipf word
+     stream into shared per-word counters (find, then CAS-bump via
+     replace_if / put_if_absent).  The batched variant warms each
+     16-word chunk with [find_batch] before bumping, so the chunk's
+     read misses overlap and the CAS pass runs against warm lines. *)
+  let wc_universe = max 16 (n / 10) in
+  let wc_stream =
+    Harness.Workload.zipf_keys ~seed:bench_seed ~n ~universe:wc_universe 1.1
+  in
+  let wc_k = 16 in
+  List.iter
+    (fun (module M : Suites.IMAP) ->
+      let bump t k =
+        let rec go () =
+          match M.find t k with
+          | v -> if not (M.replace_if t k ~expected:v (v + 1)) then go ()
+          | exception Not_found -> if M.put_if_absent t k 1 <> None then go ()
+        in
+        go ()
+      in
+      List.iter
+        (fun p ->
+          let slices =
+            Array.init p (fun d ->
+                let lo = d * n / p in
+                Array.sub wc_stream lo (((d + 1) * n / p) - lo))
+          in
+          let chunked =
+            Array.map (fun s -> Harness.Workload.batches ~batch:wc_k s) slices
+          in
+          let outs = Array.init p (fun _ -> Array.make wc_k 0) in
+          let best_scalar = ref (infinity, 0) and best_batch = ref (infinity, 0) in
+          for _ = 1 to reps do
+            let t = M.create () in
+            let elapsed, ops =
+              Harness.Parallel.run_counted ~domains:p (fun d counters ->
+                  let s = slices.(d) in
+                  Array.iter (fun k -> bump t k) s;
+                  Ct_util.Stripe.add counters d (Array.length s))
+            in
+            if elapsed < fst !best_scalar then best_scalar := (elapsed, ops);
+            let t = M.create () in
+            let elapsed, ops =
+              Harness.Parallel.run_counted ~domains:p (fun d counters ->
+                  let out = outs.(d) in
+                  Array.iter
+                    (fun chunk ->
+                      ignore (M.find_batch t chunk ~miss:0 out);
+                      Array.iter (fun k -> bump t k) chunk)
+                    chunked.(d);
+                  Ct_util.Stripe.add counters d (Array.length slices.(d)))
+            in
+            if elapsed < fst !best_batch then best_batch := (elapsed, ops)
+          done;
+          record "wordcount" M.name p (fst !best_scalar) (snd !best_scalar);
+          record
+            (Printf.sprintf "wordcount_batch_k%d" wc_k)
+            M.name p (fst !best_batch) (snd !best_batch))
+        threads)
+    read_modules;
   (* Allocation deltas, measured on this domain alone so the
      [Gc.minor_words] counter is exact. *)
   let alloc_rows =
@@ -474,6 +576,21 @@ let run_sweeps scale =
                 (fun k -> ignore (Sys.opaque_identity (M.lookup t k)))
                 keys)
         in
+        (* Batch read budget: chunks pre-sliced and the out buffer
+           reused outside the metered region, so this is the staged
+           traversal's own allocation — the acceptance bar is 0. *)
+        let find_batch_w =
+          let chunks = Harness.Workload.batches ~batch:64 keys in
+          let out = Array.make 64 0 in
+          (* One warm pass materializes this domain's scratch in the
+             pool, so the delta sees the steady-state (0-alloc) path. *)
+          Array.iter (fun c -> ignore (M.find_batch t c ~miss:(-1) out)) chunks;
+          delta (fun () ->
+              Array.iter
+                (fun c ->
+                  ignore (Sys.opaque_identity (M.find_batch t c ~miss:(-1) out)))
+                chunks)
+        in
         let insert_w =
           let fresh = M.create () in
           delta (fun () -> Array.iter (fun k -> M.insert fresh k k) keys)
@@ -484,12 +601,17 @@ let run_sweeps scale =
             ("find_minor_words_per_op", Json.Float find_w);
             ("mem_minor_words_per_op", Json.Float mem_w);
             ("lookup_minor_words_per_op", Json.Float lookup_w);
+            ("find_batch_minor_words_per_op", Json.Float find_batch_w);
             ("insert_minor_words_per_op", Json.Float insert_w);
           ])
       read_modules
   in
   Harness.Report.print_table
-    ~header:[ "structure"; "find w/op"; "mem w/op"; "lookup w/op"; "insert w/op" ]
+    ~header:
+      [
+        "structure"; "find w/op"; "mem w/op"; "lookup w/op"; "batch w/op";
+        "insert w/op";
+      ]
     (List.map
        (fun row ->
          match row with
@@ -499,6 +621,7 @@ let run_sweeps scale =
                (_, Json.Float f);
                (_, Json.Float m);
                (_, Json.Float l);
+               (_, Json.Float b);
                (_, Json.Float i);
              ] ->
              [
@@ -506,6 +629,7 @@ let run_sweeps scale =
                Printf.sprintf "%.3f" f;
                Printf.sprintf "%.3f" m;
                Printf.sprintf "%.3f" l;
+               Printf.sprintf "%.3f" b;
                Printf.sprintf "%.3f" i;
              ]
          | _ -> [ "?" ])

@@ -411,7 +411,6 @@ let mc_cmd =
    repro serve --replay F       replay a saved kvload trace against a
                                 fresh server and verify its ledger *)
 
-module Srv = Kv.Server.Make (Obs_map)
 module Loadgen = Kv.Loadgen
 
 let serve_config ~workers =
@@ -445,7 +444,13 @@ let serve_deadline_ns = 80_000_000
 
 let serve_workers () = max 2 (min 4 (Domain.recommended_domain_count () - 2))
 
-let serve_soak scale trace_out =
+(* The serving soak is generic over the map it fronts: [--map] picks
+   the structure, running the same overload/chaos/drain gauntlet
+   against the trie or the flat open-addressing contender. *)
+module Serve (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
+  module Srv = Kv.Server.Make (M)
+
+  let serve_soak scale trace_out =
   let failures = ref [] in
   let check what ok =
     if not ok then failures := what :: !failures;
@@ -465,7 +470,7 @@ let serve_soak scale trace_out =
       Chaos.clear ();
       Obs.Flight.uninstall ())
   @@ fun () ->
-  let map = Obs_map.create () in
+  let map = M.create () in
   let srv = Srv.start ~config:(serve_config ~workers) ~progress map in
   let port = Srv.port srv in
   (* Watchdog over the worker heartbeats; any stall episode prints a
@@ -571,7 +576,7 @@ let serve_soak scale trace_out =
     go 0);
   if Srv.stat srv "shed_queue_full" > 0 then
     check "retry-budget exhaustion surfaced on the map's stats"
-      (match List.assoc_opt "retry_exhausted" (Obs_map.stats map) with
+      (match List.assoc_opt "retry_exhausted" (M.stats map) with
       | Some v -> v >= 1
       | None -> false);
   (* Phase 3 — graceful drain under live traffic. *)
@@ -615,7 +620,7 @@ let serve_soak scale trace_out =
     (Srv.stats srv);
   !failures
 
-let serve_replay file =
+  let serve_replay file =
   let failures = ref [] in
   let check what ok =
     if not ok then failures := what :: !failures;
@@ -633,7 +638,7 @@ let serve_replay file =
       Printf.eprintf "repro serve: cannot parse %s: %s\n%!" file e;
       [ "trace parses" ]
   | Ok plan ->
-      let map = Obs_map.create () in
+      let map = M.create () in
       let srv = Srv.start ~config:(serve_config ~workers:(serve_workers ())) map in
       Fun.protect ~finally:(fun () -> ignore (Srv.drain ~timeout:10.0 srv))
       @@ fun () ->
@@ -642,13 +647,23 @@ let serve_replay file =
       check "replayed ledger verifies (zero silent drops)"
         (Loadgen.verify s = Ok ());
       !failures
+end
 
-let serve_run timeout replay trace_out scale =
+module Folklore_map = Oa.Folklore.Make (Ct_util.Hashing.Int_key)
+module Serve_cachetrie = Serve (Obs_map)
+module Serve_folklore = Serve (Folklore_map)
+
+let serve_run timeout map_name replay trace_out scale =
   arm_timeout timeout;
+  let soak, rep =
+    match map_name with
+    | "oa-folklore" -> (Serve_folklore.serve_soak, Serve_folklore.serve_replay)
+    | _ -> (Serve_cachetrie.serve_soak, Serve_cachetrie.serve_replay)
+  in
   match
     match replay with
-    | Some file -> serve_replay file
-    | None -> serve_soak scale trace_out
+    | Some file -> rep file
+    | None -> soak scale trace_out
   with
   | [] -> 0
   | failures ->
@@ -677,6 +692,16 @@ let serve_cmd =
       & info [ "trace-out" ] ~docv:"FILE"
           ~doc:"Write the soak's kvload trace to $(docv) for later --replay.")
   in
+  let map_term =
+    Arg.(
+      value
+      & opt (enum [ ("cachetrie", "cachetrie"); ("oa-folklore", "oa-folklore") ])
+          "cachetrie"
+      & info [ "map" ] ~docv:"MAP"
+          ~doc:
+            "Structure the server fronts: $(b,cachetrie) (default) or \
+             $(b,oa-folklore).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -684,7 +709,9 @@ let serve_cmd =
           with traffic-path chaos and injected worker stalls, verify the \
           zero-silent-drop ledger, the accepted-p99 bound and the watchdog \
           post-mortem, then drain under live traffic.")
-    Term.(const serve_run $ timeout_term $ replay_term $ trace_out_term $ scale_term)
+    Term.(
+      const serve_run $ timeout_term $ map_term $ replay_term $ trace_out_term
+      $ scale_term)
 
 let all_cmd =
   let run timeout scale =

@@ -17,6 +17,7 @@ module Bits = Ct_util.Bits
 module Slots = Ct_util.Slots
 module Yp = Ct_util.Yieldpoint
 module Metrics = Ct_util.Metrics
+module Prefetch = Ct_util.Prefetch
 
 (* Yield points (DESIGN.md "Fault injection & robustness"): one site
    per distinct CAS, so the chaos layer can crash a victim between the
@@ -77,15 +78,36 @@ module Make (H : Hashing.HASHABLE) = struct
 
   and 'v link = { succ : 'v node option; marked : bool }
 
+  (* Staged-batch traversal state (DESIGN.md §13), pooled per domain so
+     steady-state [find_batch] allocates nothing.  [s_node] holds the
+     [succ] options already boxed inside link records, so storing them
+     costs no allocation. *)
+  type 'v scratch = {
+    s_h : int array;
+    s_so : int array;  (** split-order key *)
+    s_node : 'v node option array;
+    s_act : int array;
+    mutable s_nact : int;
+    mutable s_hits : int;
+  }
+
   type 'v t = {
     table : 'v node option Slots.t Atomic.t;
     count : int Atomic.t;
     list_head : 'v node;  (* sentinel of bucket 0 *)
     metrics : Metrics.t;
+    scratch_pool : 'v scratch Atomic.t array;
+    scratch_dummy : 'v scratch;
   }
 
   let regular_sokey h = (Bits.reverse_bits32 h lsl 1) lor 1
   let sentinel_sokey b = Bits.reverse_bits32 b lsl 1
+  let chunk_cap = 64
+
+  let pool_slots =
+    let n = Domain.recommended_domain_count () in
+    let rec p2 x = if x >= n then x else p2 (x * 2) in
+    p2 1
 
   let create () =
     let head =
@@ -97,11 +119,16 @@ module Make (H : Hashing.HASHABLE) = struct
     in
     let table = Slots.make initial_buckets None in
     Slots.set table 0 (Some head);
+    let scratch_dummy =
+      { s_h = [||]; s_so = [||]; s_node = [||]; s_act = [||]; s_nact = 0; s_hits = 0 }
+    in
     {
       table = Atomic.make table;
       count = Atomic.make 0;
       list_head = head;
       metrics = Metrics.create ~family:name;
+      scratch_pool = Array.init pool_slots (fun _ -> Atomic.make scratch_dummy);
+      scratch_dummy;
     }
 
   let hash_of k = H.hash k land Hashing.mask
@@ -358,6 +385,170 @@ module Make (H : Hashing.HASHABLE) = struct
     match remove_with t k (fun v -> v == expected) with
     | Some p -> p == expected
     | None -> false
+
+  (* --------------------------- batch operations --------------------- *)
+
+  (* Staged traversal (DESIGN.md §13).  Stage 0 hints every key's
+     bucket slot before any sentinel is touched, then the chunk walks
+     the ordered list in lockstep — one hop per key per round, the
+     successor prefetched one round before it is dispatched on — so up
+     to [chunk_cap] independent pointer chases overlap.  The read walk
+     mirrors [find_in_list]: wait-free, skips marked nodes without
+     helping, treats a Dead binding as a miss. *)
+
+  let scratch_make () =
+    {
+      s_h = Array.make chunk_cap 0;
+      s_so = Array.make chunk_cap 0;
+      s_node = Array.make chunk_cap None;
+      s_act = Array.make chunk_cap 0;
+      s_nact = 0;
+      s_hits = 0;
+    }
+
+  (* Per-domain scratch pool: [exchange] with the shared dummy instead
+     of an option so take/release allocate nothing. *)
+  let scratch_take t =
+    let slot = (Domain.self () :> int) land (Array.length t.scratch_pool - 1) in
+    let s = Atomic.exchange t.scratch_pool.(slot) t.scratch_dummy in
+    if Array.length s.s_h = chunk_cap then s else scratch_make ()
+
+  let scratch_release t s =
+    let slot = (Domain.self () :> int) land (Array.length t.scratch_pool - 1) in
+    Atomic.set t.scratch_pool.(slot) s
+
+  let find_chunk t scr keys ~miss (out : 'v array) base n =
+    (* Stage 0: hash every key and hint its bucket slot. *)
+    let table = Atomic.get t.table in
+    let nb = Slots.length table in
+    for p = 0 to n - 1 do
+      let h = hash_of (Array.unsafe_get keys (base + p)) in
+      scr.s_h.(p) <- h;
+      scr.s_so.(p) <- regular_sokey h;
+      Slots.prefetch table (h land (nb - 1));
+      scr.s_act.(p) <- p
+    done;
+    (* Stage 1: resolve sentinels (lazily installing missing ones) and
+       line up each key at its bucket's first regular position. *)
+    for p = 0 to n - 1 do
+      let start = bucket_for t scr.s_h.(p) in
+      let succ = (Atomic.get start.next).succ in
+      (match succ with Some nn -> Prefetch.read nn | None -> ());
+      scr.s_node.(p) <- succ
+    done;
+    scr.s_nact <- n;
+    (* Lockstep walk: one hop per active key per round. *)
+    while scr.s_nact > 0 do
+      let nact = scr.s_nact in
+      scr.s_nact <- 0;
+      for a = 0 to nact - 1 do
+        let p = Array.unsafe_get scr.s_act a in
+        let sokey = scr.s_so.(p) in
+        Yp.here Yp.Before yp_read_walk;
+        match scr.s_node.(p) with
+        | None -> Array.unsafe_set out (base + p) miss
+        | Some nd ->
+            if nd.sokey > sokey then Array.unsafe_set out (base + p) miss
+            else begin
+              let advance =
+                if nd.sokey < sokey then true
+                else
+                  match nd.kind with
+                  | Binding b when H.equal b.key (Array.unsafe_get keys (base + p))
+                    ->
+                      (match Atomic.get b.state with
+                      | Live v ->
+                          Array.unsafe_set out (base + p) v;
+                          scr.s_hits <- scr.s_hits + 1
+                      | Dead -> Array.unsafe_set out (base + p) miss);
+                      false
+                  | Binding _ | Sentinel -> true
+              in
+              if advance then begin
+                let succ = (Atomic.get nd.next).succ in
+                (match succ with Some nn -> Prefetch.read nn | None -> ());
+                scr.s_node.(p) <- succ;
+                scr.s_act.(scr.s_nact) <- p;
+                scr.s_nact <- scr.s_nact + 1
+              end
+            end
+      done
+    done
+
+  let rec find_chunks t scr keys ~miss out base total =
+    if base < total then begin
+      let n = min chunk_cap (total - base) in
+      find_chunk t scr keys ~miss out base n;
+      find_chunks t scr keys ~miss out (base + n) total
+    end
+
+  let find_batch t keys ~miss out =
+    let total = Array.length keys in
+    if Array.length out < total then
+      invalid_arg "Split_ordered.find_batch: out array shorter than keys";
+    let scr = scratch_take t in
+    scr.s_hits <- 0;
+    find_chunks t scr keys ~miss out 0 total;
+    let hits = scr.s_hits in
+    scratch_release t scr;
+    hits
+
+  (* Warm-up for batched writers: hint every key's bucket slot, ensure
+     the sentinel exists and pull in its first successor, then run the
+     scalar CAS machinery — [update]/[remove_with] redo [bucket_for]
+     against now-warm lines.  Writers mutate shared list links, so
+     there is no lockstep CAS phase to stage beyond this. *)
+  let warm_chunk t scr keys base n =
+    let table = Atomic.get t.table in
+    let nb = Slots.length table in
+    for p = 0 to n - 1 do
+      let h = hash_of (Array.unsafe_get keys (base + p)) in
+      scr.s_h.(p) <- h;
+      Slots.prefetch table (h land (nb - 1))
+    done;
+    for p = 0 to n - 1 do
+      let start = bucket_for t scr.s_h.(p) in
+      match (Atomic.get start.next).succ with
+      | Some nn -> Prefetch.read nn
+      | None -> ()
+    done
+
+  let rec insert_chunks t scr keys vals base total =
+    if base < total then begin
+      let n = min chunk_cap (total - base) in
+      warm_chunk t scr keys base n;
+      for p = 0 to n - 1 do
+        insert t (Array.unsafe_get keys (base + p)) (Array.unsafe_get vals (base + p))
+      done;
+      insert_chunks t scr keys vals (base + n) total
+    end
+
+  let insert_batch t keys vals =
+    if Array.length keys <> Array.length vals then
+      invalid_arg "Split_ordered.insert_batch: keys and vals differ in length";
+    let scr = scratch_take t in
+    insert_chunks t scr keys vals 0 (Array.length keys);
+    scratch_release t scr
+
+  let rec remove_chunks t scr keys base total =
+    if base < total then begin
+      let n = min chunk_cap (total - base) in
+      warm_chunk t scr keys base n;
+      for p = 0 to n - 1 do
+        match remove t (Array.unsafe_get keys (base + p)) with
+        | Some _ -> scr.s_hits <- scr.s_hits + 1
+        | None -> ()
+      done;
+      remove_chunks t scr keys (base + n) total
+    end
+
+  let remove_batch t keys =
+    let scr = scratch_take t in
+    scr.s_hits <- 0;
+    remove_chunks t scr keys 0 (Array.length keys);
+    let removed = scr.s_hits in
+    scratch_release t scr;
+    removed
 
   (* ------------------------- aggregate queries ---------------------- *)
 

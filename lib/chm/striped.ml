@@ -225,4 +225,16 @@ module Make (H : Hashing.HASHABLE) = struct
     1
     + ((1 + Slots.overhead_words_per_slot) * bucket_count t)
     + (7 * cells) + n_stripes
+
+  (* Writers serialize on stripe locks, so staging would only reorder
+     lock acquisitions; reads are one bucket load + a short list walk.
+     The scalar loop is the honest implementation. *)
+  include Ct_util.Map_intf.Batch_fallback (struct
+    type nonrec key = key
+    type nonrec 'v t = 'v t
+
+    let find = find
+    let insert = insert
+    let remove = remove
+  end)
 end

@@ -37,6 +37,7 @@ module Rng = Ct_util.Rng
 module Stripe = Ct_util.Stripe
 module Yp = Ct_util.Yieldpoint
 module Metrics = Ct_util.Metrics
+module Prefetch = Ct_util.Prefetch
 
 (* Yield points (DESIGN.md "Fault injection & robustness"): one site
    per distinct CAS/write, registered once per program.  [yp_cas]
@@ -186,6 +187,20 @@ module Make (H : Hashing.HASHABLE) = struct
     c_parent : 'v cache_level option;
   }
 
+  (* Per-call state of a staged batch traversal (DESIGN.md §13),
+     indexed by chunk position.  Pooled per domain so a steady-state
+     [find_batch] allocates nothing: all loop counters live in the
+     mutable fields, not in refs. *)
+  type 'v scratch = {
+    s_h : int array;  (** mixed hash per chunk position *)
+    s_lev : int array;  (** current trie level; -1 = already resolved *)
+    s_cur : 'v anode array;  (** node the next step reads *)
+    s_prev : 'v anode array;  (** parent of [s_cur]; valid when s_lev > 0 *)
+    s_act : int array;  (** active chunk positions, compacted in place *)
+    mutable s_nact : int;
+    mutable s_hits : int;
+  }
+
   type 'v t = {
     root : 'v anode;
     cache_head : 'v cache_level option Atomic.t;
@@ -194,20 +209,46 @@ module Make (H : Hashing.HASHABLE) = struct
         (* single source of truth for every maintenance counter; the
            [cache_stats] record is a view over it *)
     seed : int Atomic.t;
+    scratch_pool : 'v scratch Atomic.t array;
+        (* one slot per domain (power-of-two, indexed by domain id);
+           holds [scratch_dummy] while the domain's scratch is in use *)
+    scratch_dummy : 'v scratch;
   }
 
   let narrow_width = 4
   let wide_width = 16
 
+  (* Keys per staged chunk: enough lookups in flight to overlap their
+     cache misses, small enough that the per-level state stays in L1. *)
+  let chunk_cap = 64
+
+  let pool_slots =
+    let n = Domain.recommended_domain_count () in
+    let rec p2 x = if x >= n then x else p2 (x * 2) in
+    p2 1
+
   let new_anode n : 'v anode = Slots.make n Null
 
   let create_with ~config () =
+    let scratch_dummy =
+      {
+        s_h = [||];
+        s_lev = [||];
+        s_cur = [||];
+        s_prev = [||];
+        s_act = [||];
+        s_nact = 0;
+        s_hits = 0;
+      }
+    in
     {
       root = new_anode wide_width;
       cache_head = Atomic.make None;
       config;
       metrics = Metrics.create ~family:name;
       seed = Atomic.make 0x9E3779B9;
+      scratch_pool = Array.init pool_slots (fun _ -> Atomic.make scratch_dummy);
+      scratch_dummy;
     }
 
   let create () = create_with ~config:default_config ()
@@ -1096,6 +1137,299 @@ module Make (H : Hashing.HASHABLE) = struct
     match remove_outcome t k (`If_value expected) with
     | Done_some p -> p == expected
     | Done_none | Restart -> false
+
+  (* ---------------------------------------------------------------- *)
+  (* Batch operations (DESIGN.md §13): staged lockstep traversals.      *)
+  (*                                                                    *)
+  (* A chunk of up to [chunk_cap] keys walks the trie one level at a    *)
+  (* time, all keys together: pass A issues a prefetch hint for every   *)
+  (* active key's next slot, pass B dispatches on the (by then likely   *)
+  (* resident) slots.  Each key's read sequence is exactly the scalar   *)
+  (* walk's, merely interleaved with other keys' reads, so every       *)
+  (* per-key result is linearizable exactly as the scalar operation     *)
+  (* is; there is no atomicity across the batch.                        *)
+  (* ---------------------------------------------------------------- *)
+
+  let scratch_make t =
+    {
+      s_h = Array.make chunk_cap 0;
+      s_lev = Array.make chunk_cap 0;
+      s_cur = Array.make chunk_cap t.root;
+      s_prev = Array.make chunk_cap t.root;
+      s_act = Array.make chunk_cap 0;
+      s_nact = 0;
+      s_hits = 0;
+    }
+
+  (* Take/release through [Atomic.exchange]: if two sys-threads on one
+     domain ever race for the slot, the loser just allocates a fresh
+     scratch — correctness never depends on the pool. *)
+  let scratch_take t =
+    let slot = (Domain.self () :> int) land (Array.length t.scratch_pool - 1) in
+    let s = Atomic.exchange t.scratch_pool.(slot) t.scratch_dummy in
+    if Array.length s.s_h = chunk_cap then s else scratch_make t
+
+  let scratch_release t s =
+    let slot = (Domain.self () :> int) land (Array.length t.scratch_pool - 1) in
+    Atomic.set t.scratch_pool.(slot) s
+
+  (* Out-of-line helpers for the lockstep loops (module-level so the
+     loops allocate no closures). *)
+  let step_descend scr p an lev =
+    scr.s_cur.(p) <- an;
+    scr.s_lev.(p) <- lev;
+    scr.s_act.(scr.s_nact) <- p;
+    scr.s_nact <- scr.s_nact + 1
+
+  let step_hit scr (out : 'v array) base p (v : 'v) =
+    out.(base + p) <- v;
+    scr.s_hits <- scr.s_hits + 1
+
+  (* Mirror of [probe_find] for chunk position [p]: instead of
+     completing the walk it records the (anode, level) the lockstep
+     walk starts from — or resolves the key outright from a cached
+     SNode (s_lev stays -1). *)
+  let rec probe_start t scr (keys : key array) base (out : 'v array) miss mcur
+      p chain =
+    match chain with
+    | None ->
+        Metrics.incr_at t.metrics mcur Metrics.Cache_misses;
+        scr.s_cur.(p) <- t.root;
+        scr.s_lev.(p) <- 0
+    | Some cl -> (
+        let h = scr.s_h.(p) in
+        let pos = h land (Array.length cl.c_entries - 1) in
+        match cl.c_entries.(pos) with
+        | SNode sn -> (
+            match Atomic.get sn.txn with
+            | No_txn ->
+                Metrics.incr_at t.metrics mcur Metrics.Cache_hits;
+                if H.equal sn.key keys.(base + p) then
+                  step_hit scr out base p sn.value
+                else out.(base + p) <- miss
+            | Frozen_snode | Replace _ | Removed ->
+                probe_start t scr keys base out miss mcur p cl.c_parent)
+        | ANode an -> (
+            let cpos = (h lsr cl.c_level) land (Slots.length an - 1) in
+            match Slots.get an cpos with
+            | FVNode | FNode _ ->
+                probe_start t scr keys base out miss mcur p cl.c_parent
+            | SNode s2
+              when (match Atomic.get s2.txn with
+                   | Frozen_snode -> true
+                   | No_txn | Replace _ | Removed -> false) ->
+                probe_start t scr keys base out miss mcur p cl.c_parent
+            | Null | SNode _ | ANode _ | LNode _ | ENode _ | XNode _ ->
+                Metrics.incr_at t.metrics mcur Metrics.Cache_hits;
+                scr.s_cur.(p) <- an;
+                scr.s_lev.(p) <- cl.c_level)
+        | Null | FVNode | LNode _ | FNode _ | ENode _ | XNode _ ->
+            probe_start t scr keys base out miss mcur p cl.c_parent)
+
+  (* One staged chunk of reads.  Per-key dispatch is [find_at]
+     unrolled: same cases, same housekeeping, same metrics. *)
+  let find_chunk t (keys : key array) base n ~miss (out : 'v array) scr =
+    let head = Atomic.get t.cache_head in
+    (* Stage 0: hashes, plus a hint for each key's cache cell — on a
+       multi-megabyte cache level the entry array cell itself is the
+       expected miss, so hint the cell address without reading it. *)
+    (match head with
+    | None ->
+        for p = 0 to n - 1 do
+          scr.s_h.(p) <- hash_of keys.(base + p);
+          scr.s_cur.(p) <- t.root;
+          scr.s_lev.(p) <- 0
+        done
+    | Some cl ->
+        for p = 0 to n - 1 do
+          let h = hash_of keys.(base + p) in
+          scr.s_h.(p) <- h;
+          scr.s_lev.(p) <- -1;
+          Prefetch.cell cl.c_entries (h land (Array.length cl.c_entries - 1))
+        done;
+        let mcur = Metrics.cursor t.metrics in
+        for p = 0 to n - 1 do
+          probe_start t scr keys base out miss mcur p head
+        done);
+    scr.s_nact <- 0;
+    for p = 0 to n - 1 do
+      if scr.s_lev.(p) >= 0 then begin
+        scr.s_act.(scr.s_nact) <- p;
+        scr.s_nact <- scr.s_nact + 1
+      end
+    done;
+    while scr.s_nact > 0 do
+      let nact = scr.s_nact in
+      (* Pass A: hint every active key's next slot. *)
+      for j = 0 to nact - 1 do
+        let p = scr.s_act.(j) in
+        let cur = scr.s_cur.(p) in
+        Slots.prefetch cur (apos cur scr.s_h.(p) scr.s_lev.(p))
+      done;
+      (* Pass B: one [find_at] level step per key; survivors compact
+         into the prefix of [s_act] (writes trail reads, so in-place
+         is safe). *)
+      scr.s_nact <- 0;
+      for j = 0 to nact - 1 do
+        let p = scr.s_act.(j) in
+        let cur = scr.s_cur.(p) in
+        let h = scr.s_h.(p) in
+        let lev = scr.s_lev.(p) in
+        let k = keys.(base + p) in
+        Yp.here Yp.Before yp_read_walk;
+        if t.config.enable_cache && lev > 0 && Slots.length cur = wide_width
+        then inhabit_anode t cur h lev;
+        match Slots.get cur (apos cur h lev) with
+        | Null | FVNode -> out.(base + p) <- miss
+        | ANode an ->
+            Prefetch.read an;
+            step_descend scr p an (lev + 4)
+        | SNode sn as leaf ->
+            leaf_housekeeping t leaf h (lev + 4);
+            if H.equal sn.key k then step_hit scr out base p sn.value
+            else out.(base + p) <- miss
+        | LNode ln as leaf ->
+            leaf_housekeeping t leaf h (lev + 4);
+            if ln.lhash = h then (
+              match lassoc k ln.entries with
+              | v -> step_hit scr out base p v
+              | exception Not_found -> out.(base + p) <- miss)
+            else out.(base + p) <- miss
+        | ENode en ->
+            Prefetch.read en.e_narrow;
+            step_descend scr p en.e_narrow (lev + 4)
+        | XNode xn ->
+            Prefetch.read xn.x_stale;
+            step_descend scr p xn.x_stale (lev + 4)
+        | FNode (ANode an) ->
+            Prefetch.read an;
+            step_descend scr p an (lev + 4)
+        | FNode (LNode ln) ->
+            if ln.lhash = h then (
+              match lassoc k ln.entries with
+              | v -> step_hit scr out base p v
+              | exception Not_found -> out.(base + p) <- miss)
+            else out.(base + p) <- miss
+        | FNode _ -> out.(base + p) <- miss
+      done
+    done
+
+  (* Module-level recursion instead of a [ref] cursor: the chunk loop
+     itself must not allocate (the 0-words/op budget of DESIGN.md §13
+     covers the whole call). *)
+  let rec find_chunks t keys base n ~miss out scr =
+    if base < n then begin
+      let cn = min chunk_cap (n - base) in
+      find_chunk t keys base cn ~miss out scr;
+      find_chunks t keys (base + cn) n ~miss out scr
+    end
+
+  let find_batch t keys ~miss out =
+    let n = Array.length keys in
+    if Array.length out < n then
+      invalid_arg "find_batch: out array shorter than keys";
+    let scr = scratch_take t in
+    scr.s_hits <- 0;
+    find_chunks t keys 0 n ~miss out scr;
+    let hits = scr.s_hits in
+    scratch_release t scr;
+    hits
+
+  (* Locate pass for batched updates: walk each key down in lockstep
+     with prefetch for as long as the slot holds a plain ANode child —
+     the only step a scalar update would take without acting — and
+     leave (s_cur, s_lev, s_prev) at the stop point.  The finishing
+     call re-reads the stop slot and handles every transition
+     ([Restart] falls back to the root retry, like the scalar cache
+     probe does); tracking the real parent keeps the expansion and
+     compression paths available, which the scalar fast path (probe
+     with [prev = None]) has to give up. *)
+  let locate_chunk t (keys : key array) base n scr =
+    for p = 0 to n - 1 do
+      scr.s_h.(p) <- hash_of keys.(base + p);
+      scr.s_lev.(p) <- 0;
+      scr.s_cur.(p) <- t.root;
+      scr.s_prev.(p) <- t.root;
+      scr.s_act.(p) <- p
+    done;
+    scr.s_nact <- n;
+    while scr.s_nact > 0 do
+      let nact = scr.s_nact in
+      for j = 0 to nact - 1 do
+        let p = scr.s_act.(j) in
+        let cur = scr.s_cur.(p) in
+        Slots.prefetch cur (apos cur scr.s_h.(p) scr.s_lev.(p))
+      done;
+      scr.s_nact <- 0;
+      for j = 0 to nact - 1 do
+        let p = scr.s_act.(j) in
+        let cur = scr.s_cur.(p) in
+        let h = scr.s_h.(p) in
+        match Slots.get cur (apos cur h scr.s_lev.(p)) with
+        | ANode an ->
+            Prefetch.read an;
+            scr.s_prev.(p) <- cur;
+            step_descend scr p an (scr.s_lev.(p) + 4)
+        | Null | FVNode | SNode _ | LNode _ | FNode _ | ENode _ | XNode _ ->
+            ()
+      done
+    done
+
+  let rec insert_chunks t (keys : key array) (vals : 'v array) base n scr =
+    if base < n then begin
+      let cn = min chunk_cap (n - base) in
+      locate_chunk t keys base cn scr;
+      for p = 0 to cn - 1 do
+        let k = keys.(base + p) and v = vals.(base + p) in
+        let h = scr.s_h.(p) and lev = scr.s_lev.(p) in
+        let first =
+          if lev = 0 then insert_at t k v h 0 t.root None Always
+          else insert_at t k v h lev scr.s_cur.(p) (Some scr.s_prev.(p)) Always
+        in
+        match first with
+        | Restart -> ignore (insert_slow t k v h Always)
+        | Done_none | Done_some _ -> ()
+      done;
+      insert_chunks t keys vals (base + cn) n scr
+    end
+
+  let insert_batch t keys vals =
+    let n = Array.length keys in
+    if Array.length vals <> n then
+      invalid_arg "insert_batch: keys and vals differ in length";
+    let scr = scratch_take t in
+    insert_chunks t keys vals 0 n scr;
+    scratch_release t scr
+
+  let rec remove_chunks t (keys : key array) base n scr =
+    if base < n then begin
+      let cn = min chunk_cap (n - base) in
+      locate_chunk t keys base cn scr;
+      for p = 0 to cn - 1 do
+        let k = keys.(base + p) in
+        let h = scr.s_h.(p) and lev = scr.s_lev.(p) in
+        let first =
+          if lev = 0 then remove_at t k h 0 t.root None `Always
+          else remove_at t k h lev scr.s_cur.(p) (Some scr.s_prev.(p)) `Always
+        in
+        let res =
+          match first with Restart -> remove_slow t k h `Always | r -> r
+        in
+        match res with
+        | Done_some _ -> scr.s_hits <- scr.s_hits + 1
+        | Done_none -> ()
+        | Restart -> assert false
+      done;
+      remove_chunks t keys (base + cn) n scr
+    end
+
+  let remove_batch t keys =
+    let scr = scratch_take t in
+    scr.s_hits <- 0;
+    remove_chunks t keys 0 (Array.length keys) scr;
+    let removed = scr.s_hits in
+    scratch_release t scr;
+    removed
 
   (* ---------------------------------------------------------------- *)
   (* Aggregate queries (weakly consistent).                             *)

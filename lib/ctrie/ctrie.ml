@@ -9,6 +9,7 @@ module Hashing = Ct_util.Hashing
 module Bits = Ct_util.Bits
 module Yp = Ct_util.Yieldpoint
 module Metrics = Ct_util.Metrics
+module Prefetch = Ct_util.Prefetch
 
 (* Yield points (DESIGN.md "Fault injection & robustness"). *)
 let yp_insert_cas = Yp.register "ctrie.insert.cas"
@@ -47,12 +48,53 @@ module Make (H : Hashing.HASHABLE) = struct
   and 'v branch = IN of 'v inode | SN of 'v leaf
   and 'v inode = 'v main Atomic.t
 
-  type 'v t = { root : 'v inode; metrics : Metrics.t }
+  (* Staged-batch traversal state (DESIGN.md §13), pooled per domain so
+     steady-state [find_batch] allocates nothing. *)
+  type 'v scratch = {
+    s_h : int array;
+    s_lev : int array;
+    s_cur : 'v inode array;
+    s_par : 'v inode array;  (** parent inode of [s_cur] (root: itself) *)
+    s_main : 'v main array;  (** main node read in pass A *)
+    s_act : int array;  (** active chunk positions, compacted in place *)
+    mutable s_nact : int;
+    mutable s_hits : int;
+  }
+
+  type 'v t = {
+    root : 'v inode;
+    metrics : Metrics.t;
+    scratch_pool : 'v scratch Atomic.t array;
+    scratch_dummy : 'v scratch;
+  }
 
   let empty_cnode = CNode { bmp = 0; arr = [||] }
+  let chunk_cap = 64
+
+  let pool_slots =
+    let n = Domain.recommended_domain_count () in
+    let rec p2 x = if x >= n then x else p2 (x * 2) in
+    p2 1
 
   let create () =
-    { root = Atomic.make empty_cnode; metrics = Metrics.create ~family:name }
+    let scratch_dummy =
+      {
+        s_h = [||];
+        s_lev = [||];
+        s_cur = [||];
+        s_par = [||];
+        s_main = [||];
+        s_act = [||];
+        s_nact = 0;
+        s_hits = 0;
+      }
+    in
+    {
+      root = Atomic.make empty_cnode;
+      metrics = Metrics.create ~family:name;
+      scratch_pool = Array.init pool_slots (fun _ -> Atomic.make scratch_dummy);
+      scratch_dummy;
+    }
   let hash_of k = H.hash k land Hashing.mask
 
   (* Position of hash [h] within a CNode at level [lev]: [flag] is the
@@ -370,6 +412,225 @@ module Make (H : Hashing.HASHABLE) = struct
     match remove_with t k (`If_value expected) with
     | Some p -> p == expected
     | None -> false
+
+  (* --------------------------- batch operations --------------------- *)
+
+  (* Staged traversal (DESIGN.md §13): process a chunk of keys in
+     lockstep, one trie level per round.  Pass A reads and prefetches
+     every active key's main node; pass B dispatches on the value pass
+     A already pulled in, so the dependent loads of up to [chunk_cap]
+     independent walks overlap instead of serializing.  The active set
+     compacts in place — writes trail reads, so reusing [s_act] is
+     safe.  No closures, no refs: the read path must allocate nothing. *)
+
+  let scratch_make t =
+    {
+      s_h = Array.make chunk_cap 0;
+      s_lev = Array.make chunk_cap 0;
+      s_cur = Array.make chunk_cap t.root;
+      s_par = Array.make chunk_cap t.root;
+      s_main = Array.make chunk_cap empty_cnode;
+      s_act = Array.make chunk_cap 0;
+      s_nact = 0;
+      s_hits = 0;
+    }
+
+  (* Per-domain scratch pool: [exchange] with the shared dummy instead
+     of an option so take/release allocate nothing.  The dummy is
+     recognized by its zero-length arrays. *)
+  let scratch_take t =
+    let slot = (Domain.self () :> int) land (Array.length t.scratch_pool - 1) in
+    let s = Atomic.exchange t.scratch_pool.(slot) t.scratch_dummy in
+    if Array.length s.s_h = chunk_cap then s else scratch_make t
+
+  let scratch_release t s =
+    let slot = (Domain.self () :> int) land (Array.length t.scratch_pool - 1) in
+    Atomic.set t.scratch_pool.(slot) s
+
+  let find_chunk t scr keys ~miss (out : 'v array) base n =
+    for p = 0 to n - 1 do
+      scr.s_h.(p) <- hash_of (Array.unsafe_get keys (base + p));
+      scr.s_lev.(p) <- 0;
+      scr.s_cur.(p) <- t.root;
+      scr.s_par.(p) <- t.root;
+      scr.s_act.(p) <- p
+    done;
+    scr.s_nact <- n;
+    while scr.s_nact > 0 do
+      (* Pass A: pull in every active key's main node. *)
+      for a = 0 to scr.s_nact - 1 do
+        let p = Array.unsafe_get scr.s_act a in
+        Yp.here Yp.Before yp_read_walk;
+        let m = Atomic.get scr.s_cur.(p) in
+        scr.s_main.(p) <- m;
+        Prefetch.read m
+      done;
+      (* Pass B: dispatch on what pass A read; survivors re-enqueue. *)
+      let nact = scr.s_nact in
+      scr.s_nact <- 0;
+      for a = 0 to nact - 1 do
+        let p = Array.unsafe_get scr.s_act a in
+        let h = scr.s_h.(p) in
+        let k = Array.unsafe_get keys (base + p) in
+        match scr.s_main.(p) with
+        | CNode { bmp; arr } -> (
+            let lev = scr.s_lev.(p) in
+            let idx = (h lsr lev) land (branching - 1) in
+            let flag = 1 lsl idx in
+            if bmp land flag = 0 then Array.unsafe_set out (base + p) miss
+            else
+              match arr.(Bits.popcount (bmp land (flag - 1))) with
+              | IN child ->
+                  Prefetch.read child;
+                  scr.s_par.(p) <- scr.s_cur.(p);
+                  scr.s_cur.(p) <- child;
+                  scr.s_lev.(p) <- lev + w;
+                  scr.s_act.(scr.s_nact) <- p;
+                  scr.s_nact <- scr.s_nact + 1
+              | SN leaf ->
+                  if H.equal leaf.key k then begin
+                    Array.unsafe_set out (base + p) leaf.value;
+                    scr.s_hits <- scr.s_hits + 1
+                  end
+                  else Array.unsafe_set out (base + p) miss)
+        | TNode _ -> (
+            (* Tripped over a tomb mid-walk: help compact, then resolve
+               this key alone from the root — restarting it inside the
+               chunk would stall the whole wavefront. *)
+            let lev = scr.s_lev.(p) in
+            if lev > 0 then clean t.metrics scr.s_par.(p) (lev - w);
+            match find_loop t k h with
+            | v ->
+                Array.unsafe_set out (base + p) v;
+                scr.s_hits <- scr.s_hits + 1
+            | exception Not_found -> Array.unsafe_set out (base + p) miss)
+        | LNode ln -> (
+            if ln.lhash <> h then Array.unsafe_set out (base + p) miss
+            else
+              match lassoc k ln.entries with
+              | v ->
+                  Array.unsafe_set out (base + p) v;
+                  scr.s_hits <- scr.s_hits + 1
+              | exception Not_found -> Array.unsafe_set out (base + p) miss)
+      done
+    done
+
+  let rec find_chunks t scr keys ~miss out base total =
+    if base < total then begin
+      let n = min chunk_cap (total - base) in
+      find_chunk t scr keys ~miss out base n;
+      find_chunks t scr keys ~miss out (base + n) total
+    end
+
+  let find_batch t keys ~miss out =
+    let total = Array.length keys in
+    if Array.length out < total then
+      invalid_arg "Ctrie.find_batch: out array shorter than keys";
+    let scr = scratch_take t in
+    scr.s_hits <- 0;
+    find_chunks t scr keys ~miss out 0 total;
+    let hits = scr.s_hits in
+    scratch_release t scr;
+    hits
+
+  (* Warm-up descent for batched writers: walk each key down while the
+     path is a pure CNode→IN chain, prefetching the next level, then
+     finish with the scalar CAS machinery from the recorded inode.
+     Starting mid-path is sound: an inode only becomes unreachable
+     after its main transitions to a terminal TNode, and both [iinsert]
+     and [iremove] restart on TNode — so a CAS that succeeds against an
+     unchanged main implies the inode was still reachable. *)
+  let locate_chunk t scr keys base n =
+    for p = 0 to n - 1 do
+      scr.s_h.(p) <- hash_of (Array.unsafe_get keys (base + p));
+      scr.s_lev.(p) <- 0;
+      scr.s_cur.(p) <- t.root;
+      scr.s_par.(p) <- t.root;
+      scr.s_act.(p) <- p
+    done;
+    scr.s_nact <- n;
+    while scr.s_nact > 0 do
+      for a = 0 to scr.s_nact - 1 do
+        let p = Array.unsafe_get scr.s_act a in
+        let m = Atomic.get scr.s_cur.(p) in
+        scr.s_main.(p) <- m;
+        Prefetch.read m
+      done;
+      let nact = scr.s_nact in
+      scr.s_nact <- 0;
+      for a = 0 to nact - 1 do
+        let p = Array.unsafe_get scr.s_act a in
+        match scr.s_main.(p) with
+        | CNode { bmp; arr } -> (
+            let lev = scr.s_lev.(p) in
+            let h = scr.s_h.(p) in
+            let idx = (h lsr lev) land (branching - 1) in
+            let flag = 1 lsl idx in
+            if bmp land flag <> 0 then
+              match arr.(Bits.popcount (bmp land (flag - 1))) with
+              | IN child ->
+                  Prefetch.read child;
+                  scr.s_par.(p) <- scr.s_cur.(p);
+                  scr.s_cur.(p) <- child;
+                  scr.s_lev.(p) <- lev + w;
+                  scr.s_act.(scr.s_nact) <- p;
+                  scr.s_nact <- scr.s_nact + 1
+              | SN _ -> ())
+        | TNode _ | LNode _ -> ()
+      done
+    done
+
+  let rec insert_chunks t scr keys vals base total =
+    if base < total then begin
+      let n = min chunk_cap (total - base) in
+      locate_chunk t scr keys base n;
+      for p = 0 to n - 1 do
+        let k = Array.unsafe_get keys (base + p) in
+        let v = Array.unsafe_get vals (base + p) in
+        let h = scr.s_h.(p) in
+        let lev = scr.s_lev.(p) in
+        let parent = if lev = 0 then None else Some scr.s_par.(p) in
+        match iinsert t.metrics scr.s_cur.(p) k v h lev parent Always with
+        | Done _ -> ()
+        | Restart -> ignore (update_loop t k v h Always)
+      done;
+      insert_chunks t scr keys vals (base + n) total
+    end
+
+  let insert_batch t keys vals =
+    if Array.length keys <> Array.length vals then
+      invalid_arg "Ctrie.insert_batch: keys and vals differ in length";
+    let scr = scratch_take t in
+    insert_chunks t scr keys vals 0 (Array.length keys);
+    scratch_release t scr
+
+  let rec remove_chunks t scr keys base total =
+    if base < total then begin
+      let n = min chunk_cap (total - base) in
+      locate_chunk t scr keys base n;
+      for p = 0 to n - 1 do
+        let k = Array.unsafe_get keys (base + p) in
+        let h = scr.s_h.(p) in
+        let lev = scr.s_lev.(p) in
+        let parent = if lev = 0 then None else Some scr.s_par.(p) in
+        match
+          match iremove t.metrics scr.s_cur.(p) k h lev parent `Always with
+          | Done prev -> prev
+          | Restart -> remove_loop t k h `Always
+        with
+        | Some _ -> scr.s_hits <- scr.s_hits + 1
+        | None -> ()
+      done;
+      remove_chunks t scr keys (base + n) total
+    end
+
+  let remove_batch t keys =
+    let scr = scratch_take t in
+    scr.s_hits <- 0;
+    remove_chunks t scr keys 0 (Array.length keys);
+    let removed = scr.s_hits in
+    scratch_release t scr;
+    removed
 
   (* ------------------------- aggregate queries ---------------------- *)
 

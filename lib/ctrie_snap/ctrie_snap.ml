@@ -23,6 +23,7 @@ module Hashing = Ct_util.Hashing
 module Bits = Ct_util.Bits
 module Yp = Ct_util.Yieldpoint
 module Metrics = Ct_util.Metrics
+module Prefetch = Ct_util.Prefetch
 
 (* Yield points (DESIGN.md "Fault injection & robustness").  GCAS and
    RDCSS are multi-CAS protocols, so every step is a distinct site: a
@@ -85,16 +86,59 @@ module Make (H : Hashing.HASHABLE) = struct
     committed : bool Atomic.t;
   }
 
-  type 'v t = { root : 'v root_state Atomic.t; metrics : Metrics.t }
+  (* Staged-batch traversal state (DESIGN.md §13), pooled per domain so
+     steady-state [find_batch] allocates nothing. *)
+  type 'v scratch = {
+    s_h : int array;
+    s_lev : int array;
+    s_cur : 'v inode array;
+    s_par : 'v inode array;  (** parent inode of [s_cur] (root: itself) *)
+    s_box : 'v main_box array;  (** main box read in pass A *)
+    s_act : int array;  (** active chunk positions, compacted in place *)
+    mutable s_nact : int;
+    mutable s_hits : int;
+  }
+
+  type 'v t = {
+    root : 'v root_state Atomic.t;
+    metrics : Metrics.t;
+    scratch_pool : 'v scratch Atomic.t array;
+    scratch_dummy : 'v scratch;
+  }
 
   let boxed node = { node; prev = Atomic.make No_prev }
   let empty_main () = boxed (CNode { bmp = 0; arr = [||] })
+  let chunk_cap = 64
+
+  let pool_slots =
+    let n = Domain.recommended_domain_count () in
+    let rec p2 x = if x >= n then x else p2 (x * 2) in
+    p2 1
+
+  let with_pools root metrics =
+    let scratch_dummy =
+      {
+        s_h = [||];
+        s_lev = [||];
+        s_cur = [||];
+        s_par = [||];
+        s_box = [||];
+        s_act = [||];
+        s_nact = 0;
+        s_hits = 0;
+      }
+    in
+    {
+      root;
+      metrics;
+      scratch_pool = Array.init pool_slots (fun _ -> Atomic.make scratch_dummy);
+      scratch_dummy;
+    }
 
   let create () =
-    {
-      root = Atomic.make (Root { gen = ref (); main = Atomic.make (empty_main ()) });
-      metrics = Metrics.create ~family:name;
-    }
+    with_pools
+      (Atomic.make (Root { gen = ref (); main = Atomic.make (empty_main ()) }))
+      (Metrics.create ~family:name)
 
   let hash_of k = H.hash k land Hashing.mask
 
@@ -532,6 +576,246 @@ module Make (H : Hashing.HASHABLE) = struct
     | Some p -> p == expected
     | None -> false
 
+  (* --------------------------- batch operations ---------------------- *)
+
+  (* Staged traversal (DESIGN.md §13).  The lockstep walk stages only
+     the fast path — committed main boxes, same-generation children,
+     live CNodes/LNodes — and defers anything complicated (a pending
+     GCAS box, a stale-generation child needing renewal, an entombed
+     branch) to the scalar [find_loop], which already carries the full
+     helping machinery.  Under quiescent or read-mostly traffic every
+     key stays on the staged path. *)
+
+  let scratch_make t =
+    let r = rdcss_read_root t ~abort:false in
+    {
+      s_h = Array.make chunk_cap 0;
+      s_lev = Array.make chunk_cap 0;
+      s_cur = Array.make chunk_cap r;
+      s_par = Array.make chunk_cap r;
+      s_box = Array.make chunk_cap (Atomic.get r.main);
+      s_act = Array.make chunk_cap 0;
+      s_nact = 0;
+      s_hits = 0;
+    }
+
+  (* Per-domain scratch pool: [exchange] with the shared dummy instead
+     of an option so take/release allocate nothing. *)
+  let scratch_take t =
+    let slot = (Domain.self () :> int) land (Array.length t.scratch_pool - 1) in
+    let s = Atomic.exchange t.scratch_pool.(slot) t.scratch_dummy in
+    if Array.length s.s_h = chunk_cap then s else scratch_make t
+
+  let scratch_release t s =
+    let slot = (Domain.self () :> int) land (Array.length t.scratch_pool - 1) in
+    Atomic.set t.scratch_pool.(slot) s
+
+  let find_chunk t scr keys ~miss (out : 'v array) base n =
+    let r = rdcss_read_root t ~abort:false in
+    let startgen = r.gen in
+    for p = 0 to n - 1 do
+      scr.s_h.(p) <- hash_of (Array.unsafe_get keys (base + p));
+      scr.s_lev.(p) <- 0;
+      scr.s_cur.(p) <- r;
+      scr.s_act.(p) <- p
+    done;
+    scr.s_nact <- n;
+    while scr.s_nact > 0 do
+      (* Pass A: pull in every active key's main box. *)
+      for a = 0 to scr.s_nact - 1 do
+        let p = Array.unsafe_get scr.s_act a in
+        Yp.here Yp.Before yp_read_walk;
+        let mb = Atomic.get scr.s_cur.(p).main in
+        scr.s_box.(p) <- mb;
+        Prefetch.read mb
+      done;
+      (* Pass B: dispatch; fast-path survivors re-enqueue, everything
+         else resolves here or drops to the scalar walk. *)
+      let nact = scr.s_nact in
+      scr.s_nact <- 0;
+      for a = 0 to nact - 1 do
+        let p = Array.unsafe_get scr.s_act a in
+        let h = scr.s_h.(p) in
+        let k = Array.unsafe_get keys (base + p) in
+        let mb = scr.s_box.(p) in
+        let deferred =
+          match Atomic.get mb.prev with
+          | No_prev -> (
+              match mb.node with
+              | CNode { bmp; arr } -> (
+                  let lev = scr.s_lev.(p) in
+                  let idx = (h lsr lev) land (branching - 1) in
+                  let flag = 1 lsl idx in
+                  if bmp land flag = 0 then begin
+                    Array.unsafe_set out (base + p) miss;
+                    false
+                  end
+                  else
+                    match arr.(Bits.popcount (bmp land (flag - 1))) with
+                    | IN child ->
+                        if child.gen == startgen then begin
+                          Prefetch.read child;
+                          scr.s_cur.(p) <- child;
+                          scr.s_lev.(p) <- lev + w;
+                          scr.s_act.(scr.s_nact) <- p;
+                          scr.s_nact <- scr.s_nact + 1;
+                          false
+                        end
+                        else true (* stale generation: renew via scalar *)
+                    | SN leaf ->
+                        (if H.equal leaf.key k then begin
+                           Array.unsafe_set out (base + p) leaf.value;
+                           scr.s_hits <- scr.s_hits + 1
+                         end
+                         else Array.unsafe_set out (base + p) miss);
+                        false)
+              | TNode _ -> true (* entombed: scalar path cleans *)
+              | LNode ln ->
+                  (if ln.lhash <> h then Array.unsafe_set out (base + p) miss
+                   else
+                     match lassoc k ln.entries with
+                     | v ->
+                         Array.unsafe_set out (base + p) v;
+                         scr.s_hits <- scr.s_hits + 1
+                     | exception Not_found ->
+                         Array.unsafe_set out (base + p) miss);
+                  false)
+          | Prev _ | Failed _ -> true (* pending GCAS: scalar path helps *)
+        in
+        if deferred then
+          match find_loop t k h with
+          | v ->
+              Array.unsafe_set out (base + p) v;
+              scr.s_hits <- scr.s_hits + 1
+          | exception Not_found -> Array.unsafe_set out (base + p) miss
+      done
+    done
+
+  let rec find_chunks t scr keys ~miss out base total =
+    if base < total then begin
+      let n = min chunk_cap (total - base) in
+      find_chunk t scr keys ~miss out base n;
+      find_chunks t scr keys ~miss out (base + n) total
+    end
+
+  let find_batch t keys ~miss out =
+    let total = Array.length keys in
+    if Array.length out < total then
+      invalid_arg "Ctrie_snap.find_batch: out array shorter than keys";
+    let scr = scratch_take t in
+    scr.s_hits <- 0;
+    find_chunks t scr keys ~miss out 0 total;
+    let hits = scr.s_hits in
+    scratch_release t scr;
+    hits
+
+  (* Warm-up descent for batched writers: walk each key down while the
+     path is committed, same-generation CNode→IN links, then finish
+     with the scalar GCAS machinery from the recorded inode.  Starting
+     mid-path is sound: a recorded inode that was detached (by renewal
+     or compaction) either holds a terminal TNode — on which [iinsert]
+     and [iremove] restart — or was replaced because the root
+     generation changed, in which case the GCAS commit check fails the
+     update and we restart from the root. *)
+  let locate_chunk t scr keys base n =
+    let r = rdcss_read_root t ~abort:false in
+    let startgen = r.gen in
+    for p = 0 to n - 1 do
+      scr.s_h.(p) <- hash_of (Array.unsafe_get keys (base + p));
+      scr.s_lev.(p) <- 0;
+      scr.s_cur.(p) <- r;
+      scr.s_par.(p) <- r;
+      scr.s_act.(p) <- p
+    done;
+    scr.s_nact <- n;
+    while scr.s_nact > 0 do
+      for a = 0 to scr.s_nact - 1 do
+        let p = Array.unsafe_get scr.s_act a in
+        let mb = Atomic.get scr.s_cur.(p).main in
+        scr.s_box.(p) <- mb;
+        Prefetch.read mb
+      done;
+      let nact = scr.s_nact in
+      scr.s_nact <- 0;
+      for a = 0 to nact - 1 do
+        let p = Array.unsafe_get scr.s_act a in
+        let mb = scr.s_box.(p) in
+        match Atomic.get mb.prev with
+        | No_prev -> (
+            match mb.node with
+            | CNode { bmp; arr } -> (
+                let lev = scr.s_lev.(p) in
+                let h = scr.s_h.(p) in
+                let idx = (h lsr lev) land (branching - 1) in
+                let flag = 1 lsl idx in
+                if bmp land flag <> 0 then
+                  match arr.(Bits.popcount (bmp land (flag - 1))) with
+                  | IN child when child.gen == startgen ->
+                      Prefetch.read child;
+                      scr.s_par.(p) <- scr.s_cur.(p);
+                      scr.s_cur.(p) <- child;
+                      scr.s_lev.(p) <- lev + w;
+                      scr.s_act.(scr.s_nact) <- p;
+                      scr.s_nact <- scr.s_nact + 1
+                  | IN _ | SN _ -> ())
+            | TNode _ | LNode _ -> ())
+        | Prev _ | Failed _ -> ()
+      done
+    done;
+    r
+
+  let rec insert_chunks t scr keys vals base total =
+    if base < total then begin
+      let n = min chunk_cap (total - base) in
+      let r = locate_chunk t scr keys base n in
+      for p = 0 to n - 1 do
+        let k = Array.unsafe_get keys (base + p) in
+        let v = Array.unsafe_get vals (base + p) in
+        let h = scr.s_h.(p) in
+        let lev = scr.s_lev.(p) in
+        let parent = if lev = 0 then None else Some scr.s_par.(p) in
+        match iinsert t scr.s_cur.(p) k v h lev parent Always r.gen with
+        | Done _ -> ()
+        | Restart -> ignore (update t k v Always)
+      done;
+      insert_chunks t scr keys vals (base + n) total
+    end
+
+  let insert_batch t keys vals =
+    if Array.length keys <> Array.length vals then
+      invalid_arg "Ctrie_snap.insert_batch: keys and vals differ in length";
+    let scr = scratch_take t in
+    insert_chunks t scr keys vals 0 (Array.length keys);
+    scratch_release t scr
+
+  let rec remove_chunks t scr keys base total =
+    if base < total then begin
+      let n = min chunk_cap (total - base) in
+      let r = locate_chunk t scr keys base n in
+      for p = 0 to n - 1 do
+        let k = Array.unsafe_get keys (base + p) in
+        let h = scr.s_h.(p) in
+        let lev = scr.s_lev.(p) in
+        let parent = if lev = 0 then None else Some scr.s_par.(p) in
+        match
+          match iremove t scr.s_cur.(p) k h lev parent `Always r.gen with
+          | Done prev -> prev
+          | Restart -> remove_with t k `Always
+        with
+        | Some _ -> scr.s_hits <- scr.s_hits + 1
+        | None -> ()
+      done;
+      remove_chunks t scr keys (base + n) total
+    end
+
+  let remove_batch t keys =
+    let scr = scratch_take t in
+    scr.s_hits <- 0;
+    remove_chunks t scr keys 0 (Array.length keys);
+    let removed = scr.s_hits in
+    scratch_release t scr;
+    removed
+
   (* ------------------------------ snapshot --------------------------- *)
 
   let rec snapshot t =
@@ -540,11 +824,9 @@ module Make (H : Hashing.HASHABLE) = struct
     (* Swap our root to a fresh generation; hand the old structure to
        the snapshot under another fresh generation. *)
     if rdcss_root t r mb { gen = ref (); main = Atomic.make (boxed mb.node) } then
-      {
-        root =
-          Atomic.make (Root { gen = ref (); main = Atomic.make (boxed mb.node) });
-        metrics = Metrics.create ~family:name;
-      }
+      with_pools
+        (Atomic.make (Root { gen = ref (); main = Atomic.make (boxed mb.node) }))
+        (Metrics.create ~family:name)
     else snapshot t
 
   (* ------------------------- aggregate queries ----------------------- *)

@@ -115,4 +115,16 @@ module Make (H : Hashing.HASHABLE) = struct
   let metrics t = t.metrics
   let stats t = Metrics.snapshot t.metrics
   let reset_stats t = Metrics.reset t.metrics
+
+  (* Every write CASes the whole root, so batched writes would contend
+     with themselves; reads walk a persistent trie with no mutable
+     levels to stage.  The scalar loop is the honest implementation. *)
+  include Ct_util.Map_intf.Batch_fallback (struct
+    type nonrec key = key
+    type nonrec 'v t = 'v t
+
+    let find = find
+    let insert = insert
+    let remove = remove
+  end)
 end

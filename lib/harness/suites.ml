@@ -25,6 +25,7 @@ module Chm_map = Chm.Split_ordered.Make (Hashing.Int_key)
 module Chm_striped = Chm.Striped.Make (Hashing.Int_key)
 module Skiplist_map = Skiplist.Make (Hashing.Int_key)
 module Cow_map = Hamts.Cow_map.Make (Hashing.Int_key)
+module Folklore_map = Oa.Folklore.Make (Hashing.Int_key)
 
 let structures : (module IMAP) list =
   [
@@ -36,6 +37,7 @@ let structures : (module IMAP) list =
     (module Chm_striped);
     (module Skiplist_map);
     (module Cow_map);
+    (module Folklore_map);
   ]
 
 let structure_names =

@@ -20,6 +20,17 @@ let lookup_order ?(seed = 0xFEEDFACE) keys =
   Rng.shuffle (Rng.create seed) copy;
   copy
 
+let batches ~batch keys =
+  if batch <= 0 then invalid_arg "Workload.batches";
+  let n = Array.length keys in
+  let nb = (n + batch - 1) / batch in
+  Array.init nb (fun b ->
+      let lo = b * batch in
+      Array.sub keys lo (min batch (n - lo)))
+
+let batched_lookups ?(seed = 0xFEEDFACE) ~batch keys =
+  batches ~batch (lookup_order ~seed keys)
+
 let zipf_keys ?(seed = 0x5EED) ~n ~universe s =
   if universe <= 0 || n < 0 || s < 0.0 then invalid_arg "Workload.zipf_keys";
   let rng = Rng.create seed in

@@ -19,6 +19,18 @@ val disjoint_ranges : domains:int -> total:int -> int array array
 val lookup_order : ?seed:int -> int array -> int array
 (** A shuffled copy of the key set, for lookup passes. *)
 
+val batches : batch:int -> int array -> int array array
+(** [batches ~batch keys] slices [keys] into consecutive chunks of
+    [batch] keys (the last chunk may be shorter), the shape the
+    [find_batch]/[insert_batch] paths consume.  Chunks preserve the
+    input order, so [batches ~batch (shuffled_keys n)] is a seeded
+    batch-shaped workload.
+    @raise Invalid_argument if [batch <= 0]. *)
+
+val batched_lookups : ?seed:int -> batch:int -> int array -> int array array
+(** [batched_lookups ~batch keys] — {!lookup_order} of the key set,
+    pre-sliced into [batch]-sized chunks for batched lookup passes. *)
+
 val zipf_keys : ?seed:int -> n:int -> universe:int -> float -> int array
 (** [zipf_keys ~n ~universe s] — [n] keys drawn from a Zipf([s])
     distribution over [0, universe); used by the skewed-workload

@@ -506,4 +506,16 @@ module Make (H : Hashing.HASHABLE) = struct
       else go (acc + node_words node) (Atomic.get node.next.(0)).succ
     in
     go 0 t.head
+
+  (* A tower walk re-derives its path from the marks it meets, so there
+     is no per-level state to stage across keys: batches take the
+     scalar loop. *)
+  include Ct_util.Map_intf.Batch_fallback (struct
+    type nonrec key = key
+    type nonrec 'v t = 'v t
+
+    let find = find
+    let insert = insert
+    let remove = remove
+  end)
 end

@@ -8,6 +8,7 @@ module type S = sig
   val get : 'a t -> int -> 'a
   val set : 'a t -> int -> 'a -> unit
   val cas : 'a t -> int -> 'a -> 'a -> bool
+  val prefetch : 'a t -> int -> unit
   val iter : ('a -> unit) -> 'a t -> unit
   val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
 end
@@ -23,11 +24,32 @@ module Boxed : S = struct
   let make n v = Array.init n (fun _ -> Atomic.make v)
   let length = Array.length
 
-  let[@inline] get a i = Atomic.get (Array.unsafe_get a i)
-  let[@inline] set a i v = Atomic.set (Array.unsafe_get a i) v
+  (* Debug-build bounds guard.  Every caller derives [i] by masking a
+     hash with [length a - 1], so a violation here means the caller's
+     probe arithmetic wrapped (the folklore table's circular probing is
+     the risky client); [Array.unsafe_get] below would silently read a
+     neighbouring object instead of failing.  Compiled out by
+     [-noassert]. *)
+  let[@inline] check a i = assert (i >= 0 && i < Array.length a)
+
+  let[@inline] get a i =
+    check a i;
+    Atomic.get (Array.unsafe_get a i)
+
+  let[@inline] set a i v =
+    check a i;
+    Atomic.set (Array.unsafe_get a i) v
 
   let[@inline] cas a i expected repl =
+    check a i;
     Atomic.compare_and_set (Array.unsafe_get a i) expected repl
+
+  (* Two hops per slot here: warm the box pointer's target.  The array
+     cell read may itself miss; this layout pays that, which is the
+     point of {!Flat}. *)
+  let[@inline] prefetch a i =
+    check a i;
+    Prefetch.read (Array.unsafe_get a i)
 
   let iter f a = Array.iter (fun b -> f (Atomic.get b)) a
   let fold f acc a = Array.fold_left (fun acc b -> f acc (Atomic.get b)) acc a
@@ -69,6 +91,10 @@ module Flat : S = struct
 
   let[@inline] cas a i (expected : 'a) (repl : 'a) =
     unsafe_cas a i (Obj.repr expected) (Obj.repr repl)
+
+  (* The slot array IS the node, so the cell address is the miss:
+     hint the line without reading the field. *)
+  let[@inline] prefetch a i = Prefetch.cell a i
 
   let iter f a =
     for i = 0 to Array.length a - 1 do

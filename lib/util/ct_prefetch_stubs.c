@@ -1,0 +1,37 @@
+/* Software prefetch hints for the staged batch traversals.
+ *
+ * A prefetch is a pure performance hint: it starts pulling a cache
+ * line towards the core without faulting, blocking, or touching
+ * program state, so issuing one for an address we are about to
+ * dereference lets the miss overlap with other work (DESIGN.md §13).
+ * On compilers without __builtin_prefetch both stubs compile to
+ * no-ops — callers never depend on the hint happening. */
+
+#include <caml/mlvalues.h>
+
+#if defined(__GNUC__) || defined(__clang__)
+/* (addr, rw=read, locality=3: keep in all cache levels) */
+#define CT_PREFETCH(p) __builtin_prefetch((p), 0, 3)
+#else
+#define CT_PREFETCH(p) ((void)(p))
+#endif
+
+/* Prefetch the header/first fields of a heap block.  Immediate values
+ * carry no cache line, so they are skipped (and must be: Is_block
+ * guards the cast). */
+CAMLprim value ct_prefetch_block_stub(value v)
+{
+  if (Is_block(v)) CT_PREFETCH((void *)v);
+  return Val_unit;
+}
+
+/* Prefetch the cache line holding field [idx] of block [b] WITHOUT
+ * reading the field.  This is the hint to use when the array cell
+ * itself is the expected miss (a multi-megabyte cache level array):
+ * prefetching the cell's address costs nothing now and makes the
+ * subsequent real load hit. */
+CAMLprim value ct_prefetch_field_stub(value b, value idx)
+{
+  CT_PREFETCH((void *)&Field(b, Long_val(idx)));
+  return Val_unit;
+}

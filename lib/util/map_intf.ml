@@ -65,6 +65,31 @@ module type CONCURRENT_MAP = sig
       value is physically equal to [expected] — the JDK
       [remove(key, value)]. *)
 
+  val find_batch : 'v t -> key array -> miss:'v -> 'v array -> int
+  (** [find_batch t keys ~miss out] looks up every [keys.(i)] and
+      stores its binding — or [miss] if unbound — into [out.(i)];
+      returns the number of keys found.  Semantically identical to a
+      left-to-right loop of {!find}: each lookup is individually
+      linearizable (there is no atomicity across the batch), and like
+      {!find} the call allocates nothing (the [miss] sentinel avoids
+      the [option] box).  Structures with staged traversals process
+      the keys in lockstep per level, issuing {!Prefetch} hints for the
+      next level's nodes before touching them, so the cache misses of
+      a batch overlap instead of serializing (DESIGN.md §13); the rest
+      fall back to the scalar loop via {!Batch_fallback}.
+      @raise Invalid_argument if [out] is shorter than [keys]. *)
+
+  val insert_batch : 'v t -> key array -> 'v array -> unit
+  (** [insert_batch t keys vals] binds [keys.(i)] to [vals.(i)] for
+      every [i], left to right.  Equivalent to a loop of {!insert}
+      (each insert individually linearizable; later duplicates win).
+      @raise Invalid_argument if the arrays differ in length. *)
+
+  val remove_batch : 'v t -> key array -> int
+  (** [remove_batch t keys] removes every [keys.(i)], left to right;
+      returns how many were bound.  Equivalent to a loop of
+      {!remove}. *)
+
   val size : 'v t -> int
   (** Number of bindings; weakly consistent, O(n). *)
 
@@ -122,3 +147,56 @@ end
 (** A concurrent map construction parameterized by the key type. *)
 module type MAKER = functor (H : Hashing.HASHABLE) ->
   CONCURRENT_MAP with type key = H.t
+
+(** A construction available only for integer keys (the folklore
+    open-addressing table packs keys into slot words, so it cannot be
+    generic).  Any {!MAKER} is also an [INT_MAKER] (functors are
+    contravariant in their parameter), so generic batteries written
+    against this signature cover both kinds. *)
+module type INT_MAKER = functor (H : Hashing.HASHABLE with type t = int) ->
+  CONCURRENT_MAP with type key = int
+
+(** Scalar-loop implementation of the batch operations, for structures
+    without a staged traversal (lock-striped table, skip list,
+    copy-on-write HAMT).  The contract is the batch ops' own: a batch
+    IS the corresponding loop, only faster where staging helps. *)
+module Batch_fallback (M : sig
+  type key
+  type 'v t
+
+  val find : 'v t -> key -> 'v
+  val insert : 'v t -> key -> 'v -> unit
+  val remove : 'v t -> key -> 'v option
+end) =
+struct
+  let find_batch t keys ~miss out =
+    let n = Array.length keys in
+    if Array.length out < n then
+      invalid_arg "find_batch: out array shorter than keys";
+    let hits = ref 0 in
+    for i = 0 to n - 1 do
+      match M.find t (Array.unsafe_get keys i) with
+      | v ->
+          Array.unsafe_set out i v;
+          incr hits
+      | exception Not_found -> Array.unsafe_set out i miss
+    done;
+    !hits
+
+  let insert_batch t keys vals =
+    let n = Array.length keys in
+    if Array.length vals <> n then
+      invalid_arg "insert_batch: keys and vals differ in length";
+    for i = 0 to n - 1 do
+      M.insert t (Array.unsafe_get keys i) (Array.unsafe_get vals i)
+    done
+
+  let remove_batch t keys =
+    let removed = ref 0 in
+    for i = 0 to Array.length keys - 1 do
+      match M.remove t (Array.unsafe_get keys i) with
+      | Some _ -> incr removed
+      | None -> ()
+    done;
+    !removed
+end

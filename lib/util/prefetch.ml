@@ -1,0 +1,20 @@
+(* Software prefetch hints (C stubs in ct_prefetch_stubs.c).  Both are
+   [@@noalloc] leaf calls and compile to a single prefetch instruction
+   (or nothing, on compilers without __builtin_prefetch); neither can
+   raise, allocate, or affect program semantics. *)
+
+external prefetch_block : Obj.t -> unit = "ct_prefetch_block_stub" [@@noalloc]
+
+external prefetch_field : Obj.t -> int -> unit = "ct_prefetch_field_stub"
+[@@noalloc]
+
+(* Hint that the heap block behind [v] is about to be dereferenced.
+   Safe on immediates (the stub checks Is_block). *)
+let[@inline] read v = prefetch_block (Obj.repr v)
+
+(* Hint that [a.(i)] is about to be loaded, without loading it: only
+   the cell's address is formed, so this is the one to use when the
+   array cell itself is the expected cache miss.  [i] must be within
+   bounds (the address would otherwise point outside the block —
+   harmless to the hardware, but meaningless). *)
+let[@inline] cell (a : 'a array) i = prefetch_field (Obj.repr a) i

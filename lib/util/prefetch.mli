@@ -1,0 +1,19 @@
+(** Software prefetch hints for staged batch traversals (DESIGN.md
+    §13).
+
+    A prefetch starts pulling a cache line towards the core without
+    blocking or faulting; issuing hints for the next trie level's nodes
+    before dispatching on the current level lets the misses of K keys
+    overlap instead of serializing.  Pure hints: no allocation, no
+    exceptions, no semantic effect — on compilers without
+    [__builtin_prefetch] they are no-ops. *)
+
+val read : 'a -> unit
+(** [read v] hints that the heap block behind [v] is about to be
+    dereferenced.  Safe (and a no-op) on immediate values. *)
+
+val cell : 'a array -> int -> unit
+(** [cell a i] hints that [a.(i)] is about to be loaded, {e without}
+    loading it — only the cell's address is formed.  Use this when the
+    array cell itself is the expected miss (a cache-level entry array,
+    a slot array).  [i] must be a valid index. *)

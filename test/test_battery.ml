@@ -1,11 +1,15 @@
 (* A generic test battery applied to every concurrent map in the
    repository: the same sequential semantics, collision handling,
    model-agreement properties and multi-domain stress checks must hold
-   for the cache-trie, the Ctrie, both hash maps and the skip list. *)
+   for the cache-trie, the Ctrie, both hash maps, the skip list and the
+   folklore open-addressing table.  The parameter is INT_MAKER rather
+   than MAKER so the battery also covers constructions that only exist
+   for integer keys (folklore packs keys into slot words); every
+   generic MAKER coerces to INT_MAKER by functor contravariance. *)
 
 open Ct_util
 
-module Battery (Maker : Map_intf.MAKER) = struct
+module Battery (Maker : Map_intf.INT_MAKER) = struct
   module M = Maker (Hashing.Int_key)
   module C = Maker (Hashing.Constant_hash_int)
 
@@ -201,6 +205,75 @@ module Battery (Maker : Map_intf.MAKER) = struct
       | v -> check_opt "collision find agrees" (Some v) lc
       | exception Not_found -> check_opt "collision find agrees" None lc
     done
+
+  (* --------------------------- batch ops --------------------------- *)
+
+  (* Sequential batch contract: a batch IS the corresponding scalar
+     loop.  Runs against both hash regimes — the staged trie/probe
+     descent and the all-collisions chain paths — with batches larger
+     than any implementation's chunk size (64) so the multi-chunk path
+     executes, and with the extreme keys so packed-key edge cases
+     (the folklore table's reserved [min_int]) are covered. *)
+  module Batch_checks (X : Map_intf.CONCURRENT_MAP with type key = int) =
+  struct
+    let check_int = Alcotest.(check int)
+
+    let roundtrip () =
+      let t = X.create () in
+      let n = 300 in
+      let keys =
+        Array.append
+          (Array.init n (fun i -> i * 131 mod n))
+          [| min_int; max_int; -7 |]
+      in
+      let m = Array.length keys in
+      (* Odd values, so an even [miss] sentinel is never a real hit. *)
+      let vals = Array.map (fun k -> (k * 2) + 1) keys in
+      X.insert_batch t keys vals;
+      check_int "size after insert_batch" m (X.size t);
+      let out = Array.make m 0 in
+      check_int "all keys hit" m (X.find_batch t keys ~miss:0 out);
+      Array.iteri
+        (fun i v ->
+          if v <> vals.(i) then Alcotest.failf "slot %d: %d <> %d" i v vals.(i))
+        out;
+      (* Remove half, plus keys that were never present. *)
+      let half = m / 2 in
+      let to_remove =
+        Array.append (Array.sub keys 0 half) [| 999_999; 888_888 |]
+      in
+      check_int "remove_batch counts bound keys" half (X.remove_batch t to_remove);
+      check_int "hits after remove" (m - half) (X.find_batch t keys ~miss:0 out);
+      Array.iteri
+        (fun i v ->
+          let expect = if i < half then 0 else vals.(i) in
+          if v <> expect then
+            Alcotest.failf "slot %d after remove: %d <> %d" i v expect)
+        out;
+      (* Later duplicates win within one insert batch. *)
+      X.insert_batch t [| 5; 5; 5 |] [| 100; 200; 300 |];
+      (match X.lookup t 5 with
+      | Some 300 -> ()
+      | Some v -> Alcotest.failf "dup insert batch kept %d" v
+      | None -> Alcotest.fail "dup insert batch lost the key");
+      (* A key removed by an earlier slot of the same batch counts once. *)
+      X.insert t 1_000_000 1;
+      check_int "dup remove counts once" 1 (X.remove_batch t [| 1_000_000; 1_000_000 |]);
+      (* Empty batches are no-ops. *)
+      check_int "empty find" 0 (X.find_batch t [||] ~miss:0 [||]);
+      X.insert_batch t [||] [||];
+      check_int "empty remove" 0 (X.remove_batch t [||]);
+      (* Argument validation. *)
+      (match X.find_batch t [| 1; 2 |] ~miss:0 [| 0 |] with
+      | _ -> Alcotest.fail "short out array accepted"
+      | exception Invalid_argument _ -> ());
+      match X.insert_batch t [| 1 |] [| 1; 2 |] with
+      | () -> Alcotest.fail "length mismatch accepted"
+      | exception Invalid_argument _ -> ()
+  end
+
+  module MB = Batch_checks (M)
+  module CB = Batch_checks (C)
 
   (* ----------------------- model agreement ------------------------- *)
 
@@ -486,6 +559,63 @@ module Battery (Maker : Map_intf.MAKER) = struct
       check_opt "collider converged" (Some k) (C.lookup t k)
     done
 
+  (* Batch/scalar read agreement under concurrent writers: writers only
+     ever bind k to k*7, so every find_batch slot must read either the
+     miss sentinel or k*7, and the returned hit count must match the
+     non-miss slots.  Once the writers join, batch and scalar reads
+     must agree exactly. *)
+  let test_batch_scalar_agreement () =
+    let t = M.create () in
+    let universe = 1024 in
+    let stop = Atomic.make false in
+    let writers =
+      List.init 2 (fun d ->
+          Domain.spawn (fun () ->
+              let rng = Ct_util.Rng.create (0xBA7C + d) in
+              while not (Atomic.get stop) do
+                let k = Ct_util.Rng.next_int rng universe in
+                if Ct_util.Rng.next_int rng 2 = 0 then M.insert t k (k * 7)
+                else ignore (M.remove t k)
+              done))
+    in
+    (* A permutation, so chunks mix hot and cold trie paths. *)
+    let keys = Array.init universe (fun i -> i * 37 mod universe) in
+    let out = Array.make universe (-1) in
+    for _pass = 1 to 50 do
+      let hits = M.find_batch t keys ~miss:(-1) out in
+      let counted = ref 0 in
+      Array.iteri
+        (fun i v ->
+          if v <> -1 then begin
+            let k = keys.(i) in
+            if v <> k * 7 then begin
+              Atomic.set stop true;
+              Alcotest.failf "key %d read %d (neither miss nor %d)" k v (k * 7)
+            end;
+            incr counted
+          end)
+        out;
+      if !counted <> hits then begin
+        Atomic.set stop true;
+        Alcotest.failf "hit count %d but %d non-miss slots" hits !counted
+      end
+    done;
+    Atomic.set stop true;
+    List.iter Domain.join writers;
+    let hits = M.find_batch t keys ~miss:(-1) out in
+    let scalar_hits = ref 0 in
+    Array.iteri
+      (fun i v ->
+        let k = keys.(i) in
+        match M.find t k with
+        | sv ->
+            incr scalar_hits;
+            if v <> sv then Alcotest.failf "quiescent: key %d batch %d scalar %d" k v sv
+        | exception Not_found ->
+            if v <> -1 then Alcotest.failf "quiescent: key %d batch %d scalar miss" k v)
+      out;
+    check_int "quiescent hit counts agree" !scalar_hits hits
+
   let suite =
     [
       ("empty", `Quick, test_empty);
@@ -504,6 +634,8 @@ module Battery (Maker : Map_intf.MAKER) = struct
       ("footprint", `Quick, test_footprint);
       ("full_collisions", `Quick, test_full_collisions);
       ("read_agreement", `Quick, test_read_agreement);
+      ("batch_roundtrip", `Quick, MB.roundtrip);
+      ("batch_collisions", `Quick, CB.roundtrip);
       ("validate_quiescent", `Quick, test_validate_quiescent);
       model_test;
       scrub_test;
@@ -515,6 +647,7 @@ module Battery (Maker : Map_intf.MAKER) = struct
       ("conc_counter_exact", `Slow, test_conc_counter_exact);
       ("weak_aggregates_under_churn", `Slow, test_weak_aggregates_under_churn);
       ("conc_collisions", `Slow, test_conc_collisions);
+      ("batch_scalar_agreement", `Slow, test_batch_scalar_agreement);
       ("validate_after_contention", `Slow, test_validate_after_contention);
     ]
 end
@@ -530,3 +663,8 @@ module Chm_battery = Battery (Chm.Split_ordered.Make)
 module Striped_battery = Battery (Chm.Striped.Make)
 module Skiplist_battery = Battery (Skiplist.Make)
 module Cow_battery = Battery (Hamts.Cow_map.Make)
+
+(* The folklore open-addressing table only constructs over int keys
+   (it packs them into slot words); the INT_MAKER battery covers it in
+   full, including the migration paths its growth thresholds hit. *)
+module Folklore_battery = Battery (Oa.Folklore.Make)

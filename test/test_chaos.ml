@@ -362,6 +362,35 @@ let ctrie_snap_subject () =
   in
   { s_step = step; s_validate = (fun () -> CSN.validate t); s_last = last }
 
+module FK = Oa.Folklore.Make (Hashing.Int_key)
+
+(* The folklore table's lock-freedom rests on help-to-completion
+   migration: a victim parked mid-freeze, mid-copy or just before the
+   root publish holds nothing exclusive, and any writer observing the
+   frozen residue finishes the whole migration itself.  The workload
+   skews toward removes so the tombstone threshold keeps triggering
+   same-capacity compaction migrations while the victim is parked. *)
+let folklore_subject () =
+  let t = FK.create () in
+  for k = 0 to key_range - 1 do
+    FK.insert t k k
+  done;
+  let last = Array.make 4 "" in
+  let step slot rng =
+    let k = Rng.next_int rng key_range in
+    match Rng.next_int rng 10 with
+    | 0 | 1 | 2 ->
+        last.(slot) <- Printf.sprintf "insert %d" k;
+        FK.insert t k (k + 1)
+    | 3 | 4 | 5 | 6 ->
+        last.(slot) <- Printf.sprintf "remove %d" k;
+        ignore (FK.remove t k)
+    | _ ->
+        last.(slot) <- Printf.sprintf "lookup %d" k;
+        ignore (FK.lookup t k)
+  in
+  { s_step = step; s_validate = (fun () -> FK.validate t); s_last = last }
+
 let peer_ops = 10_000
 
 (* Park the victim at (site, phase); 3 peers must still finish 10k
@@ -524,6 +553,10 @@ let suite =
     ( "jitter_lincheck_cachetrie_nocache",
       `Slow,
       jitter_battery "cachetrie-nc" (module CT_nocache) );
+    ( "lock_freedom_oa_folklore",
+      `Slow,
+      lock_freedom_battery "oa-folklore" "oa." folklore_subject );
     ("jitter_lincheck_ctrie", `Slow, jitter_battery "ctrie" (module CTR));
     ("jitter_lincheck_ctrie_snap", `Slow, jitter_battery "ctrie-snap" (module CSN));
+    ("jitter_lincheck_oa_folklore", `Slow, jitter_battery "oa-folklore" (module FK));
   ]

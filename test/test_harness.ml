@@ -76,6 +76,39 @@ let test_zipf () =
   let count x = Array.fold_left (fun a k -> if k = x then a + 1 else a) 0 keys in
   check_bool "skewed" true (count 0 > 5 * count 50)
 
+let test_batches () =
+  let keys = [| 10; 11; 12; 13; 14; 15; 16 |] in
+  let bs = Harness.Workload.batches ~batch:3 keys in
+  check_int "chunk count" 3 (Array.length bs);
+  Alcotest.(check (list int)) "order preserved, last chunk short"
+    (Array.to_list keys)
+    (Array.to_list bs |> List.concat_map Array.to_list);
+  check_int "full chunk" 3 (Array.length bs.(0));
+  check_int "tail chunk" 1 (Array.length bs.(2));
+  (* An exact multiple leaves no runt chunk. *)
+  let exact = Harness.Workload.batches ~batch:2 [| 1; 2; 3; 4 |] in
+  check_int "exact split" 2 (Array.length exact);
+  check_int "empty input" 0 (Array.length (Harness.Workload.batches ~batch:4 [||]));
+  Alcotest.check_raises "batch <= 0 rejected"
+    (Invalid_argument "Workload.batches") (fun () ->
+      ignore (Harness.Workload.batches ~batch:0 keys))
+
+let test_batched_lookups () =
+  let keys = Harness.Workload.shuffled_keys 100 in
+  let bs = Harness.Workload.batched_lookups ~batch:16 keys in
+  check_int "chunk count" 7 (Array.length bs);
+  let flat = Array.to_list bs |> List.concat_map Array.to_list in
+  Alcotest.(check (list int)) "permutation of the key set"
+    (List.init 100 Fun.id) (List.sort compare flat);
+  (* Deterministic in the seed, and the same shuffle [lookup_order]
+     produces, just pre-sliced. *)
+  check_bool "deterministic" true
+    (Harness.Workload.batched_lookups ~batch:16 keys = bs);
+  check_bool "matches lookup_order" true
+    (flat = Array.to_list (Harness.Workload.lookup_order keys));
+  check_bool "different seed differs" true
+    (Harness.Workload.batched_lookups ~seed:9 ~batch:16 keys <> bs)
+
 let test_measure_run () =
   let calls = ref 0 in
   let r =
@@ -105,7 +138,7 @@ let test_report_table () =
   check_bool "aligned" true (List.for_all (fun l -> l = List.hd lens) lens)
 
 let test_structures_registry () =
-  check_int "eight structures" 8 (List.length Harness.Suites.structures);
+  check_int "nine structures" 9 (List.length Harness.Suites.structures);
   check_bool "cachetrie present" true
     (Harness.Suites.find_structure "cachetrie" <> None);
   check_bool "unknown absent" true (Harness.Suites.find_structure "nope" = None)
@@ -237,6 +270,8 @@ let suite =
     ("shuffled_keys", `Quick, test_shuffled_keys);
     ("disjoint_ranges", `Quick, test_disjoint_ranges);
     ("zipf", `Quick, test_zipf);
+    ("batches", `Quick, test_batches);
+    ("batched_lookups", `Quick, test_batched_lookups);
     ("measure_run", `Quick, test_measure_run);
     ("footprint", `Quick, test_footprint);
     ("report_table", `Quick, test_report_table);

@@ -209,6 +209,33 @@ module ST = Chm.Striped.Make (Ct_util.Hashing.Int_key)
 module SL = Skiplist.Make (Ct_util.Hashing.Int_key)
 module CW = Hamts.Cow_map.Make (Ct_util.Hashing.Int_key)
 module CSN = Ctrie_snap.Make (Ct_util.Hashing.Int_key)
+module FK = Oa.Folklore.Make (Ct_util.Hashing.Int_key)
+
+(* Folklore migration under the checker.  The growth script claims 18
+   distinct keys across three domains — past the cap-16 occupancy
+   threshold — so freeze/copy/publish run concurrently with the
+   recorded inserts, removes and lookups.  The churn script removes
+   most of what it inserted, crossing the tombstone threshold instead
+   (a same-capacity compaction migration).  Each script records fresh
+   interleavings per repetition. *)
+let test_folklore_migration_histories () =
+  let growth =
+    List.init 3 (fun d ->
+        List.init 6 (fun i -> Insert ((d * 6) + i, (d * 10) + i))
+        @ [ Remove (d * 6); Lookup ((d * 6) + 1) ])
+  in
+  let churn =
+    List.init 3 (fun d ->
+        List.init 4 (fun i -> Insert ((d * 4) + i, i))
+        @ List.init 4 (fun i -> Remove ((d * 4) + i)))
+  in
+  List.iter
+    (fun (what, scripts) ->
+      for _rep = 1 to 5 do
+        if not (check (record (module FK) scripts)) then
+          Alcotest.failf "folklore %s-migration history not linearizable" what
+      done)
+    [ ("growth", growth); ("tombstone", churn) ]
 
 let random_battery name (module M : IMAP) =
   ( Printf.sprintf "linearizable: %s" name,
@@ -258,4 +285,6 @@ let suite =
     random_battery "skiplist" (module SL);
     random_battery "cow-hamt" (module CW);
     random_battery "ctrie-snap" (module CSN);
+    random_battery "oa-folklore" (module FK);
+    ("folklore_migration_histories", `Slow, test_folklore_migration_histories);
   ]

@@ -15,6 +15,7 @@ let () =
       ("battery-chm-striped", Test_battery.Striped_battery.suite);
       ("battery-skiplist", Test_battery.Skiplist_battery.suite);
       ("battery-cow-hamt", Test_battery.Cow_battery.suite);
+      ("battery-oa-folklore", Test_battery.Folklore_battery.suite);
       ("ctrie", Test_ctrie.suite);
       ("ctrie-snap", Test_ctrie_snap.suite);
       ("skiplist", Test_skiplist.suite);

@@ -376,12 +376,59 @@ module Slots_battery (S : Atomic_slots.S) = struct
     check_int "all values distinct" (domains * per)
       (List.length (List.sort_uniq compare all))
 
+  (* Prefetching is semantically a no-op: it must neither fault nor
+     disturb slot contents, on every index of both layouts (the flat
+     layout hints the cell line, the boxed layout warms the box). *)
+  let test_prefetch_noop () =
+    let a = S.make 8 0 in
+    S.set a 5 55;
+    for i = 0 to 7 do
+      S.prefetch a i
+    done;
+    check_int "contents survive prefetch" 55 (S.get a 5);
+    check_int "fold after prefetch" 55 (S.fold ( + ) 0 a)
+
+  (* [assert false] survives [-noassert], so probe with a computed
+     condition to learn whether this build compiled assertions in. *)
+  let asserts_enabled =
+    try
+      assert (1 = 2);
+      false
+    with Assert_failure _ -> true
+
+  (* Debug builds must catch a probe index that escaped the length
+     mask: the boxed layout asserts bounds before its unsafe access
+     (the folklore table's circular probing is the risky caller; an
+     unchecked [Array.unsafe_get] would silently read a neighbouring
+     heap object instead of failing). *)
+  let test_boxed_bounds_guard () =
+    if S.repr = "boxed" && asserts_enabled then begin
+      let a = S.make 8 0 in
+      (match S.get a 8 with
+      | _ -> Alcotest.fail "out-of-bounds get not caught"
+      | exception Assert_failure _ -> ());
+      (match S.get a (-1) with
+      | _ -> Alcotest.fail "negative get not caught"
+      | exception Assert_failure _ -> ());
+      (match S.set a 9 1 with
+      | () -> Alcotest.fail "out-of-bounds set not caught"
+      | exception Assert_failure _ -> ());
+      (match S.cas a 8 0 1 with
+      | _ -> Alcotest.fail "out-of-bounds cas not caught"
+      | exception Assert_failure _ -> ());
+      match S.prefetch a (-3) with
+      | () -> Alcotest.fail "out-of-bounds prefetch not caught"
+      | exception Assert_failure _ -> ()
+    end
+
   let tests =
     [
       (label "basic", `Quick, test_basic);
       (label "cas", `Quick, test_cas);
       (label "boxed_values", `Quick, test_boxed_values);
       (label "float_guard", `Quick, test_float_guard);
+      (label "prefetch_noop", `Quick, test_prefetch_noop);
+      (label "bounds_guard", `Quick, test_boxed_bounds_guard);
       (label "concurrent_cas", `Slow, test_concurrent_cas);
     ]
 end
