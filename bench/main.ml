@@ -15,7 +15,7 @@
      main.exe fig11 fig13     selected experiments (append "full")
    Experiments: fig9 fig10 fig11 fig12 fig13 hist theory ablation
                 ablation-narrow mixed zipf remove trace bechamel
-                micro-json sweeps obs serve all *)
+                micro-json sweeps obs serve persist all *)
 
 open Bechamel
 open Toolkit
@@ -868,6 +868,181 @@ let run_serve scale =
          ("points", Json.List (List.map point_json points));
        ])
 
+(* Durable-serving cost curves (BENCH_persist.json): what the WAL's
+   group-commit interval buys and costs.  A short interval bounds the
+   durable-ack wait (client p99) but fsyncs small batches; a long one
+   amortizes the fsync over more appends but every write waits longer
+   for its covering flush.  One calibration run (durable mode, default
+   interval) measures the goodput ceiling; the sweep then re-offers
+   0.5x/1x/2x that capacity per interval against a fresh store + server
+   and records goodput, client and accepted p99, and the achieved group
+   size (appends per fsync).  Disk faults stay off: `repro recover`
+   owns the crash path, this chart owns the happy-path durability
+   tax. *)
+let run_persist scale =
+  Harness.Report.section
+    "Durable serving: group-commit interval sweep (BENCH_persist.json)";
+  let module S = Kv.Server.Make (Kv.Durable.Map) in
+  let duration = match scale with Suites.Quick -> 1.0 | Suites.Full -> 4.0 in
+  let point_cap =
+    match scale with Suites.Quick -> 60_000 | Suites.Full -> 400_000
+  in
+  let intervals =
+    match scale with
+    | Suites.Quick -> [ 0.001; 0.002; 0.008 ]
+    | Suites.Full -> [ 0.0005; 0.001; 0.002; 0.004; 0.008 ]
+  in
+  let multiples = [ 0.5; 1.0; 2.0 ] in
+  let workers = max 2 (min 4 (Harness.Parallel.available_domains () - 2)) in
+  let config =
+    {
+      (Kv.Server.default_config ()) with
+      Kv.Server.workers;
+      queue_capacity = 64;
+      enqueue_budget = 4;
+      p99_bound_ns = 150_000_000;
+      p99_window = 32;
+      tick_interval = 0.01;
+    }
+  in
+  let deadline_ns = 80_000_000 in
+  let dir = "_persist_bench" in
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        Unix.rmdir path
+    | _ -> Unix.unlink path
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  in
+  let run_point ~seed ~commit_interval ~rate =
+    rm_rf dir;
+    let dcfg =
+      {
+        Kv.Durable.wal =
+          { Persist.Wal.default_config with Persist.Wal.commit_interval };
+        checkpoint_every = 4096;
+        checkpoint_interval = 0.01;
+      }
+    in
+    match Kv.Durable.open_ ~config:dcfg ~dir () with
+    | Error e -> failwith (Persist.Recovery.error_to_string e)
+    | Ok (st, _) ->
+        let srv =
+          S.start ~config ~durable:(Kv.Durable.hooks st) (Kv.Durable.map st)
+        in
+        let n = max 1_000 (min point_cap (int_of_float (rate *. duration))) in
+        let plan =
+          {
+            Kv.Loadgen.default_plan with
+            Kv.Loadgen.seed;
+            n;
+            rate;
+            profile = Harness.Trace.churn;
+            deadline_ns;
+            net = Chaos.Net.quiet;
+          }
+        in
+        let s = Kv.Loadgen.run ~port:(S.port srv) plan in
+        let verified = Result.is_ok (Kv.Loadgen.verify s) in
+        let accepted_p99 = Obs.Latency.percentile (S.latency srv) 99.0 in
+        let m = Kv.Durable.metrics st in
+        let appends = Ct_util.Metrics.get m Ct_util.Metrics.Wal_appends in
+        let fsyncs = Ct_util.Metrics.get m Ct_util.Metrics.Wal_fsyncs in
+        ignore (S.drain ~timeout:10.0 srv);
+        ignore (Kv.Durable.close st);
+        rm_rf dir;
+        (s, verified, accepted_p99, appends, fsyncs)
+  in
+  let cal, cal_ok, _, _, _ =
+    run_point ~seed:bench_seed ~commit_interval:0.002 ~rate:40_000.0
+  in
+  let capacity = Float.max 2_000.0 cal.Kv.Loadgen.ok_rate in
+  Printf.printf
+    "capacity calibration (durable, 2ms commit): goodput %.0f req/s (ledger \
+     %s)\n\n"
+    capacity
+    (if cal_ok then "verified" else "UNVERIFIED");
+  let points =
+    List.concat_map
+      (fun commit_interval ->
+        List.mapi
+          (fun i m ->
+            let rate = capacity *. m in
+            let s, verified, accepted_p99, appends, fsyncs =
+              run_point
+                ~seed:(bench_seed lxor (0xD15C + (i * 131)))
+                ~commit_interval ~rate
+            in
+            (commit_interval, m, rate, s, verified, accepted_p99, appends,
+             fsyncs))
+          multiples)
+      intervals
+  in
+  let group_size appends fsyncs =
+    if fsyncs = 0 then 0.0 else float_of_int appends /. float_of_int fsyncs
+  in
+  Harness.Report.print_table
+    ~header:
+      [
+        "commit interval";
+        "offered/capacity";
+        "goodput req/s";
+        "appends/fsync";
+        "client p99";
+        "accepted p99";
+        "ledger";
+      ]
+    (List.map
+       (fun (ci, m, _, s, verified, accepted_p99, appends, fsyncs) ->
+         [
+           Printf.sprintf "%.1f ms" (ci *. 1e3);
+           Printf.sprintf "%.1fx" m;
+           Printf.sprintf "%.0f" s.Kv.Loadgen.ok_rate;
+           Printf.sprintf "%.1f" (group_size appends fsyncs);
+           Harness.Report.fmt_ns s.Kv.Loadgen.client_p99_ns;
+           Harness.Report.fmt_ns accepted_p99;
+           (if verified then "ok" else "FAIL");
+         ])
+       points);
+  print_newline ();
+  let point_json (ci, m, rate, s, verified, accepted_p99, appends, fsyncs) =
+    Json.Obj
+      [
+        ("commit_interval_s", Json.Float ci);
+        ("offered_over_capacity", Json.Float m);
+        ("offered_rate", Json.Float rate);
+        ("requests", Json.Int s.Kv.Loadgen.plan.Kv.Loadgen.n);
+        ("goodput", Json.Float s.Kv.Loadgen.ok_rate);
+        ("ok", Json.Int s.Kv.Loadgen.ok);
+        ("shed", Json.Int (Kv.Loadgen.shed s));
+        ("read_only", Json.Int s.Kv.Loadgen.read_only);
+        ("deadline_exceeded", Json.Int s.Kv.Loadgen.deadline_exceeded);
+        ("wal_appends", Json.Int appends);
+        ("wal_fsyncs", Json.Int fsyncs);
+        ("appends_per_fsync", Json.Float (group_size appends fsyncs));
+        ("client_p50_ns", Json.Float s.Kv.Loadgen.client_p50_ns);
+        ("client_p99_ns", Json.Float s.Kv.Loadgen.client_p99_ns);
+        ("accepted_p99_ns", Json.Float accepted_p99);
+        ("ledger_verified", Json.Bool verified);
+      ]
+  in
+  Json.write_file "BENCH_persist.json"
+    (Json.Obj
+       [
+         ( "meta",
+           json_meta ~scale
+             [
+               ("workers", Json.Int workers);
+               ("duration_s", Json.Float duration);
+               ("deadline_ns", Json.Int deadline_ns);
+               ("capacity_req_per_s", Json.Float capacity);
+               ( "commit_intervals_s",
+                 Json.List (List.map (fun c -> Json.Float c) intervals) );
+             ] );
+         ("points", Json.List (List.map point_json points));
+       ])
+
 (* ----------------------------- driver ------------------------------ *)
 
 let experiments : (string * (Suites.scale -> unit)) list =
@@ -890,6 +1065,7 @@ let experiments : (string * (Suites.scale -> unit)) list =
     ("sweeps", run_sweeps);
     ("obs", run_obs);
     ("serve", run_serve);
+    ("persist", run_persist);
   ]
 
 let () =

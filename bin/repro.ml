@@ -11,6 +11,7 @@
      repro theory [--full]   Theorems 4.1-4.4 vs a real trie
      repro ablation [--full] cache on/off and max_misses sweep
      repro obs [--full|--demo] observability exports / flight-recorder demo
+     repro recover [--crashes N] durable-mode crash-recovery storm
      repro all [--full]      everything above *)
 
 open Cmdliner
@@ -713,6 +714,354 @@ let serve_cmd =
       const serve_run $ timeout_term $ map_term $ replay_term $ trace_out_term
       $ scale_term)
 
+(* ------------------------- recover subcommand ----------------------- *)
+
+(* repro recover [--crashes N] [--seed S] [--dir D] [--keep]
+
+   Crash-recovery storm for the durable serving mode (DESIGN.md §14).
+   Each iteration: recover the store from disk, serve it, drive seeded
+   partitioned traffic with the storage-fault injector armed to kill
+   the process at a seeded point of group commit or checkpoint
+   publication, then recover the next incarnation and verify against
+   the load generator's ledger that every durably-acked operation
+   survived and no unacknowledged operation was invented.  Torn tails
+   must first draw the strict typed refusal before --salvage-style
+   truncation is allowed to proceed.  On any failure the store's
+   files, the kvload trace and the reason are saved under
+   _recover_failures/ for offline replay. *)
+
+module Durable = Kv.Durable
+module Dsrv = Kv.Server.Make (Kv.Durable.Map)
+module Recovery = Persist.Recovery
+
+let recover_store_dir = "_recover_store"
+let recover_artifacts_dir = "_recover_failures"
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc s;
+  close_out oc
+
+(* Everything offline replay needs: the store's files as the crash
+   left them, the exact traffic, and why verification refused. *)
+let save_recover_artifacts ~dir ~iter ~plan ~reason =
+  let mkdir d =
+    try Unix.mkdir d 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  in
+  mkdir recover_artifacts_dir;
+  let dst =
+    Filename.concat recover_artifacts_dir (Printf.sprintf "crash_%03d" iter)
+  in
+  mkdir dst;
+  (try
+     Array.iter
+       (fun f ->
+         let p = Filename.concat dir f in
+         if not (Sys.is_directory p) then copy_file p (Filename.concat dst f))
+       (Sys.readdir dir)
+   with Sys_error _ -> ());
+  (match plan with
+  | None -> ()
+  | Some p ->
+      let oc = open_out (Filename.concat dst "plan.kvload") in
+      output_string oc (Loadgen.to_string p);
+      close_out oc);
+  let oc = open_out (Filename.concat dst "reason.txt") in
+  output_string oc reason;
+  output_char oc '\n';
+  close_out oc;
+  dst
+
+(* Fast group commit so armed kills land early, checkpoints every few
+   hundred records so checkpoint publication is a real kill target
+   inside a sub-second run. *)
+let recover_durable_config =
+  {
+    Kv.Durable.wal =
+      { Persist.Wal.default_config with Persist.Wal.commit_interval = 0.001 };
+    checkpoint_every = 300;
+    checkpoint_interval = 0.003;
+  }
+
+let recover_server_config () =
+  {
+    (Kv.Server.default_config ()) with
+    Kv.Server.workers = 2;
+    queue_capacity = 256;
+    p99_bound_ns = 2_000_000_000;
+    tick_interval = 0.01;
+  }
+
+(* Ambient storage hostility under the armed kill: short writes the
+   write loop must absorb, occasional fsync failures the retry budget
+   must eat, occasional stalled fsyncs the deadline must bound. *)
+let recover_disk_plan seed =
+  {
+    Chaos.Disk.seed;
+    target = "";
+    torn_one_in = 0;
+    short_one_in = 7;
+    fsync_fail_one_in = 150;
+    fsync_delay_one_in = 60;
+    fsync_delay_s = 0.002;
+  }
+
+(* Partitioned keys are the verification precondition: one connection
+   owns each key, so per-key histories are totally ordered. *)
+let recover_plan ~seed i =
+  {
+    Loadgen.seed = seed + (997 * i);
+    n = 1_500;
+    conns = 4;
+    rate = 30_000.0;
+    profile = Harness.Trace.write_heavy;
+    deadline_ns = 250_000_000;
+    value_bytes = 24;
+    partition = true;
+    net = Chaos.Net.quiet;
+  }
+
+let recover_storm ~crashes ~seed ~dir ~keep =
+  let failures = ref [] in
+  let check what ok =
+    if not ok then failures := what :: !failures;
+    Printf.printf "%-56s %s\n%!" what (if ok then "ok" else "FAIL")
+  in
+  rm_rf dir;
+  let crashes_fired = ref 0
+  and wal_kills = ref 0
+  and ckpt_kills = ref 0
+  and clean_runs = ref 0
+  and strict_refusals = ref 0
+  and salvages = ref 0
+  and recovery_failures = ref 0
+  and verify_failures = ref 0
+  and ledger_failures = ref 0
+  and total_replayed = ref 0
+  and total_skipped = ref 0
+  and total_ckpt_records = ref 0
+  and tmp_discarded = ref 0 in
+  let rng = Rng.create (Ct_util.Rng.mix64 (seed lxor 0x5707)) in
+  (* Strict first, always: a torn tail must draw the typed refusal
+     before salvage truncates it; anything else refusing is a bug. *)
+  let reopen ~iter ~plan =
+    match Durable.open_ ~config:recover_durable_config ~dir () with
+    | Ok (st, stats) -> Some (st, stats)
+    | Error (Recovery.Torn_tail _ as e) -> (
+        incr strict_refusals;
+        Printf.printf "  [%03d] strict refusal (expected): %s\n%!" iter
+          (Recovery.error_to_string e);
+        match
+          Durable.open_ ~config:recover_durable_config ~salvage:true ~dir ()
+        with
+        | Ok (st, stats) ->
+            incr salvages;
+            Some (st, stats)
+        | Error e ->
+            incr recovery_failures;
+            let reason =
+              "salvage recovery refused: " ^ Recovery.error_to_string e
+            in
+            let saved = save_recover_artifacts ~dir ~iter ~plan ~reason in
+            Printf.printf "  [%03d] %s (artifacts: %s)\n%!" iter reason saved;
+            None)
+    | Error e ->
+        incr recovery_failures;
+        let reason = "strict recovery refused: " ^ Recovery.error_to_string e in
+        let saved = save_recover_artifacts ~dir ~iter ~plan ~reason in
+        Printf.printf "  [%03d] %s (artifacts: %s)\n%!" iter reason saved;
+        None
+  in
+  let bindings st =
+    Durable.Map.fold_snapshot (fun acc k v -> (k, v) :: acc) [] (Durable.map st)
+  in
+  let verify_incarnation ~iter ~pending ~recovered =
+    match pending with
+    | None -> ()
+    | Some (s, run_base, plan) -> (
+        match Loadgen.verify_recovered s ~base:run_base ~bindings:recovered with
+        | Ok () -> ()
+        | Error msg ->
+            incr verify_failures;
+            let reason = "durability verification failed: " ^ msg in
+            let saved =
+              save_recover_artifacts ~dir ~iter ~plan:(Some plan) ~reason
+            in
+            Printf.printf "  [%03d] %s (artifacts: %s)\n%!" iter reason saved)
+  in
+  (* pending = the crashed run awaiting verification: its summary, the
+     store content when it started, and its plan (for artifacts). *)
+  let pending = ref None in
+  for i = 1 to crashes do
+    let plan = recover_plan ~seed i in
+    match reopen ~iter:i ~plan:(Some plan) with
+    | None ->
+        (* Unrecoverable by policy: wipe and continue the storm so one
+           refusal surfaces as one counted failure, not a cascade. *)
+        rm_rf dir;
+        pending := None
+    | Some (st, stats) ->
+        total_replayed := !total_replayed + stats.Recovery.replayed;
+        total_skipped := !total_skipped + stats.Recovery.skipped;
+        total_ckpt_records :=
+          !total_ckpt_records + stats.Recovery.checkpoint_records;
+        tmp_discarded := !tmp_discarded + stats.Recovery.tmp_discarded;
+        let recovered = bindings st in
+        verify_incarnation ~iter:i ~pending:!pending ~recovered;
+        let srv =
+          Dsrv.start
+            ~config:(recover_server_config ())
+            ~durable:(Durable.hooks st) (Durable.map st)
+        in
+        let disk = Chaos.Disk.install ~salt:i (recover_disk_plan seed) in
+        (* Seeded kill placement sweep: mostly mid group commit, the
+           rest mid checkpoint publication; both write and fsync
+           phases. *)
+        let on_wal = Rng.next_int rng 3 < 2 in
+        let target, after =
+          if on_wal then ("wal-", 1 + Rng.next_int rng 25)
+          else ("checkpoint-", Rng.next_int rng 3)
+        in
+        let at_fsync = Rng.next_int rng 2 = 0 in
+        Chaos.Disk.arm_kill disk ~target ~at_fsync ~after ();
+        (* The in-process kill -9: the instant the storage layer halts,
+           sever every connection so clients see the death, not a
+           wedged socket. *)
+        let stop_watch = Atomic.make false in
+        let watcher =
+          Thread.create
+            (fun () ->
+              while
+                (not (Atomic.get stop_watch)) && not (Persist.Io.is_halted ())
+              do
+                Unix.sleepf 0.0005
+              done;
+              if Persist.Io.is_halted () then Dsrv.kill srv)
+            ()
+        in
+        let s = Loadgen.run ~port:(Dsrv.port srv) plan in
+        (* A checkpoint-armed kill that found no organic checkpoint in
+           a short run: force one cycle so the placement still fires. *)
+        if Chaos.Disk.kill_armed disk then ignore (Durable.checkpoint_now st);
+        Atomic.set stop_watch true;
+        Thread.join watcher;
+        let crashed = Persist.Io.is_halted () in
+        if crashed then begin
+          incr crashes_fired;
+          if on_wal then incr wal_kills else incr ckpt_kills;
+          Dsrv.kill srv;
+          Durable.abandon st
+        end
+        else begin
+          incr clean_runs;
+          ignore (Dsrv.drain ~timeout:10.0 srv);
+          ignore (Durable.close st)
+        end;
+        Chaos.Disk.clear ();
+        Persist.Io.resurrect ();
+        (match Loadgen.verify s with
+        | Ok () -> ()
+        | Error msg ->
+            incr ledger_failures;
+            Printf.printf "  [%03d] ledger: %s\n%!" i msg);
+        pending := Some (s, recovered, plan)
+  done;
+  (* The last crash still awaits its recovery-side verdict. *)
+  (match reopen ~iter:(crashes + 1) ~plan:None with
+  | None -> ()
+  | Some (st, stats) ->
+      total_replayed := !total_replayed + stats.Recovery.replayed;
+      verify_incarnation ~iter:(crashes + 1) ~pending:!pending
+        ~recovered:(bindings st);
+      ignore (Durable.close st));
+  Printf.printf
+    "storm: %d/%d runs crashed (%d mid-commit, %d mid-checkpoint), %d ran \
+     clean\n\
+     recovery: %d strict torn-tail refusals -> salvaged %d, %d partial \
+     checkpoints discarded\n\
+     replayed %d WAL records, skipped %d checkpoint-covered, loaded %d \
+     checkpoint records\n%!"
+    !crashes_fired crashes !wal_kills !ckpt_kills !clean_runs !strict_refusals
+    !salvages !tmp_discarded !total_replayed !total_skipped !total_ckpt_records;
+  check "storm actually killed the process" (!crashes_fired >= crashes / 2);
+  check "every incarnation recovered (typed refusals only where salvage \
+         applies)"
+    (!recovery_failures = 0);
+  check "torn tails drew the strict refusal before salvage"
+    (!salvages = !strict_refusals);
+  check "every durably-acked op survived; nothing invented"
+    (!verify_failures = 0);
+  check "every run's ledger verified (zero silent drops)"
+    (!ledger_failures = 0);
+  if !failures = [] && not keep then rm_rf dir;
+  !failures
+
+let recover_run timeout crashes seed dir keep =
+  arm_timeout timeout;
+  if crashes < 1 then begin
+    prerr_endline "repro recover: --crashes must be positive";
+    2
+  end
+  else
+    match recover_storm ~crashes ~seed ~dir ~keep with
+    | [] -> 0
+    | failures ->
+        List.iter
+          (fun f -> Printf.eprintf "repro recover: FAILED: %s\n%!" f)
+          (List.rev failures);
+        1
+    | exception e ->
+        Printf.eprintf "repro recover: failed: %s\n%!" (Printexc.to_string e);
+        1
+
+let recover_cmd =
+  let crashes_term =
+    Arg.(
+      value & opt int 100
+      & info [ "crashes" ] ~docv:"N"
+          ~doc:"Storm iterations (crash + recover cycles).")
+  in
+  let seed_term =
+    Arg.(
+      value & opt int 0xC4A54
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Master seed for traffic, faults and kill placement.")
+  in
+  let dir_term =
+    Arg.(
+      value & opt string recover_store_dir
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Store directory (wiped at start; removed on success).")
+  in
+  let keep_term =
+    Arg.(
+      value & flag
+      & info [ "keep" ] ~doc:"Keep the store directory even on success.")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Crash-recovery storm for the durable serving mode: seeded kills \
+          mid group-commit and mid checkpoint, strict-then-salvage \
+          recovery, and ledger verification that every durably-acked \
+          operation survives while nothing unacknowledged is invented.")
+    Term.(
+      const recover_run $ timeout_term $ crashes_term $ seed_term $ dir_term
+      $ keep_term)
+
 let all_cmd =
   let run timeout scale =
     guarded timeout (fun scale ->
@@ -730,6 +1079,6 @@ let () =
   in
   let cmds =
     (all_cmd :: List.map (fun (n, d, f) -> experiment n d f) all_experiments)
-    @ [ mc_cmd; obs_cmd; serve_cmd ]
+    @ [ mc_cmd; obs_cmd; serve_cmd; recover_cmd ]
   in
   exit (Cmd.eval' (Cmd.group info cmds))

@@ -111,3 +111,4 @@ let clear = Yp.clear
 (* Traffic-path fault family (connection drops, slow-loris writes,
    read pauses, bounded worker stalls) — see chaos_net.ml. *)
 module Net = Chaos_net
+module Disk = Chaos_disk

@@ -80,3 +80,8 @@ val clear : unit -> unit
     (drops, slow-loris, read pauses) and bounded worker stalls for
     the serving layer.  See {!Chaos_net}. *)
 module Net : module type of Chaos_net
+
+(** Storage-path fault family: torn/short writes, failed and delayed
+    fsyncs, deterministic kills on the {!Persist.Io} seam.  See
+    {!Chaos_disk}. *)
+module Disk : module type of Chaos_disk

@@ -1,0 +1,10 @@
+(** CRC-32 (IEEE, reflected) over bytes — the record checksum of the
+    WAL and checkpoint file formats.  Values are in [0, 0xFFFFFFFF]. *)
+
+val update : int -> Bytes.t -> int -> int -> int
+(** [update crc b off len] extends a running checksum.  [update 0]
+    starts a fresh one. *)
+
+val bytes : Bytes.t -> int -> int -> int
+
+val string : string -> int

@@ -1,0 +1,108 @@
+(* Fault-injectable storage seam (DESIGN.md §14).
+
+   Every byte the persistence layer puts on disk goes through this
+   module, and every call consults a single process-global injector
+   slot — the same last-installed-wins idiom as
+   [Ct_util.Yieldpoint.install].  The production fast path is one
+   atomic load; [Chaos.Disk] installs an injector that turns the same
+   calls into torn writes, short writes, failed or delayed fsyncs.
+
+   A {e torn} write is the simulated [kill -9]: a prefix of the buffer
+   reaches the file, the process-wide {!halted} flag flips, and
+   {!Halted} propagates.  While halted, every subsequent operation
+   refuses immediately — exactly what a dead process would have done —
+   so a crash-storm harness can abandon the store mid-commit or
+   mid-checkpoint and recover from whatever prefix made it to disk.
+   {!resurrect} starts the next incarnation. *)
+
+exception Halted
+
+type write_directive =
+  | W_ok
+  | W_short of int  (* persist only this many bytes, report partial success *)
+  | W_torn of int  (* persist this many bytes, then halt: simulated kill -9 *)
+  | W_error  (* the write fails with EIO *)
+
+type fsync_directive =
+  | F_ok
+  | F_error  (* fsync fails with EIO *)
+  | F_delay of float  (* a stalled disk: sleep, then fsync normally *)
+  | F_halt  (* kill -9 at the fsync boundary *)
+
+type injector = {
+  on_write : path:string -> len:int -> write_directive;
+  on_fsync : path:string -> fsync_directive;
+}
+
+let injector : injector option Atomic.t = Atomic.make None
+let install i = Atomic.set injector (Some i)
+let clear () = Atomic.set injector None
+
+let halted = Atomic.make false
+let halt () = Atomic.set halted true
+let is_halted () = Atomic.get halted
+let resurrect () = Atomic.set halted false
+
+let check_alive () = if Atomic.get halted then raise Halted
+
+(* Write [len] bytes of [b] from [off], honouring injected faults.
+   Short writes (injected or real) loop — a partial write is not an
+   error, and every retry re-consults the injector so one call can
+   suffer several faults. *)
+let write_all fd ~path b off len =
+  check_alive ();
+  let pos = ref off and stop = off + len in
+  while !pos < stop do
+    check_alive ();
+    let remaining = stop - !pos in
+    let directive =
+      match Atomic.get injector with
+      | None -> W_ok
+      | Some i -> i.on_write ~path ~len:remaining
+    in
+    match directive with
+    | W_ok ->
+        let n = Unix.write fd b !pos remaining in
+        if n <= 0 then raise (Unix.Unix_error (Unix.EIO, "write", path));
+        pos := !pos + n
+    | W_short n ->
+        let n = max 1 (min n remaining) in
+        let n = Unix.write fd b !pos n in
+        if n <= 0 then raise (Unix.Unix_error (Unix.EIO, "write", path));
+        pos := !pos + n
+    | W_torn n ->
+        let n = min (max 0 n) remaining in
+        (if n > 0 then try ignore (Unix.write fd b !pos n) with _ -> ());
+        halt ();
+        raise Halted
+    | W_error -> raise (Unix.Unix_error (Unix.EIO, "write", path))
+  done
+
+let fsync fd ~path =
+  check_alive ();
+  let directive =
+    match Atomic.get injector with
+    | None -> F_ok
+    | Some i -> i.on_fsync ~path
+  in
+  match directive with
+  | F_ok -> Unix.fsync fd
+  | F_error -> raise (Unix.Unix_error (Unix.EIO, "fsync", path))
+  | F_delay d ->
+      Unix.sleepf d;
+      check_alive ();
+      Unix.fsync fd
+  | F_halt ->
+      halt ();
+      raise Halted
+
+(* Directory entries (the rename publishing a checkpoint) are made
+   durable by fsyncing the directory fd.  Not injectable: the faults
+   worth injecting live on the data path. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () -> try Unix.fsync fd with _ -> ())
+  | exception _ -> ()

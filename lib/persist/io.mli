@@ -1,0 +1,53 @@
+(** Fault-injectable storage seam.
+
+    All WAL and checkpoint bytes go through {!write_all}/{!fsync},
+    which consult a process-global injector slot (last installed wins,
+    like [Ct_util.Yieldpoint]).  [Chaos.Disk] is the production
+    injector; the directives below are the faults it can return.
+
+    {!Halted} models [kill -9]: once raised (via a [W_torn]/[F_halt]
+    directive or an explicit {!halt}), every subsequent operation
+    refuses until {!resurrect} — the files keep whatever prefix made
+    it to disk, exactly like a dead process's. *)
+
+exception Halted
+
+type write_directive =
+  | W_ok
+  | W_short of int
+      (** persist only this many bytes; the caller's loop continues *)
+  | W_torn of int
+      (** persist this many bytes, then {!halt} and raise {!Halted} *)
+  | W_error  (** fail with [EIO] *)
+
+type fsync_directive =
+  | F_ok
+  | F_error  (** fail with [EIO] *)
+  | F_delay of float  (** stalled disk: sleep, then fsync *)
+  | F_halt  (** {!halt} and raise {!Halted} *)
+
+type injector = {
+  on_write : path:string -> len:int -> write_directive;
+  on_fsync : path:string -> fsync_directive;
+}
+
+val install : injector -> unit
+val clear : unit -> unit
+
+val halt : unit -> unit
+(** Simulated [kill -9] from this instant on. *)
+
+val is_halted : unit -> bool
+
+val resurrect : unit -> unit
+(** Start the next incarnation (the recovery side of a crash test). *)
+
+val write_all : Unix.file_descr -> path:string -> Bytes.t -> int -> int -> unit
+(** [write_all fd ~path b off len] writes all [len] bytes, looping
+    over partial writes, consulting the injector each round.
+    Raises {!Halted} or [Unix.Unix_error]. *)
+
+val fsync : Unix.file_descr -> path:string -> unit
+
+val fsync_dir : string -> unit
+(** Make a directory entry durable (best-effort, not injectable). *)

@@ -1,0 +1,224 @@
+(* Crash recovery (DESIGN.md §14): load the newest checkpoint, replay
+   the WAL suffix beyond it, refuse anything the CRCs or LSNs cannot
+   vouch for.
+
+   The refusal policy distinguishes two kinds of damage:
+
+   - A {e torn tail}: the record stream is intact up to some offset of
+     the last non-empty segment and then truncated or CRC-broken with
+     nothing valid after it.  That is exactly the signature of a crash
+     mid group-commit — provably unacknowledged data (an ack requires
+     the covering fsync, which never completed).  Strict mode still
+     refuses it with [Torn_tail] so the operator sees the damage;
+     [~salvage:true] truncates the tail and recovers the good prefix.
+
+   - Anything else — a CRC failure with valid data after it, a gap in
+     the LSN sequence, a corrupt published checkpoint — cannot be
+     produced by any crash of a correct writer and is refused in both
+     modes: better no store than a silently wrong one.
+
+   Replay is idempotent, which is what makes the checkpoint boundary
+   safe: the checkpoint may already contain the effect of suffix
+   records (appliers run ahead of the log by design — apply, then
+   append), and re-applying Put/Remove is absorbing.  Records at or
+   below the checkpoint LSN are skipped outright but still decoded and
+   CRC-checked: recovery validates everything it reads. *)
+
+module Metrics = Ct_util.Metrics
+
+type error =
+  | Corrupt_record of { path : string; off : int; reason : string }
+  | Torn_tail of { path : string; off : int; reason : string }
+  | Lsn_gap of { path : string; expected : int; found : int }
+  | Corrupt_checkpoint of { path : string; reason : string }
+  | Io_error of { path : string; msg : string }
+
+let error_to_string = function
+  | Corrupt_record { path; off; reason } ->
+      Printf.sprintf "corrupt record in %s at offset %d: %s" path off reason
+  | Torn_tail { path; off; reason } ->
+      Printf.sprintf "torn tail in %s at offset %d: %s" path off reason
+  | Lsn_gap { path; expected; found } ->
+      Printf.sprintf "LSN gap in %s: expected %d, found %d" path expected found
+  | Corrupt_checkpoint { path; reason } ->
+      Printf.sprintf "corrupt checkpoint %s: %s" path reason
+  | Io_error { path; msg } -> Printf.sprintf "io error on %s: %s" path msg
+
+type stats = {
+  checkpoint_lsn : int;  (* 0 when recovering without a checkpoint *)
+  checkpoint_records : int;
+  replayed : int;  (* WAL records applied (lsn > checkpoint_lsn) *)
+  skipped : int;  (* WAL records already covered by the checkpoint *)
+  last_lsn : int;  (* resume the log at last_lsn + 1 *)
+  salvaged_bytes : int;  (* tail bytes truncated in salvage mode *)
+  tmp_discarded : int;  (* partial checkpoint files ignored *)
+}
+
+let empty_stats =
+  {
+    checkpoint_lsn = 0;
+    checkpoint_records = 0;
+    replayed = 0;
+    skipped = 0;
+    last_lsn = 0;
+    salvaged_bytes = 0;
+    tmp_discarded = 0;
+  }
+
+let u32 s off = Int32.to_int (String.get_int32_be s off) land 0xFFFF_FFFF
+
+let file_size path = match (Unix.stat path).Unix.st_size with n -> n | exception _ -> 0
+
+(* One segment's record stream.  [emit off lsn op] per valid record;
+   returns [Ok ()] or [`Tail (off, reason)] (truncation / final-frame
+   CRC failure: salvageable iff nothing follows) or a hard error. *)
+let scan_segment ~path ~contents ~emit =
+  let n = String.length contents in
+  let rec go pos =
+    if pos = n then Ok ()
+    else if pos + 8 > n then Error (`Tail (pos, "partial frame header"))
+    else
+      let len = u32 contents pos in
+      if len < 17 || len > (1 lsl 21) then
+        (* An implausible length field.  If it claims data past EOF it
+           is indistinguishable from a truncated write → tail;
+           otherwise the stream is structurally broken mid-file. *)
+        if pos + 8 + len > n then
+          Error (`Tail (pos, Printf.sprintf "bad record length %d" len))
+        else Error (`Hard (pos, Printf.sprintf "bad record length %d" len))
+      else if pos + 8 + len > n then
+        Error (`Tail (pos, "truncated record"))
+      else
+        let crc = u32 contents (pos + 4) in
+        let actual = Crc32.bytes (Bytes.unsafe_of_string contents) (pos + 8) len in
+        if crc <> actual then
+          if pos + 8 + len = n then Error (`Tail (pos, "crc mismatch on final record"))
+          else Error (`Hard (pos, "crc mismatch"))
+        else
+          let payload = Bytes.of_string (String.sub contents (pos + 8) len) in
+          match Wal.decode_payload payload with
+          | Error reason -> Error (`Hard (pos, reason))
+          | Ok (lsn, op) -> (
+              match emit pos lsn op with
+              | Ok () -> go (pos + 8 + len)
+              | Error _ as e -> e)
+  in
+  ignore path;
+  go 0
+
+let load ?(salvage = false) ?metrics ~dir ~put ~remove () =
+  if not (Sys.file_exists dir) then Ok empty_stats
+  else begin
+    let tmp_discarded = List.length (Checkpoint.tmp_leftovers ~dir) in
+    (* 1. Newest published checkpoint, if any.  A published checkpoint
+       was fsynced before its rename: damage there is never a torn
+       tail, so it is refused in both modes. *)
+    let ckpt =
+      match Checkpoint.latest ~dir with
+      | None -> Ok (0, 0)
+      | Some (_, path) -> (
+          match Checkpoint.read ~path ~add:put with
+          | Ok (lsn, count) -> Ok (lsn, count)
+          | Error reason -> Error (Corrupt_checkpoint { path; reason }))
+    in
+    match ckpt with
+    | Error e -> Error e
+    | Ok (checkpoint_lsn, checkpoint_records) -> (
+        (* 2. Replay the segments in LSN order.  Contiguity is enforced
+           across segment boundaries: rotation hands the next segment
+           the very next LSN, so any gap means lost data. *)
+        let starts = Wal.segment_starts dir in
+        let replayed = ref 0 and skipped = ref 0 in
+        let last_lsn = ref checkpoint_lsn in
+        let expected = ref None in
+        let salvaged = ref 0 in
+        let apply op =
+          match op with
+          | Wal.Put (k, v) -> put k v
+          | Wal.Remove k -> remove k
+        in
+        let rec segments = function
+          | [] -> Ok ()
+          | start :: rest -> (
+              let path = Wal.seg_path dir start in
+              match In_channel.with_open_bin path In_channel.input_all with
+              | exception Sys_error msg -> Error (Io_error { path; msg })
+              | contents -> (
+                  let emit _off lsn op =
+                    (match !expected with
+                    | Some e when lsn <> e ->
+                        Error (`Gap (e, lsn))
+                    (* The first record anchors against the checkpoint:
+                       everything after [checkpoint_lsn] must be on the
+                       log, so a first record beyond [checkpoint_lsn + 1]
+                       means a covered-looking segment was lost. *)
+                    | None when lsn > checkpoint_lsn + 1 ->
+                        Error (`Gap (checkpoint_lsn + 1, lsn))
+                    | _ ->
+                        expected := Some (lsn + 1);
+                        if lsn > !last_lsn then last_lsn := lsn;
+                        if lsn <= checkpoint_lsn then Stdlib.incr skipped
+                        else begin
+                          apply op;
+                          Stdlib.incr replayed;
+                          match metrics with
+                          | Some m -> Metrics.incr m Metrics.Recovery_replayed
+                          | None -> ()
+                        end;
+                        Ok ())
+                  in
+                  match scan_segment ~path ~contents ~emit with
+                  | Ok () -> segments rest
+                  | Error (`Gap (e, found)) ->
+                      Error (Lsn_gap { path; expected = e; found })
+                  | Error (`Hard (off, reason)) ->
+                      Error (Corrupt_record { path; off; reason })
+                  | Error (`Tail (off, reason)) ->
+                      (* Salvageable only if this really is the tail of
+                         the whole log: every later segment is empty
+                         (which is what a crash mid-rotation leaves). *)
+                      let trailing_data =
+                        List.exists
+                          (fun s -> file_size (Wal.seg_path dir s) > 0)
+                          rest
+                      in
+                      if trailing_data then
+                        Error (Corrupt_record { path; off; reason })
+                      else if not salvage then
+                        Error (Torn_tail { path; off; reason })
+                      else begin
+                        (* Truncate the provably-unacked tail in place so
+                           the next strict load passes. *)
+                        let cut = String.length contents - off in
+                        match
+                          let fd =
+                            Unix.openfile path [ Unix.O_WRONLY ] 0o644
+                          in
+                          Fun.protect
+                            ~finally:(fun () ->
+                              try Unix.close fd with _ -> ())
+                            (fun () -> Unix.ftruncate fd off)
+                        with
+                        | () ->
+                            salvaged := !salvaged + cut;
+                            Ok ()
+                        | exception Unix.Unix_error (e, _, _) ->
+                            Error
+                              (Io_error
+                                 { path; msg = Unix.error_message e })
+                      end))
+        in
+        match segments starts with
+        | Error e -> Error e
+        | Ok () ->
+            Ok
+              {
+                checkpoint_lsn;
+                checkpoint_records;
+                replayed = !replayed;
+                skipped = !skipped;
+                last_lsn = !last_lsn;
+                salvaged_bytes = !salvaged;
+                tmp_discarded;
+              })
+  end

@@ -11,6 +11,7 @@ type plan = {
   profile : Trace.profile;
   deadline_ns : int;
   value_bytes : int;
+  partition : bool;
   net : Net.plan;
 }
 
@@ -23,6 +24,7 @@ let default_plan =
     profile = Trace.read_mostly;
     deadline_ns = 250_000_000;
     value_bytes = 32;
+    partition = false;
     net = Net.quiet;
   }
 
@@ -45,6 +47,7 @@ let to_string p =
   line "skew=%.17g\n" p.profile.Trace.skew;
   line "deadline_ns=%d\n" p.deadline_ns;
   line "value_bytes=%d\n" p.value_bytes;
+  line "partition=%d\n" (if p.partition then 1 else 0);
   line "net.seed=%d\n" p.net.Net.seed;
   line "net.drop_one_in=%d\n" p.net.Net.drop_one_in;
   line "net.loris_one_in=%d\n" p.net.Net.loris_one_in;
@@ -90,6 +93,8 @@ let of_string s =
                 | "skew" -> setf (fun x -> prof (fun pr -> { pr with Trace.skew = x })) v
                 | "deadline_ns" -> seti (fun x -> p := { !p with deadline_ns = x }) v
                 | "value_bytes" -> seti (fun x -> p := { !p with value_bytes = x }) v
+                | "partition" ->
+                    seti (fun x -> p := { !p with partition = x <> 0 }) v
                 | "net.seed" -> seti (fun x -> net (fun np -> { np with Net.seed = x })) v
                 | "net.drop_one_in" -> seti (fun x -> net (fun np -> { np with Net.drop_one_in = x })) v
                 | "net.loris_one_in" -> seti (fun x -> net (fun np -> { np with Net.loris_one_in = x })) v
@@ -105,6 +110,12 @@ let of_string s =
 
 (* ------------------------------ summary ----------------------------- *)
 
+(* The ledger: one slot per scheduled request.  In durable mode, an ok
+   [Replied] on a write IS the durable-ack column — the server only
+   sends it after the covering WAL fsync — which is what
+   {!verify_recovered} keys on. *)
+type outcome = Pending | Dropped | Replied of Protocol.reply
+
 type summary = {
   plan : plan;
   elapsed : float;
@@ -114,6 +125,7 @@ type summary = {
   shed_latency_breach : int;
   deadline_exceeded : int;
   shutting_down : int;
+  read_only : int;
   rejected : int;
   dropped : int;
   pending : int;
@@ -126,11 +138,12 @@ type summary = {
   ok_rate : float;
   client_p50_ns : float;
   client_p99_ns : float;
+  outcomes : outcome array;  (* the full ledger, one slot per request *)
 }
 
 let shed s =
   s.shed_queue_full + s.shed_latency_breach + s.deadline_exceeded
-  + s.shutting_down
+  + s.shutting_down + s.read_only
 
 let accounted s = s.ok + shed s + s.rejected + s.dropped
 
@@ -152,19 +165,17 @@ let pp_summary fmt s =
     "@[<v>offered %.0f req/s, achieved %.0f req/s, goodput %.0f req/s \
      (%.2fs)@,\
      sent %d: ok %d, shed %d (queue_full %d, latency_breach %d, deadline %d, \
-     shutting_down %d), rejected %d, dropped %d, pending %d@,\
+     shutting_down %d, read_only %d), rejected %d, dropped %d, pending %d@,\
      reconnects %d; faults: drops %d, lorises %d, read-pauses %d@,\
      client latency ok-replies: p50 %.0fus p99 %.0fus@]"
     s.offered_rate s.achieved_rate s.ok_rate s.elapsed s.sent s.ok (shed s)
     s.shed_queue_full s.shed_latency_breach s.deadline_exceeded
-    s.shutting_down s.rejected s.dropped s.pending s.reconnects s.fault_drops
-    s.fault_lorises s.fault_pauses
+    s.shutting_down s.read_only s.rejected s.dropped s.pending s.reconnects
+    s.fault_drops s.fault_lorises s.fault_pauses
     (s.client_p50_ns /. 1e3)
     (s.client_p99_ns /. 1e3)
 
 (* ------------------------------- engine ----------------------------- *)
-
-type outcome = Pending | Dropped | Replied of Protocol.reply
 
 type conn_state = {
   idx : int;
@@ -184,10 +195,23 @@ let value_for bytes v =
   if String.length s >= bytes then String.sub s 0 bytes
   else s ^ String.make (bytes - String.length s) '.'
 
-let op_of_trace bytes = function
-  | Trace.Lookup k -> Protocol.Get k
-  | Trace.Insert (k, v) -> Protocol.Put (k, value_for bytes v)
-  | Trace.Remove k -> Protocol.Remove k
+(* [partition] remaps request [i]'s key so each final key is only ever
+   touched by one connection ([k * conns + i mod conns]).  Replies on
+   one connection preserve per-key send order (one conn → one reader →
+   one worker queue), which gives every key a total operation order —
+   the precondition for {!verify_recovered}'s windowed check. *)
+let key_for p i k = if p.partition then (k * p.conns) + (i mod p.conns) else k
+
+let op_for p (trace : Trace.op array) i =
+  match trace.(i) with
+  | Trace.Lookup k -> Protocol.Get (key_for p i k)
+  | Trace.Insert (k, v) ->
+      Protocol.Put (key_for p i k, value_for p.value_bytes v)
+  | Trace.Remove k -> Protocol.Remove (key_for p i k)
+
+let requests p =
+  let trace = Trace.generate ~seed:p.seed p.profile p.n in
+  Array.init p.n (fun i -> op_for p trace i)
 
 let is_ok = function
   | Protocol.Value _ | Protocol.Nil | Protocol.Stored _ | Protocol.Removed
@@ -195,7 +219,7 @@ let is_ok = function
       true
   | Protocol.Overloaded _ | Protocol.Deadline_exceeded
   | Protocol.Shutting_down | Protocol.Bad_request _ | Protocol.Server_error _
-    ->
+  | Protocol.Read_only ->
       false
 
 (* Receiver thread: one per connection incarnation.  Marks ledger
@@ -324,7 +348,7 @@ let sender plan cs ledger send_ns (trace : Trace.op array) ~port ~t0 () =
           {
             Protocol.id;
             deadline_ns = plan.deadline_ns;
-            op = op_of_trace plan.value_bytes trace.(!k);
+            op = op_for plan trace !k;
           }
         in
         let frame = Protocol.encode_request req in
@@ -391,6 +415,7 @@ let run ~port plan =
   and lb = ref 0
   and dl = ref 0
   and sd = ref 0
+  and ro = ref 0
   and rej = ref 0
   and dropped = ref 0
   and pending = ref 0 in
@@ -407,6 +432,7 @@ let run ~port plan =
           | Protocol.Overloaded Protocol.Latency_breach -> incr lb
           | Protocol.Deadline_exceeded -> incr dl
           | Protocol.Shutting_down -> incr sd
+          | Protocol.Read_only -> incr ro
           | Protocol.Bad_request _ | Protocol.Server_error _ -> incr rej))
     ledger;
   let nsamples = Array.fold_left (fun a cs -> a + cs.nsamples) 0 states in
@@ -431,6 +457,7 @@ let run ~port plan =
     shed_latency_breach = !lb;
     deadline_exceeded = !dl;
     shutting_down = !sd;
+    read_only = !ro;
     rejected = !rej;
     dropped = !dropped;
     pending = !pending;
@@ -445,4 +472,103 @@ let run ~port plan =
     ok_rate = (if elapsed > 0.0 then float_of_int !ok /. elapsed else 0.0);
     client_p50_ns = p50;
     client_p99_ns = p99;
+    outcomes = ledger;
   }
+
+(* ------------------------- recovery verification --------------------- *)
+
+(* The windowed per-key check behind the crash-recovery acceptance:
+   with [partition] on, every key has a total operation order, so after
+   a crash + recovery the recovered binding must be the effect of SOME
+   suffix position at or after the last durably-acked operation:
+
+   - the last acked op (ack = ok reply = the WAL fsync covered it) is
+     certainly in the recovered log — "every durably-acked op
+     survives";
+   - unacked ops after it may or may not have reached the disk before
+     the kill — each is an admissible final state;
+   - nothing else is: a recovered value outside the window means the
+     store either lost an acked write or invented one that was never
+     sent ("no unacked op invented" for untouched keys: they must
+     carry their [base] binding exactly).
+
+   [base] is the store's content when this incarnation started (what
+   recovery loaded last time); [bindings] is its content after this
+   crash + recovery. *)
+let verify_recovered s ~base ~bindings =
+  if not s.plan.partition then
+    Error "verify_recovered requires plan.partition = true"
+  else begin
+    let ops = requests s.plan in
+    let tbl n l =
+      let t = Hashtbl.create (max 16 n) in
+      List.iter (fun (k, v) -> Hashtbl.replace t k v) l;
+      t
+    in
+    let base_t = tbl (List.length base) base in
+    let bind_t = tbl (List.length bindings) bindings in
+    (* Per-key history, oldest first: (effect, durably_acked). *)
+    let hist : (int, (string option * bool) list) Hashtbl.t =
+      Hashtbl.create 1024
+    in
+    for i = 0 to s.plan.n - 1 do
+      let entry =
+        match ops.(i) with
+        | Protocol.Put (k, v) -> Some (k, Some v)
+        | Protocol.Remove k -> Some (k, None)
+        | Protocol.Get _ | Protocol.Ping -> None
+      in
+      match entry with
+      | None -> ()
+      | Some (k, eff) ->
+          let acked =
+            match s.outcomes.(i) with Replied r -> is_ok r | _ -> false
+          in
+          Hashtbl.replace hist k
+            ((eff, acked) :: (try Hashtbl.find hist k with Not_found -> []))
+    done;
+    let keys = Hashtbl.create 1024 in
+    Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) base_t;
+    Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) bind_t;
+    Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) hist;
+    let describe = function
+      | Some v -> Printf.sprintf "%S" v
+      | None -> "absent"
+    in
+    let failure = ref None in
+    Hashtbl.iter
+      (fun k () ->
+        if !failure = None then begin
+          let actual = Hashtbl.find_opt bind_t k in
+          let seq =
+            List.rev (try Hashtbl.find hist k with Not_found -> [])
+          in
+          let admissible =
+            if seq = [] then [ Hashtbl.find_opt base_t k ]
+            else begin
+              (* Effects from the last acked position onward; the base
+                 binding joins the window only when nothing was acked. *)
+              let effs = List.map fst seq in
+              let last_ack = ref (-1) in
+              List.iteri
+                (fun i (_, acked) -> if acked then last_ack := i)
+                seq;
+              if !last_ack >= 0 then
+                List.filteri (fun i _ -> i >= !last_ack) effs
+              else Hashtbl.find_opt base_t k :: effs
+            end
+          in
+          if not (List.mem actual admissible) then
+            failure :=
+              Some
+                (Printf.sprintf
+                   "key %d: recovered %s is outside the admissible window \
+                    (%d state op(s), %d durably acked, window %s)"
+                   k (describe actual) (List.length seq)
+                   (List.length
+                      (List.filter (fun (_, acked) -> acked) seq))
+                   (String.concat ", " (List.map describe admissible)))
+        end)
+      keys;
+    match !failure with Some msg -> Error msg | None -> Ok ()
+  end

@@ -31,6 +31,11 @@ type plan = {
   profile : Harness.Trace.profile;  (** operation mix (reads/inserts/removes/universe/skew) *)
   deadline_ns : int;  (** per-request budget stamped on every request; 0 = none *)
   value_bytes : int;  (** payload size for puts *)
+  partition : bool;
+      (** remap request [i]'s key to [k * conns + i mod conns], so each
+          final key is touched by exactly one connection and therefore
+          has a total operation order — required by
+          {!verify_recovered} *)
   net : Chaos.Net.plan;  (** traffic-path fault plan ({!Chaos.Net.quiet} = faults off) *)
 }
 
@@ -43,6 +48,11 @@ val to_string : plan -> string
 
 val of_string : string -> (plan, string) result
 
+(** One ledger slot.  In durable mode an ok [Replied] on a write is
+    the durable-ack column: the server sends it only after the
+    covering WAL fsync. *)
+type outcome = Pending | Dropped | Replied of Protocol.reply
+
 type summary = {
   plan : plan;
   elapsed : float;  (** seconds, first send to last accounting *)
@@ -52,6 +62,7 @@ type summary = {
   shed_latency_breach : int;
   deadline_exceeded : int;
   shutting_down : int;
+  read_only : int;  (** typed write refusals from a degraded WAL *)
   rejected : int;  (** [Bad_request] + [Server_error] replies *)
   dropped : int;  (** requests accounted to a connection-level drop *)
   pending : int;  (** silent drops: live connection, no reply — must be 0 *)
@@ -64,11 +75,12 @@ type summary = {
   ok_rate : float;  (** [ok / elapsed] — the sustained goodput *)
   client_p50_ns : float;  (** client-observed send-to-reply latency over ok replies *)
   client_p99_ns : float;
+  outcomes : outcome array;  (** the full ledger, slot [i] = request [i] *)
 }
 
 val shed : summary -> int
 (** Typed sheds: [shed_queue_full + shed_latency_breach +
-    deadline_exceeded + shutting_down]. *)
+    deadline_exceeded + shutting_down + read_only]. *)
 
 val accounted : summary -> int
 (** [ok + sheds + rejected + dropped] — equals [plan.n] iff nothing is
@@ -84,5 +96,26 @@ val run : port:int -> plan -> summary
 val verify : summary -> (unit, string) result
 (** The zero-silent-drop check: every sent request has exactly one
     accounting ([pending = 0] and the ledger adds up). *)
+
+val requests : plan -> Protocol.op array
+(** The exact operation sequence the plan sends (trace generation plus
+    the [partition] key remap): slot [i] is request [i]'s op, sent on
+    connection [i mod conns].  Deterministic per plan — the recovery
+    verifier reconstructs history from this. *)
+
+val verify_recovered :
+  summary ->
+  base:(int * string) list ->
+  bindings:(int * string) list ->
+  (unit, string) result
+(** The crash-recovery acceptance check (requires [plan.partition]).
+    [base] is the store content when the run started (what recovery
+    loaded from the previous incarnation); [bindings] is the content
+    after this run's crash + recovery.  For every key, the recovered
+    binding must be the effect of some operation at or after the
+    key's last durably-acked one ([ok Replied] = the WAL fsync
+    covered it), or — for keys with no acked op — the base binding or
+    any of the key's unacked effects.  Fails when an acked write was
+    lost, or a binding appears that no operation (or base) explains. *)
 
 val pp_summary : Format.formatter -> summary -> unit

@@ -26,6 +26,7 @@ type reply =
   | Shutting_down
   | Bad_request of string
   | Server_error of string
+  | Read_only
 
 let max_frame = 1 lsl 20
 
@@ -88,6 +89,7 @@ let status_of = function
   | Shutting_down -> 7
   | Bad_request _ -> 8
   | Server_error _ -> 9
+  | Read_only -> 10
 
 let rep_fixed = 1 + 4 + 1 (* status, id, detail *)
 
@@ -139,6 +141,7 @@ let decode_reply payload =
     | 7 -> Ok (id, Shutting_down)
     | 8 -> Ok (id, Bad_request (value ()))
     | 9 -> Ok (id, Server_error (value ()))
+    | 10 -> Ok (id, Read_only)
     | s -> Error (Printf.sprintf "unknown status %d" s)
 
 let reply_label = function
@@ -153,6 +156,7 @@ let reply_label = function
   | Shutting_down -> "shutting_down"
   | Bad_request _ -> "bad_request"
   | Server_error _ -> "server_error"
+  | Read_only -> "read_only"
 
 (* ------------------------------ reader ----------------------------- *)
 

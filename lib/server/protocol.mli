@@ -62,6 +62,10 @@ type reply =
   | Shutting_down  (** arrived after drain began; not executed *)
   | Bad_request of string
   | Server_error of string
+  | Read_only
+      (** durable mode only: the write-ahead log degraded (fsync retry
+          budget exhausted) and the server refuses writes rather than
+          acknowledge data it cannot make durable; not executed *)
 
 val max_frame : int
 (** Hard cap on accepted payload size (1 MiB); larger announced

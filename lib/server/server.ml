@@ -70,6 +70,9 @@ let stat_labels =
     "retry_exhausted";
     "server_errors";
     "write_failures";
+    "durable_acks";
+    "durable_timeouts";
+    "read_only";
   |]
 
 let c_conns_opened = 0
@@ -86,6 +89,26 @@ let c_deadline_expired = 10
 let c_retry_exhausted = 11
 let c_server_errors = 12
 let c_write_failures = 13
+let c_durable_acks = 14
+let c_durable_timeouts = 15
+let c_read_only = 16
+
+(* Durable mode (DESIGN.md §14), as hooks rather than a hard
+   dependency on a concrete store: the worker applies the operation to
+   the map, appends it to a write-ahead log, and withholds the reply
+   until the covering group-commit fsync — or until the request's own
+   deadline expires, whichever comes first.  The apply-before-append
+   order is a checkpointing invariant: a WAL rotation boundary then
+   always covers fully-applied state. *)
+type durable = {
+  d_append :
+    Persist.Wal.op -> (int, [ `Degraded | `Closed | `Halted ]) result;
+      (* log the (already applied) write; Ok lsn *)
+  d_subscribe : lsn:int -> deadline_ns:int -> (Persist.Wal.ack -> unit) -> unit;
+      (* fire exactly once with the lsn's fate *)
+  d_flush : unit -> unit;  (* graceful drain: force a group commit *)
+  d_read_only : unit -> bool;  (* the log degraded; refuse writes *)
+}
 
 module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
   type conn = {
@@ -117,6 +140,7 @@ module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
     conn_mutex : Mutex.t;
     ticker_stop : bool Atomic.t;
     progress : Progress.t option;
+    durable : durable option;
     drain_mutex : Mutex.t;
     mutable drain_done : bool;
     mutable drain_flushed : bool;
@@ -174,14 +198,47 @@ module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
 
   (* ---------------------------- workers ----------------------------- *)
 
+  let wal_op = function
+    | Protocol.Put (k, v) -> Some (Persist.Wal.Put (k, v))
+    | Protocol.Remove k -> Some (Persist.Wal.Remove k)
+    | Protocol.Get _ | Protocol.Ping -> None
+
+  (* Withhold [reply] until the WAL covers [lsn] with an fsync.  The
+     connection reply (and the inflight decrement drain waits on)
+     moves to the ack callback — fired by the WAL's pump thread, which
+     runs even when the disk stalls, so the deadline still binds. *)
+  let finish_durable t it d reply lsn =
+    let deadline_ns =
+      if it.req.deadline_ns > 0 then it.arrival + it.req.deadline_ns
+      else max_int
+    in
+    d.d_subscribe ~lsn ~deadline_ns (fun ack ->
+        (match ack with
+        | Persist.Wal.Durable ->
+            bump t c_durable_acks;
+            Obs.Latency.record_span t.lat ~start:it.arrival;
+            send_reply t it.iconn ~id:it.req.id reply
+        | Persist.Wal.Timed_out ->
+            bump t c_deadline_expired;
+            bump t c_durable_timeouts;
+            send_reply t it.iconn ~id:it.req.id Protocol.Deadline_exceeded
+        | Persist.Wal.Degraded ->
+            bump t c_read_only;
+            send_reply t it.iconn ~id:it.req.id Protocol.Read_only
+        | Persist.Wal.Lost ->
+            (* Simulated process death: a dead server sends nothing. *)
+            ());
+        Atomic.decr t.inflight)
+
   let serve t it =
     let now = Clock.monotonic_ns () in
-    let reply =
-      if it.req.deadline_ns > 0 && now - it.arrival > it.req.deadline_ns then begin
-        bump t c_deadline_expired;
-        Protocol.Deadline_exceeded
-      end
-      else
+    if it.req.deadline_ns > 0 && now - it.arrival > it.req.deadline_ns then begin
+      bump t c_deadline_expired;
+      send_reply t it.iconn ~id:it.req.id Protocol.Deadline_exceeded;
+      Atomic.decr t.inflight
+    end
+    else begin
+      let reply =
         match
           Yp.here Yp.Before exec_site;
           let r =
@@ -203,17 +260,41 @@ module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
         with
         | r ->
             bump t c_executed;
-            Obs.Latency.record_span t.lat ~start:it.arrival;
-            r
+            Ok r
         | exception e ->
             (* An injected crash (or a real bug) abandoned the
                operation mid-flight.  The residue is the scrubber's
                problem; the client still gets a typed answer. *)
             bump t c_server_errors;
-            Protocol.Server_error (Printexc.to_string e)
-    in
-    send_reply t it.iconn ~id:it.req.id reply;
-    Atomic.decr t.inflight
+            Error (Protocol.Server_error (Printexc.to_string e))
+      in
+      match (reply, t.durable) with
+      | Ok r, Some d -> (
+          match wal_op it.req.op with
+          | Some w -> (
+              (* Applied; now log it.  Apply-before-append is what lets
+                 a rotation boundary checkpoint fully-applied state. *)
+              match d.d_append w with
+              | Ok lsn -> finish_durable t it d r lsn
+              | Error `Halted ->
+                  (* Dead processes send nothing. *)
+                  Atomic.decr t.inflight
+              | Error (`Degraded | `Closed) ->
+                  bump t c_read_only;
+                  send_reply t it.iconn ~id:it.req.id Protocol.Read_only;
+                  Atomic.decr t.inflight)
+          | None ->
+              Obs.Latency.record_span t.lat ~start:it.arrival;
+              send_reply t it.iconn ~id:it.req.id r;
+              Atomic.decr t.inflight)
+      | Ok r, None ->
+          Obs.Latency.record_span t.lat ~start:it.arrival;
+          send_reply t it.iconn ~id:it.req.id r;
+          Atomic.decr t.inflight
+      | Error r, _ ->
+          send_reply t it.iconn ~id:it.req.id r;
+          Atomic.decr t.inflight
+    end
 
   let worker t w_idx =
     (match t.progress with
@@ -250,6 +331,16 @@ module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
     if Atomic.get t.state > 0 then begin
       bump t c_shed_shutdown;
       reply_now Protocol.Shutting_down
+    end
+    else if
+      (* Degraded log: refuse writes at admission rather than ack data
+         that can no longer be made durable.  Reads keep flowing. *)
+      match t.durable with
+      | Some d -> wal_op req.Protocol.op <> None && d.d_read_only ()
+      | None -> false
+    then begin
+      bump t c_read_only;
+      reply_now Protocol.Read_only
     end
     else if Atomic.get t.shed_p99 then begin
       bump t c_shed_latency_breach;
@@ -392,7 +483,7 @@ module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
 
   (* ------------------------------ lifecycle ------------------------- *)
 
-  let start ?(config = default_config ()) ?progress ?(port = 0) map =
+  let start ?(config = default_config ()) ?progress ?durable ?(port = 0) map =
     if
       config.workers < 1 || config.queue_capacity < 1 || config.batch < 1
       || config.p99_window < 1 || config.tick_interval <= 0.0
@@ -432,6 +523,7 @@ module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
           conn_mutex = Mutex.create ();
           ticker_stop = Atomic.make false;
           progress;
+          durable;
           drain_mutex = Mutex.create ();
           drain_done = false;
           drain_flushed = false;
@@ -460,6 +552,11 @@ module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
          which the listener can be closed without racing it. *)
       (match t.accept_thread with Some th -> Thread.join th | None -> ());
       (try Unix.close t.listen_fd with _ -> ());
+      (* Durable mode: force a group commit so already-appended writes
+         ack on the flush instead of waiting out a commit interval.
+         Later appends ride the committer's normal cadence; the
+         inflight wait below covers their acks too. *)
+      (match t.durable with Some d -> d.d_flush () | None -> ());
       let deadline = Unix.gettimeofday () +. timeout in
       let flushed () =
         Atomic.get t.inflight = 0
@@ -486,5 +583,36 @@ module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
       t.drain_flushed <- ok;
       Mutex.unlock t.drain_mutex;
       ok
+    end
+
+  (* Crash-simulation teardown: sever every connection NOW (peers see
+     EOF, so in-flight requests become visible connection drops, never
+     silent non-replies on a live socket), then reap threads.  Used by
+     the recovery harness right after [Persist.Io.halt]: queued writes
+     reach a halted WAL, which refuses instantly, and [Lost] acks send
+     nothing — exactly a killed process, minus the fd leak. *)
+  let kill t =
+    Mutex.lock t.drain_mutex;
+    if t.drain_done then Mutex.unlock t.drain_mutex
+    else begin
+      Atomic.set t.state 1;
+      (match t.accept_thread with Some th -> Thread.join th | None -> ());
+      (try Unix.close t.listen_fd with _ -> ());
+      Mutex.lock t.conn_mutex;
+      let conns = !(t.conns) in
+      Mutex.unlock t.conn_mutex;
+      List.iter shutdown_conn conns;
+      Array.iter Bqueue.close t.queues;
+      Array.iter Domain.join t.worker_domains;
+      Atomic.set t.ticker_stop true;
+      (match t.ticker_thread with Some th -> Thread.join th | None -> ());
+      Mutex.lock t.conn_mutex;
+      let readers = !(t.readers) in
+      Mutex.unlock t.conn_mutex;
+      List.iter Thread.join readers;
+      Atomic.set t.state 2;
+      t.drain_done <- true;
+      t.drain_flushed <- false;
+      Mutex.unlock t.drain_mutex
     end
 end

@@ -60,12 +60,30 @@ val default_config : unit -> config
     ["server.worker.exec"] brackets every map operation. *)
 val exec_site : Ct_util.Yieldpoint.site
 
+(** Durable-mode hooks (DESIGN.md §14), typically built by
+    {!Durable.hooks}.  A worker applies a write to the map, then
+    [d_append]s it to the write-ahead log and withholds the reply until
+    [d_subscribe] reports the covering fsync — or the request deadline,
+    a degraded log ([Read_only]) or simulated process death, whichever
+    comes first.  The apply-before-append order is load-bearing: a WAL
+    rotation boundary then always covers fully-applied state, which is
+    what makes background checkpoints consistent. *)
+type durable = {
+  d_append :
+    Persist.Wal.op -> (int, [ `Degraded | `Closed | `Halted ]) result;
+  d_subscribe :
+    lsn:int -> deadline_ns:int -> (Persist.Wal.ack -> unit) -> unit;
+  d_flush : unit -> unit;
+  d_read_only : unit -> bool;
+}
+
 module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) : sig
   type t
 
   val start :
     ?config:config ->
     ?progress:Ct_util.Progress.t ->
+    ?durable:durable ->
     ?port:int ->
     string M.t ->
     t
@@ -73,7 +91,10 @@ module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) : sig
       accept thread, ticker thread and worker domains, and serve
       [map].  With [progress], worker [i] attaches slot
       [i mod slots] and heartbeats even when idle, so a watchdog over
-      the same [progress] flags genuinely stuck workers only. *)
+      the same [progress] flags genuinely stuck workers only.  With
+      [durable], write acks are withheld until the WAL's covering
+      fsync (see {!durable}); a degraded log turns writes into typed
+      [Read_only] refusals while reads keep serving. *)
 
   val port : t -> int
 
@@ -105,4 +126,13 @@ module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) : sig
       connections are closed, which a client observes as a dropped
       connection, never as a silent non-reply on a live one).
       Idempotent; concurrent calls share one shutdown. *)
+
+  val kill : t -> unit
+  (** Crash-simulation teardown: sever every connection immediately
+      (peers see EOF — in-flight requests become visible connection
+      drops, never silent non-replies on live sockets) and reap the
+      threads.  The recovery harness calls this right after
+      [Persist.Io.halt]: together they are an in-process [kill -9],
+      minus the fd leak.  No flush, no final replies.  Shares the
+      drain latch (idempotent against {!drain} and itself). *)
 end

@@ -37,6 +37,12 @@ type counter =
   | Cache_installs
   | Cache_adjustments
   | Retry_exhausted
+  | Wal_appends
+  | Wal_fsyncs
+  | Wal_retries
+  | Checkpoints
+  | Checkpoint_records
+  | Recovery_replayed
 
 (* [@inline] matters: without flambda this match is otherwise a real
    call on every bump, and after inlining at a constant-constructor
@@ -57,12 +63,20 @@ let[@inline] index = function
   | Cache_installs -> 12
   | Cache_adjustments -> 13
   | Retry_exhausted -> 14
+  | Wal_appends -> 15
+  | Wal_fsyncs -> 16
+  | Wal_retries -> 17
+  | Checkpoints -> 18
+  | Checkpoint_records -> 19
+  | Recovery_replayed -> 20
 
 let all =
   [
     Cas_attempts; Cas_retries; Helps; Freezes; Expansions; Compressions;
     Entombments; Cache_hits; Cache_misses; Cache_invalidations; Scrub_repairs;
     Sampling_passes; Cache_installs; Cache_adjustments; Retry_exhausted;
+    Wal_appends; Wal_fsyncs; Wal_retries; Checkpoints; Checkpoint_records;
+    Recovery_replayed;
   ]
 
 let n_counters = List.length all
@@ -83,13 +97,20 @@ let label = function
   | Cache_installs -> "cache_installs"
   | Cache_adjustments -> "cache_adjustments"
   | Retry_exhausted -> "retry_exhausted"
+  | Wal_appends -> "wal_appends"
+  | Wal_fsyncs -> "wal_fsyncs"
+  | Wal_retries -> "wal_retries"
+  | Checkpoints -> "checkpoints"
+  | Checkpoint_records -> "checkpoint_records"
+  | Recovery_replayed -> "recovery_replayed"
 
-(* 16 words = 128 bytes: a counter block owns its line plus the
-   neighbour the adjacent-line prefetcher couples to it (see Stripe).
-   All 15 counters of one domain share the block — they are bumped by
-   that domain only, so intra-block sharing is the point, not a
-   hazard. *)
-let block = 16
+(* 32 words = 256 bytes: two 128-byte strides, still a multiple of the
+   line-pair a counter block must own so adjacent domains never share
+   (see Stripe).  The vocabulary outgrew one stride when the
+   persistence counters landed; all 21 counters of one domain share the
+   block — they are bumped by that domain only, so intra-block sharing
+   is the point, not a hazard. *)
+let block = 32
 let lead = block
 
 let () = assert (n_counters <= block)

@@ -37,6 +37,12 @@ type counter =
           budget without succeeding.  Bumped through
           [Backoff.create ~on_exhaust]; structures that never run a
           budgeted backoff read 0. *)
+  | Wal_appends  (** records appended to the write-ahead log *)
+  | Wal_fsyncs  (** group-commit fsyncs completed by the WAL *)
+  | Wal_retries  (** failed fsyncs retried on the WAL's backoff budget *)
+  | Checkpoints  (** checkpoint files published (fsync + rename) *)
+  | Checkpoint_records  (** bindings serialized across all checkpoints *)
+  | Recovery_replayed  (** WAL records replayed by [Recovery.load] *)
 
 val all : counter list
 (** Every counter, in the fixed export order. *)

@@ -29,4 +29,5 @@ let () =
       ("harness", Test_harness.suite);
       ("obs", Test_obs.suite);
       ("server", Test_server.suite);
+      ("persist", Test_persist.suite);
     ]

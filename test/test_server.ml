@@ -71,6 +71,7 @@ let test_protocol_roundtrip () =
       Protocol.Overloaded Protocol.Latency_breach;
       Protocol.Deadline_exceeded;
       Protocol.Shutting_down;
+      Protocol.Read_only;
       Protocol.Bad_request "nope";
       Protocol.Server_error "boom";
     ]
