@@ -15,7 +15,7 @@
      main.exe fig11 fig13     selected experiments (append "full")
    Experiments: fig9 fig10 fig11 fig12 fig13 hist theory ablation
                 ablation-narrow mixed zipf remove trace bechamel
-                micro-json sweeps obs serve persist all *)
+                micro-json sweeps obs cache serve persist all *)
 
 open Bechamel
 open Toolkit
@@ -1043,6 +1043,121 @@ let run_persist scale =
          ("points", Json.List (List.map point_json points));
        ])
 
+(* Bounded cache tier (BENCH_cache.json): hit-rate vs throughput per
+   replacement policy and budget under zipfian skew (DESIGN.md §15).
+   Multi-domain read-through traffic against a universe much larger
+   than any budget: every miss fabricates a ~64-byte value through the
+   loader, so the curve shows what eviction quality buys back.  The
+   budget bound and the exact-accounting check are re-asserted on the
+   quiescent cache after each run. *)
+module Cache_tier = Cache.Make (CT)
+
+let run_cache scale =
+  Harness.Report.section "Bounded cache tier (BENCH_cache.json)";
+  let per_domain, universe =
+    match scale with
+    | Suites.Quick -> (150_000, 50_000)
+    | Suites.Full -> (1_000_000, 200_000)
+  in
+  let skew = 0.99 in
+  let domains = min 4 (Harness.Parallel.available_domains ()) in
+  let streams =
+    Array.init domains (fun d ->
+        Harness.Workload.zipf_keys
+          ~seed:(bench_seed lxor (d * 0x9E3779B9))
+          ~n:per_domain ~universe skew)
+  in
+  let value_of k = String.make 64 (Char.chr (65 + (k land 25))) in
+  let budgets = [ 1 lsl 14; 1 lsl 16 ] in
+  let policies = [ Cache.Fifo; Cache.Clock_hand; Cache.Slru ] in
+  let rows =
+    List.concat_map
+      (fun budget_words ->
+        List.map
+          (fun policy ->
+            let cfg =
+              { (Cache.default_config ~budget_words) with Cache.policy }
+            in
+            let t = Cache_tier.create ~config:cfg () in
+            let load k = Some (value_of k) in
+            let elapsed, ops =
+              Harness.Parallel.run_counted ~domains (fun d counters ->
+                  let keys = streams.(d) in
+                  let n = Array.length keys in
+                  for i = 0 to n - 1 do
+                    ignore
+                      (Sys.opaque_identity
+                         (Cache_tier.get_or_load t keys.(i) ~load))
+                  done;
+                  Ct_util.Stripe.add counters d n)
+            in
+            let s = Cache_tier.stats t in
+            let looked = s.Cache.hits + s.Cache.misses in
+            let hit_rate =
+              if looked = 0 then 0.0
+              else float_of_int s.Cache.hits /. float_of_int looked
+            in
+            let budget_ok =
+              s.Cache.used_words <= budget_words
+              && Cache_tier.validate t = Ok ()
+            in
+            if not budget_ok then
+              failwith "cache bench: budget or accounting violated";
+            ( Cache.policy_name policy,
+              budget_words,
+              float_of_int ops /. elapsed,
+              hit_rate,
+              s ))
+          policies)
+      budgets
+  in
+  Harness.Report.print_table
+    ~header:
+      [ "policy"; "budget words"; "Mops/s"; "hit rate"; "evictions"; "resident" ]
+    (List.map
+       (fun (policy, budget, rate, hit, s) ->
+         [
+           policy;
+           string_of_int budget;
+           Printf.sprintf "%.2f" (rate /. 1e6);
+           Printf.sprintf "%.3f" hit;
+           string_of_int s.Cache.evictions;
+           string_of_int s.Cache.resident;
+         ])
+       rows);
+  print_newline ();
+  Json.write_file "BENCH_cache.json"
+    (Json.Obj
+       [
+         ( "meta",
+           json_meta ~scale
+             [
+               ("domains", Json.Int domains);
+               ("per_domain_ops", Json.Int per_domain);
+               ("universe", Json.Int universe);
+               ("zipf_s", Json.Float skew);
+               ("value_bytes", Json.Int 64);
+             ] );
+         ( "points",
+           Json.List
+             (List.map
+                (fun (policy, budget, rate, hit, s) ->
+                  Json.Obj
+                    [
+                      ("policy", Json.String policy);
+                      ("budget_words", Json.Int budget);
+                      ("ops_per_s", Json.Float rate);
+                      ("hit_rate", Json.Float hit);
+                      ("evictions", Json.Int s.Cache.evictions);
+                      ("rejections", Json.Int s.Cache.rejections);
+                      ("expirations", Json.Int s.Cache.expirations);
+                      ("used_words", Json.Int s.Cache.used_words);
+                      ("resident", Json.Int s.Cache.resident);
+                      ("budget_ok", Json.Bool true);
+                    ])
+                rows) );
+       ])
+
 (* ----------------------------- driver ------------------------------ *)
 
 let experiments : (string * (Suites.scale -> unit)) list =
@@ -1064,6 +1179,7 @@ let experiments : (string * (Suites.scale -> unit)) list =
     ("micro-json", run_micro_json);
     ("sweeps", run_sweeps);
     ("obs", run_obs);
+    ("cache", run_cache);
     ("serve", run_serve);
     ("persist", run_persist);
   ]

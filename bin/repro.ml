@@ -11,6 +11,8 @@
      repro theory [--full]   Theorems 4.1-4.4 vs a real trie
      repro ablation [--full] cache on/off and max_misses sweep
      repro obs [--full|--demo] observability exports / flight-recorder demo
+     repro cache [--full]    bounded cache tier self-check (budget, TTL,
+                             negative caching, serving-layer cache mode)
      repro recover [--crashes N] durable-mode crash-recovery storm
      repro all [--full]      everything above *)
 
@@ -107,8 +109,10 @@ module Obs_map = Cachetrie.Make (Ct_util.Hashing.Int_key)
 module Obs_replay = Harness.Trace.Replay (Obs_map)
 
 let obs_await what f =
-  let deadline = Unix.gettimeofday () +. 10.0 in
-  while not (f ()) && Unix.gettimeofday () < deadline do
+  (* Monotonic deadline: a wall-clock step must not stretch or cut
+     the wait window (same rule as Server.drain). *)
+  let deadline = Ct_util.Clock.now_ns () + 10_000_000_000 in
+  while (not (f ())) && Ct_util.Clock.now_ns () < deadline do
     Unix.sleepf 1e-4
   done;
   if not (f ()) then failwith ("repro obs: timed out waiting for " ^ what)
@@ -1062,6 +1066,171 @@ let recover_cmd =
       const recover_run $ timeout_term $ crashes_term $ seed_term $ dir_term
       $ keep_term)
 
+(* -------------------------- cache subcommand ------------------------ *)
+
+(* repro cache [--full]    deterministic self-check of the bounded
+   cache tier (DESIGN.md §15): the budget invariant and exact
+   accounting under a zipfian read-through load for every policy,
+   deterministic TTL expiry on an injected clock, negative-caching
+   stampede absorption, and the serving layer's opt-in cache mode end
+   to end — including the tier counters showing up in the Prometheus
+   export.  Nonzero exit on any failed check. *)
+
+module Cache_map = Cachetrie.Make (Ct_util.Hashing.Int_key)
+module Cache_tier = Cache.Make (Cache_map)
+module Cache_server = Kv.Server.Make (Cache_map)
+
+let cache_run timeout scale =
+  arm_timeout timeout;
+  let failures = ref [] in
+  let check what ok =
+    if not ok then failures := what :: !failures;
+    Printf.printf "%-56s %s\n" what (if ok then "ok" else "FAIL")
+  in
+  (try
+     let n =
+       match scale with Harness.Suites.Quick -> 200_000 | Full -> 2_000_000
+     in
+     let budget = 1 lsl 15 in
+     let universe = 50_000 in
+     let keys =
+       Harness.Workload.zipf_keys ~seed:0xCAC4E ~n ~universe 0.99
+     in
+     (* Phase 1 — budget + accounting per policy under skewed load. *)
+     List.iter
+       (fun policy ->
+         let cfg =
+           { (Cache.default_config ~budget_words:budget) with Cache.policy }
+         in
+         let t = Cache_tier.create ~config:cfg () in
+         let load k = Some (string_of_int k) in
+         Array.iter (fun k -> ignore (Cache_tier.get_or_load t k ~load)) keys;
+         let name = Cache.policy_name policy in
+         let s = Cache_tier.stats t in
+         check
+           (Printf.sprintf "%s: resident footprint within budget" name)
+           (s.Cache.used_words <= budget);
+         check
+           (Printf.sprintf "%s: quiescent accounting reconciles" name)
+           (Cache_tier.validate t = Ok ());
+         check
+           (Printf.sprintf "%s: skewed load hits at least 30%%" name)
+           (float_of_int s.Cache.hits
+            >= 0.3 *. float_of_int (s.Cache.hits + s.Cache.misses));
+         check
+           (Printf.sprintf "%s: eviction happened (universe >> budget)" name)
+           (s.Cache.evictions > 0))
+       [ Cache.Fifo; Cache.Clock_hand; Cache.Slru ];
+     (* Phase 2 — deterministic TTL on an injected clock. *)
+     let clk = Atomic.make 0 in
+     let tcfg =
+       {
+         (Cache.default_config ~budget_words:budget) with
+         Cache.wheel_tick_ns = 10;
+         wheel_slots = 16;
+       }
+     in
+     let tc =
+       Cache_tier.create ~config:tcfg ~now:(fun () -> Atomic.get clk) ()
+     in
+     ignore (Cache_tier.put ~ttl_ns:100 tc 1 "short");
+     ignore (Cache_tier.put tc 2 "forever");
+     check "ttl: live before its deadline" (Cache_tier.get tc 1 = Some "short");
+     Atomic.set clk 150;
+     check "ttl: dead past its deadline" (Cache_tier.get tc 1 = None);
+     check "ttl: wheel reclaims without reads" (Cache_tier.expire_now tc >= 0
+                                               && Cache_tier.resident tc = 1);
+     check "ttl: immortal entry unaffected"
+       (Cache_tier.get tc 2 = Some "forever");
+     (* Phase 3 — negative caching absorbs an absent-key storm. *)
+     let loads = ref 0 in
+     let load _ = incr loads; None in
+     ignore (Cache_tier.get_or_load tc 404 ~load);
+     for _ = 1 to 1_000 do
+       ignore (Cache_tier.get_or_load tc 404 ~load)
+     done;
+     check "negative: storm on an absent key costs one load" (!loads = 1);
+     (* Phase 4 — serving layer cache mode, end to end. *)
+     let backing = Cache_map.create () in
+     let front =
+       Cache_tier.create
+         ~config:(Cache.default_config ~budget_words:budget)
+         ()
+     in
+     let cache_ops =
+       {
+         Kv.Server.c_get =
+           (fun k ->
+             Cache_tier.get_or_load front k ~load:(fun k ->
+                 Cache_map.lookup backing k));
+         c_put =
+           (fun k v ->
+             Cache_map.insert backing k v;
+             ignore (Cache_tier.put front k v);
+             true);
+         c_remove =
+           (fun k ->
+             ignore (Cache_tier.remove front k);
+             Cache_map.remove backing k <> None);
+       }
+     in
+     let srv =
+       Cache_server.start
+         ~config:
+           { (Kv.Server.default_config ()) with Kv.Server.workers = 2 }
+         ~cache:cache_ops (Cache_map.create ())
+     in
+     Fun.protect
+       ~finally:(fun () -> ignore (Cache_server.drain ~timeout:5.0 srv))
+       (fun () ->
+         let c = Kv.Client.connect ~port:(Cache_server.port srv) () in
+         Fun.protect
+           ~finally:(fun () -> Kv.Client.close c)
+           (fun () ->
+             check "serve: put through the cache tier"
+               (Kv.Client.put c 1 "one" = Kv.Protocol.Stored true);
+             check "serve: read back through the tier"
+               (Kv.Client.get c 1 = Kv.Protocol.Value "one");
+             check "serve: absent key is Nil"
+               (Kv.Client.get c 99 = Kv.Protocol.Nil);
+             check "serve: absent key again (cached negative)"
+               (Kv.Client.get c 99 = Kv.Protocol.Nil);
+             check "serve: remove through the tier"
+               (Kv.Client.remove c 1 = Kv.Protocol.Removed);
+             check "serve: removed key gone"
+               (Kv.Client.get c 1 = Kv.Protocol.Nil)));
+     let s = Cache_tier.stats front in
+     check "serve: tier counted hits" (s.Cache.hits >= 1);
+     check "serve: tier counted a negative hit" (s.Cache.negative_hits >= 1);
+     let prom = Obs.Export.prometheus () in
+     let has needle =
+       let ln = String.length needle and lp = String.length prom in
+       let rec go i = i + ln <= lp && (String.sub prom i ln = needle || go (i + 1)) in
+       go 0
+     in
+     check "export: tier_hits in the Prometheus export" (has "tier_hits");
+     check "export: cache-tier family labelled" (has "cache-tier")
+   with e ->
+     check ("no exception: " ^ Printexc.to_string e) false);
+  if !failures = [] then begin
+    print_endline "repro cache: all checks passed";
+    0
+  end
+  else begin
+    List.iter (fun f -> Printf.eprintf "repro cache: FAILED: %s\n%!" f) !failures;
+    1
+  end
+
+let cache_cmd =
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "Self-check of the bounded cache tier: budget invariant and exact \
+          accounting per policy under zipfian load, deterministic TTL expiry \
+          on an injected clock, negative-caching stampede absorption, and \
+          the serving layer's cache mode with exported tier counters.")
+    Term.(const cache_run $ timeout_term $ scale_term)
+
 let all_cmd =
   let run timeout scale =
     guarded timeout (fun scale ->
@@ -1079,6 +1248,6 @@ let () =
   in
   let cmds =
     (all_cmd :: List.map (fun (n, d, f) -> experiment n d f) all_experiments)
-    @ [ mc_cmd; obs_cmd; serve_cmd; recover_cmd ]
+    @ [ mc_cmd; obs_cmd; cache_cmd; serve_cmd; recover_cmd ]
   in
   exit (Cmd.eval' (Cmd.group info cmds))

@@ -1,0 +1,459 @@
+(* Bounded cache tier over any CONCURRENT_MAP (DESIGN.md §15).
+
+   The source paper's cache layer accelerates lookups but never bounds
+   memory; this tier is the production complement — the "millions of
+   users in bounded RAM" scenario.  Design, outside-in:
+
+   - budget: every resident entry carries a word cost (metadata
+     overhead + a caller-supplied key/value cost, by default the
+     Footprint reachable-words model).  Admission CAS-reserves cost
+     against [used] BEFORE the entry becomes resident and evicts until
+     the reservation fits, so [used <= budget] holds at every instant
+     of every interleaving — the QCheck churn property samples it
+     concurrently — and resident cost never exceeds [used] (cost is
+     released only after the entry is out of the map).
+   - replacement: striped lock-free rings of keys in admission order
+     (Ring).  FIFO pops and evicts; CLOCK gives one second chance to
+     entries whose access bit was set by a read; segmented-LRU keeps a
+     protected segment fed by promotion-on-hit, demoting FIFO-style
+     when the protected share outgrows its fraction, and always evicts
+     probation first.
+   - TTL: a hashed timing wheel (Wheel) driven opportunistically from
+     write paths by the monotonic clock (injectable for tests).  Reads
+     check expiry stamps themselves, so wheel lateness is a space
+     delay, never a stale read.
+   - negative caching: a typed [Absent] payload caches backing-store
+     misses under their own (short) TTL, so a miss storm on one absent
+     key costs one backing-store load, not a stampede.
+
+   Rings are advisory (see ring.ml): residency truth lives in the map,
+   budget truth in [used].  When every ring runs dry while over
+   budget — possible only after ring races orphaned entries — a fold
+   fallback picks victims straight from the map, so the budget
+   invariant survives ring imperfection. *)
+
+module Metrics = Ct_util.Metrics
+module Clock = Ct_util.Clock
+
+type policy = Fifo | Clock_hand | Slru
+
+let policy_name = function
+  | Fifo -> "fifo"
+  | Clock_hand -> "clock"
+  | Slru -> "slru"
+
+type config = {
+  budget_words : int;  (* resident-cost ceiling, machine words *)
+  policy : policy;
+  stripes : int;  (* ring stripes; <= 0 = one per domain slot *)
+  default_ttl_ns : int;  (* put TTL when none given; 0 = no expiry *)
+  negative_ttl_ns : int;  (* Absent-entry TTL *)
+  max_entry_frac : float;  (* admission: reject entries above this share *)
+  protected_frac : float;  (* SLRU protected-segment share *)
+  wheel_slots : int;
+  wheel_tick_ns : int;
+}
+
+let default_config ~budget_words =
+  {
+    budget_words;
+    policy = Clock_hand;
+    stripes = 0;
+    default_ttl_ns = 0;
+    negative_ttl_ns = 1_000_000_000;
+    max_entry_frac = 0.25;
+    protected_frac = 0.8;
+    wheel_slots = 256;
+    wheel_tick_ns = 100_000_000;
+  }
+
+(* Fixed per-entry metadata charge, in words: the entry record, its
+   payload box, the map's leaf + amortized interior share, and the
+   entry's ring/wheel slots.  Deliberately a round, conservative
+   constant — the budget is a cost model, not an allocator. *)
+let entry_overhead_words = 24
+
+let word_cost v = Obj.reachable_words (Obj.repr v)
+
+type stats = {
+  hits : int;
+  misses : int;
+  negative_hits : int;
+  evictions : int;
+  expirations : int;
+  rejections : int;
+  used_words : int;
+  budget_words_ : int;
+  resident : int;
+}
+
+type 'v lookup = Hit of 'v | Negative | Miss
+
+module Make (M : Ct_util.Map_intf.CONCURRENT_MAP) = struct
+  type key = M.key
+
+  type 'v payload = Value of 'v | Absent
+
+  type 'v entry = {
+    payload : 'v payload;
+    cost : int;  (* words reserved against the budget *)
+    expires_at : int;  (* cache-clock ns; max_int = never *)
+    mutable touched : bool;  (* access bit (CLOCK second chance) *)
+    mutable level : int;  (* 0 = probation, 1 = protected (SLRU) *)
+  }
+
+  type 'v t = {
+    cfg : config;
+    map : 'v entry M.t;
+    used : int Atomic.t;
+    prot_used : int Atomic.t;  (* advisory SLRU protected share *)
+    rings : key Ring.t array;  (* probation / admission order *)
+    prot_rings : key Ring.t array;  (* SLRU protected segment *)
+    smask : int;
+    wheel : key Wheel.t;
+    now : unit -> int;
+    cost_fn : key -> 'v -> int;
+    max_entry_words : int;
+    protected_budget : int;
+    hand : int Atomic.t;  (* round-robin stripe cursor for eviction *)
+    metrics : Metrics.t;
+  }
+
+  let create ?config ?now ?cost () =
+    let cfg =
+      match config with Some c -> c | None -> default_config ~budget_words:(1 lsl 20)
+    in
+    if cfg.budget_words < entry_overhead_words then
+      invalid_arg "Cache.create: budget below one entry's overhead";
+    if cfg.max_entry_frac <= 0.0 || cfg.max_entry_frac > 1.0 then
+      invalid_arg "Cache.create: max_entry_frac outside (0, 1]";
+    if cfg.protected_frac <= 0.0 || cfg.protected_frac >= 1.0 then
+      invalid_arg "Cache.create: protected_frac outside (0, 1)";
+    let now = match now with Some f -> f | None -> Clock.monotonic_ns in
+    let cost_fn =
+      match cost with
+      | Some f -> f
+      | None -> fun k v -> word_cost k + word_cost v
+    in
+    let stripes =
+      Ct_util.Bits.next_power_of_two
+        (if cfg.stripes > 0 then cfg.stripes
+         else Domain.recommended_domain_count ())
+    in
+    (* Ring capacity: ~2x the largest possible resident population
+       (budget / minimum entry cost), split across stripes, so CLOCK
+       re-pushes and SLRU demotions rarely displace.  Rings and wheel
+       are structure overhead, not charged against the budget. *)
+    let per_stripe =
+      max 64 (2 * cfg.budget_words / entry_overhead_words / stripes)
+    in
+    {
+      cfg;
+      map = M.create ();
+      used = Atomic.make 0;
+      prot_used = Atomic.make 0;
+      rings = Array.init stripes (fun _ -> Ring.create ~capacity:per_stripe);
+      prot_rings = Array.init stripes (fun _ -> Ring.create ~capacity:per_stripe);
+      smask = stripes - 1;
+      wheel =
+        Wheel.create ~slots:cfg.wheel_slots ~tick_ns:cfg.wheel_tick_ns
+          ~now:(now ());
+      now;
+      cost_fn;
+      max_entry_words =
+        max entry_overhead_words
+          (int_of_float (cfg.max_entry_frac *. float_of_int cfg.budget_words));
+      protected_budget =
+        int_of_float (cfg.protected_frac *. float_of_int cfg.budget_words);
+      hand = Atomic.make 0;
+      metrics = Metrics.create ~family:"cache-tier";
+    }
+
+  let config t = t.cfg
+  let metrics t = t.metrics
+  let budget_words t = t.cfg.budget_words
+  let used_words t = Atomic.get t.used
+  let resident t = M.size t.map
+
+  let[@inline] stripe_of_domain t = (Domain.self () :> int) land t.smask
+
+  (* ---------------------------- accounting --------------------------- *)
+
+  let[@inline] release t e =
+    ignore (Atomic.fetch_and_add t.used (-e.cost));
+    if e.level = 1 then ignore (Atomic.fetch_and_add t.prot_used (-e.cost))
+
+  (* Remove [k] for budget pressure.  True iff this call unbound it. *)
+  let evict_key t k =
+    match M.remove t.map k with
+    | Some e ->
+        release t e;
+        Metrics.incr t.metrics Metrics.Tier_evictions;
+        true
+    | None -> false
+
+  (* Remove [k] only if it still holds the expired [e]; a racing put
+     that refreshed the key must keep its new entry (and its cost). *)
+  let drop_expired t k e =
+    if M.remove_if t.map k ~expected:e then begin
+      release t e;
+      Metrics.incr t.metrics Metrics.Tier_expirations;
+      true
+    end
+    else false
+
+  (* ---------------------------- replacement -------------------------- *)
+
+  (* Pop-scan a ring family round-robin from the hand.  [want_level]
+     skips entries whose SLRU level moved since they were pushed (the
+     live copy is tracked by the other family's ring).  [second_chance]
+     is CLOCK: a touched entry gets its bit cleared and one re-push
+     instead of eviction — except inside the last stripe-round of the
+     scan bound, where eviction is forced so the scan terminates even
+     if every resident entry is hot. *)
+  let evict_scan t rings ~second_chance ~want_level =
+    let n = t.smask + 1 in
+    let bound = (4 * n) + 8 in
+    let start = Atomic.fetch_and_add t.hand 1 in
+    let rec go i dry =
+      if dry >= n || i >= bound then false
+      else
+        let r = rings.((start + i) land t.smask) in
+        match Ring.pop r with
+        | None -> go (i + 1) (dry + 1)
+        | Some k -> (
+            match M.lookup t.map k with
+            | None -> go (i + 1) 0  (* stale: key already gone *)
+            | Some e ->
+                if (match want_level with Some l -> e.level <> l | None -> false)
+                then go (i + 1) 0
+                else if e.expires_at <= t.now () then
+                  if drop_expired t k e then true else go (i + 1) 0
+                else if second_chance && e.touched && i < bound - n then begin
+                  e.touched <- false;
+                  Ring.push r k ~on_displace:(fun v -> ignore (evict_key t v));
+                  go (i + 1) 0
+                end
+                else if evict_key t k then true
+                else go (i + 1) 0)
+    in
+    go 0 0
+
+  let demote_key t k =
+    match M.lookup t.map k with
+    | Some e when e.level = 1 ->
+        e.level <- 0;
+        e.touched <- false;
+        ignore (Atomic.fetch_and_add t.prot_used (-e.cost));
+        Ring.push t.rings.(stripe_of_domain t) k
+          ~on_displace:(fun v -> ignore (evict_key t v))
+    | _ -> ()
+
+  let demote_one t =
+    let n = t.smask + 1 in
+    let start = Atomic.fetch_and_add t.hand 1 in
+    let rec go i =
+      if i >= n then false
+      else
+        match Ring.pop t.prot_rings.((start + i) land t.smask) with
+        | Some k ->
+            demote_key t k;
+            true
+        | None -> go (i + 1)
+    in
+    go 0
+
+  (* Promotion on probation hit (SLRU).  The level flip is a benign
+     race: a double promotion double-counts [prot_used], which only
+     hastens a demotion — the budget invariant lives in [used]. *)
+  let promote t k e =
+    e.level <- 1;
+    ignore (Atomic.fetch_and_add t.prot_used e.cost);
+    Ring.push t.prot_rings.(stripe_of_domain t) k ~on_displace:(demote_key t);
+    let rec rebalance guard =
+      if guard > 0 && Atomic.get t.prot_used > t.protected_budget then
+        if demote_one t then rebalance (guard - 1)
+    in
+    rebalance 8
+
+  let evict_one t =
+    match t.cfg.policy with
+    | Fifo -> evict_scan t t.rings ~second_chance:false ~want_level:None
+    | Clock_hand -> evict_scan t t.rings ~second_chance:true ~want_level:None
+    | Slru ->
+        evict_scan t t.rings ~second_chance:false ~want_level:(Some 0)
+        || evict_scan t t.prot_rings ~second_chance:false ~want_level:(Some 1)
+
+  exception Found_victim
+
+  (* Rings dry but still over budget: ring races orphaned some
+     entries.  Pick a victim straight from the map — O(resident), but
+     only reachable after a lost race, so amortized noise. *)
+  let fallback_evict t =
+    let victim = ref None in
+    (try
+       M.iter
+         (fun k _ ->
+           victim := Some k;
+           raise_notrace Found_victim)
+         t.map
+     with Found_victim -> ());
+    match !victim with Some k -> evict_key t k | None -> false
+
+  (* CAS-reserve [cost] words, evicting while it does not fit.  The
+     reservation is what makes the budget a hard invariant: [used]
+     grows only through a compare-and-set that proved the new total
+     fits, and entries join the map only after their reservation. *)
+  let reserve t cost =
+    let max_attempts = (t.cfg.budget_words / entry_overhead_words) + 16 in
+    let rec go attempts =
+      let u = Atomic.get t.used in
+      if u + cost <= t.cfg.budget_words then
+        Atomic.compare_and_set t.used u (u + cost) || go attempts
+      else if attempts <= 0 then false
+      else if evict_one t || fallback_evict t then go (attempts - 1)
+      else false
+    in
+    go max_attempts
+
+  (* ------------------------------- TTL ------------------------------- *)
+
+  let wheel_expire t k =
+    match M.lookup t.map k with
+    | Some e when e.expires_at <= t.now () -> ignore (drop_expired t k e)
+    | _ -> ()
+
+  let maybe_advance t =
+    ignore (Wheel.advance t.wheel ~now:(t.now ()) ~expire:(wheel_expire t))
+
+  let expire_now t =
+    let dropped = ref 0 in
+    let expire k =
+      match M.lookup t.map k with
+      | Some e when e.expires_at <= t.now () ->
+          if drop_expired t k e then incr dropped
+      | _ -> ()
+    in
+    ignore (Wheel.advance t.wheel ~now:(t.now ()) ~expire);
+    !dropped
+
+  (* ----------------------------- operations -------------------------- *)
+
+  let find t k =
+    match M.lookup t.map k with
+    | None ->
+        Metrics.incr t.metrics Metrics.Tier_misses;
+        Miss
+    | Some e ->
+        if e.expires_at <= t.now () then begin
+          ignore (drop_expired t k e);
+          Metrics.incr t.metrics Metrics.Tier_misses;
+          Miss
+        end
+        else begin
+          e.touched <- true;
+          match e.payload with
+          | Absent ->
+              Metrics.incr t.metrics Metrics.Tier_negative_hits;
+              Negative
+          | Value v ->
+              Metrics.incr t.metrics Metrics.Tier_hits;
+              (match t.cfg.policy with
+              | Slru when e.level = 0 -> promote t k e
+              | _ -> ());
+              Hit v
+        end
+
+  let get t k = match find t k with Hit v -> Some v | Negative | Miss -> None
+
+  let put_payload t k payload ~ttl_ns ~value_cost =
+    maybe_advance t;
+    let cost = entry_overhead_words + max 0 value_cost in
+    if cost > t.max_entry_words || not (reserve t cost) then begin
+      Metrics.incr t.metrics Metrics.Tier_rejections;
+      false
+    end
+    else begin
+      let expires_at =
+        if ttl_ns <= 0 then max_int
+        else
+          let e = t.now () + ttl_ns in
+          if e < 0 then max_int else e
+      in
+      let e = { payload; cost; expires_at; touched = false; level = 0 } in
+      (match M.add t.map k e with
+      | Some prev ->
+          (* Overwrite: the old reservation is released and the ring
+             position inherited — FIFO order does not refresh on
+             update, matching the Nichecache exemplar. *)
+          release t prev
+      | None ->
+          Ring.push t.rings.(stripe_of_domain t) k
+            ~on_displace:(fun v -> ignore (evict_key t v)));
+      if expires_at <> max_int then Wheel.add t.wheel k ~expires_at;
+      true
+    end
+
+  let put ?ttl_ns t k v =
+    let ttl_ns =
+      match ttl_ns with Some n -> n | None -> t.cfg.default_ttl_ns
+    in
+    put_payload t k (Value v) ~ttl_ns ~value_cost:(t.cost_fn k v)
+
+  let put_absent ?ttl_ns t k =
+    let ttl_ns =
+      match ttl_ns with Some n -> n | None -> t.cfg.negative_ttl_ns
+    in
+    put_payload t k Absent ~ttl_ns ~value_cost:0
+
+  let remove t k =
+    match M.remove t.map k with
+    | Some e ->
+        release t e;
+        true
+    | None -> false
+
+  let get_or_load ?ttl_ns ?negative_ttl_ns t k ~load =
+    match find t k with
+    | Hit v -> Some v
+    | Negative -> None
+    | Miss -> (
+        match load k with
+        | Some v ->
+            ignore (put ?ttl_ns t k v);
+            Some v
+        | None ->
+            ignore (put_absent ?ttl_ns:negative_ttl_ns t k);
+            None)
+
+  (* ------------------------------ reports ----------------------------- *)
+
+  let stats t =
+    let g c = Metrics.get t.metrics c in
+    {
+      hits = g Metrics.Tier_hits;
+      misses = g Metrics.Tier_misses;
+      negative_hits = g Metrics.Tier_negative_hits;
+      evictions = g Metrics.Tier_evictions;
+      expirations = g Metrics.Tier_expirations;
+      rejections = g Metrics.Tier_rejections;
+      used_words = Atomic.get t.used;
+      budget_words_ = t.cfg.budget_words;
+      resident = M.size t.map;
+    }
+
+  (* Quiescent cross-check: exact accounting and the budget bound. *)
+  let validate t =
+    let used = Atomic.get t.used in
+    if used > t.cfg.budget_words then
+      Error
+        (Printf.sprintf "used %d words exceeds budget %d" used
+           t.cfg.budget_words)
+    else if used < 0 then Error (Printf.sprintf "used %d is negative" used)
+    else
+      let sum = M.fold (fun acc _ e -> acc + e.cost) 0 t.map in
+      if sum <> used then
+        Error
+          (Printf.sprintf "resident cost %d words != reserved %d" sum used)
+      else Ok ()
+end

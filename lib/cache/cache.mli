@@ -1,0 +1,152 @@
+(** Bounded cache tier: a functor over any [CONCURRENT_MAP] that
+    enforces a word budget with pluggable replacement, TTL expiry via
+    a hashed timing wheel, and typed negative caching (DESIGN.md §15).
+
+    The budget is a hard invariant, not a goal: admission reserves an
+    entry's cost against the budget with a CAS {e before} the entry
+    becomes resident, evicting until the reservation fits, so the
+    resident footprint never exceeds [budget_words] at any instant of
+    any interleaving.  Costs follow the Footprint word model
+    ([Obj.reachable_words] of key and value by default, overridable)
+    plus a fixed {!entry_overhead_words} metadata charge. *)
+
+(** Replacement policy for the probation rings. *)
+type policy =
+  | Fifo  (** evict in admission order; overwrite does not refresh *)
+  | Clock_hand
+      (** FIFO with one second chance for entries read since admission
+          (access bit), i.e. CLOCK *)
+  | Slru
+      (** segmented LRU: hits promote to a protected segment sized
+          [protected_frac] of the budget; probation evicts first *)
+
+val policy_name : policy -> string
+
+type config = {
+  budget_words : int;  (** resident-cost ceiling, machine words *)
+  policy : policy;
+  stripes : int;
+      (** ring stripes; [<= 0] = one per recommended domain slot *)
+  default_ttl_ns : int;  (** TTL applied by {!Make.put} when none is
+      given; [0] = entries never expire *)
+  negative_ttl_ns : int;  (** TTL for {!Make.put_absent} entries *)
+  max_entry_frac : float;
+      (** entries costing more than this fraction of the budget are
+          rejected at admission rather than flushing the cache *)
+  protected_frac : float;  (** SLRU protected-segment share *)
+  wheel_slots : int;
+  wheel_tick_ns : int;
+}
+
+val default_config : budget_words:int -> config
+(** CLOCK policy, auto stripes, no default TTL, 1 s negative TTL,
+    [max_entry_frac = 0.25], [protected_frac = 0.8], 256-slot wheel of
+    100 ms ticks. *)
+
+val entry_overhead_words : int
+(** Fixed metadata charge per resident entry (entry record, map leaf,
+    ring/wheel slots), added to the caller-visible value cost. *)
+
+val word_cost : 'a -> int
+(** [Obj.reachable_words] of a value — the default cost model, same as
+    [Harness.Footprint]. *)
+
+(** Counter snapshot; also exported via {!Make.metrics} under the
+    [cache-tier] family (Prometheus/JSON). *)
+type stats = {
+  hits : int;
+  misses : int;
+  negative_hits : int;
+  evictions : int;
+  expirations : int;
+  rejections : int;
+  used_words : int;
+  budget_words_ : int;
+  resident : int;
+}
+
+(** Read outcome distinguishing a cached backing-store miss from an
+    unknown key. *)
+type 'v lookup =
+  | Hit of 'v
+  | Negative  (** resident [Absent] entry: the key is known missing *)
+  | Miss
+
+module Make (M : Ct_util.Map_intf.CONCURRENT_MAP) : sig
+  type key = M.key
+  type 'v t
+
+  val create :
+    ?config:config ->
+    ?now:(unit -> int) ->
+    ?cost:(key -> 'v -> int) ->
+    unit ->
+    'v t
+  (** [create ()] — a cache over a fresh [M.t].  [config] defaults to
+      [default_config ~budget_words:(1 lsl 20)] (8 MiB on 64-bit);
+      [now] is the nanosecond clock driving TTLs (default
+      [Ct_util.Clock.monotonic_ns]; inject a fake for deterministic
+      expiry tests); [cost] prices a key/value pair in words (default
+      {!word_cost} of both).
+      @raise Invalid_argument on a budget below one entry's overhead
+      or fractions outside their ranges. *)
+
+  val find : 'v t -> key -> 'v lookup
+  (** Read path.  Checks the expiry stamp itself (dropping a dead
+      entry on sight), sets the access bit, and under SLRU promotes
+      probation hits.  Counts a hit, negative hit, or miss. *)
+
+  val get : 'v t -> key -> 'v option
+  (** {!find} with [Negative] and [Miss] both collapsed to [None]. *)
+
+  val put : ?ttl_ns:int -> 'v t -> key -> 'v -> bool
+  (** [put t k v] admits [k -> v] under the budget, evicting as
+      needed.  [false] = admission refused (entry above
+      [max_entry_frac], or the budget could not be met), counted as a
+      rejection.  [ttl_ns] overrides [config.default_ttl_ns];
+      [<= 0] means no expiry.  Overwriting keeps the key's
+      replacement-order position (FIFO does not refresh). *)
+
+  val put_absent : ?ttl_ns:int -> 'v t -> key -> bool
+  (** Cache "the backing store has no [k]" for [ttl_ns] (default
+      [config.negative_ttl_ns]), making repeat lookups {!Negative}
+      instead of repeat backing-store loads. *)
+
+  val remove : 'v t -> key -> bool
+  (** Explicit invalidation; releases the entry's reservation. *)
+
+  val get_or_load :
+    ?ttl_ns:int ->
+    ?negative_ttl_ns:int ->
+    'v t ->
+    key ->
+    load:(key -> 'v option) ->
+    'v option
+  (** Read-through: on {!Miss} calls [load] and caches its answer —
+      [Some v] as a value, [None] as an [Absent] entry, so an absent
+      key storm costs one load per negative-TTL window rather than a
+      stampede. *)
+
+  val expire_now : 'v t -> int
+  (** Drive the timing wheel up to the current clock; returns entries
+      reclaimed.  Expiry also piggybacks on write paths — this is for
+      tests and idle housekeeping. *)
+
+  val used_words : 'v t -> int
+  (** Reserved words right now; [used_words t <= budget_words t]
+      always, and at quiescence equals the resident cost sum. *)
+
+  val budget_words : 'v t -> int
+  val resident : 'v t -> int
+  val config : 'v t -> config
+  val stats : 'v t -> stats
+
+  val metrics : 'v t -> Ct_util.Metrics.t
+  (** The [cache-tier] counter block ([Tier_hits] .. [Tier_rejections])
+      — registered globally, so it exports via [Metrics.prometheus] /
+      [Metrics.to_json] like every other family. *)
+
+  val validate : 'v t -> (unit, string) result
+  (** Quiescent invariant check: [0 <= used <= budget] and [used]
+      equals the fold-summed cost of resident entries. *)
+end

@@ -1,0 +1,87 @@
+(* Hashed timing wheel for TTL expiry (DESIGN.md §15).
+
+   [slots] power-of-two buckets of (key, expiry) pairs; an item lands
+   in bucket [(expires_at / tick_ns) land mask].  [advance] walks the
+   buckets between the last processed tick and [now] (clamped to one
+   full revolution — beyond that every bucket has been visited once),
+   fires [expire] for due items and re-queues the rest, which a hashed
+   wheel must do for items scheduled more than one revolution out.
+
+   Each bucket is a Treiber-stack list CASed on push and exchanged
+   empty by the advancer, so insertion is lock-free and O(1); a single
+   advancer is elected by CAS on [advancing] and everyone else skips —
+   expiry is driven opportunistically from the cache's write paths
+   (plus an explicit [expire_now]), never by a dedicated thread.
+
+   The wheel only *accelerates* reclamation: the cache's read path
+   checks expiry stamps itself, so a late advance (bounded by one
+   revolution) is a space delay, never a stale read. *)
+
+type 'k item = { wkey : 'k; wexp : int }
+
+type 'k t = {
+  slots : 'k item list Atomic.t array;
+  mask : int;
+  tick_ns : int;
+  cursor : int Atomic.t;  (* last fully processed absolute tick *)
+  advancing : bool Atomic.t;
+}
+
+let create ~slots ~tick_ns ~now =
+  if tick_ns <= 0 then invalid_arg "Wheel.create: tick_ns must be positive";
+  let n = Ct_util.Bits.next_power_of_two (max 2 slots) in
+  {
+    slots = Array.init n (fun _ -> Atomic.make []);
+    mask = n - 1;
+    tick_ns;
+    cursor = Atomic.make (now / tick_ns);
+    advancing = Atomic.make false;
+  }
+
+let slots t = t.mask + 1
+let tick_ns t = t.tick_ns
+
+let rec push_item cell it =
+  let cur = Atomic.get cell in
+  if not (Atomic.compare_and_set cell cur (it :: cur)) then push_item cell it
+
+let add t k ~expires_at =
+  let tick = expires_at / t.tick_ns in
+  push_item t.slots.(tick land t.mask) { wkey = k; wexp = expires_at }
+
+let pending t =
+  Array.fold_left (fun acc cell -> acc + List.length (Atomic.get cell)) 0 t.slots
+
+let advance t ~now ~expire =
+  let target = now / t.tick_ns in
+  (* Common case — no tick boundary crossed since the last advance —
+     is one atomic load; the CAS election only runs when there is
+     work, so concurrent writers don't contend here. *)
+  if target > Atomic.get t.cursor
+     && Atomic.compare_and_set t.advancing false true
+  then begin
+    let fired = ref 0 in
+    let cur = Atomic.get t.cursor in
+    if target > cur then begin
+      let steps = min (target - cur) (t.mask + 1) in
+      for i = 1 to steps do
+        let cell = t.slots.((cur + i) land t.mask) in
+        let items = Atomic.exchange cell [] in
+        List.iter
+          (fun it ->
+            if it.wexp <= now then begin
+              expire it.wkey;
+              incr fired
+            end
+            else
+              (* Scheduled a future revolution (or the entry was
+                 refreshed): back in its bucket for the next pass. *)
+              push_item cell it)
+          items
+      done;
+      Atomic.set t.cursor target
+    end;
+    Atomic.set t.advancing false;
+    !fired
+  end
+  else 0

@@ -1,0 +1,32 @@
+(** Hashed timing wheel for TTL expiry (DESIGN.md §15).
+
+    Lock-free bucket insertion, single elected advancer, items more
+    than one revolution out re-queue on visit.  The wheel accelerates
+    space reclamation; correctness of reads never depends on it (the
+    cache checks expiry stamps on the read path too). *)
+
+type 'k t
+
+val create : slots:int -> tick_ns:int -> now:int -> 'k t
+(** [create ~slots ~tick_ns ~now] — a wheel of at least [slots]
+    buckets (rounded to a power of two) of [tick_ns] width, with its
+    cursor at [now].
+    @raise Invalid_argument if [tick_ns <= 0]. *)
+
+val slots : 'k t -> int
+val tick_ns : 'k t -> int
+
+val add : 'k t -> 'k -> expires_at:int -> unit
+(** Schedule [k] for expiry at [expires_at] (same clock as [now]).
+    O(1), lock-free.  Duplicates per key are fine — the expire
+    callback re-validates against the live entry. *)
+
+val pending : 'k t -> int
+(** Scheduled items not yet fired (racy estimate; O(slots + items)). *)
+
+val advance : 'k t -> now:int -> expire:('k -> unit) -> int
+(** [advance t ~now ~expire] processes every tick between the cursor
+    and [now] (at most one full revolution — enough to have visited
+    every bucket), firing [expire] for each due item and re-queuing
+    the rest.  At most one caller advances at a time; losers return 0
+    immediately.  Returns the number of items fired. *)

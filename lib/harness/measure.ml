@@ -7,9 +7,9 @@ type result = {
 }
 
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Ct_util.Clock.monotonic_ns () in
   f ();
-  Unix.gettimeofday () -. t0
+  float_of_int (Ct_util.Clock.monotonic_ns () - t0) *. 1e-9
 
 let run ?(warmup_limit = 10) ?(repetitions = 5) ?(cov_threshold = 0.10) ~ops
     ?(setup = fun () -> ()) f =

@@ -25,9 +25,15 @@ let run_counted ~domains body =
             body d counters))
   in
   Barrier.await barrier;
-  let t0 = Unix.gettimeofday () in
+  (* Monotonic, not wall-clock: an NTP step during a run must not be
+     able to produce a negative or inflated elapsed (and with it a
+     nonsense throughput figure). *)
+  let t0 = Ct_util.Clock.monotonic_ns () in
   List.iter Domain.join workers;
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let elapsed =
+    Report.checked_elapsed ~what:"Parallel.run_counted"
+      (float_of_int (Ct_util.Clock.monotonic_ns () - t0) *. 1e-9)
+  in
   (elapsed, Ct_util.Stripe.sum counters)
 
 let run_timed ~domains body =
@@ -42,6 +48,7 @@ let run_timed ~domains body =
             body d))
   in
   Barrier.await barrier;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Ct_util.Clock.monotonic_ns () in
   List.iter Domain.join workers;
-  Unix.gettimeofday () -. t0
+  Report.checked_elapsed ~what:"Parallel.run_timed"
+    (float_of_int (Ct_util.Clock.monotonic_ns () - t0) *. 1e-9)

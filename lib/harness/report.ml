@@ -20,6 +20,12 @@ let fmt_ms s = Printf.sprintf "%.2f" (s *. 1000.0)
 let fmt_kb kb = Printf.sprintf "%.1f" kb
 let fmt_x x = Printf.sprintf "%.2fx" x
 
+let checked_elapsed ~what s =
+  if Float.is_nan s || s < 0.0 || s = Float.infinity then
+    invalid_arg
+      (Printf.sprintf "%s: elapsed %f is not a non-negative duration" what s);
+  s
+
 let section title =
   let bar = String.make (String.length title + 8) '=' in
   Printf.printf "\n%s\n==  %s  ==\n%s\n" bar title bar

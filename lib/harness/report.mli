@@ -20,6 +20,15 @@ val fmt_x : float -> string
 val section : string -> unit
 (** Print a banner heading. *)
 
+val checked_elapsed : what:string -> float -> float
+(** [checked_elapsed ~what s] returns [s] after asserting it is a
+    non-negative, finite number of seconds.
+    @raise Invalid_argument otherwise, naming [what] — elapsed times
+    in this repo come from {!Ct_util.Clock.monotonic_ns}, so a
+    negative or NaN elapsed is a harness bug (e.g. a reintroduced
+    wall-clock measurement racing an NTP step), never a valid
+    measurement to propagate into throughput numbers. *)
+
 (** Minimal JSON emitter for the persisted benchmark files
     ([BENCH_micro.json], [BENCH_sweeps.json]).  Output is deterministic
     for equal inputs: fields keep insertion order, floats render with

@@ -101,24 +101,22 @@ module Replay (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
 
   let replay ?(prefill = 0) t trace =
     prefill_keys t prefill;
-    let t0 = Unix.gettimeofday () in
+    (* Monotonic: replay throughput must survive an NTP step mid-run
+       without going negative or getting skewed. *)
+    let t0 = Ct_util.Clock.monotonic_ns () in
     let hits, misses, updates, fresh, removed =
       run_slice t trace 0 (Array.length trace) 1
     in
-    {
-      hits;
-      misses;
-      updates;
-      fresh;
-      removed;
-      elapsed = Unix.gettimeofday () -. t0;
-      latency = None;
-    }
+    let elapsed =
+      Report.checked_elapsed ~what:"Trace.replay"
+        (float_of_int (Ct_util.Clock.monotonic_ns () - t0) *. 1e-9)
+    in
+    { hits; misses; updates; fresh; removed; elapsed; latency = None }
 
   let replay_parallel ?(prefill = 0) ?latency t ~domains trace =
     prefill_keys t prefill;
     let n = Array.length trace in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Ct_util.Clock.monotonic_ns () in
     let results, samples =
       match latency with
       | None ->
@@ -134,7 +132,10 @@ module Replay (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
           in
           (r, Array.concat (Array.to_list buffers))
     in
-    let elapsed = Unix.gettimeofday () -. t0 in
+    let elapsed =
+      Report.checked_elapsed ~what:"Trace.replay_parallel"
+        (float_of_int (Ct_util.Clock.monotonic_ns () - t0) *. 1e-9)
+    in
     let latency =
       if Array.length samples = 0 then None
       else

@@ -61,6 +61,20 @@ let counts t =
   done;
   out
 
+(* Window diff for duty-cycle control loops (the server ticker).  Each
+   cell of [counts] is a sum of racy per-stripe reads; a concurrent
+   [reset] (or a torn read mixing ticks) can make [now.(b) < prev.(b)],
+   and a control decision made on a negative bucket count is garbage.
+   Clamping per bucket keeps the window a valid histogram: at worst a
+   clamped window under-counts one interval, which only delays the
+   controller by a tick. *)
+let diff_counts ~prev ~now =
+  if Array.length prev <> Array.length now then
+    invalid_arg "Latency.diff_counts: length mismatch";
+  Array.init (Array.length now) (fun b ->
+      let d = now.(b) - prev.(b) in
+      if d < 0 then 0 else d)
+
 let merged_counts ts =
   List.fold_left (fun acc t -> Histogram.merge acc (counts t)) [||] ts
 

@@ -45,6 +45,14 @@ val record_span : t -> start:int -> unit
 val counts : t -> int array
 (** Per-bucket totals summed across domain stripes (racy reads). *)
 
+val diff_counts : prev:int array -> now:int array -> int array
+(** [diff_counts ~prev ~now] — per-bucket [now - prev], clamped at 0.
+    The window histogram a duty-cycle controller (the server ticker)
+    diffs between two {!counts} snapshots: clamping keeps a concurrent
+    {!reset} or a torn cross-stripe read from injecting negative
+    bucket counts into the control decision.
+    @raise Invalid_argument if the arrays differ in length. *)
+
 val merged_counts : t list -> int array
 (** Bucket-wise sum over several histograms
     ({!Analysis.Histogram.merge} folded). *)

@@ -110,6 +110,17 @@ type durable = {
   d_read_only : unit -> bool;  (* the log degraded; refuse writes *)
 }
 
+(* Bounded-cache mode (DESIGN.md §15), as hooks like [durable]: the
+   worker routes Get/Put/Remove through the tier instead of the raw
+   map, so entries gain TTL, eviction and admission control.  A
+   memcached-shaped store: a Put the tier refuses to admit replies
+   [Stored false], a Get after eviction/expiry replies [Nil]. *)
+type cache_ops = {
+  c_get : int -> string option;  (* tier lookup; negative entries read as None *)
+  c_put : int -> string -> bool;  (* true = admitted *)
+  c_remove : int -> bool;  (* true = was resident *)
+}
+
 module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
   type conn = {
     fd : Unix.file_descr;
@@ -141,6 +152,7 @@ module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
     ticker_stop : bool Atomic.t;
     progress : Progress.t option;
     durable : durable option;
+    cache : cache_ops option;
     drain_mutex : Mutex.t;
     mutable drain_done : bool;
     mutable drain_flushed : bool;
@@ -242,18 +254,30 @@ module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
         match
           Yp.here Yp.Before exec_site;
           let r =
-            match it.req.op with
-            | Protocol.Get k -> (
-                match M.lookup t.map k with
-                | Some v -> Protocol.Value v
-                | None -> Protocol.Nil)
-            | Protocol.Put (k, v) ->
-                Protocol.Stored (M.add t.map k v <> None)
-            | Protocol.Remove k -> (
-                match M.remove t.map k with
-                | Some _ -> Protocol.Removed
-                | None -> Protocol.Nil)
-            | Protocol.Ping -> Protocol.Pong
+            match t.cache with
+            | Some c -> (
+                match it.req.op with
+                | Protocol.Get k -> (
+                    match c.c_get k with
+                    | Some v -> Protocol.Value v
+                    | None -> Protocol.Nil)
+                | Protocol.Put (k, v) -> Protocol.Stored (c.c_put k v)
+                | Protocol.Remove k ->
+                    if c.c_remove k then Protocol.Removed else Protocol.Nil
+                | Protocol.Ping -> Protocol.Pong)
+            | None -> (
+                match it.req.op with
+                | Protocol.Get k -> (
+                    match M.lookup t.map k with
+                    | Some v -> Protocol.Value v
+                    | None -> Protocol.Nil)
+                | Protocol.Put (k, v) ->
+                    Protocol.Stored (M.add t.map k v <> None)
+                | Protocol.Remove k -> (
+                    match M.remove t.map k with
+                    | Some _ -> Protocol.Removed
+                    | None -> Protocol.Nil)
+                | Protocol.Ping -> Protocol.Pong)
           in
           Yp.here Yp.After exec_site;
           r
@@ -468,7 +492,15 @@ module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
       Unix.sleepf t.cfg.tick_interval;
       Array.iter Bqueue.tick t.queues;
       let now = Obs.Latency.counts t.lat in
-      let diff = Array.mapi (fun i c -> c - !prev.(i)) now in
+      (* Clamped per-bucket diff: [counts] sums per-stripe cells with
+         racy reads, so a concurrent [reset] (benches do this between
+         phases) or a torn read straddling two ticks can yield
+         now < prev for a bucket.  A negative bucket count poisons both
+         the window total and the p99 — admission would then shed (or
+         un-shed) on garbage.  Clamping loses at most one interval's
+         samples for that bucket, which just delays the duty cycle by a
+         tick. *)
+      let diff = Obs.Latency.diff_counts ~prev:!prev ~now in
       let total = Array.fold_left ( + ) 0 diff in
       if total >= t.cfg.p99_window then begin
         let p99 = Obs.Latency.percentile_of_counts diff 99.0 in
@@ -483,11 +515,17 @@ module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
 
   (* ------------------------------ lifecycle ------------------------- *)
 
-  let start ?(config = default_config ()) ?progress ?durable ?(port = 0) map =
+  let start ?(config = default_config ()) ?progress ?durable ?cache ?(port = 0)
+      map =
     if
       config.workers < 1 || config.queue_capacity < 1 || config.batch < 1
       || config.p99_window < 1 || config.tick_interval <= 0.0
     then invalid_arg "Server.start: bad config";
+    (* A tier evicts entries the WAL already acked — replaying such a
+       log would resurrect them.  Bounded-cache serving is volatile by
+       contract; refuse the combination instead of corrupting either. *)
+    if durable <> None && cache <> None then
+      invalid_arg "Server.start: durable and cache modes are exclusive";
     Lazy.force ignore_sigpipe;
     let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     let t =
@@ -524,6 +562,7 @@ module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
           ticker_stop = Atomic.make false;
           progress;
           durable;
+          cache;
           drain_mutex = Mutex.create ();
           drain_done = false;
           drain_flushed = false;
@@ -557,12 +596,15 @@ module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
          Later appends ride the committer's normal cadence; the
          inflight wait below covers their acks too. *)
       (match t.durable with Some d -> d.d_flush () | None -> ());
-      let deadline = Unix.gettimeofday () +. timeout in
+      (* Monotonic deadline (Clock.now_ns, mockable in tests): with
+         wall-clock time a backwards NTP step made this loop spin past
+         its timeout and a forward step truncated the flush window. *)
+      let deadline = Clock.now_ns () + int_of_float (timeout *. 1e9) in
       let flushed () =
         Atomic.get t.inflight = 0
         && Array.for_all (fun q -> Bqueue.length q = 0) t.queues
       in
-      while (not (flushed ())) && Unix.gettimeofday () < deadline do
+      while (not (flushed ())) && Clock.now_ns () < deadline do
         Unix.sleepf 0.002
       done;
       let ok = flushed () in

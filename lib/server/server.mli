@@ -77,6 +77,22 @@ type durable = {
   d_read_only : unit -> bool;
 }
 
+(** Bounded-cache-mode hooks (DESIGN.md §15), typically built over a
+    [Cache.Make] tier: workers route every Get/Put/Remove through the
+    tier instead of the raw map, which makes the server a
+    memcached-shaped bounded store — entries carry TTLs, a word budget
+    evicts under pressure, and admission control may refuse a Put
+    outright.  Reply mapping: [c_get] miss (evicted, expired, or
+    negative-cached) → [Nil]; [c_put] returning [false] (admission
+    refused) → [Stored false]; [c_remove] [false] → [Nil].  Exclusive
+    with [durable]: a tier evicts entries a WAL already acked, so
+    replaying such a log would resurrect them. *)
+type cache_ops = {
+  c_get : int -> string option;
+  c_put : int -> string -> bool;
+  c_remove : int -> bool;
+}
+
 module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) : sig
   type t
 
@@ -84,6 +100,7 @@ module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) : sig
     ?config:config ->
     ?progress:Ct_util.Progress.t ->
     ?durable:durable ->
+    ?cache:cache_ops ->
     ?port:int ->
     string M.t ->
     t
@@ -94,7 +111,12 @@ module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) : sig
       the same [progress] flags genuinely stuck workers only.  With
       [durable], write acks are withheld until the WAL's covering
       fsync (see {!durable}); a degraded log turns writes into typed
-      [Read_only] refusals while reads keep serving. *)
+      [Read_only] refusals while reads keep serving.  With [cache],
+      operations route through the bounded tier (see {!cache_ops});
+      [map] is then only the identity the server registers metrics
+      under — the tier owns the resident data.
+      @raise Invalid_argument if both [durable] and [cache] are
+      given. *)
 
   val port : t -> int
 

@@ -1,1 +1,13 @@
 external monotonic_ns : unit -> int = "ct_clock_monotonic_ns" [@@noalloc]
+
+(* Deadline paths read through an overridable source so tests can step
+   time deterministically.  An [Atomic.t] of an option: the common case
+   pays one atomic load and a branch — negligible next to the syscalls
+   those paths (drain spins, await loops) already make.  Measurement
+   paths keep calling [monotonic_ns] directly. *)
+let source : (unit -> int) option Atomic.t = Atomic.make None
+
+let set_source s = Atomic.set source s
+
+let now_ns () =
+  match Atomic.get source with None -> monotonic_ns () | Some f -> f ()

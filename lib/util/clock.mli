@@ -1,9 +1,30 @@
 (** Monotonic nanosecond clock (CLOCK_MONOTONIC via a C stub).
 
-    [Unix.gettimeofday] is wall-clock (it can step backwards) and
-    float-valued (it allocates a boxed float); the latency histograms
-    need neither.  [monotonic_ns] returns a native int of nanoseconds
-    since an arbitrary origin, allocates nothing, and is globally
-    comparable across domains on one machine. *)
+    [Unix.gettimeofday] is wall-clock (it can step backwards under NTP
+    and steps forwards on slew) and float-valued (it allocates a boxed
+    float); neither deadlines nor latency histograms want either.
+    [monotonic_ns] returns a native int of nanoseconds since an
+    arbitrary origin, allocates nothing, and is globally comparable
+    across domains on one machine.
+
+    Every deadline and elapsed-time computation in the repo must use
+    this module — a wall-clock step backwards makes a
+    [gettimeofday]-based deadline spin past its timeout, and a step
+    forwards silently truncates it. *)
 
 val monotonic_ns : unit -> int
+(** The raw CLOCK_MONOTONIC reading.  Allocation-free; use this on
+    measurement hot paths (latency spans, throughput timing). *)
+
+val now_ns : unit -> int
+(** The virtualizable clock for {e deadline} paths (drain timeouts,
+    await loops): identical to {!monotonic_ns} unless a test installed
+    a fake source with {!set_source}.  One atomic load and a branch
+    dearer than the raw reading — irrelevant next to the sleeps and
+    syscalls deadline loops make between calls. *)
+
+val set_source : (unit -> int) option -> unit
+(** [set_source (Some f)] makes {!now_ns} read [f] instead of the
+    hardware clock; [set_source None] restores it.  Test-only: lets a
+    regression test step or freeze time deterministically.  Global —
+    callers must restore the previous source. *)

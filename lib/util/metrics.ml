@@ -43,6 +43,12 @@ type counter =
   | Checkpoints
   | Checkpoint_records
   | Recovery_replayed
+  | Tier_hits
+  | Tier_misses
+  | Tier_negative_hits
+  | Tier_evictions
+  | Tier_expirations
+  | Tier_rejections
 
 (* [@inline] matters: without flambda this match is otherwise a real
    call on every bump, and after inlining at a constant-constructor
@@ -69,6 +75,12 @@ let[@inline] index = function
   | Checkpoints -> 18
   | Checkpoint_records -> 19
   | Recovery_replayed -> 20
+  | Tier_hits -> 21
+  | Tier_misses -> 22
+  | Tier_negative_hits -> 23
+  | Tier_evictions -> 24
+  | Tier_expirations -> 25
+  | Tier_rejections -> 26
 
 let all =
   [
@@ -76,7 +88,8 @@ let all =
     Entombments; Cache_hits; Cache_misses; Cache_invalidations; Scrub_repairs;
     Sampling_passes; Cache_installs; Cache_adjustments; Retry_exhausted;
     Wal_appends; Wal_fsyncs; Wal_retries; Checkpoints; Checkpoint_records;
-    Recovery_replayed;
+    Recovery_replayed; Tier_hits; Tier_misses; Tier_negative_hits;
+    Tier_evictions; Tier_expirations; Tier_rejections;
   ]
 
 let n_counters = List.length all
@@ -103,11 +116,17 @@ let label = function
   | Checkpoints -> "checkpoints"
   | Checkpoint_records -> "checkpoint_records"
   | Recovery_replayed -> "recovery_replayed"
+  | Tier_hits -> "tier_hits"
+  | Tier_misses -> "tier_misses"
+  | Tier_negative_hits -> "tier_negative_hits"
+  | Tier_evictions -> "tier_evictions"
+  | Tier_expirations -> "tier_expirations"
+  | Tier_rejections -> "tier_rejections"
 
 (* 32 words = 256 bytes: two 128-byte strides, still a multiple of the
    line-pair a counter block must own so adjacent domains never share
    (see Stripe).  The vocabulary outgrew one stride when the
-   persistence counters landed; all 21 counters of one domain share the
+   persistence counters landed; all 27 counters of one domain share the
    block — they are bumped by that domain only, so intra-block sharing
    is the point, not a hazard. *)
 let block = 32

@@ -43,6 +43,17 @@ type counter =
   | Checkpoints  (** checkpoint files published (fsync + rename) *)
   | Checkpoint_records  (** bindings serialized across all checkpoints *)
   | Recovery_replayed  (** WAL records replayed by [Recovery.load] *)
+  | Tier_hits  (** bounded-cache tier: lookups served a live value *)
+  | Tier_misses
+      (** bounded-cache tier: lookups that found nothing (includes
+          entries dropped for expiry on the read path) *)
+  | Tier_negative_hits
+      (** bounded-cache tier: lookups answered by a cached [Absent]
+          entry — a backing-store miss the tier absorbed *)
+  | Tier_evictions  (** bounded-cache tier: entries evicted for budget *)
+  | Tier_expirations  (** bounded-cache tier: entries dropped by TTL *)
+  | Tier_rejections
+      (** bounded-cache tier: puts refused by admission control *)
 
 val all : counter list
 (** Every counter, in the fixed export order. *)

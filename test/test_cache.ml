@@ -1,0 +1,396 @@
+(* Bounded cache tier (DESIGN.md §15): budget-never-exceeded under
+   sequential and concurrent churn, deterministic TTL expiry via an
+   injected clock, per-policy eviction order (FIFO / CLOCK / SLRU),
+   negative caching as stampede protection, admission rejection of
+   oversized entries, and the ring/wheel substrates in isolation. *)
+
+module M = Cachetrie.Make (Ct_util.Hashing.Int_key)
+module C = Cache.Make (M)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let ov = Cache.entry_overhead_words
+
+(* Deterministic caches: one stripe (so replacement order is a single
+   FIFO), zero-cost values (every entry costs exactly [ov]), and an
+   injected counter clock. *)
+let make ?(policy = Cache.Fifo) ?(entries = 3) ?clk () =
+  let cfg =
+    {
+      (Cache.default_config ~budget_words:(entries * ov)) with
+      Cache.policy;
+      stripes = 1;
+      max_entry_frac = 1.0;
+      wheel_slots = 8;
+      wheel_tick_ns = 10;
+    }
+  in
+  let now =
+    match clk with Some c -> fun () -> Atomic.get c | None -> fun () -> 0
+  in
+  C.create ~config:cfg ~now ~cost:(fun _ _ -> 0) ()
+
+let check_ok what t =
+  match C.validate t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: validate: %s" what e
+
+(* ------------------------------- ring ------------------------------ *)
+
+let test_ring_fifo () =
+  let r = Ring.create ~capacity:4 in
+  check_int "rounded capacity" 4 (Ring.capacity r);
+  let displaced = ref [] in
+  let keep k = displaced := k :: !displaced in
+  List.iter (fun k -> Ring.push r k ~on_displace:keep) [ 1; 2; 3; 4 ];
+  check_int "nothing displaced while roomy" 0 (List.length !displaced);
+  Ring.push r 5 ~on_displace:keep;
+  check_bool "full push displaces the oldest" true (!displaced = [ 1 ]);
+  let drained = List.filter_map (fun _ -> Ring.pop r) [ (); (); (); () ] in
+  check_bool "FIFO drain order" true (drained = [ 2; 3; 4; 5 ]);
+  check_bool "then empty" true (Ring.pop r = None);
+  check_int "length empty" 0 (Ring.length r)
+
+let test_ring_concurrent () =
+  let r = Ring.create ~capacity:1024 in
+  let per = 2_000 and dom = 4 in
+  let popped = Array.init dom (fun _ -> Atomic.make 0) in
+  let displaced = Atomic.make 0 in
+  let workers =
+    Array.init dom (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per - 1 do
+              Ring.push r
+                ((d * per) + i)
+                ~on_displace:(fun _ -> Atomic.incr displaced);
+              if i land 1 = 0 then
+                match Ring.pop r with
+                | Some _ -> Atomic.incr popped.(d)
+                | None -> ()
+            done))
+  in
+  Array.iter Domain.join workers;
+  let rec drain n = match Ring.pop r with Some _ -> drain (n + 1) | None -> n in
+  let final = drain 0 in
+  let pops = Array.fold_left (fun a c -> a + Atomic.get c) 0 popped in
+  (* Every push landed; accounts may only diverge by abandoned slots,
+     which are lost, never duplicated. *)
+  check_bool "no element duplicated" true
+    (pops + Atomic.get displaced + final <= dom * per)
+
+(* ------------------------------- wheel ----------------------------- *)
+
+let test_wheel_fires_due () =
+  let w = Wheel.create ~slots:4 ~tick_ns:10 ~now:0 in
+  Wheel.add w 1 ~expires_at:25;
+  Wheel.add w 2 ~expires_at:1000;
+  check_int "both pending" 2 (Wheel.pending w);
+  let fired = ref [] in
+  let n = Wheel.advance w ~now:30 ~expire:(fun k -> fired := k :: !fired) in
+  check_int "one due item fired" 1 n;
+  check_bool "the due one" true (!fired = [ 1 ]);
+  (* The far item re-queues until its revolution comes around. *)
+  check_int "future item still pending" 1 (Wheel.pending w);
+  let n2 = Wheel.advance w ~now:1000 ~expire:(fun k -> fired := k :: !fired) in
+  check_int "fires on its revolution" 1 n2;
+  check_int "wheel drained" 0 (Wheel.pending w)
+
+let test_wheel_no_tick_no_work () =
+  let w = Wheel.create ~slots:4 ~tick_ns:1_000_000 ~now:0 in
+  Wheel.add w 1 ~expires_at:10;
+  (* Same tick as the cursor: nothing to walk yet. *)
+  check_int "no boundary crossed" 0
+    (Wheel.advance w ~now:999 ~expire:(fun _ -> assert false))
+
+(* ----------------------------- admission --------------------------- *)
+
+let test_budget_and_accounting () =
+  let t = make ~entries:4 () in
+  check_int "empty uses nothing" 0 (C.used_words t);
+  for k = 1 to 3 do
+    check_bool "admitted" true (C.put t k (k * 10))
+  done;
+  check_int "three resident reservations" (3 * ov) (C.used_words t);
+  check_int "resident" 3 (C.resident t);
+  check_ok "loaded cache" t;
+  (* Overwrite below full occupancy (at capacity the conservative
+     pre-[add] reservation of prev + new would evict first). *)
+  check_bool "overwrite admitted" true (C.put t 2 222);
+  check_int "overwrite releases the old reservation" (3 * ov) (C.used_words t);
+  check_bool "overwritten value visible" true (C.get t 2 = Some 222);
+  check_bool "remove" true (C.remove t 2);
+  check_int "remove releases" (2 * ov) (C.used_words t);
+  check_bool "remove missing" false (C.remove t 2);
+  check_ok "after churn" t
+
+let test_oversized_rejected () =
+  let cfg =
+    {
+      (Cache.default_config ~budget_words:(100 * ov)) with
+      Cache.stripes = 1;
+      max_entry_frac = 0.1;
+    }
+  in
+  let t = C.create ~config:cfg ~cost:(fun _ v -> v) () in
+  check_bool "whale refused" false (C.put t 1 10_000);
+  check_bool "nothing resident" true (C.resident t = 0 && C.used_words t = 0);
+  check_bool "modest entry still admitted" true (C.put t 2 10);
+  check_int "one rejection counted" 1 (C.stats t).Cache.rejections;
+  check_ok "after rejection" t
+
+let test_eviction_fifo () =
+  let t = make ~policy:Cache.Fifo ~entries:3 () in
+  List.iter (fun k -> ignore (C.put t k k)) [ 1; 2 ];
+  (* FIFO ignores recency: touching 1 must not save it... *)
+  check_bool "hit 1" true (C.get t 1 = Some 1);
+  (* ...and overwriting 1 (below capacity, so no transient eviction)
+     must not refresh its admission-order position either. *)
+  check_bool "overwrite keeps order" true (C.put t 1 11);
+  check_bool "admit 3" true (C.put t 3 3);
+  check_bool "admit 4 evicts" true (C.put t 4 4);
+  check_bool "oldest (1) evicted despite touch+overwrite" true
+    (C.get t 1 = None);
+  check_bool "2 survives" true (C.get t 2 = Some 2);
+  check_bool "3 survives" true (C.get t 3 = Some 3);
+  check_bool "4 resident" true (C.get t 4 = Some 4);
+  check_int "exactly one eviction" 1 (C.stats t).Cache.evictions;
+  check_int "still within budget" (3 * ov) (C.used_words t);
+  check_ok "fifo" t
+
+let test_eviction_clock_second_chance () =
+  let t = make ~policy:Cache.Clock_hand ~entries:3 () in
+  List.iter (fun k -> ignore (C.put t k k)) [ 1; 2; 3 ];
+  check_bool "touch 1" true (C.get t 1 = Some 1);
+  check_bool "admit 4" true (C.put t 4 4);
+  (* CLOCK: 1 was touched, so it gets a second chance; untouched 2 is
+     the victim. *)
+  check_bool "touched 1 survives" true (C.get t 1 = Some 1);
+  check_bool "untouched 2 evicted" true (C.get t 2 = None);
+  check_bool "3 survives" true (C.get t 3 = Some 3);
+  check_ok "clock" t
+
+let test_eviction_slru_probation_first () =
+  let t = make ~policy:Cache.Slru ~entries:3 () in
+  List.iter (fun k -> ignore (C.put t k k)) [ 1; 2; 3 ];
+  (* Promote 1 into the protected segment. *)
+  check_bool "promoting hit" true (C.get t 1 = Some 1);
+  check_bool "admit 4" true (C.put t 4 4);
+  check_bool "protected 1 survives" true (C.get t 1 = Some 1);
+  check_bool "probation 2 evicted" true (C.get t 2 = None);
+  check_bool "probation 3 survives" true (C.get t 3 = Some 3);
+  check_ok "slru" t
+
+(* -------------------------------- TTL ------------------------------ *)
+
+let test_ttl_deterministic () =
+  let clk = Atomic.make 0 in
+  let t = make ~entries:8 ~clk () in
+  check_bool "put with ttl" true (C.put ~ttl_ns:100 t 1 1);
+  check_bool "put forever" true (C.put t 2 2);
+  check_bool "live before deadline" true (C.get t 1 = Some 1);
+  Atomic.set clk 100;
+  (* expires_at = 100 <= now: dead exactly at the deadline, and the
+     read path both misses and reclaims. *)
+  check_bool "dead at deadline" true (C.get t 1 = None);
+  check_int "read path reclaimed it" 1 (C.resident t);
+  check_int "reservation released" ov (C.used_words t);
+  check_bool "no-ttl entry unaffected" true (C.get t 2 = Some 2);
+  check_int "one expiration counted" 1 (C.stats t).Cache.expirations;
+  check_ok "after expiry" t
+
+let test_ttl_wheel_reclaims () =
+  let clk = Atomic.make 0 in
+  let t = make ~entries:8 ~clk () in
+  for k = 1 to 4 do
+    ignore (C.put ~ttl_ns:50 t k k)
+  done;
+  check_int "resident before" 4 (C.resident t);
+  Atomic.set clk 200;
+  (* No reads: only the wheel reclaims. *)
+  check_int "wheel fires all four" 4 (C.expire_now t);
+  check_int "wheel reclaimed" 0 (C.resident t);
+  check_int "all reservations released" 0 (C.used_words t);
+  check_ok "after wheel" t
+
+let test_ttl_refresh_wins_race () =
+  let clk = Atomic.make 0 in
+  let t = make ~entries:8 ~clk () in
+  ignore (C.put ~ttl_ns:50 t 1 1);
+  Atomic.set clk 60;
+  (* Refresh after the old deadline: the stale wheel item must not
+     reap the new entry. *)
+  ignore (C.put ~ttl_ns:1_000 t 1 11);
+  ignore (C.expire_now t);
+  check_bool "refreshed entry survives stale schedule" true
+    (C.get t 1 = Some 11);
+  check_ok "after refresh" t
+
+(* -------------------------- negative caching ----------------------- *)
+
+let test_negative_caching () =
+  let clk = Atomic.make 0 in
+  let t = make ~entries:8 ~clk () in
+  let loads = ref 0 in
+  let load _ =
+    incr loads;
+    None
+  in
+  check_bool "first lookup loads and misses" true
+    (C.get_or_load t 404 ~load = None);
+  check_int "one load" 1 !loads;
+  for _ = 1 to 50 do
+    check_bool "served from the Absent entry" true
+      (C.get_or_load t 404 ~load = None)
+  done;
+  check_int "negative entry absorbed the storm" 1 !loads;
+  check_int "negative hits counted" 50 (C.stats t).Cache.negative_hits;
+  (* After the negative TTL the backing store is consulted again. *)
+  Atomic.set clk 2_000_000_000;
+  check_bool "still none" true (C.get_or_load t 404 ~load = None);
+  check_int "reloaded after negative ttl" 2 !loads;
+  check_ok "negative" t
+
+let test_negative_stampede_concurrent () =
+  let t = make ~entries:8 () in
+  let loads = Atomic.make 0 in
+  let load _ =
+    Atomic.incr loads;
+    None
+  in
+  (* Warm the Absent entry, then storm it from several domains: the
+     cached negative answers everyone without touching the backer. *)
+  ignore (C.get_or_load t 7 ~load);
+  let doms =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 5_000 do
+              assert (C.get_or_load t 7 ~load = None)
+            done))
+  in
+  Array.iter Domain.join doms;
+  check_int "storm cost one load total" 1 (Atomic.get loads)
+
+let test_get_or_load_positive () =
+  let t = make ~entries:8 () in
+  let loads = ref 0 in
+  let load k =
+    incr loads;
+    Some (k * 2)
+  in
+  check_bool "loads on miss" true (C.get_or_load t 5 ~load = Some 10);
+  check_bool "then hits" true (C.get_or_load t 5 ~load = Some 10);
+  check_int "loaded once" 1 !loads;
+  check_int "hit counted" 1 (C.stats t).Cache.hits
+
+(* ----------------------- budget under churn ------------------------ *)
+
+(* Sequential QCheck property: an arbitrary op sequence (sized puts,
+   gets, removes, TTL puts, clock steps) never takes [used] above the
+   budget, and accounting reconciles exactly afterwards. *)
+let prop_budget_sequential =
+  let open QCheck in
+  let ops = list_of_size Gen.(return 400) (triple (int_bound 5) (int_bound 63) (int_bound 200)) in
+  Test.make ~count:20 ~name:"cache_budget_sequential" ops (fun ops ->
+      let clk = Atomic.make 0 in
+      let budget = 16 * ov in
+      let cfg =
+        {
+          (Cache.default_config ~budget_words:budget) with
+          Cache.stripes = 1;
+          max_entry_frac = 1.0;
+          wheel_slots = 8;
+          wheel_tick_ns = 10;
+        }
+      in
+      let t =
+        C.create ~config:cfg
+          ~now:(fun () -> Atomic.get clk)
+          ~cost:(fun _ v -> String.length v / 8)
+          ()
+      in
+      List.iter
+        (fun (op, k, sz) ->
+          (match op with
+          | 0 | 1 -> ignore (C.put t k (String.make sz 'x'))
+          | 2 -> ignore (C.put ~ttl_ns:(sz + 1) t k (String.make sz 'x'))
+          | 3 -> ignore (C.get t k)
+          | 4 -> ignore (C.remove t k)
+          | _ ->
+              ignore (Atomic.fetch_and_add clk (sz + 1));
+              ignore (C.expire_now t));
+          if C.used_words t > budget then
+            QCheck.Test.fail_reportf "used %d > budget %d" (C.used_words t)
+              budget)
+        ops;
+      match C.validate t with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_reportf "validate: %s" e)
+
+(* Concurrent churn: worker domains hammer put/get/remove with sized
+   values while a sampler reads [used_words] continuously — the budget
+   bound must hold at every sampled instant, not just at rest. *)
+let test_budget_concurrent_churn () =
+  let budget = 64 * ov in
+  let cfg =
+    {
+      (Cache.default_config ~budget_words:budget) with
+      Cache.policy = Cache.Clock_hand;
+      max_entry_frac = 1.0;
+    }
+  in
+  let t = C.create ~config:cfg ~cost:(fun _ v -> String.length v / 8) () in
+  let stop = Atomic.make false in
+  let violations = Atomic.make 0 in
+  let sampler =
+    Domain.spawn (fun () ->
+        let samples = ref 0 in
+        while not (Atomic.get stop) do
+          if C.used_words t > budget then Atomic.incr violations;
+          incr samples;
+          if !samples land 63 = 0 then Domain.cpu_relax ()
+        done;
+        !samples)
+  in
+  let workers =
+    Array.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            let rng = Random.State.make [| 0xC0FFEE; d |] in
+            for _ = 1 to 20_000 do
+              let k = Random.State.int rng 256 in
+              match Random.State.int rng 4 with
+              | 0 | 1 ->
+                  ignore (C.put t k (String.make (Random.State.int rng 128) 'v'))
+              | 2 -> ignore (C.get t k)
+              | _ -> ignore (C.remove t k)
+            done))
+  in
+  Array.iter Domain.join workers;
+  Atomic.set stop true;
+  let samples = Domain.join sampler in
+  check_bool "sampler actually sampled" true (samples > 1_000);
+  check_int "budget held at every sampled instant" 0 (Atomic.get violations);
+  check_ok "quiescent accounting reconciles" t;
+  let s = C.stats t in
+  check_bool "churn evicted something" true (s.Cache.evictions > 0)
+
+let suite =
+  [
+    ("ring_fifo", `Quick, test_ring_fifo);
+    ("ring_concurrent", `Quick, test_ring_concurrent);
+    ("wheel_fires_due", `Quick, test_wheel_fires_due);
+    ("wheel_no_tick_no_work", `Quick, test_wheel_no_tick_no_work);
+    ("budget_and_accounting", `Quick, test_budget_and_accounting);
+    ("oversized_rejected", `Quick, test_oversized_rejected);
+    ("eviction_fifo", `Quick, test_eviction_fifo);
+    ("eviction_clock_second_chance", `Quick, test_eviction_clock_second_chance);
+    ("eviction_slru_probation_first", `Quick, test_eviction_slru_probation_first);
+    ("ttl_deterministic", `Quick, test_ttl_deterministic);
+    ("ttl_wheel_reclaims", `Quick, test_ttl_wheel_reclaims);
+    ("ttl_refresh_wins_race", `Quick, test_ttl_refresh_wins_race);
+    ("negative_caching", `Quick, test_negative_caching);
+    ("negative_stampede_concurrent", `Slow, test_negative_stampede_concurrent);
+    ("get_or_load_positive", `Quick, test_get_or_load_positive);
+    QCheck_alcotest.to_alcotest prop_budget_sequential;
+    ("budget_concurrent_churn", `Slow, test_budget_concurrent_churn);
+  ]

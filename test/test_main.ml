@@ -28,6 +28,7 @@ let () =
       ("mc", Test_mc.suite);
       ("harness", Test_harness.suite);
       ("obs", Test_obs.suite);
+      ("cache", Test_cache.suite);
       ("server", Test_server.suite);
       ("persist", Test_persist.suite);
     ]

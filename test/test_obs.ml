@@ -117,6 +117,26 @@ let test_latency_merge () =
   check_bool "merged p0 in a's range" true
     (Obs.Latency.percentile_of_counts m 0.0 <= 2.0)
 
+(* Regression: the server's admission ticker diffs successive striped
+   [counts] snapshots.  Stripe sums are racy, so a bucket can read
+   lower than the previous snapshot; [diff_counts] must clamp those to
+   zero instead of feeding a negative rate into the p99 window. *)
+let test_latency_diff_counts_clamps () =
+  let prev = [| 0; 5; 7; 2 |] in
+  let now = [| 3; 5; 4; 10 |] in
+  let d = Obs.Latency.diff_counts ~prev ~now in
+  check_bool "forward buckets diff" true (d.(0) = 3 && d.(1) = 0 && d.(3) = 8);
+  check_int "torn (backwards) bucket clamps to zero" 0 d.(2);
+  check_bool "never negative" true (Array.for_all (fun x -> x >= 0) d);
+  check_raises_invalid "length mismatch refused" (fun () ->
+      ignore (Obs.Latency.diff_counts ~prev:[| 1 |] ~now:[| 1; 2 |]));
+  (* Live histograms: a snapshot diffed against itself is all-zero. *)
+  let h = Obs.Latency.create ~label:"diff" in
+  List.iter (Obs.Latency.record_ns h) [ 1; 100; 10_000 ];
+  let c = Obs.Latency.counts h in
+  check_int "self-diff is zero" 0
+    (Array.fold_left ( + ) 0 (Obs.Latency.diff_counts ~prev:c ~now:c))
+
 (* ------------------------- flight recorder ------------------------- *)
 
 let sites_for_test =
@@ -372,6 +392,7 @@ let suite =
     ("histogram_merge", `Quick, test_histogram_merge);
     ("latency_buckets", `Quick, test_latency_buckets);
     ("latency_merge", `Quick, test_latency_merge);
+    ("latency_diff_counts_clamps", `Quick, test_latency_diff_counts_clamps);
     ("flight_wraparound", `Quick, test_flight_wraparound);
     ("flight_concurrent_dump", `Quick, test_flight_concurrent_dump);
     ("uniform_stats", `Quick, test_uniform_stats);

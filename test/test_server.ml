@@ -510,6 +510,60 @@ let test_progress_clean_drain () =
       (List.length (Harness.Watchdog.step wd))
   done
 
+(* Regression: the drain flush deadline must come from the monotonic
+   clock ([Clock.now_ns], virtualizable), not wall time.  A stepped
+   fake clock makes a generous timeout elapse almost instantly in wall
+   time; the old [Unix.gettimeofday] deadline would have sat out the
+   full 60 s (and, under a backwards NTP step, past it). *)
+let test_drain_monotonic_deadline () =
+  let module Slow = struct
+    include M
+
+    (* Pin one worker inside a lookup so the drain flush wait has a
+       live in-flight request to time out on. *)
+    let lookup t k =
+      Thread.delay 1.5;
+      M.lookup t k
+  end in
+  let module S2 = Kv.Server.Make (Slow) in
+  let map = Slow.create () in
+  let srv = S2.start ~config:(small_config ~workers:1 ()) map in
+  Fun.protect
+    ~finally:(fun () -> Ct_util.Clock.set_source None)
+    (fun () ->
+      let got_reply = Atomic.make false in
+      let requester =
+        Thread.create
+          (fun () ->
+            let c = Kv.Client.connect ~port:(S2.port srv) () in
+            Fun.protect
+              ~finally:(fun () -> Kv.Client.close c)
+              (fun () ->
+                (* Closed queues still answer what they hold, so this
+                   returns once the slow worker finishes. *)
+                ignore (Kv.Client.request c (Kv.Protocol.Get 1));
+                Atomic.set got_reply true))
+          ()
+      in
+      (* Let the request reach the sleeping worker. *)
+      Unix.sleepf 0.3;
+      (* Fake monotonic time that advances 0.25 s per reading: a 60 s
+         drain timeout elapses after ~240 polls of the flush loop. *)
+      let fake = Atomic.make 1_000_000_000 in
+      Ct_util.Clock.set_source
+        (Some (fun () -> Atomic.fetch_and_add fake 250_000_000));
+      let wall0 = Ct_util.Clock.monotonic_ns () in
+      let flushed = S2.drain ~timeout:60.0 srv in
+      let wall_s =
+        float_of_int (Ct_util.Clock.monotonic_ns () - wall0) *. 1e-9
+      in
+      Thread.join requester;
+      check_bool "flush window expired on the fake clock" false flushed;
+      check_bool "deadline tracked the injected clock, not wall time" true
+        (wall_s < 20.0);
+      check_bool "queued request was still answered, not abandoned" true
+        (Atomic.get got_reply))
+
 let suite =
   [
     ("protocol_roundtrip", `Quick, test_protocol_roundtrip);
@@ -525,5 +579,6 @@ let suite =
     ("loadgen_healthy_ledger", `Slow, test_loadgen_healthy_ledger);
     ("loadgen_chaos_ledger", `Slow, test_loadgen_chaos_ledger);
     ("drain_under_traffic", `Slow, test_drain_under_traffic);
+    ("drain_monotonic_deadline", `Slow, test_drain_monotonic_deadline);
     ("progress_clean_drain", `Quick, test_progress_clean_drain);
   ]
