@@ -14,6 +14,8 @@
      repro cache [--full]    bounded cache tier self-check (budget, TTL,
                              negative caching, serving-layer cache mode)
      repro recover [--crashes N] durable-mode crash-recovery storm
+     repro trace [--out F]   end-to-end tracing self-check (span trees,
+                             tail exemplars, Chrome trace export)
      repro all [--full]      everything above *)
 
 open Cmdliner
@@ -87,7 +89,7 @@ let all_experiments =
      Harness.Suites.zipf_lookup);
     ("remove", "Extension: remove throughput and compression behaviour.",
      Harness.Suites.remove_throughput);
-    ("trace", "Extension: production-style trace replay across structures.",
+    ("replay", "Extension: production-style trace replay across structures.",
      Harness.Suites.trace_replay);
   ]
 
@@ -652,6 +654,244 @@ module Serve (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
       check "replayed ledger verifies (zero silent drops)"
         (Loadgen.verify s = Ok ());
       !failures
+
+  (* repro trace — end-to-end tracing self-check (DESIGN.md §16).
+
+     Phase 1, propagation: a sampled context survives the frame
+     encode/decode roundtrip bit-exactly, a frame whose trace
+     extension was truncated in flight degrades to an untraced
+     request (never a decode error), and a pre-extension frame
+     parses with no trace.
+
+     Phase 2, the soak: calibrate capacity on a quiet run, then
+     offer 2x with the traffic-path chaos plan, bounded worker
+     stalls, 1-in-64 head sampling and the span collector installed.
+     Afterwards the server latency histogram's tail exemplar must
+     resolve to a complete resident span tree covering the p99 tail,
+     and the partition stages (queue wait + exec + fsync wait) must
+     sum to the request span within 5%.  The resident window is also
+     exported as Chrome trace-event JSON for Perfetto. *)
+  let serve_trace scale out =
+  let failures = ref [] in
+  let check what ok =
+    if not ok then failures := what :: !failures;
+    Printf.printf "%-56s %s\n%!" what (if ok then "ok" else "FAIL")
+  in
+  (* Phase 1 — propagation. *)
+  let module P = Kv.Protocol in
+  let payload req =
+    let b = P.encode_request req in
+    Bytes.sub b 4 (Bytes.length b - 4)
+  in
+  let ctx = Obs.Trace.make ~sampled:true 0x1234_5678_9ABC in
+  let req = { P.id = 7; deadline_ns = 1_000_000; op = P.Put (3, "v"); trace = ctx } in
+  check "sampled context roundtrips the frame"
+    (match P.decode_request (payload req) with
+    | Ok got ->
+        got = req
+        && Obs.Trace.id got.P.trace = Obs.Trace.id ctx
+        && Obs.Trace.sampled got.P.trace
+    | Error _ -> false);
+  let unsampled = Obs.Trace.make ~sampled:false 42 in
+  check "unsampled-but-traced flag survives"
+    (match P.decode_request (payload { req with P.trace = unsampled }) with
+    | Ok got -> got.P.trace = unsampled && not (Obs.Trace.sampled got.P.trace)
+    | Error _ -> false);
+  let get_req = { P.id = 9; deadline_ns = 0; op = P.Get 5; trace = ctx } in
+  let gp = payload get_req in
+  check "truncated extension degrades to an untraced request"
+    (match P.decode_request (Bytes.sub gp 0 (Bytes.length gp - 4)) with
+    | Ok got -> got.P.trace = Obs.Trace.none && got.P.op = P.Get 5
+    | Error _ -> false);
+  check "pre-extension frame parses with no trace"
+    (match P.decode_request (payload { get_req with P.trace = Obs.Trace.none }) with
+    | Ok got -> got.P.trace = Obs.Trace.none && got = { get_req with P.trace = 0 }
+    | Error _ -> false);
+  (* Phase 2 — the traced soak. *)
+  let duration, cal_n, soak_cap =
+    match scale with
+    | Harness.Suites.Quick -> (2.0, 20_000, 120_000)
+    | Full -> (6.0, 60_000, 400_000)
+  in
+  let workers = serve_workers () in
+  let tr = Obs.Trace.create ~size:32768 () in
+  Obs.Trace.install tr;
+  Fun.protect
+    ~finally:(fun () ->
+      Chaos.clear ();
+      Obs.Trace.uninstall ())
+  @@ fun () ->
+  let map = M.create () in
+  let srv = Srv.start ~config:(serve_config ~workers) map in
+  let port = Srv.port srv in
+  let cal_plan =
+    {
+      Loadgen.default_plan with
+      Loadgen.n = cal_n;
+      conns = 8;
+      rate = 60_000.0;
+      deadline_ns = serve_deadline_ns;
+      net = Chaos.Net.quiet;
+    }
+  in
+  let cal = Loadgen.run ~port cal_plan in
+  check "calibration ledger verifies" (Loadgen.verify cal = Ok ());
+  let capacity = max 2_000.0 cal.Loadgen.ok_rate in
+  let offered = 2.0 *. capacity in
+  let n = min soak_cap (int_of_float (offered *. duration)) in
+  (* Sampling rate picked so the whole soak's spans stay resident: the
+     slowest requests cluster early (the injected stalls), so a wrapped
+     ring would evict exactly the tail exemplars' trees.  At most 4096
+     sampled requests x ~6 spans fits the 32768-span ring with slack,
+     while 1-in-16 at quick scale keeps ~tens of sampled occupants
+     above the p99 bucket. *)
+  let one_in = max 16 (n / 4096) in
+  let soak_plan =
+    {
+      Loadgen.default_plan with
+      Loadgen.seed = 0x7ACE;
+      n;
+      conns = 8;
+      rate = offered;
+      deadline_ns = serve_deadline_ns;
+      net = serve_chaos_plan;
+      trace_one_in = one_in;
+    }
+  in
+  let stall =
+    Chaos.Net.stall_sites ~seed:41 ~one_in:5_000 ~max_stalls:3 ~duration:0.3
+      "server.worker."
+  in
+  Printf.printf
+    "soak: offering %.0f req/s (2x capacity) for %d requests, 1-in-%d sampled, chaos on\n%!"
+    offered n one_in;
+  let s = Loadgen.run ~port soak_plan in
+  Chaos.clear ();
+  ignore (Chaos.Net.stalls_fired stall);
+  Format.printf "%a@." Loadgen.pp_summary s;
+  check "soak ledger verifies (zero silent drops)" (Loadgen.verify s = Ok ());
+  check "soak minted trace ids for every request"
+    (Array.length s.Loadgen.trace_ids = n
+    && Array.for_all (fun id -> id <> 0) s.Loadgen.trace_ids);
+  ignore (Srv.drain ~timeout:10.0 srv);
+  check "sampled requests recorded spans" (Obs.Trace.recorded tr > 0);
+  print_endline "stage summary (resident spans):";
+  List.iter
+    (fun (name, count, sum) ->
+      Printf.printf "  %-12s count=%-7d total=%8.3f ms\n" name count
+        (float_of_int sum /. 1e6))
+    (Obs.Trace.stage_summary tr);
+  (* Every resident complete tree must satisfy the partition
+     identity: queue wait + exec (+ fsync wait) = request, within
+     5% (by construction they share clock captures, so this is
+     really a torn-read tolerance). *)
+  let has st spans =
+    List.exists (fun (sp : Obs.Trace.span) -> sp.Obs.Trace.stage = st) spans
+  in
+  let complete spans =
+    has Obs.Trace.Request spans
+    && has Obs.Trace.Queue_wait spans
+    && has Obs.Trace.Exec spans
+  in
+  let stage_dur st spans =
+    List.fold_left
+      (fun acc (sp : Obs.Trace.span) ->
+        if sp.Obs.Trace.stage = st then acc + sp.Obs.Trace.dur_ns else acc)
+      0 spans
+  in
+  let sums_within spans =
+    let request = stage_dur Obs.Trace.Request spans in
+    let parts =
+      stage_dur Obs.Trace.Queue_wait spans
+      + stage_dur Obs.Trace.Exec spans
+      + stage_dur Obs.Trace.Fsync_wait spans
+    in
+    request > 0 && abs (request - parts) * 20 <= request
+  in
+  let by_id = Hashtbl.create 256 in
+  List.iter
+    (fun (sp : Obs.Trace.span) ->
+      if sp.Obs.Trace.trace_id <> 0 then
+        Hashtbl.replace by_id sp.Obs.Trace.trace_id
+          (sp :: (try Hashtbl.find by_id sp.Obs.Trace.trace_id with Not_found -> [])))
+    (Obs.Trace.spans tr);
+  let trees = ref 0 and within = ref 0 in
+  Hashtbl.iter
+    (fun _ spans ->
+      if complete spans then begin
+        incr trees;
+        if sums_within spans then incr within
+      end)
+    by_id;
+  Printf.printf "resident complete span trees: %d (%d sum within 5%%)\n%!"
+    !trees !within;
+  check "resident window holds complete span trees" (!trees > 0);
+  check "at least 90% of complete trees sum within 5%"
+    (!within * 10 >= !trees * 9);
+  (* The tail exemplar: walk the latency histogram's exemplar cells
+     from the slowest bucket down and resolve the first complete
+     resident tree.  Its bucket must cover the p99 of the sampled
+     population (the exemplar machinery indexed the slowest sampled
+     request correctly) and the p90 of all served requests (the
+     sampled tail is representative — ~servedx10%/rate occupants, so
+     this is stable; whether a sampled request lands above the
+     overall p99 is luck when the extreme tail is a single stalled
+     queue of 64). *)
+  let lat = Srv.latency srv in
+  let p99 = Obs.Latency.percentile lat 99.0 in
+  let p90 = Obs.Latency.percentile lat 90.0 in
+  let sampled_p99 =
+    let durs =
+      Hashtbl.fold
+        (fun _ spans acc ->
+          if complete spans then stage_dur Obs.Trace.Request spans :: acc
+          else acc)
+        by_id []
+      |> List.sort compare |> Array.of_list
+    in
+    let n = Array.length durs in
+    if n = 0 then 0.0 else float_of_int durs.(min (n - 1) (n * 99 / 100))
+  in
+  List.iter
+    (fun (bucket, id) ->
+      Printf.printf "exemplar: bucket %2d (<%.0f ns) trace %016x (%d resident spans)\n"
+        bucket
+        (Obs.Latency.bucket_upper_ns bucket)
+        id
+        (List.length (Obs.Trace.spans_of tr ~id)))
+    (Obs.Latency.exemplars lat);
+  let found =
+    List.find_map
+      (fun (bucket, id) ->
+        let spans = Obs.Trace.spans_of tr ~id in
+        if complete spans then Some (bucket, id, spans) else None)
+      (List.rev (Obs.Latency.exemplars lat))
+  in
+  (match found with
+  | None -> check "tail exemplar resolves to a complete span tree" false
+  | Some (bucket, id, spans) ->
+      check "tail exemplar resolves to a complete span tree" true;
+      Printf.printf
+        "tail exemplar: trace %016x, bucket %d (<%.0f ns); served p90 %.0f ns, \
+         p99 %.0f ns, sampled p99 %.0f ns\n%!"
+        id bucket
+        (Obs.Latency.bucket_upper_ns bucket)
+        p90 p99 sampled_p99;
+      List.iter
+        (fun sp -> print_endline ("  " ^ Obs.Trace.span_to_string sp))
+        spans;
+      check "tail exemplar covers the sampled population's p99"
+        (Obs.Latency.bucket_upper_ns bucket >= sampled_p99);
+      check "tail exemplar covers the served p90 tail"
+        (Obs.Latency.bucket_upper_ns bucket >= p90);
+      check "tail exemplar stages sum to its request span (within 5%)"
+        (sums_within spans));
+  (match out with
+  | None -> ()
+  | Some file ->
+      Json.write_file file (Harness.Obs_report.chrome_trace_json tr);
+      Printf.printf "wrote %s (open in Perfetto or chrome://tracing)\n%!" file);
+  !failures
 end
 
 module Folklore_map = Oa.Folklore.Make (Ct_util.Hashing.Int_key)
@@ -717,6 +957,43 @@ let serve_cmd =
     Term.(
       const serve_run $ timeout_term $ map_term $ replay_term $ trace_out_term
       $ scale_term)
+
+(* -------------------------- trace subcommand ------------------------ *)
+
+let trace_run timeout out scale =
+  arm_timeout timeout;
+  match Serve_cachetrie.serve_trace scale (Some out) with
+  | [] -> 0
+  | failures ->
+      List.iter
+        (fun f -> Printf.eprintf "repro trace: FAILED: %s\n%!" f)
+        (List.rev failures);
+      1
+  | exception e ->
+      Printf.eprintf "repro trace: failed: %s\n%!" (Printexc.to_string e);
+      1
+
+let trace_cmd =
+  let out_term =
+    Arg.(
+      value
+      & opt string "trace_spans.json"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the soak's resident span window as Chrome trace-event \
+             JSON to $(docv) (load it in Perfetto or chrome://tracing).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "End-to-end tracing self-check: frame propagation roundtrip, then \
+          a chaos soak at 2x capacity with head sampling sized so the soak \
+          stays ring-resident; verifies every ledger row minted its trace \
+          id, the rings hold complete span trees whose stage durations sum \
+          to the request span within 5%, and the latency histogram's tail \
+          exemplar resolves to a complete tree covering the sampled \
+          population's p99; exports Chrome trace-event JSON.")
+    Term.(const trace_run $ timeout_term $ out_term $ scale_term)
 
 (* ------------------------- recover subcommand ----------------------- *)
 
@@ -836,6 +1113,7 @@ let recover_plan ~seed i =
     value_bytes = 24;
     partition = true;
     net = Chaos.Net.quiet;
+    trace_one_in = 0;
   }
 
 let recover_storm ~crashes ~seed ~dir ~keep =
@@ -1248,6 +1526,6 @@ let () =
   in
   let cmds =
     (all_cmd :: List.map (fun (n, d, f) -> experiment n d f) all_experiments)
-    @ [ mc_cmd; obs_cmd; cache_cmd; serve_cmd; recover_cmd ]
+    @ [ mc_cmd; obs_cmd; cache_cmd; serve_cmd; trace_cmd; recover_cmd ]
   in
   exit (Cmd.eval' (Cmd.group info cmds))

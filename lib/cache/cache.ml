@@ -339,7 +339,7 @@ module Make (M : Ct_util.Map_intf.CONCURRENT_MAP) = struct
 
   (* ----------------------------- operations -------------------------- *)
 
-  let find t k =
+  let find_untraced t k =
     match M.lookup t.map k with
     | None ->
         Metrics.incr t.metrics Metrics.Tier_misses;
@@ -363,6 +363,24 @@ module Make (M : Ct_util.Map_intf.CONCURRENT_MAP) = struct
               | _ -> ());
               Hit v
         end
+
+  (* A request the server sampled for tracing (its context is ambient
+     on this domain) gets its tier lookup recorded as a span; for
+     everyone else the check is a domain-local read and a branch —
+     written out rather than via [timed_ambient] so the common path
+     does not build a closure. *)
+  let find t k =
+    let ctx = Obs.Trace.current () in
+    if Obs.Trace.sampled ctx then begin
+      let t0 = Clock.monotonic_ns () in
+      let r = find_untraced t k in
+      Obs.Trace.record_sink ctx Obs.Trace.Cache_lookup ~start_ns:t0
+        ~dur_ns:(Clock.monotonic_ns () - t0)
+        ~a:(match r with Hit _ -> 1 | Negative -> 2 | Miss -> 0)
+        ~b:0;
+      r
+    end
+    else find_untraced t k
 
   let get t k = match find t k with Hit v -> Some v | Negative | Miss -> None
 
@@ -418,7 +436,23 @@ module Make (M : Ct_util.Map_intf.CONCURRENT_MAP) = struct
     | Hit v -> Some v
     | Negative -> None
     | Miss -> (
-        match load k with
+        (* The backing-store load is the expensive leg of a tier miss;
+           a sampled request gets it as its own span so a tail request
+           shows load time separately from lookup time. *)
+        let loaded =
+          let ctx = Obs.Trace.current () in
+          if Obs.Trace.sampled ctx then begin
+            let t0 = Clock.monotonic_ns () in
+            let r = load k in
+            Obs.Trace.record_sink ctx Obs.Trace.Cache_load ~start_ns:t0
+              ~dur_ns:(Clock.monotonic_ns () - t0)
+              ~a:(match r with Some _ -> 1 | None -> 0)
+              ~b:0;
+            r
+          end
+          else load k
+        in
+        match loaded with
         | Some v ->
             ignore (put ?ttl_ns t k v);
             Some v

@@ -48,6 +48,75 @@ let histogram_json (op, h) =
 let latency_json histograms =
   Json.Obj [ ("histograms", Json.List (List.map histogram_json histograms)) ]
 
+(* ------------------------------- spans ------------------------------ *)
+
+let span_json (s : Obs.Trace.span) =
+  Json.Obj
+    [
+      ("trace_id", Json.Int s.trace_id);
+      ("stage", Json.String (Obs.Trace.stage_name s.stage));
+      ("start_ns", Json.Int s.start_ns);
+      ("dur_ns", Json.Int s.dur_ns);
+      ("a", Json.Int s.a);
+      ("b", Json.Int s.b);
+      ("slot", Json.Int s.slot);
+      ("stamp", Json.Int s.stamp);
+    ]
+
+let spans_json tr =
+  Json.Obj
+    [
+      ( "stages",
+        Json.List
+          (List.map
+             (fun (stage, count, sum_ns) ->
+               Json.Obj
+                 [
+                   ("stage", Json.String stage);
+                   ("count", Json.Int count);
+                   ("sum_ns", Json.Int sum_ns);
+                 ])
+             (Obs.Trace.stage_summary tr)) );
+      ("spans", Json.List (List.map span_json (Obs.Trace.spans tr)));
+    ]
+
+(* Chrome trace-event JSON (the catapult format Perfetto loads):
+   complete events (ph "X") with microsecond ts/dur, one tid per ring
+   slot, trace id and stage annotations in args.  Timestamps are
+   rebased to the earliest span so the viewport opens on the data
+   rather than hours of monotonic-clock offset. *)
+let chrome_trace_json tr =
+  let spans = Obs.Trace.spans tr in
+  let t0 =
+    List.fold_left (fun acc (s : Obs.Trace.span) -> min acc s.start_ns) max_int
+      spans
+  in
+  let us ns = float_of_int ns /. 1e3 in
+  let event (s : Obs.Trace.span) =
+    Json.Obj
+      [
+        ("name", Json.String (Obs.Trace.stage_name s.stage));
+        ("cat", Json.String "request");
+        ("ph", Json.String "X");
+        ("ts", Json.Float (us (s.start_ns - t0)));
+        ("dur", Json.Float (us s.dur_ns));
+        ("pid", Json.Int 1);
+        ("tid", Json.Int s.slot);
+        ( "args",
+          Json.Obj
+            [
+              ("trace_id", Json.Int s.trace_id);
+              ("a", Json.Int s.a);
+              ("b", Json.Int s.b);
+            ] );
+      ]
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map event spans));
+      ("displayTimeUnit", Json.String "ns");
+    ]
+
 let invariants () =
   let violations = ref [] in
   List.iter

@@ -32,6 +32,9 @@ type t = {
   stall_epochs : int;
   on_stall : report -> unit;
   flight : Obs.Flight.t option;  (* embedded in post-mortem dumps *)
+  tracer : (Obs.Trace.t * Obs.Latency.t) option;
+      (* tail-exemplar source: the latency histogram names the slowest
+         sampled request, the tracer resolves its span tree *)
   prev : int array;
   stalled_for : int array;
   escalated : bool array;  (* on_stall already ran for this episode *)
@@ -40,7 +43,8 @@ type t = {
   stop_requested : bool Atomic.t;
 }
 
-let create ?(stall_epochs = 3) ?(on_stall = fun _ -> ()) ?flight progress =
+let create ?(stall_epochs = 3) ?(on_stall = fun _ -> ()) ?flight ?tracer
+    progress =
   if stall_epochs < 1 then invalid_arg "Watchdog.create: stall_epochs < 1";
   let n = Progress.slots progress in
   {
@@ -48,6 +52,7 @@ let create ?(stall_epochs = 3) ?(on_stall = fun _ -> ()) ?flight progress =
     stall_epochs;
     on_stall;
     flight;
+    tracer;
     prev = Progress.snapshot progress;
     stalled_for = Array.make n 0;
     escalated = Array.make n false;
@@ -153,6 +158,27 @@ let post_mortem ?(flight_limit = 64) t =
            (Obs.Flight.recorded f));
       Buffer.add_string buf (Obs.Flight.dump_to_string ~limit:flight_limit f);
       Buffer.add_char buf '\n');
+  (match t.tracer with
+  | None -> ()
+  | Some (tr, lat) -> (
+      match Obs.Latency.top_exemplar lat (Obs.Latency.counts lat) with
+      | None -> Buffer.add_string buf "-- no tail exemplar recorded --\n"
+      | Some (bucket, id) -> (
+          Buffer.add_string buf
+            (Printf.sprintf
+               "-- tail exemplar: trace %016x (latency bucket %d, <%.0fns) --\n"
+               id bucket
+               (Obs.Latency.bucket_upper_ns bucket));
+          match Obs.Trace.spans_of tr ~id with
+          | [] ->
+              Buffer.add_string buf
+                "spans already overwritten (ring wrapped)\n"
+          | spans ->
+              List.iter
+                (fun s ->
+                  Buffer.add_string buf (Obs.Trace.span_to_string s);
+                  Buffer.add_char buf '\n')
+                spans)));
   Buffer.contents buf
 
 (* The monitor runs on a Thread, not a Domain: it spends its life in

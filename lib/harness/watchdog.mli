@@ -28,6 +28,7 @@ val create :
   ?stall_epochs:int ->
   ?on_stall:(report -> unit) ->
   ?flight:Obs.Flight.t ->
+  ?tracer:Obs.Trace.t * Obs.Latency.t ->
   Ct_util.Progress.t ->
   t
 (** [create progress] watches [progress].  A slot is reported stalled
@@ -37,7 +38,11 @@ val create :
     block on the stalled domain.  [flight] wires in a flight recorder
     whose stamp-ordered dump {!post_mortem} embeds (install it with
     {!Obs.Flight.install_with_progress} so heartbeats and events come
-    from the same observer). *)
+    from the same observer).  [tracer] pairs a span collector with the
+    latency histogram whose tail exemplars index into it;
+    {!post_mortem} then dumps the span tree of the slowest sampled
+    request still resident — what the stalled site was doing to the
+    tail. *)
 
 val step : t -> report list
 (** Advance one epoch by hand and return every currently stalled slot
@@ -55,9 +60,10 @@ val report_to_string : report -> string
 val post_mortem : ?flight_limit:int -> t -> string
 (** Full diagnostic dump: per-slot heartbeat ages (beats, epochs of
     silence, last yield point) for every attached slot, the current
-    stall reports, and — when a flight recorder was passed to
-    {!create} — its most recent [flight_limit] (default 64) events in
-    stamp order.  Safe to call concurrently with running workers. *)
+    stall reports, — when a flight recorder was passed to {!create} —
+    its most recent [flight_limit] (default 64) events in stamp order,
+    and — with [tracer] — the span tree of the current tail exemplar.
+    Safe to call concurrently with running workers. *)
 
 val start : t -> interval:float -> unit
 (** Spawn a background monitor thread stepping every [interval]

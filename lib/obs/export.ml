@@ -1,5 +1,31 @@
 module Metrics = Ct_util.Metrics
 
+(* Prometheus text-format label values escape backslash, double quote
+   and newline (exposition format spec).  Family names come from user
+   code ([Metrics.create ~family]) so they are hostile until proven
+   otherwise — an unescaped quote does not just corrupt one sample, it
+   desynchronizes the whole scrape. *)
+let escape_label s =
+  let n = String.length s in
+  let rec clean i =
+    if i >= n then true
+    else
+      match s.[i] with '\\' | '"' | '\n' -> false | _ -> clean (i + 1)
+  in
+  if clean 0 then s
+  else begin
+    let buf = Buffer.create (n + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+
 let derived counters =
   let get l = match List.assoc_opt l counters with Some n -> n | None -> 0 in
   [ ("cache_lookups", get "cache_hits" + get "cache_misses") ]
@@ -11,6 +37,7 @@ let le_label b =
   if up <= 1e18 then Printf.sprintf "%.0f" up else "+Inf"
 
 let add_histogram buf (op, h) =
+  let op = escape_label op in
   let counts = Latency.counts h in
   let last =
     let i = ref (-1) in
@@ -31,7 +58,7 @@ let add_histogram buf (op, h) =
   Buffer.add_string buf
     (Printf.sprintf "ct_latency_ns_count{op=\"%s\"} %d\n" op !cum)
 
-let prometheus ?(histograms = []) () =
+let prometheus ?(histograms = []) ?spans () =
   let buf = Buffer.create 4096 in
   let families = Metrics.aggregate () in
   Buffer.add_string buf
@@ -39,11 +66,12 @@ let prometheus ?(histograms = []) () =
      # TYPE ct_counter_total counter\n";
   List.iter
     (fun (family, _, counters) ->
+      let family = escape_label family in
       List.iter
         (fun (label, total) ->
           Buffer.add_string buf
             (Printf.sprintf "ct_counter_total{family=\"%s\",counter=\"%s\"} %d\n"
-               family label total))
+               family (escape_label label) total))
         counters)
     families;
   Buffer.add_string buf
@@ -51,11 +79,12 @@ let prometheus ?(histograms = []) () =
      # TYPE ct_derived_total counter\n";
   List.iter
     (fun (family, _, counters) ->
+      let family = escape_label family in
       List.iter
         (fun (label, total) ->
           Buffer.add_string buf
             (Printf.sprintf "ct_derived_total{family=\"%s\",derived=\"%s\"} %d\n"
-               family label total))
+               family (escape_label label) total))
         (derived counters))
     families;
   Buffer.add_string buf
@@ -64,7 +93,8 @@ let prometheus ?(histograms = []) () =
   List.iter
     (fun (family, live, _) ->
       Buffer.add_string buf
-        (Printf.sprintf "ct_live_instances{family=\"%s\"} %d\n" family live))
+        (Printf.sprintf "ct_live_instances{family=\"%s\"} %d\n"
+           (escape_label family) live))
     families;
   if histograms <> [] then begin
     Buffer.add_string buf
@@ -72,4 +102,24 @@ let prometheus ?(histograms = []) () =
        # TYPE ct_latency_ns histogram\n";
     List.iter (add_histogram buf) histograms
   end;
+  (match spans with
+  | None -> ()
+  | Some tr ->
+      let summary = Trace.stage_summary tr in
+      if summary <> [] then begin
+        Buffer.add_string buf
+          "# HELP ct_span_duration_ns Traced span durations per stage \
+           (resident ring window).\n\
+           # TYPE ct_span_duration_ns summary\n";
+        List.iter
+          (fun (stage, count, sum) ->
+            let stage = escape_label stage in
+            Buffer.add_string buf
+              (Printf.sprintf "ct_span_duration_ns_sum{stage=\"%s\"} %d\n" stage
+                 sum);
+            Buffer.add_string buf
+              (Printf.sprintf "ct_span_duration_ns_count{stage=\"%s\"} %d\n"
+                 stage count))
+          summary
+      end);
   Buffer.contents buf

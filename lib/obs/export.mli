@@ -7,15 +7,27 @@
     emitted.  The JSON twin lives in {!Harness.Obs_report}, next to
     the benchmark JSON emitter it reuses. *)
 
+val escape_label : string -> string
+(** Escape a label value per the Prometheus text exposition format:
+    backslash, double quote and newline each become their two-character
+    backslash escape.  Applied to every interpolated label value —
+    family names arrive from user code and an unescaped quote
+    desynchronizes the whole scrape.  Returns the argument unchanged
+    (no copy) when already clean. *)
+
 val derived : (string * int) list -> (string * int) list
 (** Derived series computed from one family's counter snapshot —
     currently [cache_lookups = cache_hits + cache_misses], the
     denominator the hit-ratio invariant checks against. *)
 
-val prometheus : ?histograms:(string * Latency.t) list -> unit -> string
+val prometheus :
+  ?histograms:(string * Latency.t) list -> ?spans:Trace.t -> unit -> string
 (** Render every live metrics family as
     [ct_counter_total{family=...,counter=...}] samples (plus
     [ct_live_instances] gauges and [ct_derived_total] series), and
     each labelled histogram as a Prometheus histogram —
     [ct_latency_ns_bucket{op=...,le=...}] with cumulative counts, a
-    [+Inf] bucket, and exact [_sum]/[_count]. *)
+    [+Inf] bucket, and exact [_sum]/[_count].  With [?spans], also a
+    [ct_span_duration_ns] summary per trace stage
+    ([_sum]/[_count]{stage=...}) over the collector's resident
+    window. *)

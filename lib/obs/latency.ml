@@ -18,11 +18,21 @@ let ceil_pow2 n =
   done;
   !r
 
-type t = { label : string; mask : int; data : int array }
+(* [exem] holds one trace id per bucket — the tail exemplar: the most
+   recent sampled request that landed there (0 = none yet).  Unstriped
+   and racy by design: last-writer-wins across domains is exactly the
+   "most recent occupant" the post-mortem wants, and a torn overwrite
+   costs one exemplar, not correctness. *)
+type t = { label : string; mask : int; data : int array; exem : int array }
 
 let create ~label =
   let stripes = ceil_pow2 (Domain.recommended_domain_count ()) in
-  { label; mask = stripes - 1; data = Array.make (lead + (stripes * block)) 0 }
+  {
+    label;
+    mask = stripes - 1;
+    data = Array.make (lead + (stripes * block)) 0;
+    exem = Array.make n_buckets 0;
+  }
 
 let label t = t.label
 
@@ -50,6 +60,51 @@ let record_ns t ns =
   t.data.(base + sum_off) <- t.data.(base + sum_off) + ns
 
 let record_span t ~start = record_ns t (Clock.monotonic_ns () - start)
+
+(* Traced variant: same histogram update, plus — when the request was
+   sampled — stamp its trace id as the bucket's exemplar.  The extra
+   cost on the untraced path is one branch. *)
+let record_ns_traced t ns ~trace_id =
+  let ns = if ns < 0 then 0 else ns in
+  let base = lead + (((Domain.self () :> int) land t.mask) * block) in
+  let b = bucket_of_ns ns in
+  let i = base + b in
+  t.data.(i) <- t.data.(i) + 1;
+  t.data.(base + sum_off) <- t.data.(base + sum_off) + ns;
+  if trace_id <> 0 then t.exem.(b) <- trace_id
+
+let record_span_traced t ~start ~trace_id =
+  record_ns_traced t (Clock.monotonic_ns () - start) ~trace_id
+
+let exemplar t b =
+  if b < 0 || b >= n_buckets then invalid_arg "Latency.exemplar: bucket";
+  t.exem.(b)
+
+(* (bucket, trace id) for every bucket holding an exemplar, ascending —
+   the post-mortem walks this from the top to find the slowest traced
+   request still resolvable. *)
+let exemplars t =
+  let acc = ref [] in
+  for b = n_buckets - 1 downto 0 do
+    if t.exem.(b) <> 0 then acc := (b, t.exem.(b)) :: !acc
+  done;
+  !acc
+
+(* The exemplar of the highest non-empty bucket of [counts] or, when
+   that bucket's occupant was never sampled, the nearest lower bucket
+   with one.  [counts] is passed in (not re-read) so callers can use a
+   window diff. *)
+let top_exemplar t cnts =
+  let top = ref (-1) in
+  let n = min (Array.length cnts) n_buckets in
+  for b = 0 to n - 1 do
+    if cnts.(b) > 0 then top := b
+  done;
+  let rec down b = if b < 0 then None
+    else if t.exem.(b) <> 0 then Some (b, t.exem.(b))
+    else down (b - 1)
+  in
+  down !top
 
 let counts t =
   let out = Array.make n_buckets 0 in
@@ -118,4 +173,6 @@ let percentile_of_counts counts p =
 
 let percentile t p = percentile_of_counts (counts t) p
 
-let reset t = Array.fill t.data 0 (Array.length t.data) 0
+let reset t =
+  Array.fill t.data 0 (Array.length t.data) 0;
+  Array.fill t.exem 0 n_buckets 0

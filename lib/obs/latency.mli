@@ -42,6 +42,30 @@ val record_ns : t -> int -> unit
 val record_span : t -> start:int -> unit
 (** [record_span t ~start] records [Clock.monotonic_ns () - start]. *)
 
+val record_ns_traced : t -> int -> trace_id:int -> unit
+(** Like {!record_ns} and, when [trace_id <> 0], additionally stamps
+    the id as the winning bucket's tail exemplar — the most recent
+    sampled occupant of that latency band, whose span tree is then
+    retrievable from {!Trace}.  The exemplar cells are unstriped and
+    racy: last-writer-wins is the wanted semantics. *)
+
+val record_span_traced : t -> start:int -> trace_id:int -> unit
+
+val exemplar : t -> int -> int
+(** [exemplar t b] — the trace id last stamped into bucket [b], or 0.
+    @raise Invalid_argument if [b] is outside [[0, n_buckets)]. *)
+
+val exemplars : t -> (int * int) list
+(** Every [(bucket, trace_id)] with an exemplar, ascending bucket. *)
+
+val top_exemplar : t -> int array -> (int * int) option
+(** [top_exemplar t counts] — the exemplar covering the tail: the id
+    stamped in the highest non-empty bucket of [counts], falling back
+    to the nearest lower bucket that has one (the top occupant may
+    never have been sampled).  [counts] is a {!counts} (or
+    {!diff_counts} window) snapshot, passed in so callers choose the
+    window. *)
+
 val counts : t -> int array
 (** Per-bucket totals summed across domain stripes (racy reads). *)
 

@@ -1,0 +1,286 @@
+(* End-to-end request tracing (DESIGN.md §16).
+
+   A trace context is one OCaml int: bit 0 is the sampled flag, bits
+   1..62 the trace id, and 0 means "untraced".  Packing the whole
+   context into an immediate keeps every propagation step — through
+   the protocol frame, the dispatch queue item, the ambient
+   domain-local — allocation-free, and makes the hot-path guard a
+   single register test ([ctx land 1]).
+
+   Spans land in per-domain lock-free rings with the same parallel-
+   array layout as {!Flight}: recording a span is a handful of unboxed
+   int stores plus one fetch-and-add on the global stamp clock, and a
+   concurrent dump at worst sees a slot mid-rewrite (stamp written
+   last, exactly Flight's torn-read discipline).  The rings are a
+   window, not a log: sampling keeps the recording rate low enough
+   that a request's spans are still resident when a tail exemplar
+   points at them. *)
+
+module Clock = Ct_util.Clock
+
+(* ------------------------------ context ----------------------------- *)
+
+type ctx = int
+
+let none = 0
+
+let max_id = (1 lsl 62) - 1
+
+let make ~sampled id =
+  let id = id land max_id in
+  let id = if id = 0 then 1 else id in
+  (id lsl 1) lor (if sampled then 1 else 0)
+
+let is_traced ctx = ctx <> 0
+let sampled ctx = ctx land 1 = 1
+let id ctx = ctx lsr 1
+
+(* Wire form: the id and the sampled flag travel separately (u64 +
+   flags-byte bit 0), so the protocol layer never needs to know the
+   packing. *)
+let to_wire ctx = (id ctx, sampled ctx)
+
+let of_wire ~wire_id ~sampled:s =
+  let wid = wire_id land max_id in
+  if wid = 0 then none else (wid lsl 1) lor (if s then 1 else 0)
+
+(* ------------------------------- stages ----------------------------- *)
+
+type stage =
+  | Admission
+  | Queue_wait
+  | Exec
+  | Map_op
+  | Wal_append
+  | Fsync_wait
+  | Wal_fsync
+  | Cache_lookup
+  | Cache_load
+  | Request
+
+let n_stages = 10
+
+let stage_index = function
+  | Admission -> 0
+  | Queue_wait -> 1
+  | Exec -> 2
+  | Map_op -> 3
+  | Wal_append -> 4
+  | Fsync_wait -> 5
+  | Wal_fsync -> 6
+  | Cache_lookup -> 7
+  | Cache_load -> 8
+  | Request -> 9
+
+let all_stages =
+  [
+    Admission; Queue_wait; Exec; Map_op; Wal_append; Fsync_wait; Wal_fsync;
+    Cache_lookup; Cache_load; Request;
+  ]
+
+let stage_of_index = function
+  | 0 -> Admission
+  | 1 -> Queue_wait
+  | 2 -> Exec
+  | 3 -> Map_op
+  | 4 -> Wal_append
+  | 5 -> Fsync_wait
+  | 6 -> Wal_fsync
+  | 7 -> Cache_lookup
+  | 8 -> Cache_load
+  | _ -> Request
+
+let stage_name = function
+  | Admission -> "admission"
+  | Queue_wait -> "queue_wait"
+  | Exec -> "exec"
+  | Map_op -> "map_op"
+  | Wal_append -> "wal_append"
+  | Fsync_wait -> "fsync_wait"
+  | Wal_fsync -> "wal_fsync"
+  | Cache_lookup -> "cache_lookup"
+  | Cache_load -> "cache_load"
+  | Request -> "request"
+
+(* ------------------------------- rings ------------------------------ *)
+
+type span = {
+  trace_id : int;  (* 0 = a background span (WAL group fsync) *)
+  stage : stage;
+  start_ns : int;
+  dur_ns : int;
+  a : int;  (* stage-specific annotation (map_op: CAS retries) *)
+  b : int;  (* stage-specific annotation (map_op: cache misses) *)
+  slot : int;  (* recording domain's ring slot *)
+  stamp : int;  (* global recording order *)
+}
+
+let cursor_stride = 8
+
+type t = {
+  size : int;
+  ring_mask : int;
+  slot_mask : int;
+  clock : int Atomic.t;
+  ids : int array array;
+  stages : int array array;
+  starts : int array array;
+  durs : int array array;
+  ann_a : int array array;
+  ann_b : int array array;
+  stamps : int array array;  (* -1 = never written *)
+  cursors : int array;
+}
+
+let ceil_pow2 n =
+  let r = ref 1 in
+  while !r < n do
+    r := !r * 2
+  done;
+  !r
+
+let create ?(size = 512) () =
+  if size < 1 then invalid_arg "Trace.create: size < 1";
+  let size = ceil_pow2 size in
+  let slots = ceil_pow2 (Domain.recommended_domain_count ()) in
+  let mk () = Array.init slots (fun _ -> Array.make size 0) in
+  {
+    size;
+    ring_mask = size - 1;
+    slot_mask = slots - 1;
+    clock = Atomic.make 0;
+    ids = mk ();
+    stages = mk ();
+    starts = mk ();
+    durs = mk ();
+    ann_a = mk ();
+    ann_b = mk ();
+    stamps = Array.init slots (fun _ -> Array.make size (-1));
+    cursors = Array.make (slots * cursor_stride) 0;
+  }
+
+let size t = t.size
+
+let record t ctx stage ~start_ns ~dur_ns ~a ~b =
+  let slot = (Domain.self () :> int) land t.slot_mask in
+  let stamp = Atomic.fetch_and_add t.clock 1 in
+  let c = slot * cursor_stride in
+  let pos = t.cursors.(c) land t.ring_mask in
+  t.ids.(slot).(pos) <- id ctx;
+  t.stages.(slot).(pos) <- stage_index stage;
+  t.starts.(slot).(pos) <- start_ns;
+  t.durs.(slot).(pos) <- (if dur_ns < 0 then 0 else dur_ns);
+  t.ann_a.(slot).(pos) <- a;
+  t.ann_b.(slot).(pos) <- b;
+  (* Stamp last, mirroring Flight: a dump racing a first write skips
+     the -1 slot, and a rewrite is at worst one torn span. *)
+  t.stamps.(slot).(pos) <- stamp;
+  t.cursors.(c) <- t.cursors.(c) + 1
+
+let recorded t = Atomic.get t.clock
+
+let spans t =
+  let acc = ref [] in
+  for slot = Array.length t.ids - 1 downto 0 do
+    for i = t.size - 1 downto 0 do
+      let stamp = t.stamps.(slot).(i) in
+      if stamp >= 0 then
+        acc :=
+          {
+            trace_id = t.ids.(slot).(i);
+            stage = stage_of_index t.stages.(slot).(i);
+            start_ns = t.starts.(slot).(i);
+            dur_ns = t.durs.(slot).(i);
+            a = t.ann_a.(slot).(i);
+            b = t.ann_b.(slot).(i);
+            slot;
+            stamp;
+          }
+          :: !acc
+    done
+  done;
+  List.sort (fun x y -> compare x.stamp y.stamp) !acc
+
+let spans_of t ~id:want = List.filter (fun s -> s.trace_id = want) (spans t)
+
+(* Per-stage (count, total ns) over everything still resident — the
+   summary the exporters serialize. *)
+let stage_summary t =
+  let counts = Array.make n_stages 0 and sums = Array.make n_stages 0 in
+  List.iter
+    (fun s ->
+      let i = stage_index s.stage in
+      counts.(i) <- counts.(i) + 1;
+      sums.(i) <- sums.(i) + s.dur_ns)
+    (spans t);
+  List.filter_map
+    (fun st ->
+      let i = stage_index st in
+      if counts.(i) = 0 then None
+      else Some (stage_name st, counts.(i), sums.(i)))
+    all_stages
+
+let span_to_string s =
+  Printf.sprintf "[%8d] d%-2d trace=%016x %-12s start=%d dur=%dns a=%d b=%d"
+    s.stamp s.slot s.trace_id (stage_name s.stage) s.start_ns s.dur_ns s.a s.b
+
+let reset t =
+  Array.iter (fun a -> Array.fill a 0 (Array.length a) (-1)) t.stamps;
+  Array.fill t.cursors 0 (Array.length t.cursors) 0;
+  Atomic.set t.clock 0
+
+(* ------------------------------- sink ------------------------------- *)
+
+(* The process-global collector.  Layers that record spans without
+   plumbing (the WAL's group commit, the cache tier) reach it here;
+   with no sink installed a record is one atomic load and a branch. *)
+let sink_slot : t option Atomic.t = Atomic.make None
+
+let install t = Atomic.set sink_slot (Some t)
+let uninstall () = Atomic.set sink_slot None
+let sink () = Atomic.get sink_slot
+
+let record_sink ctx stage ~start_ns ~dur_ns ~a ~b =
+  match Atomic.get sink_slot with
+  | None -> ()
+  | Some t -> record t ctx stage ~start_ns ~dur_ns ~a ~b
+
+(* --------------------------- ambient context ------------------------ *)
+
+(* The current request's context, per domain.  The server worker sets
+   it for the duration of one request's execution so layers it calls
+   into (the cache tier's read-through, principally) can attribute
+   their own spans without an API change.  Domain-local, not
+   thread-local: a worker domain runs exactly one executing request at
+   a time, which is the invariant that makes this sound. *)
+let current_key : ctx Domain.DLS.key = Domain.DLS.new_key (fun () -> none)
+
+let current () = Domain.DLS.get current_key
+let set_current ctx = Domain.DLS.set current_key ctx
+
+let with_ctx ctx f =
+  let prev = current () in
+  set_current ctx;
+  Fun.protect ~finally:(fun () -> set_current prev) f
+
+(* Convenience used by instrumented layers: time [f] and record the
+   span against the ambient context when it is sampled.  The unsampled
+   path is the DLS read plus one branch — no clock calls. *)
+let timed_ambient stage f =
+  let ctx = current () in
+  if sampled ctx then begin
+    let t0 = Clock.monotonic_ns () in
+    let finish () =
+      record_sink ctx stage ~start_ns:t0
+        ~dur_ns:(Clock.monotonic_ns () - t0)
+        ~a:0 ~b:0
+    in
+    match f () with
+    | r ->
+        finish ();
+        r
+    | exception e ->
+        finish ();
+        raise e
+  end
+  else f ()

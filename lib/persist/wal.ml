@@ -165,6 +165,12 @@ let flush t =
       let fd = t.fd and path = t.path in
       Mutex.unlock t.mu;
       let len = Bytes.length data in
+      (* Background span covering the write + fsync of one group
+         commit.  Trace id 0 (no single request owns it); [a] carries
+         the byte count so a Perfetto view shows which fsync a traced
+         request's fsync-wait overlapped.  One atomic load when no
+         tracer is installed. *)
+      let io0 = Clock.monotonic_ns () in
       match
         if len > 0 then Io.write_all fd ~path data 0 len;
         let rec sync attempt =
@@ -183,6 +189,10 @@ let flush t =
       with
       | Ok () ->
           Metrics.incr t.metrics Metrics.Wal_fsyncs;
+          Obs.Trace.record_sink Obs.Trace.none Obs.Trace.Wal_fsync
+            ~start_ns:io0
+            ~dur_ns:(Clock.monotonic_ns () - io0)
+            ~a:len ~b:0;
           Backoff.reset t.bo;
           Mutex.lock t.mu;
           if target > t.durable then t.durable <- target;

@@ -39,11 +39,11 @@ let write_all t b =
     done
   with _ -> fail t "write failed"
 
-let request t ?(deadline_ns = 0) op =
+let request t ?(deadline_ns = 0) ?(trace = Obs.Trace.none) op =
   if not t.open_ then raise (Disconnected "closed");
   let id = t.next_id in
   t.next_id <- (t.next_id + 1) land 0xFFFF_FFFF;
-  write_all t (Protocol.encode_request { Protocol.id; deadline_ns; op });
+  write_all t (Protocol.encode_request { Protocol.id; deadline_ns; op; trace });
   (* Strictly one in flight, so the next reply is ours — but skip any
      stale id defensively (e.g. a reply that raced a timeout). *)
   let rec await () =
@@ -62,8 +62,10 @@ let request t ?(deadline_ns = 0) op =
 
 let ping t = match request t Protocol.Ping with Protocol.Pong -> true | _ -> false
 
-let get t ?deadline_ns k = request t ?deadline_ns (Protocol.Get k)
+let get t ?deadline_ns ?trace k = request t ?deadline_ns ?trace (Protocol.Get k)
 
-let put t ?deadline_ns k v = request t ?deadline_ns (Protocol.Put (k, v))
+let put t ?deadline_ns ?trace k v =
+  request t ?deadline_ns ?trace (Protocol.Put (k, v))
 
-let remove t ?deadline_ns k = request t ?deadline_ns (Protocol.Remove k)
+let remove t ?deadline_ns ?trace k =
+  request t ?deadline_ns ?trace (Protocol.Remove k)

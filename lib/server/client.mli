@@ -13,16 +13,23 @@ val connect : ?recv_timeout:float -> port:int -> unit -> t
 (** TCP to 127.0.0.1:[port].  [recv_timeout] (default 5s) bounds every
     wait for a reply; expiry raises {!Disconnected}. *)
 
-val request : t -> ?deadline_ns:int -> Protocol.op -> Protocol.reply
-(** Send one operation and wait for its reply (matched by id). *)
+val request :
+  t -> ?deadline_ns:int -> ?trace:Obs.Trace.ctx -> Protocol.op -> Protocol.reply
+(** Send one operation and wait for its reply (matched by id).
+    [?trace] (default {!Obs.Trace.none}) rides the frame's trace
+    extension; a sampled context makes the server record spans for
+    this request. *)
 
 val ping : t -> bool
 
-val get : t -> ?deadline_ns:int -> int -> Protocol.reply
+val get : t -> ?deadline_ns:int -> ?trace:Obs.Trace.ctx -> int -> Protocol.reply
 
-val put : t -> ?deadline_ns:int -> int -> string -> Protocol.reply
+val put :
+  t -> ?deadline_ns:int -> ?trace:Obs.Trace.ctx -> int -> string ->
+  Protocol.reply
 
-val remove : t -> ?deadline_ns:int -> int -> Protocol.reply
+val remove :
+  t -> ?deadline_ns:int -> ?trace:Obs.Trace.ctx -> int -> Protocol.reply
 
 val close : t -> unit
 (** Idempotent. *)

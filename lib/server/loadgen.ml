@@ -13,6 +13,7 @@ type plan = {
   value_bytes : int;
   partition : bool;
   net : Net.plan;
+  trace_one_in : int;
 }
 
 let default_plan =
@@ -26,7 +27,22 @@ let default_plan =
     value_bytes = 32;
     partition = false;
     net = Net.quiet;
+    trace_one_in = 0;
   }
+
+(* Deterministic trace context for request [i]: with tracing on every
+   request carries an id (so the ledger row ↔ span tree correlation
+   never depends on timing), and every [trace_one_in]-th is sampled —
+   head-based sampling decided at mint time.  The id packs the seed
+   above the request index, so two plans' ids don't collide and a
+   replay regenerates the same ids. *)
+let ctx_for p i =
+  if p.trace_one_in <= 0 then Obs.Trace.none
+  else
+    let id = ((p.seed land 0x3FFF_FFFF) lsl 30) lor ((i + 1) land 0x3FFF_FFFF) in
+    Obs.Trace.make ~sampled:(i mod p.trace_one_in = 0) id
+
+let trace_id_for p i = Obs.Trace.id (ctx_for p i)
 
 (* ------------------------------ trace text -------------------------- *)
 
@@ -55,6 +71,7 @@ let to_string p =
   line "net.loris_delay=%.17g\n" p.net.Net.loris_delay;
   line "net.pause_reads_one_in=%d\n" p.net.Net.pause_reads_one_in;
   line "net.pause_reads_s=%.17g\n" p.net.Net.pause_reads_s;
+  line "trace_one_in=%d\n" p.trace_one_in;
   Buffer.contents b
 
 let of_string s =
@@ -103,6 +120,8 @@ let of_string s =
                 | "net.pause_reads_one_in" ->
                     seti (fun x -> net (fun np -> { np with Net.pause_reads_one_in = x })) v
                 | "net.pause_reads_s" -> setf (fun x -> net (fun np -> { np with Net.pause_reads_s = x })) v
+                | "trace_one_in" ->
+                    seti (fun x -> p := { !p with trace_one_in = x }) v
                 | _ -> err := Some (Printf.sprintf "unknown key %S" k)))
         rest;
       match !err with Some e -> Error e | None -> Ok !p)
@@ -139,6 +158,10 @@ type summary = {
   client_p50_ns : float;
   client_p99_ns : float;
   outcomes : outcome array;  (* the full ledger, one slot per request *)
+  trace_ids : int array;
+      (* trace id carried by request i (0 = untraced), regenerated
+         deterministically from the plan so a --replay correlates the
+         same ledger row with the same exported span tree *)
 }
 
 let shed s =
@@ -349,6 +372,7 @@ let sender plan cs ledger send_ns (trace : Trace.op array) ~port ~t0 () =
             Protocol.id;
             deadline_ns = plan.deadline_ns;
             op = op_for plan trace !k;
+            trace = ctx_for plan !k;
           }
         in
         let frame = Protocol.encode_request req in
@@ -473,6 +497,7 @@ let run ~port plan =
     client_p50_ns = p50;
     client_p99_ns = p99;
     outcomes = ledger;
+    trace_ids = Array.init plan.n (fun i -> trace_id_for plan i);
   }
 
 (* ------------------------- recovery verification --------------------- *)

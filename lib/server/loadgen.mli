@@ -37,11 +37,24 @@ type plan = {
           has a total operation order — required by
           {!verify_recovered} *)
   net : Chaos.Net.plan;  (** traffic-path fault plan ({!Chaos.Net.quiet} = faults off) *)
+  trace_one_in : int;
+      (** 0 = tracing off.  [> 0]: every request carries a
+          deterministic trace id (seed packed above the request index)
+          and every [trace_one_in]-th is head-sampled, so the server
+          records its span tree *)
 }
 
 val default_plan : plan
 (** 20k requests over 8 connections at 20k req/s, [read_mostly] mix,
-    250ms deadlines, 32-byte values, faults off. *)
+    250ms deadlines, 32-byte values, faults off, tracing off. *)
+
+val ctx_for : plan -> int -> Obs.Trace.ctx
+(** The trace context request [i] is sent with — deterministic per
+    plan, {!Obs.Trace.none} when [trace_one_in = 0]. *)
+
+val trace_id_for : plan -> int -> int
+(** [Obs.Trace.id (ctx_for plan i)] — the id a ledger row correlates
+    with its exported span tree. *)
 
 val to_string : plan -> string
 (** Serialize as a ["kvload-trace v1"] text trace. *)
@@ -76,6 +89,10 @@ type summary = {
   client_p50_ns : float;  (** client-observed send-to-reply latency over ok replies *)
   client_p99_ns : float;
   outcomes : outcome array;  (** the full ledger, slot [i] = request [i] *)
+  trace_ids : int array;
+      (** slot [i] = the trace id request [i] carried (0 = untraced);
+          regenerated from the plan, so a [--replay] of the same trace
+          file yields the same ids *)
 }
 
 val shed : summary -> int

@@ -11,7 +11,7 @@ type op =
   | Put of int * string
   | Remove of int
 
-type request = { id : int; deadline_ns : int; op : op }
+type request = { id : int; deadline_ns : int; op : op; trace : int }
 
 type shed_reason = Queue_full | Latency_breach
 
@@ -36,6 +36,16 @@ exception Protocol_error of string
 
 let opcode = function Ping -> 0 | Get _ -> 1 | Put _ -> 2 | Remove _ -> 3
 
+(* Bit 6 of the opcode byte announces the optional trace extension:
+   9 bytes (flags u8, trace id u64) spliced between the fixed header
+   and the value.  Old-format frames never set the bit, so they parse
+   unchanged; decoders that see the bit but not the 9 bytes degrade to
+   an untraced request rather than a decode error — tracing is
+   best-effort metadata and must never poison a connection. *)
+let trace_flag = 0x40
+let trace_ext = 1 + 8
+let id62_mask = (1 lsl 62) - 1
+
 let req_fixed = 1 + 4 + 8 + 8 (* opcode, id, deadline, key *)
 
 let encode_request r =
@@ -44,16 +54,22 @@ let encode_request r =
   if r.deadline_ns < 0 then
     invalid_arg "Protocol.encode_request: negative deadline";
   let value = match r.op with Put (_, v) -> v | _ -> "" in
-  let len = req_fixed + String.length value in
+  let traced = r.trace <> 0 in
+  let ext = if traced then trace_ext else 0 in
+  let len = req_fixed + ext + String.length value in
   if len > max_frame then invalid_arg "Protocol.encode_request: oversized";
   let b = Bytes.create (4 + len) in
   Bytes.set_int32_be b 0 (Int32.of_int len);
-  Bytes.set_uint8 b 4 (opcode r.op);
+  Bytes.set_uint8 b 4 (opcode r.op lor if traced then trace_flag else 0);
   Bytes.set_int32_be b 5 (Int32.of_int r.id);
   Bytes.set_int64_be b 9 (Int64.of_int r.deadline_ns);
   let key = match r.op with Ping -> 0 | Get k | Put (k, _) | Remove k -> k in
   Bytes.set_int64_be b 17 (Int64.of_int key);
-  Bytes.blit_string value 0 b 25 (String.length value);
+  if traced then begin
+    Bytes.set_uint8 b 25 (r.trace land 1);
+    Bytes.set_int64_be b 26 (Int64.of_int (r.trace lsr 1))
+  end;
+  Bytes.blit_string value 0 b (4 + req_fixed + ext) (String.length value);
   b
 
 let u32 b off = Int32.to_int (Bytes.get_int32_be b off) land 0xFFFF_FFFF
@@ -62,18 +78,34 @@ let decode_request payload =
   let n = Bytes.length payload in
   if n < req_fixed then Error "short request frame"
   else
+    let raw = Bytes.get_uint8 payload 0 in
+    let has_ext = raw land trace_flag <> 0 in
     let id = u32 payload 1 in
     let deadline_ns = Int64.to_int (Bytes.get_int64_be payload 5) in
     let key = Int64.to_int (Bytes.get_int64_be payload 13) in
+    (* Truncated extension: fall back to an untraced request with the
+       body where the old format put it.  [trace = 0] downstream means
+       "no context", which is the correct degradation. *)
+    let trace, body =
+      if has_ext && n >= req_fixed + trace_ext then begin
+        let flags = Bytes.get_uint8 payload req_fixed in
+        let wid =
+          Int64.to_int (Bytes.get_int64_be payload (req_fixed + 1)) land id62_mask
+        in
+        let trace = if wid = 0 then 0 else (wid lsl 1) lor (flags land 1) in
+        (trace, req_fixed + trace_ext)
+      end
+      else (0, req_fixed)
+    in
     if deadline_ns < 0 then Error "negative deadline"
     else
-      match Bytes.get_uint8 payload 0 with
-      | 0 -> Ok { id; deadline_ns; op = Ping }
-      | 1 -> Ok { id; deadline_ns; op = Get key }
+      match raw land lnot trace_flag with
+      | 0 -> Ok { id; deadline_ns; op = Ping; trace }
+      | 1 -> Ok { id; deadline_ns; op = Get key; trace }
       | 2 ->
-          let value = Bytes.sub_string payload req_fixed (n - req_fixed) in
-          Ok { id; deadline_ns; op = Put (key, value) }
-      | 3 -> Ok { id; deadline_ns; op = Remove key }
+          let value = Bytes.sub_string payload body (n - body) in
+          Ok { id; deadline_ns; op = Put (key, value); trace }
+      | 3 -> Ok { id; deadline_ns; op = Remove key; trace }
       | c -> Error (Printf.sprintf "unknown opcode %d" c)
 
 (* ------------------------------ replies ---------------------------- *)

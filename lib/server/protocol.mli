@@ -5,14 +5,23 @@
     request payload is
 
     {v
-      opcode      u8     0 ping, 1 get, 2 put, 3 remove
+      opcode      u8     bits 0-5: 0 ping, 1 get, 2 put, 3 remove
+                         bit 6: trace extension present
       id          u32    client-chosen correlation id
       deadline    u64    nanosecond budget, 0 = none (requests only)
       key         i64    OCaml int, sign-extended
+      [trace]     u8+u64 only when opcode bit 6 is set: flags byte
+                         (bit 0 = sampled) + 62-bit trace id
       value       rest   put only
     v}
 
-    and a reply payload is
+    The trace extension is best-effort metadata: frames without the
+    bit (the pre-trace format) parse exactly as before, and a frame
+    {e with} the bit but too short to hold the 9 extension bytes
+    decodes as an untraced request — never a decode error, so a
+    corrupted or truncated extension cannot poison the connection.
+
+    A reply payload is
 
     {v
       status      u8
@@ -41,6 +50,11 @@ type request = {
       (** nanosecond budget measured from server-side arrival;
           0 = no deadline *)
   op : op;
+  trace : int;
+      (** packed trace context ({!Obs.Trace.ctx} layout: bit 0 =
+          sampled, bits 1..62 = trace id); 0 = untraced.  Kept as a
+          plain int so the protocol layer stays free of the obs
+          dependency. *)
 }
 
 (** Why an [Overloaded] reply was shed (the [detail] byte). *)

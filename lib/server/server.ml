@@ -218,8 +218,14 @@ module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
   (* Withhold [reply] until the WAL covers [lsn] with an fsync.  The
      connection reply (and the inflight decrement drain waits on)
      moves to the ack callback — fired by the WAL's pump thread, which
-     runs even when the disk stalls, so the deadline still binds. *)
-  let finish_durable t it d reply lsn =
+     runs even when the disk stalls, so the deadline still binds.
+     [exec_end] is the worker's post-execution timestamp, so the
+     sampled request's fsync-wait span starts exactly where its exec
+     span ended and the stage durations sum to the recorded end-to-end
+     latency. *)
+  let finish_durable t it d reply lsn ~exec_end =
+    let tr = it.req.trace in
+    let traced = Obs.Trace.sampled tr in
     let deadline_ns =
       if it.req.deadline_ns > 0 then it.arrival + it.req.deadline_ns
       else max_int
@@ -228,7 +234,16 @@ module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
         (match ack with
         | Persist.Wal.Durable ->
             bump t c_durable_acks;
-            Obs.Latency.record_span t.lat ~start:it.arrival;
+            let fin = Clock.monotonic_ns () in
+            let e2e = fin - it.arrival in
+            Obs.Latency.record_ns_traced t.lat e2e
+              ~trace_id:(if traced then Obs.Trace.id tr else 0);
+            if traced then begin
+              Obs.Trace.record_sink tr Obs.Trace.Fsync_wait ~start_ns:exec_end
+                ~dur_ns:(fin - exec_end) ~a:lsn ~b:0;
+              Obs.Trace.record_sink tr Obs.Trace.Request ~start_ns:it.arrival
+                ~dur_ns:e2e ~a:0 ~b:0
+            end;
             send_reply t it.iconn ~id:it.req.id reply
         | Persist.Wal.Timed_out ->
             bump t c_deadline_expired;
@@ -243,13 +258,27 @@ module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
         Atomic.decr t.inflight)
 
   let serve t it =
+    let tr = it.req.trace in
+    let traced = Obs.Trace.sampled tr in
     let now = Clock.monotonic_ns () in
+    if traced then
+      Obs.Trace.record_sink tr Obs.Trace.Queue_wait ~start_ns:it.arrival
+        ~dur_ns:(now - it.arrival) ~a:0 ~b:0;
     if it.req.deadline_ns > 0 && now - it.arrival > it.req.deadline_ns then begin
       bump t c_deadline_expired;
       send_reply t it.iconn ~id:it.req.id Protocol.Deadline_exceeded;
       Atomic.decr t.inflight
     end
     else begin
+      (* Sampled requests snapshot this domain's own counter cells
+         around the operation: the get_at deltas are the CAS retries
+         and cache misses this request alone burned, which is what the
+         map-op span carries as annotations. *)
+      let mtr = M.metrics t.map in
+      let mcur = if traced then Metrics.cursor mtr else -1 in
+      let retries0 = Metrics.get_at mtr mcur Metrics.Cas_retries in
+      let misses0 = Metrics.get_at mtr mcur Metrics.Cache_misses in
+      if traced then Obs.Trace.set_current tr;
       let reply =
         match
           Yp.here Yp.Before exec_site;
@@ -292,14 +321,52 @@ module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
             bump t c_server_errors;
             Error (Protocol.Server_error (Printexc.to_string e))
       in
+      if traced then begin
+        Obs.Trace.set_current Obs.Trace.none;
+        Obs.Trace.record_sink tr Obs.Trace.Map_op ~start_ns:now
+          ~dur_ns:(Clock.monotonic_ns () - now)
+          ~a:(Metrics.get_at mtr mcur Metrics.Cas_retries - retries0)
+          ~b:(Metrics.get_at mtr mcur Metrics.Cache_misses - misses0)
+      end;
+      (* Finish paths share one [fin] capture, so the exec span, the
+         request root span and the latency histogram sample agree to
+         the nanosecond — the 5% span-sum acceptance check in
+         [repro trace] leans on this. *)
+      let finish r =
+        let fin = Clock.monotonic_ns () in
+        let e2e = fin - it.arrival in
+        Obs.Latency.record_ns_traced t.lat e2e
+          ~trace_id:(if traced then Obs.Trace.id tr else 0);
+        if traced then begin
+          Obs.Trace.record_sink tr Obs.Trace.Exec ~start_ns:now
+            ~dur_ns:(fin - now) ~a:0 ~b:0;
+          Obs.Trace.record_sink tr Obs.Trace.Request ~start_ns:it.arrival
+            ~dur_ns:e2e ~a:0 ~b:0
+        end;
+        send_reply t it.iconn ~id:it.req.id r;
+        Atomic.decr t.inflight
+      in
       match (reply, t.durable) with
       | Ok r, Some d -> (
           match wal_op it.req.op with
           | Some w -> (
               (* Applied; now log it.  Apply-before-append is what lets
                  a rotation boundary checkpoint fully-applied state. *)
+              let a0 = if traced then Clock.monotonic_ns () else 0 in
               match d.d_append w with
-              | Ok lsn -> finish_durable t it d r lsn
+              | Ok lsn ->
+                  let exec_end =
+                    if traced then begin
+                      let e = Clock.monotonic_ns () in
+                      Obs.Trace.record_sink tr Obs.Trace.Wal_append
+                        ~start_ns:a0 ~dur_ns:(e - a0) ~a:lsn ~b:0;
+                      Obs.Trace.record_sink tr Obs.Trace.Exec ~start_ns:now
+                        ~dur_ns:(e - now) ~a:0 ~b:0;
+                      e
+                    end
+                    else 0
+                  in
+                  finish_durable t it d r lsn ~exec_end
               | Error `Halted ->
                   (* Dead processes send nothing. *)
                   Atomic.decr t.inflight
@@ -307,14 +374,8 @@ module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
                   bump t c_read_only;
                   send_reply t it.iconn ~id:it.req.id Protocol.Read_only;
                   Atomic.decr t.inflight)
-          | None ->
-              Obs.Latency.record_span t.lat ~start:it.arrival;
-              send_reply t it.iconn ~id:it.req.id r;
-              Atomic.decr t.inflight)
-      | Ok r, None ->
-          Obs.Latency.record_span t.lat ~start:it.arrival;
-          send_reply t it.iconn ~id:it.req.id r;
-          Atomic.decr t.inflight
+          | None -> finish r)
+      | Ok r, None -> finish r
       | Error r, _ ->
           send_reply t it.iconn ~id:it.req.id r;
           Atomic.decr t.inflight
@@ -351,6 +412,9 @@ module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
     | Protocol.Ping -> 0
 
   let dispatch t conn bo req =
+    let tr = req.Protocol.trace in
+    let traced = Obs.Trace.sampled tr in
+    let adm0 = if traced then Clock.monotonic_ns () else 0 in
     let reply_now r = send_reply t conn ~id:req.Protocol.id r in
     if Atomic.get t.state > 0 then begin
       bump t c_shed_shutdown;
@@ -372,6 +436,13 @@ module Make (M : Ct_util.Map_intf.CONCURRENT_MAP with type key = int) = struct
     end
     else begin
       let arrival = Clock.monotonic_ns () in
+      (* The admission span covers the shed checks above; it ends where
+         the request's measured lifetime (arrival) begins, so it sits
+         outside the queue_wait/exec/fsync_wait partition of the root
+         request span. *)
+      if traced then
+        Obs.Trace.record_sink tr Obs.Trace.Admission ~start_ns:adm0
+          ~dur_ns:(arrival - adm0) ~a:0 ~b:0;
       let w = key_of req.Protocol.op land max_int mod Array.length t.queues in
       let q = t.queues.(w) in
       Atomic.incr t.inflight;

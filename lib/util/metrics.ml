@@ -213,6 +213,15 @@ let[@inline] incr_at t cur c = add_at t cur c 1
 
 (* ------------------------------- reads ----------------------------- *)
 
+(* Single-cell read through a cursor: the calling domain's own count of
+   [c], not the cross-stripe sum.  Cheap enough to bracket one
+   operation with (two array loads), which is what the tracer uses to
+   annotate a span with the CAS retries or cache misses that operation
+   alone performed — [get] would pay a full stripe sweep and mix in
+   every other domain's traffic. *)
+let[@inline] get_at t cur c =
+  if cur >= 0 then Array.unsafe_get t.data (cur + index c) else 0
+
 let get t c =
   let i = index c in
   let acc = ref 0 in

@@ -102,6 +102,15 @@ val incr_at : t -> int -> counter -> unit
 
 val add_at : t -> int -> counter -> int -> unit
 
+val get_at : t -> int -> counter -> int
+(** [get_at t cursor c]: the calling domain's own cell of [c], read
+    through a {!cursor} (0 while disabled).  Unlike {!get}, no stripe
+    sweep and no cross-domain noise — bracketing one operation with two
+    [get_at]s yields the delta that operation alone produced on this
+    domain, which is how traced requests annotate their map-op spans
+    with per-request CAS-retry counts.  Same freshness caveats as any
+    cursor use. *)
+
 val get : t -> counter -> int
 (** Sum of one counter across all domain blocks (racy reads). *)
 

@@ -362,6 +362,193 @@ let test_exporters () =
      the family assertions above depend on its counters being live. *)
   ignore (Sys.opaque_identity (CT.stats t))
 
+(* Hostile label values must not break the Prometheus text exposition:
+   backslash, double quote and newline become their two-character
+   escapes; clean labels pass through unchanged (same string). *)
+let test_escape_label () =
+  Alcotest.(check string)
+    "hostile label escapes" "a\\\\b\\\"c\\nd"
+    (Obs.Export.escape_label "a\\b\"c\nd");
+  let clean = "plain_label-99" in
+  check_bool "clean label passes through untouched" true
+    (Obs.Export.escape_label clean == clean);
+  let h = Obs.Latency.create ~label:"evil" in
+  Obs.Latency.record_ns h 5;
+  let prom = Obs.Export.prometheus ~histograms:[ ("evil\"op\nx\\", h) ] () in
+  check_bool "histogram op label is escaped in the export" true
+    (contains prom "op=\"evil\\\"op\\nx\\\\\"");
+  (* No exposition line may contain a raw quote-newline break: every
+     physical line stays a complete sample or comment. *)
+  check_bool "no sample line is severed by a raw newline" true
+    (String.split_on_char '\n' prom
+    |> List.for_all (fun l ->
+           l = "" || l.[0] = '#' || contains l " " || contains l "{"))
+
+(* --------------------- tail-latency exemplars ---------------------- *)
+
+let test_latency_exemplars () =
+  let h = Obs.Latency.create ~label:"exem" in
+  check_bool "fresh histogram has no exemplars" true
+    (Obs.Latency.exemplars h = []);
+  check_raises_invalid "exemplar bucket out of range" (fun () ->
+      Obs.Latency.exemplar h Obs.Latency.n_buckets);
+  Obs.Latency.record_ns_traced h 1_000 ~trace_id:42;
+  let b_fast = Obs.Latency.bucket_of_ns 1_000 in
+  check_int "exemplar stamped into its bucket" 42
+    (Obs.Latency.exemplar h b_fast);
+  Alcotest.(check (list (pair int int)))
+    "exemplars lists the stamped bucket"
+    [ (b_fast, 42) ]
+    (Obs.Latency.exemplars h);
+  (* A slower unsampled occupant (trace id 0) leaves no exemplar, so
+     the top-exemplar probe falls back downward to the nearest bucket
+     that has one. *)
+  Obs.Latency.record_ns_traced h 1_000_000 ~trace_id:0;
+  (match Obs.Latency.top_exemplar h (Obs.Latency.counts h) with
+  | Some (b, id) ->
+      check_int "fallback bucket" b_fast b;
+      check_int "fallback id" 42 id
+  | None -> Alcotest.fail "expected a fallback exemplar");
+  (* A slower sampled occupant takes over; a second one overwrites it
+     (last writer wins is the wanted semantics). *)
+  Obs.Latency.record_ns_traced h 1_000_000 ~trace_id:77;
+  Obs.Latency.record_ns_traced h 1_000_000 ~trace_id:78;
+  (match Obs.Latency.top_exemplar h (Obs.Latency.counts h) with
+  | Some (b, id) ->
+      check_int "top bucket" (Obs.Latency.bucket_of_ns 1_000_000) b;
+      check_int "most recent occupant wins" 78 id
+  | None -> Alcotest.fail "expected a top exemplar");
+  Obs.Latency.reset h;
+  check_bool "reset clears exemplars" true (Obs.Latency.exemplars h = [])
+
+(* ----------------------- trace context + ring ---------------------- *)
+
+let test_trace_ctx () =
+  let module T = Obs.Trace in
+  check_bool "none is untraced" true (not (T.is_traced T.none));
+  check_int "none has id 0" 0 (T.id T.none);
+  let c = T.make ~sampled:true 0xABCDE in
+  check_bool "sampled ctx" true (T.sampled c && T.is_traced c);
+  check_int "id roundtrips" 0xABCDE (T.id c);
+  let u = T.make ~sampled:false 0xABCDE in
+  check_bool "unsampled ctx still traced" true
+    (T.is_traced u && not (T.sampled u));
+  (* Id 0 is coerced away so "untraced" stays unambiguous; ids are
+     masked to 62 bits. *)
+  check_bool "zero id is coerced nonzero" true (T.id (T.make ~sampled:true 0) <> 0);
+  check_bool "id is masked to 62 bits" true
+    (T.id (T.make ~sampled:false max_int) <= (1 lsl 62) - 1);
+  let wid, s = T.to_wire c in
+  check_bool "wire roundtrip" true (T.of_wire ~wire_id:wid ~sampled:s = c);
+  check_bool "zero wire id decodes to none" true
+    (T.of_wire ~wire_id:0 ~sampled:true = T.none);
+  (* Stage indexing is total and stable. *)
+  List.iter
+    (fun st -> check_bool "stage index roundtrips" true
+        (T.stage_of_index (T.stage_index st) = st))
+    T.all_stages
+
+let test_trace_ring () =
+  let module T = Obs.Trace in
+  let tr = T.create ~size:4 () in
+  check_int "size rounds to a power of two" 4 (T.size tr);
+  let c1 = T.make ~sampled:true 101 and c2 = T.make ~sampled:true 202 in
+  T.record tr c1 T.Queue_wait ~start_ns:10 ~dur_ns:5 ~a:0 ~b:0;
+  T.record tr c1 T.Exec ~start_ns:15 ~dur_ns:3 ~a:1 ~b:2;
+  T.record tr c2 T.Request ~start_ns:10 ~dur_ns:9 ~a:0 ~b:0;
+  check_int "recorded counts all spans" 3 (T.recorded tr);
+  let spans = T.spans tr in
+  check_int "all spans resident" 3 (List.length spans);
+  check_bool "spans come out stamp-ordered" true
+    (List.map (fun (s : T.span) -> s.T.stamp) spans = [ 0; 1; 2 ]);
+  let mine = T.spans_of tr ~id:(T.id c1) in
+  check_int "spans_of filters by trace id" 2 (List.length mine);
+  check_bool "span fields survive" true
+    (match mine with
+    | [ q; e ] ->
+        q.T.stage = T.Queue_wait && q.T.dur_ns = 5 && e.T.stage = T.Exec
+        && e.T.a = 1 && e.T.b = 2
+    | _ -> false);
+  (* Negative durations (clock steps) clamp to zero. *)
+  T.record tr c2 T.Exec ~start_ns:20 ~dur_ns:(-7) ~a:0 ~b:0;
+  check_bool "negative duration clamps to 0" true
+    (List.exists
+       (fun (s : T.span) -> s.T.stage = T.Exec && s.T.dur_ns = 0)
+       (T.spans_of tr ~id:(T.id c2)));
+  (* Wraparound: the ring keeps the most recent [size] spans per slot
+     and the dump stays stamp-ordered. *)
+  for i = 1 to 6 do
+    T.record tr c1 T.Map_op ~start_ns:(100 + i) ~dur_ns:1 ~a:0 ~b:0
+  done;
+  let after = T.spans tr in
+  check_int "ring kept at most size spans" 4 (List.length after);
+  check_bool "wrapped dump still stamp-ordered" true
+    (let stamps = List.map (fun (s : T.span) -> s.T.stamp) after in
+     List.sort compare stamps = stamps);
+  check_int "recorded keeps counting past the wrap" 10 (T.recorded tr);
+  (* Stage summary aggregates resident spans in stage order. *)
+  check_bool "stage summary names map_op" true
+    (List.exists (fun (n, c, _) -> n = "map_op" && c > 0) (T.stage_summary tr));
+  T.reset tr;
+  check_bool "reset empties the ring" true (T.spans tr = []);
+  check_int "reset rewinds the recorded count" 0 (T.recorded tr)
+
+let test_trace_sink_and_ambient () =
+  let module T = Obs.Trace in
+  let tr = T.create ~size:8 () in
+  (* Without a sink, record_sink and timed_ambient are no-ops. *)
+  T.record_sink (T.make ~sampled:true 7) T.Wal_fsync ~start_ns:0 ~dur_ns:1 ~a:0
+    ~b:0;
+  check_int "no sink, no spans" 0 (T.recorded tr);
+  T.install tr;
+  Fun.protect ~finally:T.uninstall @@ fun () ->
+  check_bool "sink is installed" true (T.sink () = Some tr);
+  T.record_sink (T.make ~sampled:true 7) T.Wal_fsync ~start_ns:0 ~dur_ns:1 ~a:9
+    ~b:0;
+  check_int "sink routes to the collector" 1 (T.recorded tr);
+  (* Ambient context: default none, scoped by with_ctx (restored on
+     raise), and timed_ambient records only when sampled. *)
+  check_bool "ambient defaults to none" true (T.current () = T.none);
+  let c = T.make ~sampled:true 55 in
+  T.with_ctx c (fun () ->
+      check_bool "with_ctx installs" true (T.current () = c));
+  check_bool "with_ctx restores" true (T.current () = T.none);
+  (match T.with_ctx c (fun () -> raise Exit) with
+  | _ -> Alcotest.fail "expected Exit"
+  | exception Exit -> ());
+  check_bool "with_ctx restores on raise" true (T.current () = T.none);
+  let before = T.recorded tr in
+  ignore (T.timed_ambient T.Cache_lookup (fun () -> 1 + 1));
+  check_int "unsampled ambient records nothing" before (T.recorded tr);
+  T.with_ctx c (fun () ->
+      check_int "timed_ambient returns the result" 3
+        (T.timed_ambient T.Cache_lookup (fun () -> 3)));
+  check_int "sampled ambient records one span" (before + 1) (T.recorded tr);
+  check_bool "ambient span carries the ambient id" true
+    (T.spans_of tr ~id:55 <> [])
+
+(* Batch operations are timed as one whole-batch sample per call into
+   the matching histogram. *)
+let test_timed_batch () =
+  let module T = Obs.Timed.Make (CT) in
+  let t = T.create () in
+  let keys = Array.init 64 (fun i -> i) in
+  let vals = Array.init 64 (fun i -> i * 2) in
+  T.insert_batch t keys vals;
+  let out = Array.make 64 (-1) in
+  let found = T.find_batch t keys ~miss:(-1) out in
+  check_int "batch find finds every key" 64 found;
+  check_bool "batch find fills the out array" true
+    (Array.to_list out = Array.to_list vals);
+  let removed = T.remove_batch t (Array.sub keys 0 8) in
+  check_int "batch remove counts" 8 removed;
+  check_int "one read sample per find_batch" 1
+    (Obs.Latency.total (List.assoc "read" (T.latencies t)));
+  check_int "one insert sample per insert_batch" 1
+    (Obs.Latency.total (List.assoc "insert" (T.latencies t)));
+  check_int "one remove sample per remove_batch" 1
+    (Obs.Latency.total (List.assoc "remove" (T.latencies t)))
+
 (* ------------------- watchdog post-mortem wiring ------------------- *)
 
 let test_post_mortem_embeds_flight () =
@@ -386,6 +573,28 @@ let test_post_mortem_embeds_flight () =
   check_bool "post-mortem without a recorder omits the section" true
     (not (contains (Harness.Watchdog.post_mortem wd_bare) "flight recorder"))
 
+(* With a tracer pair wired in, the post-mortem resolves the latency
+   histogram's tail exemplar to its resident span tree. *)
+let test_post_mortem_tail_exemplar () =
+  let module T = Obs.Trace in
+  let progress = Ct_util.Progress.create ~slots:2 () in
+  let tr = T.create ~size:32 () in
+  let lat = Obs.Latency.create ~label:"pm" in
+  let ctx = T.make ~sampled:true 0xFACE in
+  T.record tr ctx T.Request ~start_ns:100 ~dur_ns:5_000_000 ~a:0 ~b:0;
+  Obs.Latency.record_ns_traced lat 5_000_000 ~trace_id:(T.id ctx);
+  Obs.Latency.record_ns_traced lat 10 ~trace_id:0;
+  let wd = Harness.Watchdog.create ~tracer:(tr, lat) progress in
+  let pm = Harness.Watchdog.post_mortem wd in
+  check_bool "post-mortem names the tail exemplar" true
+    (contains pm "tail exemplar: trace 000000000000face");
+  check_bool "post-mortem dumps its span tree" true (contains pm "request");
+  (* Exemplar resident in the histogram but already evicted from the
+     ring: the dump says so instead of printing nothing. *)
+  T.reset tr;
+  check_bool "evicted tree is reported as overwritten" true
+    (contains (Harness.Watchdog.post_mortem wd) "already overwritten")
+
 let suite =
   [
     ("percentile_edges", `Quick, test_percentile_edges);
@@ -400,5 +609,12 @@ let suite =
     ("enabled_gate", `Quick, test_enabled_gate);
     ("timed_wrapper", `Quick, test_timed_wrapper);
     ("exporters", `Quick, test_exporters);
+    ("escape_label", `Quick, test_escape_label);
+    ("latency_exemplars", `Quick, test_latency_exemplars);
+    ("trace_ctx", `Quick, test_trace_ctx);
+    ("trace_ring", `Quick, test_trace_ring);
+    ("trace_sink_and_ambient", `Quick, test_trace_sink_and_ambient);
+    ("timed_batch", `Quick, test_timed_batch);
     ("post_mortem_embeds_flight", `Quick, test_post_mortem_embeds_flight);
+    ("post_mortem_tail_exemplar", `Quick, test_post_mortem_tail_exemplar);
   ]

@@ -52,7 +52,7 @@ let test_protocol_roundtrip () =
   in
   List.iteri
     (fun i op ->
-      let req = { Protocol.id = i + 1; deadline_ns = i * 1000; op } in
+      let req = { Protocol.id = i + 1; deadline_ns = i * 1000; op; trace = 0 } in
       match Protocol.decode_request (strip_prefix (Protocol.encode_request req)) with
       | Ok got ->
           check_bool "request roundtrips" true (got = req)
@@ -89,10 +89,83 @@ let test_protocol_roundtrip () =
     (Protocol.reply_label (Protocol.Overloaded Protocol.Queue_full));
   (* Corrupt opcode decodes to an error, not an exception. *)
   let bad = strip_prefix (Protocol.encode_request
-      { Protocol.id = 1; deadline_ns = 0; op = Protocol.Ping }) in
+      { Protocol.id = 1; deadline_ns = 0; op = Protocol.Ping; trace = 0 }) in
   Bytes.set bad 0 '\xee';
   check_bool "bad opcode is Error" true
     (Result.is_error (Protocol.decode_request bad))
+
+(* Trace extension (opcode bit 6): sampled and unsampled contexts ride
+   the frame, a truncated extension degrades to an untraced request
+   rather than a decode error, and the pre-trace frame format still
+   parses byte-for-byte. *)
+let test_protocol_trace_propagation () =
+  let roundtrip req =
+    match
+      Protocol.decode_request (strip_prefix (Protocol.encode_request req))
+    with
+    | Ok got -> got
+    | Error e -> Alcotest.failf "decode_request: %s" e
+  in
+  let sctx = Obs.Trace.make ~sampled:true 0x1234_5678_9ABC in
+  let req =
+    { Protocol.id = 9; deadline_ns = 77; op = Protocol.Get 3; trace = sctx }
+  in
+  let got = roundtrip req in
+  check_bool "sampled trace roundtrips" true (got = req);
+  check_bool "sampled flag survives the wire" true
+    (Obs.Trace.sampled got.Protocol.trace);
+  check_int "trace id survives the wire" 0x1234_5678_9ABC
+    (Obs.Trace.id got.Protocol.trace);
+  let uctx = Obs.Trace.make ~sampled:false 42 in
+  let got = roundtrip { req with Protocol.trace = uctx } in
+  check_bool "unsampled context roundtrips" true (got.Protocol.trace = uctx);
+  check_bool "unsampled stays unsampled" true
+    (not (Obs.Trace.sampled got.Protocol.trace));
+  (* Put frames carry the extension between the key and the value. *)
+  let put =
+    { Protocol.id = 2; deadline_ns = 0; op = Protocol.Put (5, "five");
+      trace = sctx }
+  in
+  check_bool "traced put roundtrips" true (roundtrip put = put);
+  (* Trace bit set but too few bytes for the 9-byte extension: the
+     request decodes untraced — corrupted metadata must not poison the
+     connection. *)
+  let p =
+    strip_prefix
+      (Protocol.encode_request
+         { Protocol.id = 3; deadline_ns = 0; op = Protocol.Get 7;
+           trace = sctx })
+  in
+  let cut = Bytes.sub p 0 (Bytes.length p - 4) in
+  (match Protocol.decode_request cut with
+  | Ok got ->
+      check_bool "truncated extension degrades to untraced" true
+        (got.Protocol.trace = Obs.Trace.none);
+      check_bool "request fields still decode" true
+        (got.Protocol.op = Protocol.Get 7)
+  | Error e -> Alcotest.failf "truncated extension must not poison: %s" e);
+  (* An untraced request emits the pre-trace format: bit 6 clear, no
+     extension bytes — old readers and old frames interoperate. *)
+  let old =
+    strip_prefix
+      (Protocol.encode_request
+         { Protocol.id = 4; deadline_ns = 0; op = Protocol.Get 7; trace = 0 })
+  in
+  check_bool "untraced frame has no extension bit" true
+    (Char.code (Bytes.get old 0) land 0x40 = 0);
+  let traced =
+    strip_prefix
+      (Protocol.encode_request
+         { Protocol.id = 4; deadline_ns = 0; op = Protocol.Get 7;
+           trace = sctx })
+  in
+  check_int "extension adds exactly 9 bytes"
+    (Bytes.length old + 9) (Bytes.length traced);
+  match Protocol.decode_request old with
+  | Ok got ->
+      check_bool "pre-trace format parses untraced" true
+        (got.Protocol.trace = Obs.Trace.none)
+  | Error e -> Alcotest.failf "old format: %s" e
 
 (* Frames reassemble across arbitrarily chunked delivery, and an
    oversized announced length poisons the connection. *)
@@ -105,10 +178,10 @@ let test_reader_framing () =
     (fun () ->
       let f1 =
         Protocol.encode_request
-          { Protocol.id = 1; deadline_ns = 0; op = Protocol.Put (7, "seven") }
+          { Protocol.id = 1; deadline_ns = 0; op = Protocol.Put (7, "seven"); trace = 0 }
       and f2 =
         Protocol.encode_request
-          { Protocol.id = 2; deadline_ns = 9; op = Protocol.Get 7 }
+          { Protocol.id = 2; deadline_ns = 9; op = Protocol.Get 7; trace = 0 }
       in
       let all = Bytes.cat f1 f2 in
       (* Trickle both frames 3 bytes at a time from a helper thread. *)
@@ -129,13 +202,13 @@ let test_reader_framing () =
       | Some p ->
           check_bool "frame 1" true
             (Protocol.decode_request p
-            = Ok { Protocol.id = 1; deadline_ns = 0; op = Protocol.Put (7, "seven") })
+            = Ok { Protocol.id = 1; deadline_ns = 0; op = Protocol.Put (7, "seven"); trace = 0 })
       | None -> Alcotest.fail "expected frame 1");
       (match Protocol.Reader.read_frame r b with
       | Some p ->
           check_bool "frame 2" true
             (Protocol.decode_request p
-            = Ok { Protocol.id = 2; deadline_ns = 9; op = Protocol.Get 7 })
+            = Ok { Protocol.id = 2; deadline_ns = 9; op = Protocol.Get 7; trace = 0 })
       | None -> Alcotest.fail "expected frame 2");
       Thread.join th;
       check_bool "no partial frame pending" false (Protocol.Reader.pending r);
@@ -147,6 +220,66 @@ let test_reader_framing () =
       (match Protocol.Reader.read_frame r b with
       | exception Protocol.Protocol_error _ -> ()
       | _ -> Alcotest.fail "oversized frame must poison the stream"))
+
+(* Traced frames through the same trickle-fed reader: the 9-byte
+   extension straddles chunk boundaries like any other field and the
+   context emerges intact; untraced frames interleave untouched. *)
+let test_reader_traced_framing () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with _ -> ());
+      try Unix.close b with _ -> ())
+    (fun () ->
+      let ctx1 = Obs.Trace.make ~sampled:true 0xFACE
+      and ctx2 = Obs.Trace.make ~sampled:false 0xBEEF in
+      let f1 =
+        Protocol.encode_request
+          { Protocol.id = 1; deadline_ns = 0; op = Protocol.Put (7, "seven");
+            trace = ctx1 }
+      and f2 =
+        Protocol.encode_request
+          { Protocol.id = 2; deadline_ns = 9; op = Protocol.Get 7;
+            trace = ctx2 }
+      and f3 =
+        Protocol.encode_request
+          { Protocol.id = 3; deadline_ns = 0; op = Protocol.Ping; trace = 0 }
+      in
+      let all = Bytes.cat f1 (Bytes.cat f2 f3) in
+      let th =
+        Thread.create
+          (fun () ->
+            let len = Bytes.length all in
+            let off = ref 0 in
+            while !off < len do
+              let n = min 3 (len - !off) in
+              ignore (Unix.write a all !off n);
+              off := !off + n
+            done)
+          ()
+      in
+      let r = Protocol.Reader.create () in
+      let read_req () =
+        match Protocol.Reader.read_frame r b with
+        | Some p -> (
+            match Protocol.decode_request p with
+            | Ok q -> q
+            | Error e -> Alcotest.failf "decode_request: %s" e)
+        | None -> Alcotest.fail "unexpected EOF"
+      in
+      let q1 = read_req () in
+      let q2 = read_req () in
+      let q3 = read_req () in
+      Thread.join th;
+      check_bool "sampled trace survives trickled reassembly" true
+        (q1.Protocol.trace = ctx1);
+      check_bool "traced put op intact" true
+        (q1.Protocol.op = Protocol.Put (7, "seven"));
+      check_bool "unsampled trace survives trickled reassembly" true
+        (q2.Protocol.trace = ctx2);
+      check_bool "untraced frame interleaves cleanly" true
+        (q3.Protocol.trace = Obs.Trace.none
+        && q3.Protocol.op = Protocol.Ping))
 
 (* ------------------------------- bqueue ---------------------------- *)
 
@@ -259,7 +392,7 @@ let test_queue_full_shed () =
               for id = 1 to n do
                 let f =
                   Protocol.encode_request
-                    { Protocol.id; deadline_ns = 0; op = Protocol.Get 3 }
+                    { Protocol.id; deadline_ns = 0; op = Protocol.Get 3; trace = 0 }
                 in
                 ignore (Unix.write fd f 0 (Bytes.length f))
               done;
@@ -348,7 +481,7 @@ let test_slow_loris_dropped () =
           Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, S.port srv));
           let f =
             Protocol.encode_request
-              { Protocol.id = 1; deadline_ns = 0; op = Protocol.Get 1 }
+              { Protocol.id = 1; deadline_ns = 0; op = Protocol.Get 1; trace = 0 }
           in
           (* Half a frame, then silence past the idle timeout. *)
           ignore (Unix.write fd f 0 (Bytes.length f / 2));
@@ -372,6 +505,7 @@ let test_loadgen_trace_roundtrip () =
       conns = 3;
       rate = 4567.25;
       deadline_ns = 9_000_000;
+      trace_one_in = 5;
       net =
         { Chaos.Net.default with Chaos.Net.seed = 99; drop_one_in = 123 };
     }
@@ -385,6 +519,89 @@ let test_loadgen_trace_roundtrip () =
     (Result.is_error (Loadgen.of_string "kvload-trace v1\nwat=1"));
   check_bool "bad int rejected" true
     (Result.is_error (Loadgen.of_string "kvload-trace v1\nseed=xyz"))
+
+(* Trace minting is a pure function of the plan: every request gets a
+   deterministic id, every [trace_one_in]-th is head-sampled, and the
+   ledger's trace ids regenerate from the serialized plan alone. *)
+let test_loadgen_trace_minting () =
+  let mk () =
+    { Loadgen.default_plan with Loadgen.seed = 11; n = 100; trace_one_in = 4 }
+  in
+  let plan = mk () and plan' = mk () in
+  (match Loadgen.of_string (Loadgen.to_string plan) with
+  | Ok p -> check_int "trace_one_in survives serialization" 4 p.Loadgen.trace_one_in
+  | Error e -> Alcotest.failf "of_string: %s" e);
+  let sampled = ref 0 in
+  for i = 0 to plan.Loadgen.n - 1 do
+    let ctx = Loadgen.ctx_for plan i in
+    check_bool "ctx_for is deterministic" true (ctx = Loadgen.ctx_for plan' i);
+    check_bool "every request carries a nonzero id" true
+      (Obs.Trace.id ctx <> 0);
+    check_int "trace_id_for matches ctx_for" (Obs.Trace.id ctx)
+      (Loadgen.trace_id_for plan i);
+    if Obs.Trace.sampled ctx then incr sampled
+  done;
+  check_int "exactly 1-in-4 head-sampled" 25 !sampled;
+  check_bool "ids depend on the seed" true
+    (Loadgen.trace_id_for plan 0
+    <> Loadgen.trace_id_for { plan with Loadgen.seed = 12 } 0);
+  check_bool "tracing off mints none" true
+    (Loadgen.ctx_for { plan with Loadgen.trace_one_in = 0 } 0
+    = Obs.Trace.none)
+
+(* End to end through a live server: a sampled client request leaves a
+   complete server-side span tree in the installed sink under its own
+   trace id, an unsampled one carries its id but records nothing, and
+   a traced loadgen run fills the ledger's trace-id column. *)
+let test_e2e_trace_spans () =
+  let tr = Obs.Trace.create ~size:4096 () in
+  Obs.Trace.install tr;
+  Fun.protect
+    ~finally:(fun () -> Obs.Trace.uninstall ())
+    (fun () ->
+      with_server ~config:(small_config ~queue:256 ()) (fun srv _map ->
+          with_client srv (fun c ->
+              let sctx = Obs.Trace.make ~sampled:true 0xD00D in
+              (match Kv.Client.request c ~trace:sctx (Protocol.Put (1, "one")) with
+              | Protocol.Stored _ -> ()
+              | r -> Alcotest.failf "put: %s" (Protocol.reply_label r));
+              let uctx = Obs.Trace.make ~sampled:false 0xFEED in
+              match Kv.Client.request c ~trace:uctx (Protocol.Get 1) with
+              | Protocol.Value "one" -> ()
+              | r -> Alcotest.failf "get: %s" (Protocol.reply_label r));
+          (* Spans are recorded before the reply is sent, so by the
+             time the client returned they are resident. *)
+          let spans = Obs.Trace.spans_of tr ~id:0xD00D in
+          let has st = List.exists (fun s -> s.Obs.Trace.stage = st) spans in
+          check_bool "root request span recorded" true (has Obs.Trace.Request);
+          check_bool "queue-wait span recorded" true (has Obs.Trace.Queue_wait);
+          check_bool "exec span recorded" true (has Obs.Trace.Exec);
+          check_bool "map-op span recorded" true (has Obs.Trace.Map_op);
+          check_bool "unsampled request records no spans" true
+            (Obs.Trace.spans_of tr ~id:0xFEED = []);
+          (* Ledger: every request's minted id lands in its slot. *)
+          let plan =
+            {
+              Loadgen.default_plan with
+              Loadgen.n = 200;
+              conns = 2;
+              rate = 20_000.0;
+              deadline_ns = 2_000_000_000;
+              trace_one_in = 8;
+            }
+          in
+          let s = Loadgen.run ~port:(S.port srv) plan in
+          (match Loadgen.verify s with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail e);
+          check_int "ledger has one trace id per request" plan.Loadgen.n
+            (Array.length s.Loadgen.trace_ids);
+          let ok = ref true in
+          Array.iteri
+            (fun i id ->
+              if id <> Loadgen.trace_id_for plan i then ok := false)
+            s.Loadgen.trace_ids;
+          check_bool "ledger ids regenerate from the plan" true !ok))
 
 (* Healthy server, fault-free plan: the ledger accounts every request
    and nothing is pending. *)
@@ -567,7 +784,9 @@ let test_drain_monotonic_deadline () =
 let suite =
   [
     ("protocol_roundtrip", `Quick, test_protocol_roundtrip);
+    ("protocol_trace_propagation", `Quick, test_protocol_trace_propagation);
     ("reader_framing", `Quick, test_reader_framing);
+    ("reader_traced_framing", `Quick, test_reader_traced_framing);
     ("bqueue_basics", `Quick, test_bqueue_basics);
     ("e2e_basic", `Quick, test_e2e_basic);
     ("deadline_exceeded", `Quick, test_deadline_exceeded);
@@ -575,7 +794,9 @@ let suite =
     ("latency_breach_shed", `Quick, test_latency_breach_shed);
     ("slow_loris_dropped", `Quick, test_slow_loris_dropped);
     ("loadgen_trace_roundtrip", `Quick, test_loadgen_trace_roundtrip);
+    ("loadgen_trace_minting", `Quick, test_loadgen_trace_minting);
     ("loadgen_deterministic_trace", `Quick, test_loadgen_deterministic_trace);
+    ("e2e_trace_spans", `Slow, test_e2e_trace_spans);
     ("loadgen_healthy_ledger", `Slow, test_loadgen_healthy_ledger);
     ("loadgen_chaos_ledger", `Slow, test_loadgen_chaos_ledger);
     ("drain_under_traffic", `Slow, test_drain_under_traffic);
